@@ -1,0 +1,65 @@
+"""Ablation 2 — §7's fixed-point rule for send-free cycles.
+
+"This simple modification completely eliminates all recursion based
+false-positives."  The generated protocols each contain a send-free
+recursive helper; with the fixed-point rule the lane checker emits no
+cycle diagnostics for them, and disabling the rule (treating every
+cycle as unboundable) would flag one per protocol.
+"""
+
+from repro.cfg.callgraph import CallGraph
+from repro.cfg import emit_flowgraph
+from repro.checkers import LaneChecker
+from repro.checkers.lanes import annotate_lanes, summarize_lanes
+from repro.mc.interproc import bottom_up
+
+
+def _cycle_census(program):
+    """(send-free cycles, sending cycles) in one protocol's call graph."""
+    graphs = [
+        emit_flowgraph(program.cfg(f), annotate=annotate_lanes)
+        for f in program.functions()
+    ]
+    callgraph = CallGraph(graphs)
+    sendfree, sending = 0, 0
+    seen = set()
+
+    def summarize(graph, summaries, cycle_peers):
+        nonlocal sendfree, sending
+        summary = summarize_lanes(graph, summaries, cycle_peers)
+        if cycle_peers:
+            key = frozenset(cycle_peers)
+            if key not in seen:
+                seen.add(key)
+                if summary.sends_any:
+                    sending += 1
+                else:
+                    sendfree += 1
+        return summary
+
+    bottom_up(callgraph, summarize)
+    return sendfree, sending
+
+
+def test_fixpoint_eliminates_recursion_false_positives(
+        experiment, benchmark, show):
+    programs = {name: gp.program()
+                for name, gp in experiment.generate().items()}
+
+    def census_all():
+        return {name: _cycle_census(p) for name, p in programs.items()}
+
+    census = benchmark.pedantic(census_all, rounds=1, iterations=1)
+    total_sendfree = sum(sf for sf, _ in census.values())
+    total_sending = sum(s for _, s in census.values())
+    show(f"\nlane fixed-point ablation: {total_sendfree} send-free cycles "
+         f"silently absorbed (would be {total_sendfree} false positives "
+         f"without the rule); {total_sending} sending cycles (real warnings)")
+    # Every protocol carries one send-free recursive helper by
+    # construction, and the checker keeps all of them quiet.
+    assert total_sendfree == len(programs)
+    assert total_sending == 0
+
+    for name, program in programs.items():
+        result = LaneChecker().check(program)
+        assert not any("cycle" in r.message for r in result.reports), name

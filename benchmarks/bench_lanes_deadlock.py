@@ -1,0 +1,29 @@
+"""§7 — the inter-procedural lane checker over all protocols.
+
+The paper gives its results in prose: two serious bugs (one in dyn_ptr
+from a hardware-bug workaround, one typo in bitvector), no false
+positives, and zero recursion false positives thanks to the fixed-point
+rule.  The timed section includes both passes: local flow-graph
+emission and the global bottom-up traversal.
+"""
+
+from repro.bench.formatting import render_table
+from repro.checkers import LaneChecker
+
+
+def test_lanes_deadlock(experiment, benchmark, show):
+    programs = [gp.program() for gp in experiment.generate().values()]
+
+    def run_checker():
+        return [LaneChecker().check(p) for p in programs]
+
+    results = benchmark.pedantic(run_checker, rounds=3, iterations=1)
+    table = experiment.table_lanes()
+    show("\n" + render_table(table))
+    match, total = table.exact_cells()
+    assert match == total
+    errors = [r for result in results for r in result.errors]
+    assert len(errors) == 2
+    # Both reports carry the paper's "precise textual back traces".
+    for report in errors:
+        assert report.location.line > 0

@@ -1,0 +1,37 @@
+"""Table 1 — protocol size: LOC, path counts, path lengths.
+
+Regenerates the paper's protocol-size table.  The timed section is the
+path-statistics pass (CFG construction + DP path counting) over all six
+protocol categories, i.e. the measurement the table reports.
+"""
+
+from repro.bench.formatting import render_table
+from repro.cfg import path_stats
+
+
+def test_table1_protocol_size(experiment, benchmark, show):
+    protocols = experiment.generate()
+
+    def measure():
+        rows = {}
+        for name, gp in protocols.items():
+            prog = gp.program()
+            stats = [path_stats(prog.cfg(f)) for f in prog.functions()]
+            rows[name] = (
+                gp.loc(),
+                sum(s.path_count for s in stats),
+                max(s.max_length for s in stats),
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=3, iterations=1)
+    table = experiment.table1()
+    show("\n" + render_table(table))
+
+    for row in table.rows:
+        for column in ("loc", "paths", "avg_path", "max_path"):
+            cell = row[column]
+            rel = abs(cell.measured - cell.paper) / max(cell.paper, 1)
+            assert rel < 0.15, (row["label"], column, str(cell))
+    benchmark.extra_info["total_paths"] = sum(r[1] for r in rows.values())
+    benchmark.extra_info["total_loc"] = sum(r[0] for r in rows.values())

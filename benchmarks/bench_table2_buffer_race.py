@@ -1,0 +1,18 @@
+"""Table 2 — the buffer race condition checker over all protocols."""
+
+from repro.bench.formatting import render_table
+from repro.checkers import BufferRaceChecker
+
+
+def test_table2_buffer_race(experiment, benchmark, show):
+    programs = [gp.program() for gp in experiment.generate().values()]
+
+    def run_checker():
+        return [BufferRaceChecker().check(p) for p in programs]
+
+    results = benchmark.pedantic(run_checker, rounds=3, iterations=1)
+    table = experiment.table2()
+    show("\n" + render_table(table))
+    match, total = table.exact_cells()
+    assert match == total
+    benchmark.extra_info["errors"] = sum(len(r.errors) for r in results)

@@ -1,0 +1,18 @@
+"""Table 3 — the message length checker over all protocols."""
+
+from repro.bench.formatting import render_table
+from repro.checkers import MsgLengthChecker
+
+
+def test_table3_msg_length(experiment, benchmark, show):
+    programs = [gp.program() for gp in experiment.generate().values()]
+
+    def run_checker():
+        return [MsgLengthChecker().check(p) for p in programs]
+
+    results = benchmark.pedantic(run_checker, rounds=3, iterations=1)
+    table = experiment.table3()
+    show("\n" + render_table(table))
+    match, total = table.exact_cells()
+    assert match == total
+    assert sum(r.applied for r in results) == 1550  # paper total

@@ -1,0 +1,19 @@
+"""Table 4 — the buffer management checker over all protocols."""
+
+from repro.bench.formatting import render_table
+from repro.checkers import BufferMgmtChecker
+
+
+def test_table4_buffer_mgmt(experiment, benchmark, show):
+    programs = [gp.program() for gp in experiment.generate().values()]
+
+    def run_checker():
+        return [BufferMgmtChecker().check(p) for p in programs]
+
+    results = benchmark.pedantic(run_checker, rounds=3, iterations=1)
+    table = experiment.table4()
+    show("\n" + render_table(table))
+    match, total = table.exact_cells()
+    assert match == total
+    annotations = sum(len(r.annotations) for r in results)
+    assert annotations == 18 + 25  # useful + useless in the paper

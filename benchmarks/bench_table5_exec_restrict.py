@@ -1,0 +1,31 @@
+"""Table 5 — the execution restriction checker over all protocols."""
+
+from repro.bench.formatting import render_table
+from repro.checkers import ExecRestrictChecker, NoFloatChecker
+
+
+def test_table5_exec_restrict(experiment, benchmark, show):
+    programs = [gp.program() for gp in experiment.generate().values()]
+
+    def run_checker():
+        return [ExecRestrictChecker().check(p) for p in programs]
+
+    results = benchmark.pedantic(run_checker, rounds=3, iterations=1)
+    table = experiment.table5()
+    show("\n" + render_table(table))
+    match, total = table.exact_cells()
+    assert match == total
+    assert sum(r.extra["handlers_checked"] for r in results) == 1064
+    assert sum(r.extra["vars_checked"] for r in results) == 3765
+
+
+def test_no_float_over_all_protocols(experiment, benchmark):
+    programs = [gp.program() for gp in experiment.generate().values()]
+
+    def run_checker():
+        return [NoFloatChecker().check(p) for p in programs]
+
+    results = benchmark.pedantic(run_checker, rounds=3, iterations=1)
+    # The paper's protocols contain no floating point; neither do ours.
+    assert sum(len(r.reports) for r in results) == 0
+    assert sum(r.applied for r in results) > 100000  # tree nodes visited

@@ -1,0 +1,28 @@
+"""Table 6 — allocation-failure, directory, and send-wait checkers."""
+
+from repro.bench.formatting import render_table
+from repro.checkers import AllocFailChecker, DirectoryChecker, SendWaitChecker
+
+
+def test_table6_other_checks(experiment, benchmark, show):
+    programs = [gp.program() for gp in experiment.generate().values()]
+
+    def run_checkers():
+        out = []
+        for program in programs:
+            out.append((
+                AllocFailChecker().check(program),
+                DirectoryChecker().check(program),
+                SendWaitChecker().check(program),
+            ))
+        return out
+
+    results = benchmark.pedantic(run_checkers, rounds=3, iterations=1)
+    table = experiment.table6()
+    show("\n" + render_table(table))
+    match, total = table.exact_cells()
+    assert match == total
+    # Paper totals for the Applied columns.
+    assert sum(alloc.applied for alloc, _d, _s in results) == 97
+    assert sum(d.applied for _a, d, _s in results) == 1768
+    assert sum(s.applied for _a, _d, s in results) == 125

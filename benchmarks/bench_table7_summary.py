@@ -1,0 +1,26 @@
+"""Table 7 — the summary: every checker, every protocol, 34 bugs.
+
+The timed section is the complete evaluation — all nine checkers over
+all six protocol categories — which is the run Table 7 summarizes.
+"""
+
+from repro.bench.formatting import render_table
+from repro.checkers import run_all
+
+
+def test_table7_summary(experiment, benchmark, show):
+    programs = [gp.program() for gp in experiment.generate().values()]
+
+    def full_evaluation():
+        return [run_all(program) for program in programs]
+
+    benchmark.pedantic(full_evaluation, rounds=1, iterations=1)
+    table = experiment.table7()
+    show("\n" + render_table(table))
+    match, total = table.exact_cells()
+    assert match == total
+    totals = table.row("total")
+    assert totals["errors"].measured == 34
+    assert totals["false_pos"].measured == 69
+    assert totals["metal_loc"].measured == 553
+    assert experiment.unmatched_reports() == 0

@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures.
+
+The Experiment (generation + parsing + checking of ~80K LOC across six
+protocol categories) is built once per session; individual benchmarks
+time their own stage against fresh inputs where that is what the paper's
+number measures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import Experiment
+
+
+@pytest.fixture(scope="session")
+def experiment() -> Experiment:
+    exp = Experiment()
+    exp.check()
+    return exp
+
+
+@pytest.fixture
+def show(capsys):
+    """Print to the real terminal even under pytest capture."""
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+    return _show

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""A working MSI directory protocol on the FLASH substrate.
+
+The paper's protocols are real cache-coherence engines; this example
+shows the reproduction's substrate is expressive enough to host one.  A
+simplified home-based MSI protocol is written in the C subset using the
+FLASH handler conventions, then:
+
+1. every checker is run over it statically (it is written to be clean);
+2. it executes on the FlashLite-lite machine under a random read/write
+   workload, and the directory invariant (a line is never both dirty
+   and shared) is checked against the simulated directory state.
+
+Run:  python examples/msi_protocol.py
+"""
+
+from repro.checkers import run_all
+from repro.flash.sim import FlashMachine, WorkloadSpec
+from repro.project import HandlerInfo, ProtocolInfo, program_from_source
+
+# Directory entry encoding: bit0 = shared by remote, bit1 = dirty remote.
+MSI_SOURCE = """
+void MSIHomeGet(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    unsigned addr;
+    unsigned entry;
+    addr = HANDLER_GLOBALS(header.nh.addr);
+    HANDLER_GLOBALS(dirEntry) = DIR_LOAD(addr);
+    entry = HANDLER_GLOBALS(dirEntry);
+    if (entry & 2) {
+        /* Dirty at a remote owner: NAK the reader; it will retry after
+         * the owner writes back. */
+        HANDLER_GLOBALS(header.nh.op) = MSG_NAK;
+        HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+        NI_SEND(NI_REPLY, F_NODATA, 1, 0, 1, 0);
+        DB_FREE();
+        return;
+    }
+    /* Clean: grant a shared copy. */
+    HANDLER_GLOBALS(dirEntry) = entry | 1;
+    DIR_WRITEBACK(addr, HANDLER_GLOBALS(dirEntry));
+    HANDLER_GLOBALS(header.nh.op) = MSG_PUT;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(NI_REPLY, F_DATA, 1, 0, 1, 0);
+    DB_FREE();
+    return;
+}
+
+void MSIHomeGetX(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    unsigned addr;
+    unsigned entry;
+    addr = HANDLER_GLOBALS(header.nh.addr);
+    HANDLER_GLOBALS(dirEntry) = DIR_LOAD(addr);
+    entry = HANDLER_GLOBALS(dirEntry);
+    if (entry & 2) {
+        HANDLER_GLOBALS(header.nh.op) = MSG_NAK;
+        HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+        NI_SEND(NI_REPLY, F_NODATA, 1, 0, 1, 0);
+        DB_FREE();
+        return;
+    }
+    if (entry & 1) {
+        /* Invalidate the sharer before granting exclusive. */
+        HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+        NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+    }
+    HANDLER_GLOBALS(dirEntry) = 2;
+    DIR_WRITEBACK(addr, HANDLER_GLOBALS(dirEntry));
+    HANDLER_GLOBALS(header.nh.op) = MSG_PUTX;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(NI_REPLY, F_DATA, 1, 0, 1, 0);
+    DB_FREE();
+    return;
+}
+
+void MSIHomeWriteback(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    unsigned addr;
+    addr = HANDLER_GLOBALS(header.nh.addr);
+    WAIT_FOR_DB_FULL(addr);
+    HANDLER_GLOBALS(dirEntry) = DIR_LOAD(addr);
+    HANDLER_GLOBALS(dirEntry) = HANDLER_GLOBALS(dirEntry) & ~2;
+    DIR_WRITEBACK(addr, HANDLER_GLOBALS(dirEntry));
+    HANDLER_GLOBALS(header.nh.op) = MSG_ACK;
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    NI_SEND(NI_REPLY, F_NODATA, 1, 0, 1, 0);
+    DB_FREE();
+    return;
+}
+"""
+
+HANDLERS = {
+    "MSIHomeGet": HandlerInfo("MSIHomeGet", "hw",
+                              lane_allowance=(1, 1, 1, 1)),
+    "MSIHomeGetX": HandlerInfo("MSIHomeGetX", "hw",
+                               lane_allowance=(1, 1, 1, 1)),
+    "MSIHomeWriteback": HandlerInfo("MSIHomeWriteback", "hw",
+                                    lane_allowance=(1, 1, 1, 1)),
+}
+
+# Opcodes: 1=GET, 3=GETX, 10=WB (see repro.flash.sim.node.CONSTANTS)
+DISPATCH = {1: "MSIHomeGet", 3: "MSIHomeGetX", 10: "MSIHomeWriteback"}
+
+
+def main() -> None:
+    info = ProtocolInfo(name="msi", handlers=HANDLERS)
+    program = program_from_source(MSI_SOURCE, info, filename="msi.c")
+
+    print("1. static checking (all nine checkers):")
+    total = 0
+    for name, result in run_all(program).items():
+        total += len(result.reports)
+        if result.reports:
+            for report in result.reports:
+                print("   ", report)
+    print(f"   {total} diagnostics - the protocol is clean by construction")
+    assert total == 0
+
+    print("\n2. simulating a 3000-message read/write/writeback mix:")
+    functions = {f.name: f for f in program.functions()}
+    machine = FlashMachine(functions, DISPATCH, nodes=2, n_buffers=16,
+                           lane_capacity=8, max_hops=0)
+    spec = WorkloadSpec(
+        messages=3000,
+        opcode_weights=((1, 6), (3, 3), (10, 2)),
+        address_space=1 << 10,
+        seed=11,
+    )
+    stats = machine.run(spec)
+    assert stats.deadlock is None, stats.deadlock
+    print(f"   {stats.handlers_run} handlers, {stats.sends} replies, "
+          f"no deadlock, {stats.leaked_buffers} leaked buffers")
+    assert stats.clean
+
+    print("\n3. directory invariant (never dirty AND shared):")
+    checked = 0
+    for node in machine.nodes:
+        for addr, entry in node.directory._entries.items():
+            checked += 1
+            assert entry != 3, f"addr {addr:#x} both dirty and shared"
+    print(f"   {checked} directory entries verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Static checking vs. days of simulation: the paper's §6 story, live.
+
+A handler leaks its data buffer on one rare path.  Dynamically the
+machine runs fine for hundreds of handler invocations and then
+deadlocks — exactly the "low-grade buffer leak that only deadlocks the
+system after several days" failure mode.  Statically, the buffer
+management checker points at the faulty return immediately.
+
+Run:  python examples/simulate_bug_manifestation.py
+"""
+
+from repro.checkers import BufferMgmtChecker
+from repro.flash.sim import FlashMachine, WorkloadSpec
+from repro.project import HandlerInfo, ProtocolInfo, program_from_source
+
+LEAKY = """
+void NIRemotePut(void) {
+    unsigned addr;
+    addr = HANDLER_GLOBALS(header.nh.addr);
+    if ((addr & 511) == 24) {
+        return;                 /* BUG: loses the incoming buffer */
+    }
+    DB_FREE();
+    return;
+}
+"""
+
+FIXED = LEAKY.replace("        return;                 /* BUG: loses the incoming buffer */",
+                      "        DB_FREE();\n        return;")
+
+
+def simulate(source: str, label: str) -> None:
+    prog = program_from_source(source)
+    functions = {f.name: f for f in prog.functions()}
+    machine = FlashMachine(functions, {1: "NIRemotePut"}, n_buffers=8)
+    stats = machine.run(WorkloadSpec(messages=100000,
+                                     opcode_weights=((1, 1),)))
+    if stats.deadlock:
+        print(f"  [{label}] DEADLOCK after {stats.handlers_run} handler "
+              f"executions: {stats.deadlock}")
+    else:
+        print(f"  [{label}] ran {stats.handlers_run} handlers cleanly")
+
+
+def check(source: str, label: str) -> None:
+    info = ProtocolInfo(name="demo", handlers={
+        "NIRemotePut": HandlerInfo("NIRemotePut", "hw"),
+    })
+    result = BufferMgmtChecker().check(program_from_source(source, info))
+    if result.reports:
+        print(f"  [{label}] static checker says:")
+        for report in result.reports:
+            print(f"      {report}")
+    else:
+        print(f"  [{label}] static checker: clean")
+
+
+def main() -> None:
+    print("1. Dynamic simulation of the buggy handler "
+          "(the only pre-MC option):")
+    simulate(LEAKY, "buggy")
+    print("\n2. The same bug through the Section 6 checker "
+          "(milliseconds, exact line):")
+    check(LEAKY, "buggy")
+    print("\n3. After the fix:")
+    check(FIXED, "fixed")
+    simulate(FIXED, "fixed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — a reproduction of "Using Meta-level Compilation to Check FLASH
+Protocol Code" (Chou, Chelf, Engler, Heinrich; ASPLOS 2000).
+
+Layers (see DESIGN.md for the full inventory):
+
+- :mod:`repro.lang` — C-subset frontend (lexer, parser, types, sema);
+- :mod:`repro.cfg` — control-flow graphs, path statistics, call graphs;
+- :mod:`repro.metal` — the metal checker language (patterns + state
+  machines + a parser that runs the paper's Figures 2 and 3 verbatim);
+- :mod:`repro.mc` — the path-sensitive analysis engine (the xg++ analog);
+- :mod:`repro.checkers` — the paper's nine checkers (§4-§9);
+- :mod:`repro.flash` — the system under test: vocabulary, a deterministic
+  protocol generator matching the paper's tables, and a FlashLite-style
+  simulator;
+- :mod:`repro.bench` — regenerates Tables 1-7 paper-vs-measured.
+
+Quickstart::
+
+    from repro import parse_metal, check_source
+
+    sm = parse_metal(open("checker.metal").read())
+    reports = check_source(sm, open("protocol.c").read())
+"""
+
+from .lang import annotate, parse
+from .metal import MatchContext, Report, ReportSink, StateMachine, parse_metal
+from .mc import check_function, check_unit, format_reports
+from .project import HandlerInfo, Program, ProtocolInfo, program_from_source
+
+__version__ = "1.0.0"
+
+
+def check_source(sm, source: str, filename: str = "<input>"):
+    """Run a state machine over C source text; returns the reports."""
+    unit = parse(source, filename)
+    annotate(unit)
+    return check_unit(sm, unit).reports
+
+
+__all__ = [
+    "annotate", "parse", "parse_metal", "check_source",
+    "MatchContext", "Report", "ReportSink", "StateMachine",
+    "check_function", "check_unit", "format_reports",
+    "HandlerInfo", "Program", "ProtocolInfo", "program_from_source",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""Benchmark harness: regenerates every table in the paper."""
+
+from .formatting import render_all, render_table
+from .tables import Cell, Experiment, TableResult, shared_experiment
+from . import paper_data
+
+__all__ = ["render_all", "render_table", "Cell", "Experiment",
+           "TableResult", "shared_experiment", "paper_data"]

@@ -1,0 +1,37 @@
+"""ASCII rendering of benchmark tables (paper vs measured)."""
+
+from __future__ import annotations
+
+from .tables import Cell, TableResult
+
+
+def render_table(table: TableResult) -> str:
+    """Render a TableResult with measured and paper values side by side."""
+    headers = ["" if c == "label" else c for c in table.columns]
+    body: list[list[str]] = []
+    for row in table.rows:
+        cells = []
+        for column in table.columns:
+            value = row[column]
+            if isinstance(value, Cell):
+                cells.append(str(value))
+            else:
+                cells.append(str(value))
+        body.append(cells)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [table.title, "=" * len(table.title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in body:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip())
+    match, total = table.exact_cells()
+    lines.append(f"[{match}/{total} cells match the paper exactly; "
+                 "* marks differences]")
+    return "\n".join(lines)
+
+
+def render_all(tables: list[TableResult]) -> str:
+    return "\n\n".join(render_table(t) for t in tables)

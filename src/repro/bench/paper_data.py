@@ -1,0 +1,100 @@
+"""The paper's published numbers, table by table.
+
+Used by the benchmark harness to print paper-vs-measured rows and by
+EXPERIMENTS.md generation.  Protocol order follows each table's own
+row order in the paper.
+"""
+
+from __future__ import annotations
+
+PROTOCOLS = ("bitvector", "dyn_ptr", "sci", "coma", "rac", "common")
+
+#: Table 1 - protocol size: LOC, #paths, average/max path length.
+TABLE1 = {
+    "bitvector": (10386, 486, 87, 563),
+    "dyn_ptr": (18438, 2322, 135, 399),
+    "sci": (11473, 1051, 73, 330),
+    "coma": (17031, 1131, 135, 244),
+    "rac": (14396, 1364, 133, 516),
+    "common": (8783, 1165, 183, 461),
+}
+
+#: Table 2 - buffer race: errors, false positives, applied.
+TABLE2 = {
+    "bitvector": (4, 0, 14),
+    "dyn_ptr": (0, 0, 16),
+    "sci": (0, 0, 2),
+    "coma": (0, 0, 0),
+    "rac": (0, 0, 10),
+    "common": (0, 1, 17),
+}
+
+#: Table 3 - message length: errors, false positives, applied.
+TABLE3 = {
+    "bitvector": (3, 0, 205),
+    "dyn_ptr": (7, 0, 316),
+    "sci": (0, 0, 308),
+    "coma": (0, 2, 302),
+    "rac": (8, 0, 346),
+    "common": (0, 0, 73),
+}
+
+#: Table 4 - buffer management: errors, minor, useful, useless.
+TABLE4 = {
+    "dyn_ptr": (2, 2, 3, 3),
+    "bitvector": (2, 1, 0, 1),
+    "sci": (3, 2, 10, 10),
+    "coma": (0, 0, 0, 0),
+    "rac": (2, 0, 2, 4),
+    "common": (0, 1, 3, 7),
+}
+
+#: §7 lanes - errors and false positives (given in prose, not a table).
+LANES = {
+    "bitvector": (1, 0),
+    "dyn_ptr": (1, 0),
+    "sci": (0, 0),
+    "coma": (0, 0),
+    "rac": (0, 0),
+    "common": (0, 0),
+}
+
+#: Table 5 - execution restrictions: violations, handlers, vars.
+TABLE5 = {
+    "dyn_ptr": (4, 227, 768),
+    "bitvector": (2, 168, 489),
+    "sci": (0, 214, 794),
+    "coma": (3, 193, 648),
+    "rac": (2, 200, 668),
+    "common": (0, 62, 398),
+}
+
+#: Table 6 - the three less-effective checks:
+#: (alloc FP, alloc applied, dir FP, dir applied, sw FP, sw applied).
+TABLE6 = {
+    "bitvector": (0, 17, 3, 214, 2, 32),
+    "dyn_ptr": (2, 19, 13, 382, 2, 38),
+    "sci": (0, 5, 1, 88, 0, 11),
+    "coma": (0, 32, 5, 659, 0, 7),
+    "rac": (0, 20, 9, 424, 2, 35),
+    "common": (0, 4, 0, 1, 2, 2),
+}
+
+#: Table 6 footnote: the directory check found 1 bug, in bitvector.
+TABLE6_DIR_ERRORS = {"bitvector": 1}
+
+#: Table 7 - summary per checker: metal LOC, errors, false positives.
+#: (Buffer-management "false positives" are the useless annotations.)
+TABLE7 = {
+    "buffer-mgmt": (94, 9, 25),
+    "msg-length": (29, 18, 2),
+    "lanes": (220, 2, 0),
+    "buffer-race": (12, 4, 1),
+    "alloc-fail": (16, 0, 2),
+    "directory": (51, 1, 31),
+    "send-wait": (40, 0, 8),
+    "exec-restrict": (84, 0, 0),
+    "no-float": (7, 0, 0),
+}
+
+TABLE7_TOTALS = (553, 34, 69)

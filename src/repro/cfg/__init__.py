@@ -1,0 +1,23 @@
+"""Control-flow layer: CFG construction, path statistics, call graphs."""
+
+from .builder import CfgBuilder, build_cfg
+from .dominators import DominatorTree, compute_dominators
+from .callgraph import (
+    CallGraph,
+    FlowGraph,
+    FlowNode,
+    emit_flowgraph,
+    load_flowgraph,
+    write_flowgraph,
+)
+from .graph import BasicBlock, Cfg, Edge
+from .paths import FileStats, PathStats, aggregate_stats, enumerate_paths, path_stats
+
+__all__ = [
+    "CfgBuilder", "build_cfg",
+    "DominatorTree", "compute_dominators",
+    "CallGraph", "FlowGraph", "FlowNode",
+    "emit_flowgraph", "load_flowgraph", "write_flowgraph",
+    "BasicBlock", "Cfg", "Edge",
+    "FileStats", "PathStats", "aggregate_stats", "enumerate_paths", "path_stats",
+]

@@ -1,0 +1,244 @@
+"""AST -> CFG lowering.
+
+The builder translates structured control flow (if/while/do/for/switch)
+plus goto/label/break/continue/return into basic blocks.  Branch
+conditions are recorded as events in the block that evaluates them, so
+checkers can pattern-match conditions as well as statements; the out
+edges of the evaluating block carry ``true``/``false`` labels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import CfgError
+from ..lang import ast
+from .graph import BasicBlock, Cfg
+
+
+class _LoopContext:
+    def __init__(self, break_target: BasicBlock, continue_target: Optional[BasicBlock]):
+        self.break_target = break_target
+        self.continue_target = continue_target
+
+
+class CfgBuilder:
+    """Builds the CFG of a single function definition."""
+
+    def __init__(self, function: ast.FunctionDef):
+        self.cfg = Cfg(function)
+        self._loops: list[_LoopContext] = []
+        self._labels: dict[str, BasicBlock] = {}
+        self._pending_gotos: list[tuple[BasicBlock, str]] = []
+        # Switch lowering needs the innermost switch's break target only;
+        # that is handled through _LoopContext with continue_target=None.
+
+    def build(self) -> Cfg:
+        cfg = self.cfg
+        body_end = self._lower_stmt(cfg.function.body, cfg.entry)
+        if body_end is not None:
+            cfg.connect(body_end, cfg.exit, label="fallthrough")
+        for block, label in self._pending_gotos:
+            target = self._labels.get(label)
+            if target is None:
+                raise CfgError(
+                    f"goto to undefined label {label!r} in {cfg.name}"
+                )
+            cfg.connect(block, target, label="goto")
+        return cfg
+
+    # -- statement lowering ---------------------------------------------------
+    #
+    # Each _lower_* takes the current block and returns the block control
+    # falls out of, or None when the statement never falls through
+    # (return/break/continue/goto).
+
+    def _lower_stmt(self, stmt: ast.Stmt, block: Optional[BasicBlock]):
+        if block is None:
+            # Unreachable code after return/break; give it its own block so
+            # checkers can still see it, but leave it disconnected.
+            block = self.cfg.new_block(note="unreachable")
+        handler = {
+            ast.Block: self._lower_block,
+            ast.ExprStmt: self._lower_simple,
+            ast.DeclStmt: self._lower_simple,
+            ast.EmptyStmt: self._lower_empty,
+            ast.If: self._lower_if,
+            ast.While: self._lower_while,
+            ast.DoWhile: self._lower_do_while,
+            ast.For: self._lower_for,
+            ast.Switch: self._lower_switch,
+            ast.Return: self._lower_return,
+            ast.Break: self._lower_break,
+            ast.Continue: self._lower_continue,
+            ast.Goto: self._lower_goto,
+            ast.Label: self._lower_label,
+            ast.Case: self._lower_empty,
+            ast.Default: self._lower_empty,
+        }.get(type(stmt))
+        if handler is None:
+            raise CfgError(f"cannot lower statement {type(stmt).__name__}")
+        return handler(stmt, block)
+
+    def _lower_block(self, stmt: ast.Block, block: BasicBlock):
+        current: Optional[BasicBlock] = block
+        for child in stmt.stmts:
+            current = self._lower_stmt(child, current)
+        return current
+
+    def _lower_simple(self, stmt, block: BasicBlock):
+        if isinstance(stmt, ast.ExprStmt):
+            block.add_event(stmt.expr)
+        else:
+            block.add_event(stmt)
+        return block
+
+    def _lower_empty(self, stmt, block: BasicBlock):
+        return block
+
+    def _lower_if(self, stmt: ast.If, block: BasicBlock):
+        cfg = self.cfg
+        block.add_event(stmt.cond)
+        then_block = cfg.new_block(note="then")
+        cfg.connect(block, then_block, label="true")
+        then_end = self._lower_stmt(stmt.then, then_block)
+        join = cfg.new_block(note="join")
+        if stmt.otherwise is not None:
+            else_block = cfg.new_block(note="else")
+            cfg.connect(block, else_block, label="false")
+            else_end = self._lower_stmt(stmt.otherwise, else_block)
+            if else_end is not None:
+                cfg.connect(else_end, join)
+        else:
+            cfg.connect(block, join, label="false")
+        if then_end is not None:
+            cfg.connect(then_end, join)
+        if not join.in_edges:
+            return None
+        return join
+
+    def _lower_while(self, stmt: ast.While, block: BasicBlock):
+        cfg = self.cfg
+        head = cfg.new_block(note="loop-head")
+        cfg.connect(block, head)
+        head.add_event(stmt.cond)
+        body = cfg.new_block(note="loop-body")
+        after = cfg.new_block(note="loop-exit")
+        cfg.connect(head, body, label="true")
+        cfg.connect(head, after, label="false")
+        self._loops.append(_LoopContext(after, head))
+        body_end = self._lower_stmt(stmt.body, body)
+        self._loops.pop()
+        if body_end is not None:
+            cfg.connect(body_end, head, label="back")
+        return after
+
+    def _lower_do_while(self, stmt: ast.DoWhile, block: BasicBlock):
+        cfg = self.cfg
+        body = cfg.new_block(note="loop-body")
+        cfg.connect(block, body)
+        cond_block = cfg.new_block(note="loop-cond")
+        after = cfg.new_block(note="loop-exit")
+        self._loops.append(_LoopContext(after, cond_block))
+        body_end = self._lower_stmt(stmt.body, body)
+        self._loops.pop()
+        if body_end is not None:
+            cfg.connect(body_end, cond_block)
+        cond_block.add_event(stmt.cond)
+        cfg.connect(cond_block, body, label="back")
+        cfg.connect(cond_block, after, label="false")
+        return after
+
+    def _lower_for(self, stmt: ast.For, block: BasicBlock):
+        cfg = self.cfg
+        if isinstance(stmt.init, ast.DeclStmt):
+            block.add_event(stmt.init)
+        elif isinstance(stmt.init, ast.Expr):
+            block.add_event(stmt.init)
+        head = cfg.new_block(note="loop-head")
+        cfg.connect(block, head)
+        if stmt.cond is not None:
+            head.add_event(stmt.cond)
+        body = cfg.new_block(note="loop-body")
+        after = cfg.new_block(note="loop-exit")
+        cfg.connect(head, body, label="true")
+        if stmt.cond is not None:
+            cfg.connect(head, after, label="false")
+        step_block = cfg.new_block(note="loop-step")
+        if stmt.step is not None:
+            step_block.add_event(stmt.step)
+        self._loops.append(_LoopContext(after, step_block))
+        body_end = self._lower_stmt(stmt.body, body)
+        self._loops.pop()
+        if body_end is not None:
+            cfg.connect(body_end, step_block)
+        cfg.connect(step_block, head, label="back")
+        if stmt.cond is None and not after.in_edges:
+            # ``for(;;)`` with no break would make ``after`` unreachable;
+            # callers treat a None return as no-fallthrough.
+            return None
+        return after
+
+    def _lower_switch(self, stmt: ast.Switch, block: BasicBlock):
+        cfg = self.cfg
+        block.add_event(stmt.cond)
+        after = cfg.new_block(note="switch-exit")
+        self._loops.append(_LoopContext(after, None))
+        current: Optional[BasicBlock] = None
+        saw_default = False
+        for child in stmt.body.stmts:
+            if isinstance(child, (ast.Case, ast.Default)):
+                arm = cfg.new_block(note="case")
+                label = "default" if isinstance(child, ast.Default) else "case"
+                saw_default = saw_default or isinstance(child, ast.Default)
+                cfg.connect(block, arm, label=label)
+                if current is not None:
+                    cfg.connect(current, arm, label="fallthrough")
+                current = arm
+            else:
+                current = self._lower_stmt(child, current)
+        self._loops.pop()
+        if current is not None:
+            cfg.connect(current, after)
+        if not saw_default:
+            cfg.connect(block, after, label="no-case")
+        if not after.in_edges:
+            return None
+        return after
+
+    def _lower_return(self, stmt: ast.Return, block: BasicBlock):
+        block.add_event(stmt)
+        self.cfg.connect(block, self.cfg.exit, label="return")
+        return None
+
+    def _lower_break(self, stmt: ast.Break, block: BasicBlock):
+        if not self._loops:
+            raise CfgError(f"break outside loop/switch in {self.cfg.name}")
+        self.cfg.connect(block, self._loops[-1].break_target, label="break")
+        return None
+
+    def _lower_continue(self, stmt: ast.Continue, block: BasicBlock):
+        target = None
+        for loop in reversed(self._loops):
+            if loop.continue_target is not None:
+                target = loop.continue_target
+                break
+        if target is None:
+            raise CfgError(f"continue outside loop in {self.cfg.name}")
+        self.cfg.connect(block, target, label="continue")
+        return None
+
+    def _lower_goto(self, stmt: ast.Goto, block: BasicBlock):
+        self._pending_gotos.append((block, stmt.label))
+        return None
+
+    def _lower_label(self, stmt: ast.Label, block: BasicBlock):
+        target = self.cfg.new_block(note=f"label:{stmt.name}")
+        self._labels[stmt.name] = target
+        self.cfg.connect(block, target)
+        return target
+
+
+def build_cfg(function: ast.FunctionDef) -> Cfg:
+    """Build the control-flow graph of one function definition."""
+    return CfgBuilder(function).build()

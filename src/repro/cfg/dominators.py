@@ -1,0 +1,111 @@
+"""Dominator analysis over CFGs.
+
+Classic iterative dominator computation (Cooper-Harvey-Kennedy).  Used
+by the MC transformation pass (:mod:`repro.mc.transform`): an event
+dominated by an equivalent earlier event is a candidate for removal —
+e.g. a ``WAIT_FOR_DB_FULL`` every path has already performed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .graph import BasicBlock, Cfg
+
+
+class DominatorTree:
+    """Immediate dominators for every reachable block of a CFG."""
+
+    def __init__(self, cfg: Cfg):
+        self.cfg = cfg
+        self._rpo = self._reverse_postorder()
+        self._index = {b.index: i for i, b in enumerate(self._rpo)}
+        self.idom: dict[int, Optional[int]] = {}
+        self._compute()
+
+    def _reverse_postorder(self) -> list[BasicBlock]:
+        visited: set[int] = set()
+        postorder: list[BasicBlock] = []
+        stack: list[tuple[BasicBlock, int]] = [(self.cfg.entry, 0)]
+        visited.add(self.cfg.entry.index)
+        while stack:
+            block, edge_i = stack[-1]
+            if edge_i < len(block.out_edges):
+                stack[-1] = (block, edge_i + 1)
+                succ = block.out_edges[edge_i].dst
+                if succ.index not in visited:
+                    visited.add(succ.index)
+                    stack.append((succ, 0))
+            else:
+                postorder.append(block)
+                stack.pop()
+        return list(reversed(postorder))
+
+    def _compute(self) -> None:
+        entry = self.cfg.entry.index
+        self.idom = {entry: entry}
+        changed = True
+        blocks_by_index = {b.index: b for b in self._rpo}
+        while changed:
+            changed = False
+            for block in self._rpo:
+                if block.index == entry:
+                    continue
+                new_idom: Optional[int] = None
+                for pred in block.predecessors:
+                    if pred.index not in self.idom:
+                        continue
+                    if pred.index not in self._index:
+                        continue
+                    if new_idom is None:
+                        new_idom = pred.index
+                    else:
+                        new_idom = self._intersect(new_idom, pred.index)
+                if new_idom is not None and self.idom.get(block.index) != new_idom:
+                    self.idom[block.index] = new_idom
+                    changed = True
+
+    def _intersect(self, a: int, b: int) -> int:
+        while a != b:
+            while self._index[a] > self._index[b]:
+                a = self.idom[a]
+            while self._index[b] > self._index[a]:
+                b = self.idom[b]
+        return a
+
+    # -- queries -------------------------------------------------------------
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Does block ``a`` dominate block ``b``?  (Reflexive.)"""
+        if a not in self.idom or b not in self.idom:
+            return False
+        entry = self.cfg.entry.index
+        node = b
+        while True:
+            if node == a:
+                return True
+            if node == entry:
+                return a == entry
+            node = self.idom[node]
+
+    def immediate_dominator(self, block_index: int) -> Optional[int]:
+        if block_index == self.cfg.entry.index:
+            return None
+        return self.idom.get(block_index)
+
+    def dominators_of(self, block_index: int) -> list[int]:
+        """All dominators of a block, innermost first."""
+        if block_index not in self.idom:
+            return []
+        out = [block_index]
+        entry = self.cfg.entry.index
+        node = block_index
+        while node != entry:
+            node = self.idom[node]
+            out.append(node)
+        return out
+
+
+def compute_dominators(cfg: Cfg) -> DominatorTree:
+    """Build the dominator tree of ``cfg``."""
+    return DominatorTree(cfg)

@@ -1,0 +1,133 @@
+"""Control-flow graph data structures.
+
+A :class:`Cfg` is a set of :class:`BasicBlock` nodes with labelled edges.
+Each block holds an ordered list of *events* — the AST nodes executed in
+that block (statement expressions, declarations, branch conditions,
+returns).  The metal engine replays a state machine over these events in
+path order, which is exactly how xg++ applied extensions "down every path
+in each function".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..lang import ast
+
+
+@dataclass
+class Edge:
+    """A directed CFG edge with an optional label (``true``/``false``/``case``)."""
+
+    src: "BasicBlock"
+    dst: "BasicBlock"
+    label: Optional[str] = None
+
+    def __repr__(self) -> str:
+        tag = f" [{self.label}]" if self.label else ""
+        return f"B{self.src.index}->B{self.dst.index}{tag}"
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of events with branching only at the end."""
+
+    index: int
+    events: list[ast.Node] = field(default_factory=list)
+    out_edges: list[Edge] = field(default_factory=list)
+    in_edges: list[Edge] = field(default_factory=list)
+    # Human-readable role for debugging ("entry", "exit", "then", "loop-head", ...)
+    note: str = ""
+
+    @property
+    def successors(self) -> list["BasicBlock"]:
+        return [e.dst for e in self.out_edges]
+
+    @property
+    def predecessors(self) -> list["BasicBlock"]:
+        return [e.src for e in self.in_edges]
+
+    def add_event(self, node: ast.Node) -> None:
+        self.events.append(node)
+
+    def __repr__(self) -> str:
+        note = f" ({self.note})" if self.note else ""
+        return f"<B{self.index}{note} events={len(self.events)} succ={[b.index for b in self.successors]}>"
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other) -> bool:
+        return self is other
+
+
+class Cfg:
+    """Control-flow graph of one function."""
+
+    def __init__(self, function: ast.FunctionDef):
+        self.function = function
+        self.blocks: list[BasicBlock] = []
+        self.entry = self.new_block(note="entry")
+        self.exit = self.new_block(note="exit")
+
+    @property
+    def name(self) -> str:
+        return self.function.name
+
+    def new_block(self, note: str = "") -> BasicBlock:
+        block = BasicBlock(index=len(self.blocks), note=note)
+        self.blocks.append(block)
+        return block
+
+    def connect(self, src: BasicBlock, dst: BasicBlock,
+                label: Optional[str] = None) -> Edge:
+        edge = Edge(src, dst, label)
+        src.out_edges.append(edge)
+        dst.in_edges.append(edge)
+        return edge
+
+    def reachable_blocks(self) -> list[BasicBlock]:
+        """Blocks reachable from entry, in discovery order."""
+        seen: set[int] = set()
+        order: list[BasicBlock] = []
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            if block.index in seen:
+                continue
+            seen.add(block.index)
+            order.append(block)
+            for succ in reversed(block.successors):
+                stack.append(succ)
+        return order
+
+    def back_edges(self) -> set[tuple[int, int]]:
+        """Edges (src, dst) that close a cycle, found by iterative DFS."""
+        result: set[tuple[int, int]] = set()
+        color: dict[int, int] = {}  # 0 absent, 1 on stack, 2 done
+        stack: list[tuple[BasicBlock, int]] = [(self.entry, 0)]
+        color[self.entry.index] = 1
+        while stack:
+            block, edge_i = stack[-1]
+            if edge_i < len(block.out_edges):
+                stack[-1] = (block, edge_i + 1)
+                succ = block.out_edges[edge_i].dst
+                state = color.get(succ.index, 0)
+                if state == 1:
+                    result.add((block.index, succ.index))
+                elif state == 0:
+                    color[succ.index] = 1
+                    stack.append((succ, 0))
+            else:
+                color[block.index] = 2
+                stack.pop()
+        return result
+
+    def events(self) -> Iterator[ast.Node]:
+        """All events in all reachable blocks (block order, not path order)."""
+        for block in self.reachable_blocks():
+            yield from block.events
+
+    def __repr__(self) -> str:
+        return f"<Cfg {self.name!r} blocks={len(self.blocks)}>"

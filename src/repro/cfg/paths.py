@@ -1,0 +1,165 @@
+"""Path counting and statistics over CFGs (Table 1 of the paper).
+
+The paper characterizes each protocol by the number of unique exit paths
+through every function and the average/max path length in source lines.
+Loops are handled the way any terminating static traversal must: back
+edges are excluded, so a loop body contributes "taken once or not at all",
+matching the path counts a DFS-with-state-caching engine explores.
+
+Counting uses dynamic programming over the acyclic subgraph, so functions
+with thousands of paths are measured without enumerating them.  Bounded
+explicit enumeration is also provided for tests and for the naive-engine
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..lang import ast
+from .graph import BasicBlock, Cfg
+
+
+def _block_lines(block: BasicBlock) -> int:
+    """Number of distinct source lines this block's events span."""
+    lines = {
+        event.location.line
+        for event in block.events
+        if event.location.line > 0
+    }
+    return len(lines)
+
+
+@dataclass(frozen=True)
+class PathStats:
+    """Per-function path statistics."""
+
+    function: str
+    path_count: int
+    total_length: int
+    max_length: int
+
+    @property
+    def average_length(self) -> float:
+        if self.path_count == 0:
+            return 0.0
+        return self.total_length / self.path_count
+
+
+def path_stats(cfg: Cfg) -> PathStats:
+    """Count entry->exit paths and their length statistics via DP."""
+    back = cfg.back_edges()
+    reachable = cfg.reachable_blocks()
+    order = _topo_order(cfg, reachable, back)
+
+    counts: dict[int, int] = {}
+    sums: dict[int, int] = {}
+    maxes: dict[int, int] = {}
+    for block in reversed(order):
+        lines = _block_lines(block)
+        succs = [
+            e.dst for e in block.out_edges
+            if (block.index, e.dst.index) not in back
+        ]
+        if block is cfg.exit or not succs:
+            counts[block.index] = 1
+            sums[block.index] = lines
+            maxes[block.index] = lines
+            continue
+        count = 0
+        total = 0
+        longest = 0
+        for succ in succs:
+            count += counts[succ.index]
+            total += sums[succ.index]
+            longest = max(longest, maxes[succ.index])
+        counts[block.index] = count
+        sums[block.index] = lines * count + total
+        maxes[block.index] = lines + longest
+    entry = cfg.entry.index
+    return PathStats(
+        function=cfg.name,
+        path_count=counts.get(entry, 0),
+        total_length=sums.get(entry, 0),
+        max_length=maxes.get(entry, 0),
+    )
+
+
+def _topo_order(cfg: Cfg, reachable: list[BasicBlock],
+                back: set[tuple[int, int]]) -> list[BasicBlock]:
+    """Topological order of the reachable acyclic subgraph."""
+    reachable_ids = {b.index for b in reachable}
+    indegree: dict[int, int] = {b.index: 0 for b in reachable}
+    for block in reachable:
+        for edge in block.out_edges:
+            key = (block.index, edge.dst.index)
+            if key in back or edge.dst.index not in reachable_ids:
+                continue
+            indegree[edge.dst.index] += 1
+    by_index = {b.index: b for b in reachable}
+    ready = [b for b in reachable if indegree[b.index] == 0]
+    order: list[BasicBlock] = []
+    while ready:
+        block = ready.pop()
+        order.append(block)
+        for edge in block.out_edges:
+            key = (block.index, edge.dst.index)
+            if key in back or edge.dst.index not in reachable_ids:
+                continue
+            indegree[edge.dst.index] -= 1
+            if indegree[edge.dst.index] == 0:
+                ready.append(by_index[edge.dst.index])
+    return order
+
+
+def enumerate_paths(cfg: Cfg, max_paths: Optional[int] = 10000) -> Iterator[list[BasicBlock]]:
+    """Explicitly enumerate entry->exit block paths (back edges skipped).
+
+    Used by tests (to validate the DP counts) and by the naive-engine
+    ablation.  Raises ``ValueError`` if the function has more than
+    ``max_paths`` paths (pass ``None`` to disable the guard).
+    """
+    back = cfg.back_edges()
+    produced = 0
+    stack: list[tuple[BasicBlock, list[BasicBlock]]] = [(cfg.entry, [cfg.entry])]
+    while stack:
+        block, path = stack.pop()
+        succs = [
+            e.dst for e in block.out_edges
+            if (block.index, e.dst.index) not in back
+        ]
+        if block is cfg.exit or not succs:
+            produced += 1
+            if max_paths is not None and produced > max_paths:
+                raise ValueError(
+                    f"{cfg.name} has more than {max_paths} paths"
+                )
+            yield path
+            continue
+        for succ in reversed(succs):
+            stack.append((succ, path + [succ]))
+
+
+@dataclass(frozen=True)
+class FileStats:
+    """Aggregated statistics for a set of functions (one protocol)."""
+
+    loc: int
+    path_count: int
+    average_path_length: float
+    max_path_length: int
+
+
+def aggregate_stats(per_function: list[PathStats], loc: int) -> FileStats:
+    """Combine per-function stats the way Table 1 reports them."""
+    total_paths = sum(s.path_count for s in per_function)
+    total_length = sum(s.total_length for s in per_function)
+    max_length = max((s.max_length for s in per_function), default=0)
+    average = total_length / total_paths if total_paths else 0.0
+    return FileStats(
+        loc=loc,
+        path_count=total_paths,
+        average_path_length=average,
+        max_path_length=max_length,
+    )

@@ -1,0 +1,35 @@
+"""The paper's checkers (§4-§9), built on the metal/mc framework.
+
+Importing this package registers every checker; ``all_checkers()``
+returns fresh instances in paper order.
+"""
+
+from .base import (
+    Checker,
+    CheckerResult,
+    all_checkers,
+    checker_names,
+    get_checker,
+    register,
+    run_all,
+)
+from .buffer_race import BufferRaceChecker
+from .msg_length import MsgLengthChecker
+from .buffer_mgmt import BufferMgmtChecker
+from .lanes import LaneChecker
+from .exec_restrict import ExecRestrictChecker, NoFloatChecker
+from .alloc_fail import AllocFailChecker
+from .directory import DirectoryChecker
+from .send_wait import SendWaitChecker
+from .table_audit import TableAuditChecker
+from . import metal_sources
+
+__all__ = [
+    "Checker", "CheckerResult", "all_checkers", "checker_names",
+    "get_checker", "register", "run_all",
+    "BufferRaceChecker", "MsgLengthChecker", "BufferMgmtChecker",
+    "LaneChecker", "ExecRestrictChecker", "NoFloatChecker",
+    "AllocFailChecker", "DirectoryChecker", "SendWaitChecker",
+    "TableAuditChecker",
+    "metal_sources",
+]

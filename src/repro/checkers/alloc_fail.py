@@ -1,0 +1,74 @@
+"""§9 — Data buffer allocation must be checked for failure.
+
+After a handler frees its buffer it must allocate another before sending
+data; ``DB_ALLOC`` can fail when no buffers are available, so every
+allocation must be tested with ``DB_IS_ERROR`` before the buffer is used.
+
+The known false-positive source (the paper found exactly this) is
+debugging code that prints the buffer value before checking it.
+
+"Applied" is the number of allocation sites (Table 6: 97 in total).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..flash import machine
+from ..lang import ast
+from ..mc.engine import run_machine
+from ..metal.runtime import MatchContext
+from ..metal.sm import StateMachine
+from ..project import Program
+from .base import Checker, CheckerResult, register
+
+OK = "ok"
+UNCHECKED = "unchecked"
+
+
+@register
+class AllocFailChecker(Checker):
+    """DB_ALLOC results must be tested with DB_IS_ERROR before use."""
+
+    name = "alloc-fail"
+    metal_loc = 16
+
+    def _build_machine(self, program: Program) -> StateMachine:
+        sm = StateMachine(self.name)
+        sm.decl("unsigned", "a1", "a2", "a3", "a4", "a5", "a6")
+        sm.state(OK)
+        sm.state(UNCHECKED)
+
+        sm.add_rule(OK, f"{machine.DB_ALLOC}()", target=UNCHECKED)
+        sm.add_rule(UNCHECKED, f"{machine.DB_IS_ERROR}(a1)", target=OK)
+
+        use_patterns = [
+            "PI_SEND(a1, a2, a3, a4, a5, a6)",
+            "IO_SEND(a1, a2, a3, a4, a5, a6)",
+            "NI_SEND(a1, a2, a3, a4, a5, a6)",
+            f"{machine.DB_FREE}()",
+            f"{machine.MISCBUS_READ_DB}(a1, a2)",
+            "DEBUG_PRINT(a1)",
+        ] + [
+            f"{name}(a1)" for name in sorted(program.info.buffer_use_routines)
+        ]
+
+        def use_action(ctx: MatchContext) -> Optional[str]:
+            ctx.err("buffer used before checking DB_ALLOC for failure")
+            return OK  # report once per path
+        sm.add_rule(UNCHECKED, use_patterns, action=use_action)
+        return sm
+
+    def check(self, program: Program) -> CheckerResult:
+        result, sink = self._new_result()
+        sm = self._build_machine(program)
+        applied: set[tuple] = set()
+        for function in program.functions():
+            run_machine(sm, program.cfg(function), sink)
+            for node in function.walk():
+                if (isinstance(node, ast.Call)
+                        and node.callee_name == machine.DB_ALLOC):
+                    applied.add((node.location.filename, node.location.line,
+                                 node.location.column))
+        result.applied = len(applied)
+        return self._finish(result, sink)

@@ -1,0 +1,112 @@
+"""Checker framework: result model, base class, and registry.
+
+Each checker corresponds to one section of the paper and produces a
+:class:`CheckerResult`: the diagnostics it emitted, how many times the
+check was *applied* (the "Applied" columns of Tables 2, 3 and 6), and any
+annotation sites it honoured (Table 4 counts these).  Classifying
+diagnostics into true errors / minor violations / false positives is the
+benchmark layer's job — the paper's authors did that by hand; we do it
+against the code generator's ground-truth manifest.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional, Type
+
+from ..lang.source import Location
+from ..metal.runtime import Report, ReportSink
+from ..project import Program
+
+
+@dataclass
+class CheckerResult:
+    """Everything one checker produced over one program."""
+
+    checker: str
+    reports: list[Report] = field(default_factory=list)
+    #: How many program points the check examined (paper's "Applied").
+    applied: int = 0
+    #: Annotation calls (``has_buffer``/``no_free_needed``/...) honoured.
+    annotations: list[Location] = field(default_factory=list)
+    #: Checker-specific extras (e.g. Table 5's handler/variable counts).
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def errors(self) -> list[Report]:
+        return [r for r in self.reports if r.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Report]:
+        return [r for r in self.reports if r.severity == "warning"]
+
+    def __repr__(self) -> str:
+        return (f"<CheckerResult {self.checker}: {len(self.reports)} reports, "
+                f"applied {self.applied}>")
+
+
+class Checker(ABC):
+    """Base class for all checkers.
+
+    Subclasses set :attr:`name` and :attr:`metal_loc` (the size of the
+    equivalent metal extension, reported in Table 7) and implement
+    :meth:`check`.
+    """
+
+    #: Stable identifier, used in reports and benchmark tables.
+    name: str = ""
+    #: Lines of metal the paper's version of this checker took (Table 7).
+    metal_loc: int = 0
+
+    @abstractmethod
+    def check(self, program: Program) -> CheckerResult:
+        """Run over ``program`` and return the result."""
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _new_result(self) -> tuple[CheckerResult, ReportSink]:
+        result = CheckerResult(checker=self.name)
+        sink = ReportSink()
+        return result, sink
+
+    def _finish(self, result: CheckerResult, sink: ReportSink) -> CheckerResult:
+        result.reports = sink.reports
+        return result
+
+
+_REGISTRY: dict[str, Type[Checker]] = {}
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must set a name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def checker_names() -> list[str]:
+    return list(_REGISTRY)
+
+def get_checker(name: str) -> Checker:
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown checker {name!r}; known: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def all_checkers() -> list[Checker]:
+    """Fresh instances of every registered checker, registration order."""
+    return [cls() for cls in _REGISTRY.values()]
+
+
+def run_all(program: Program,
+            names: Optional[list[str]] = None) -> dict[str, CheckerResult]:
+    """Run the named checkers (default: all) over ``program``."""
+    checkers = (
+        [get_checker(n) for n in names] if names is not None else all_checkers()
+    )
+    return {checker.name: checker.check(program) for checker in checkers}

@@ -1,0 +1,268 @@
+"""§6 — Checking buffer management.
+
+FLASH data buffers are manually reference counted.  The checker encodes
+the paper's four conservative rules:
+
+1. hardware handlers begin execution with a data buffer they must free;
+2. software handlers begin without one and must allocate before sending;
+3. after a free, no send can occur until another buffer is allocated;
+4. once a buffer is allocated it must be freed before another allocation.
+
+Routines listed in the protocol tables are checked for consistency with
+their table entry: ``free_routines`` must end having freed the buffer,
+``buffer_use_routines`` must end still holding it.  Two annotation
+functions — ``has_buffer()`` and ``no_free_needed()`` — let implementors
+suppress warnings; each honoured annotation site is recorded (Table 4
+classifies them as useful or useless).
+
+The 12-line refinement from §6.1 is the ``branch`` hook: conditions that
+directly test a routine from ``frees_if_true`` transfer to "no buffer"
+only on the edge where the routine reports it freed.  Construct with
+``use_branch_refinement=False`` to reproduce the naive checker the paper
+says produced "a small cascade of errors" (ablation 3 in DESIGN.md).
+
+Finally, per the §11 war story, the checker "aggressively objects" to any
+occurrence of the manual refcount function ``DB_INC_REFCOUNT``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..flash import machine
+from ..lang import ast
+from ..mc.engine import run_machine
+from ..metal.runtime import MatchContext, ReportSink
+from ..metal.sm import StateMachine
+from ..project import Program, ProtocolInfo
+from .base import Checker, CheckerResult, register
+
+HAS_BUFFER = "has_buffer"
+NO_BUFFER = "no_buffer"
+#: Absorbing state entered after an explicit return has been checked.
+EXITED = "exited"
+
+
+def _expected_states(info: ProtocolInfo, name: str) -> tuple[str, str]:
+    """(initial, expected-at-exit) SM states for routine ``name``."""
+    kind = info.kind_of(name)
+    if kind == "hw":
+        return HAS_BUFFER, NO_BUFFER
+    if kind == "sw":
+        return NO_BUFFER, NO_BUFFER
+    if name in info.free_routines:
+        return HAS_BUFFER, NO_BUFFER
+    if name in info.buffer_use_routines:
+        return HAS_BUFFER, HAS_BUFFER
+    return NO_BUFFER, NO_BUFFER
+
+
+def _direct_call(cond: ast.Node) -> tuple[Optional[str], bool]:
+    """If ``cond`` is ``fn(...)`` or ``!fn(...)``, return (fn, negated)."""
+    negated = False
+    node = cond
+    while isinstance(node, ast.UnaryOp) and node.op == "!":
+        negated = not negated
+        node = node.operand
+    if isinstance(node, ast.Call) and node.callee_name is not None:
+        return node.callee_name, negated
+    return None, False
+
+
+@register
+class BufferMgmtChecker(Checker):
+    """Manual reference-counting rules for FLASH data buffers."""
+
+    name = "buffer-mgmt"
+    metal_loc = 94
+
+    def __init__(self, use_branch_refinement: bool = True,
+                 check_annotations: bool = False):
+        self.use_branch_refinement = use_branch_refinement
+        #: §6: annotations "serve as useful checkable comments in that
+        #: the extension can warn when they are wrong (e.g., not needed
+        #: on any path)".  When enabled, an annotation that never fires
+        #: in a state it would change is reported as unnecessary.
+        self.check_annotations = check_annotations
+        # location -> (annotation kind, set of states it fired in)
+        self._annotation_states: dict = {}
+
+    # -- machine construction -----------------------------------------------
+
+    def _build_machine(self, info: ProtocolInfo,
+                       result: CheckerResult) -> StateMachine:
+        sm = StateMachine(self.name)
+        sm.decl("unsigned", "a1", "a2", "a3", "a4", "a5", "a6")
+        sm.state(HAS_BUFFER)
+        sm.state(NO_BUFFER)
+
+        def note_annotation(ctx: MatchContext, target: str) -> None:
+            result.annotations.append(ctx.location)
+            key = (ctx.location.filename, ctx.location.line,
+                   ctx.location.column)
+            entry = self._annotation_states.setdefault(
+                key, (target, set(), ctx.location))
+            entry[1].add(ctx.state)
+
+        def annotation_rule(target: str):
+            def action(ctx: MatchContext) -> Optional[str]:
+                note_annotation(ctx, target)
+                return target
+            return action
+
+        # Annotations work from either state.
+        for state in (HAS_BUFFER, NO_BUFFER):
+            sm.add_rule(state, f"{machine.ANNOTATION_HAS_BUFFER}()",
+                        action=annotation_rule(HAS_BUFFER))
+            sm.add_rule(state, f"{machine.ANNOTATION_NO_FREE_NEEDED}()",
+                        action=annotation_rule(NO_BUFFER))
+
+        # §11: aggressively object to the "never used" refcount call.
+        def refcount_action(ctx: MatchContext) -> Optional[str]:
+            ctx.warn("manual DB_INC_REFCOUNT: checker cannot track this buffer")
+            return None
+        for state in (HAS_BUFFER, NO_BUFFER):
+            sm.add_rule(state, f"{machine.DB_INC_REFCOUNT}(a1)",
+                        action=refcount_action)
+
+        # Allocation.
+        def alloc_has_buffer(ctx: MatchContext) -> Optional[str]:
+            ctx.err("allocation while holding a buffer (leaks current buffer)")
+            return HAS_BUFFER
+        sm.add_rule(HAS_BUFFER, f"{machine.DB_ALLOC}()", action=alloc_has_buffer)
+        sm.add_rule(NO_BUFFER, f"{machine.DB_ALLOC}()", target=HAS_BUFFER)
+
+        # Frees: the explicit macro plus the table of freeing routines.
+        free_patterns = [f"{machine.DB_FREE}()"] + [
+            self._call_pattern(sm, name) for name in sorted(info.free_routines)
+        ]
+
+        def free_no_buffer(ctx: MatchContext) -> Optional[str]:
+            ctx.err("buffer freed twice (or freed without being held)")
+            return NO_BUFFER
+        sm.add_rule(HAS_BUFFER, free_patterns, target=NO_BUFFER)
+        sm.add_rule(NO_BUFFER, free_patterns, action=free_no_buffer)
+
+        # Uses: sends and the table of buffer-expecting routines.
+        use_patterns = [
+            f"{name}({', '.join(w)})"
+            for name, w in (
+                ("PI_SEND", ("a1", "a2", "a3", "a4", "a5", "a6")),
+                ("IO_SEND", ("a1", "a2", "a3", "a4", "a5", "a6")),
+                ("NI_SEND", ("a1", "a2", "a3", "a4", "a5", "a6")),
+            )
+        ] + [self._call_pattern(sm, name) for name in sorted(info.buffer_use_routines)]
+
+        def use_no_buffer(ctx: MatchContext) -> Optional[str]:
+            ctx.err("message send/use without a data buffer")
+            return NO_BUFFER
+        sm.add_rule(NO_BUFFER, use_patterns, action=use_no_buffer)
+
+        # Returns: checked against the routine's expected exit state, then
+        # parked in an absorbing state so the function-exit hook does not
+        # re-report the same path.
+        def return_action(ctx: MatchContext) -> Optional[str]:
+            self._check_exit(info, ctx)
+            return EXITED
+        sm.state(EXITED)
+        sm.add_rule(HAS_BUFFER, "return", action=return_action)
+        sm.add_rule(NO_BUFFER, "return", action=return_action)
+
+        def at_path_end(state: str, ctx: MatchContext) -> None:
+            if state != EXITED:
+                self._check_exit(info, ctx)
+        sm.path_end_action = at_path_end
+
+        def initial_state(function: ast.FunctionDef) -> str:
+            return _expected_states(info, function.name)[0]
+        sm.initial_state_fn = initial_state
+
+        if self.use_branch_refinement:
+            sm.branch_fn = self._make_branch_fn(info)
+        else:
+            # Naive variant: a call to a frees-if-true routine is treated
+            # as an unconditional free (what the paper's first version did).
+            def naive_free(ctx: MatchContext) -> Optional[str]:
+                return NO_BUFFER
+            for name in sorted(info.frees_if_true):
+                sm.add_rule(HAS_BUFFER, self._call_pattern(sm, name),
+                            action=naive_free)
+        return sm
+
+    @staticmethod
+    def _call_pattern(sm: StateMachine, name: str) -> str:
+        """Pattern text matching a call to ``name`` with 0-3 arguments."""
+        # Protocol helper routines take at most a few scalar args; compile
+        # one alternation per arity via named pattern.
+        key = f"__call_{name}"
+        if key not in sm.named_patterns:
+            sm.define_pattern(
+                key,
+                f"{name}()",
+                f"{name}(a1)",
+                f"{name}(a1, a2)",
+                f"{name}(a1, a2, a3)",
+            )
+        return key
+
+    def _make_branch_fn(self, info: ProtocolInfo):
+        def branch(state: str, cond: ast.Node, label: Optional[str]):
+            callee, negated = _direct_call(cond)
+            if callee is None:
+                return None
+            taken = (label == "true") != negated
+            if callee in info.frees_if_true and state == HAS_BUFFER:
+                return NO_BUFFER if taken else HAS_BUFFER
+            if callee == machine.DB_IS_ERROR and state == HAS_BUFFER:
+                # Failed allocation: the error path holds no buffer.
+                return NO_BUFFER if taken else HAS_BUFFER
+            return None
+        return branch
+
+    def _check_exit(self, info: ProtocolInfo, ctx: MatchContext) -> None:
+        expected = _expected_states(info, ctx.function_name)[1]
+        if ctx.state == expected:
+            return
+        if ctx.state == HAS_BUFFER:
+            ctx.err("routine exits still holding its data buffer (leak)")
+        else:
+            ctx.err("routine exits without the buffer its callers expect")
+
+    # -- entry point ----------------------------------------------------------
+
+    def check(self, program: Program) -> CheckerResult:
+        result, sink = self._new_result()
+        self._annotation_states = {}
+        sm = self._build_machine(program.info, result)
+        applied = 0
+        for function in program.functions():
+            run_machine(sm, program.cfg(function), sink)
+            applied += 1
+        result.applied = applied
+        # Annotation sites can be visited along many paths; count unique.
+        unique = sorted(set(result.annotations),
+                        key=lambda loc: (loc.filename, loc.line, loc.column))
+        result.annotations = unique
+        if self.check_annotations:
+            self._verify_annotations(sink)
+        return self._finish(result, sink)
+
+    def _verify_annotations(self, sink) -> None:
+        """Warn about annotations that never change the machine's state.
+
+        ``no_free_needed()`` only matters when the checker still believes
+        the buffer is held; ``has_buffer()`` only matters when it does
+        not.  An annotation reached exclusively in the state it asserts
+        is "not needed on any path" (§6).
+        """
+        from ..metal.runtime import Report
+        for _key, (target, states, location) in sorted(
+                self._annotation_states.items()):
+            if states <= {target}:
+                sink.add(Report(
+                    checker=self.name,
+                    message=("annotation asserts a state the checker "
+                             "already proves on every path (not needed)"),
+                    location=location,
+                    severity="warning",
+                ))

@@ -1,0 +1,45 @@
+"""§4 — Buffer fill race conditions.
+
+When a message arrives, the handler starts on the header while the
+hardware is still filling the data buffer; any ``MISCBUS_READ_DB`` must
+be preceded on its path by ``WAIT_FOR_DB_FULL``.  This checker is the
+paper's Figure 2 (12 lines of metal), run through the textual metal
+frontend — the published listing, plus the legacy read macro §4 mentions.
+
+"Applied" is the number of data-buffer reads examined (Table 2).
+"""
+
+from __future__ import annotations
+
+from ..flash import machine
+from ..lang import ast
+from ..mc.engine import run_machine
+from ..metal.parser import parse_metal
+from ..metal.runtime import ReportSink
+from ..project import Program
+from .base import Checker, CheckerResult, register
+from .metal_sources import BUFFER_RACE_FULL
+
+_READ_MACROS = (machine.MISCBUS_READ_DB, machine.MISCBUS_READ_DB_OLD)
+
+
+@register
+class BufferRaceChecker(Checker):
+    """WAIT_FOR_DB_FULL must precede MISCBUS_READ_DB on every path."""
+
+    name = "buffer-race"
+    metal_loc = 12
+
+    def check(self, program: Program) -> CheckerResult:
+        result, sink = self._new_result()
+        sm = parse_metal(BUFFER_RACE_FULL)
+        applied: set[tuple] = set()
+        for function in program.functions():
+            run_machine(sm, program.cfg(function), sink)
+            for node in function.walk():
+                if (isinstance(node, ast.Call)
+                        and node.callee_name in _READ_MACROS):
+                    applied.add((node.location.filename, node.location.line,
+                                 node.location.column))
+        result.applied = len(applied)
+        return self._finish(result, sink)

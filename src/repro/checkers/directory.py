@@ -1,0 +1,133 @@
+"""§9 — Manual directory entry updates.
+
+Directory state must be explicitly loaded into the handler-global entry
+(``HANDLER_GLOBALS(dirEntry) = DIR_LOAD(addr)``), modified there, and
+explicitly written back with ``DIR_WRITEBACK``.  The checker's two
+conditions, straight from the paper:
+
+1. a directory entry is loaded before it is read or written;
+2. if an entry is modified, it is subsequently written back.
+
+Speculative handlers that back out of a modification send a NAK reply;
+the checker recognizes the special constant in the message header
+(``HANDLER_GLOBALS(header.nh.op) = MSG_NAK``) and excuses the missing
+write-back on those paths — the paper's main false-positive filter.
+
+Remaining false-positive sources the paper describes (and our code
+generator seeds): subroutines that modify the entry and rely on their
+*caller* to write it back, speculative paths without a NAK, and
+"abstraction errors" where the entry address is computed explicitly and
+written back without a matching load.
+
+"Applied" counts directory operations (Table 6: 1768 in total).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..flash import machine
+from ..lang import ast
+from ..mc.engine import run_machine
+from ..metal.runtime import MatchContext
+from ..metal.sm import StateMachine
+from ..project import Program
+from .base import Checker, CheckerResult, register
+
+# State space: entry status x NAK flag.
+NONE = "none"
+LOADED = "loaded"
+MODIFIED = "modified"
+MODIFIED_NAK = "modified+nak"
+EXITED = "exited"
+
+_DIR_LVALUE = f"{machine.HANDLER_GLOBALS}({machine.DIR_ENTRY_VAR})"
+
+
+@register
+class DirectoryChecker(Checker):
+    """Load before use; write back after modify (unless a NAK backs out)."""
+
+    name = "directory"
+    metal_loc = 51
+
+    def _build_machine(self, program: Program) -> StateMachine:
+        sm = StateMachine(self.name)
+        sm.decl("unsigned", "a1", "a2")
+        for state in (NONE, LOADED, MODIFIED, MODIFIED_NAK, EXITED):
+            sm.state(state)
+
+        load = f"{_DIR_LVALUE} = {machine.DIR_LOAD}(a1)"
+        modify = [f"{_DIR_LVALUE} = a1", f"{_DIR_LVALUE} |= a1",
+                  f"{_DIR_LVALUE} &= a1"]
+        writeback = f"{machine.DIR_WRITEBACK}(a1, a2)"
+        read = _DIR_LVALUE
+        nak = f"{machine.MSG_OP_LVALUE} = {machine.MSG_NAK}"
+
+        # Loads are legal from any live state (reloading discards edits,
+        # which the write-back rule will already have judged).
+        for state in (NONE, LOADED, MODIFIED, MODIFIED_NAK):
+            sm.add_rule(state, load, target=LOADED)
+
+        def not_loaded(what: str):
+            def action(ctx: MatchContext) -> Optional[str]:
+                ctx.err(f"directory entry {what} before DIR_LOAD")
+                return LOADED  # report once; assume intended load
+            return action
+        sm.add_rule(NONE, modify, action=not_loaded("modified"))
+        sm.add_rule(NONE, read, action=not_loaded("read"))
+
+        sm.add_rule(LOADED, modify, target=MODIFIED)
+        sm.add_rule(MODIFIED, modify, target=MODIFIED)
+        sm.add_rule(MODIFIED_NAK, modify, target=MODIFIED_NAK)
+
+        def wb_without_load(ctx: MatchContext) -> Optional[str]:
+            ctx.err("DIR_WRITEBACK without a matching DIR_LOAD "
+                    "(entry address computed explicitly?)")
+            return LOADED
+        sm.add_rule(NONE, writeback, action=wb_without_load)
+        for state in (LOADED, MODIFIED, MODIFIED_NAK):
+            sm.add_rule(state, writeback, target=LOADED)
+
+        # A NAK reply marks the speculative back-out idiom.
+        sm.add_rule(MODIFIED, nak, target=MODIFIED_NAK)
+        for state in (NONE, LOADED, MODIFIED_NAK):
+            sm.add_rule(state, nak, target=state)
+
+        def exit_check(ctx: MatchContext) -> Optional[str]:
+            if ctx.state == MODIFIED:
+                ctx.err("directory entry modified but never written back")
+            return EXITED
+        for state in (NONE, LOADED, MODIFIED, MODIFIED_NAK):
+            sm.add_rule(state, "return", action=exit_check)
+
+        def at_path_end(state: str, ctx: MatchContext) -> None:
+            if state == MODIFIED:
+                ctx.err("directory entry modified but never written back")
+        sm.path_end_action = at_path_end
+        return sm
+
+    def check(self, program: Program) -> CheckerResult:
+        result, sink = self._new_result()
+        sm = self._build_machine(program)
+        # "Applied" counts directory *operations*; generated code puts one
+        # operation per source line, so unique lines is the operation count.
+        applied: set[tuple] = set()
+        for function in program.functions():
+            run_machine(sm, program.cfg(function), sink)
+            for node in function.walk():
+                if self._is_dir_operation(node):
+                    applied.add((node.location.filename, node.location.line))
+        result.applied = len(applied)
+        return self._finish(result, sink)
+
+    @staticmethod
+    def _is_dir_operation(node: ast.Node) -> bool:
+        if isinstance(node, ast.Call):
+            if node.callee_name in (machine.DIR_LOAD, machine.DIR_WRITEBACK):
+                return True
+            if (node.callee_name == machine.HANDLER_GLOBALS and node.args
+                    and isinstance(node.args[0], ast.Ident)
+                    and node.args[0].name == machine.DIR_ENTRY_VAR):
+                return True
+        return False

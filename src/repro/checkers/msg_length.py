@@ -1,0 +1,44 @@
+"""§5 — Consistency of decoupled message length state.
+
+The message-length field in the header and the has-data parameter of a
+send are set independently; a data send needs ``LEN_WORD`` or
+``LEN_CACHELINE``, a no-data send needs ``LEN_NODATA``.  The checker is
+the paper's Figure 3 (29 lines of metal), run through the textual metal
+frontend verbatim.
+
+"Applied" is the number of send sites checked (Table 3's counts:
+205/316/308/302/346/73 across the five protocols and common code).
+"""
+
+from __future__ import annotations
+
+from ..flash import machine
+from ..lang import ast
+from ..mc.engine import run_machine
+from ..metal.parser import parse_metal
+from ..metal.runtime import ReportSink
+from ..project import Program
+from .base import Checker, CheckerResult, register
+from .metal_sources import FIGURE_3
+
+
+@register
+class MsgLengthChecker(Checker):
+    """Message length field must agree with the send's has-data flag."""
+
+    name = "msg-length"
+    metal_loc = 29
+
+    def check(self, program: Program) -> CheckerResult:
+        result, sink = self._new_result()
+        sm = parse_metal(FIGURE_3)
+        applied: set[tuple] = set()
+        for function in program.functions():
+            run_machine(sm, program.cfg(function), sink)
+            for node in function.walk():
+                if (isinstance(node, ast.Call)
+                        and node.callee_name in machine.SEND_MACROS):
+                    applied.add((node.location.filename, node.location.line,
+                                 node.location.column))
+        result.applied = len(applied)
+        return self._finish(result, sink)

@@ -1,0 +1,127 @@
+"""§9 — Send-wait errors.
+
+A handler can send a message with the "wait" bit set, promising to wait
+for the reply on that hardware interface.  Failing to wait, waiting on
+the wrong interface, or issuing another send before the wait can
+deadlock the machine.  The checker verifies:
+
+1. every send with the wait bit set is followed by a wait on the proper
+   interface;
+2. the handler does not issue another send before it has waited.
+
+The paper's eight false positives came from code that "broke an
+abstraction barrier and performed waits without calling the interface
+supplied macros" (e.g. spinning on ``PI_REPLY_READY()`` directly); the
+code generator seeds exactly that idiom.
+
+"Applied" counts wait-bit sends plus wait-macro sites (Table 6: 125).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..flash import machine
+from ..lang import ast
+from ..mc.engine import run_machine
+from ..metal.runtime import MatchContext
+from ..metal.sm import StateMachine
+from ..project import Program
+from .base import Checker, CheckerResult, register
+
+START = "start"
+WAITING = {send: f"waiting_{send.split('_')[0].lower()}"
+           for send in machine.SEND_MACROS}
+EXITED = "exited"
+
+
+@register
+class SendWaitChecker(Checker):
+    """Synchronous sends must be matched by a wait on the same interface."""
+
+    name = "send-wait"
+    metal_loc = 40
+
+    def _build_machine(self) -> StateMachine:
+        sm = StateMachine(self.name)
+        sm.decl("unsigned", "a1", "a2", "a3", "a4", "a5", "a6")
+        sm.state(START)
+        for state in WAITING.values():
+            sm.state(state)
+        sm.state(EXITED)
+
+        wait_send = {
+            "PI_SEND": "PI_SEND(a1, a2, a3, 1, a5, a6)",
+            "IO_SEND": "IO_SEND(a1, a2, a3, 1, a5, a6)",
+            "NI_SEND": "NI_SEND(a1, a2, a3, 1, a5, a6)",
+        }
+        any_send = [
+            "PI_SEND(a1, a2, a3, a4, a5, a6)",
+            "IO_SEND(a1, a2, a3, a4, a5, a6)",
+            "NI_SEND(a1, a2, a3, a4, a5, a6)",
+        ]
+
+        # Wait-bit sends move to the interface's waiting state.  These
+        # rules must be tried before the generic send rules below.
+        for send, pattern in wait_send.items():
+            sm.add_rule(START, pattern, target=WAITING[send])
+
+        for send, waiting_state in WAITING.items():
+            proper = machine.WAIT_MACRO_FOR_SEND[send]
+
+            def second_send(ctx: MatchContext, _send=send) -> Optional[str]:
+                ctx.err(f"send issued before waiting for the previous "
+                        f"{_send} reply")
+                return None
+            sm.add_rule(waiting_state, any_send, action=second_send)
+
+            sm.add_rule(waiting_state, f"{proper}()", target=START)
+            for other in machine.WAIT_MACROS:
+                if other == proper:
+                    continue
+
+                def wrong_wait(ctx: MatchContext, _proper=proper,
+                               _other=other) -> Optional[str]:
+                    ctx.err(f"waits on {_other} but the outstanding send "
+                            f"needs {_proper}")
+                    return START
+                sm.add_rule(waiting_state, f"{other}()", action=wrong_wait)
+
+            def never_waited(ctx: MatchContext, _send=send) -> Optional[str]:
+                ctx.err(f"{_send} with wait bit set is never waited for")
+                return EXITED
+            sm.add_rule(waiting_state, "return", action=never_waited)
+
+        sm.add_rule(START, "return", target=EXITED)
+
+        def at_path_end(state: str, ctx: MatchContext) -> None:
+            if state in WAITING.values():
+                ctx.err("send with wait bit set is never waited for")
+        sm.path_end_action = at_path_end
+        return sm
+
+    def check(self, program: Program) -> CheckerResult:
+        result, sink = self._new_result()
+        sm = self._build_machine()
+        applied: set[tuple] = set()
+        for function in program.functions():
+            run_machine(sm, program.cfg(function), sink)
+            for node in function.walk():
+                if self._is_wait_related(node):
+                    applied.add((node.location.filename, node.location.line,
+                                 node.location.column))
+        result.applied = len(applied)
+        return self._finish(result, sink)
+
+    @staticmethod
+    def _is_wait_related(node: ast.Node) -> bool:
+        if not isinstance(node, ast.Call) or node.callee_name is None:
+            return False
+        if node.callee_name in machine.WAIT_MACROS:
+            return True
+        if node.callee_name in machine.SEND_MACROS:
+            wait_arg = machine.SEND_WAIT_ARG[node.callee_name]
+            if wait_arg < len(node.args):
+                arg = node.args[wait_arg]
+                return isinstance(arg, ast.IntLit) and arg.value == 1
+        return False

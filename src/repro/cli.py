@@ -1,0 +1,223 @@
+"""``mc-check`` — command-line front end.
+
+Subcommands:
+
+``mc-check check FILE...``
+    Run the FLASH checkers (all, or ``--checker name`` repeated) over C
+    source files and print diagnostics.
+
+``mc-check metal CHECKER.metal FILE...``
+    Compile a textual metal program and run it over C source files —
+    the xg++ usage model.
+
+``mc-check generate PROTOCOL [-o DIR]``
+    Emit one generated protocol's sources (and its ground-truth
+    manifest) to a directory.
+
+``mc-check tables``
+    Regenerate every table of the paper and print paper-vs-measured.
+
+``mc-check list``
+    List registered checkers with their Table 7 metadata.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import __version__
+from .checkers import all_checkers, checker_names, get_checker
+from .lang import annotate, parse
+from .mc import check_unit, format_reports
+from .metal import parse_metal
+from .project import Program
+
+
+def _load_program(paths: list[str], spec_path: str | None = None) -> Program:
+    info = None
+    if spec_path is not None:
+        from .flash.spec import parse_spec
+        info = parse_spec(Path(spec_path).read_text(), spec_path)
+    files = {}
+    for path in paths:
+        files[path] = Path(path).read_text()
+    return Program(files, info=info)
+
+
+def cmd_check(args) -> int:
+    program = _load_program(args.files, getattr(args, "spec", None))
+    names = args.checker or None
+    failures = 0
+    checkers = [get_checker(n) for n in names] if names else all_checkers()
+    for checker in checkers:
+        result = checker.check(program)
+        if result.reports:
+            print(format_reports(result.reports,
+                                 heading=f"checker: {checker.name}"))
+            print()
+            failures += len(result.errors)
+    if failures == 0:
+        print("no errors found")
+    return 1 if failures else 0
+
+
+def cmd_metal(args) -> int:
+    sm = parse_metal(Path(args.checker).read_text(), filename=args.checker)
+    total = 0
+    for path in args.files:
+        unit = parse(Path(path).read_text(), path)
+        annotate(unit)
+        sink = check_unit(sm, unit)
+        for report in sink.reports:
+            print(report)
+        total += len(sink)
+    print(f"{total} diagnostic(s) from sm {sm.name}")
+    return 1 if total else 0
+
+
+def cmd_generate(args) -> int:
+    from .flash.codegen import generate_protocol
+    from .flash.spec import dump_spec
+    gp = generate_protocol(args.protocol)
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    for name, text in gp.files.items():
+        (out / name).write_text(text)
+    (out / f"{gp.name}.spec").write_text(dump_spec(gp.info))
+    manifest = out / f"{gp.name}.manifest.tsv"
+    with manifest.open("w") as fh:
+        fh.write("checker\tlabel\tfile\tline\tnote\n")
+        for site in gp.manifest:
+            fh.write(f"{site.checker}\t{site.label}\t{site.file}\t"
+                     f"{site.line}\t{site.note}\n")
+    print(f"wrote {len(gp.files)} files ({gp.loc()} LOC) and "
+          f"{manifest.name} to {out}")
+    return 0
+
+
+def cmd_transform(args) -> int:
+    from .lang.unparse import unparse_unit
+    from .mc.transform import RedundantWaitEliminator
+    eliminator = RedundantWaitEliminator()
+    total = 0
+    for path in args.files:
+        unit = parse(Path(path).read_text(), path)
+        annotate(unit)
+        removed_here = 0
+        for result in eliminator.transform_unit(unit):
+            for line in result.removed_lines:
+                print(f"{path}:{line}: removed redundant WAIT_FOR_DB_FULL")
+            removed_here += len(result.removed)
+        total += removed_here
+        if removed_here and args.write:
+            Path(path).write_text(unparse_unit(unit))
+            print(f"rewrote {path}")
+        elif removed_here:
+            print(unparse_unit(unit), end="")
+    print(f"{total} redundant synchronization(s) removed")
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from .bench import Experiment, render_all
+    experiment = Experiment()
+    print(render_all(experiment.all_tables()))
+    return 0
+
+
+def cmd_paths(args) -> int:
+    """Table-1-style size/path statistics for arbitrary C files."""
+    from .cfg import build_cfg, path_stats
+    program = _load_program(args.files)
+    print(f"{'function':32s} {'paths':>7s} {'avg':>7s} {'max':>6s}")
+    total_paths = 0
+    total_len = 0
+    longest = 0
+    for function in program.functions():
+        stats = path_stats(build_cfg(function))
+        total_paths += stats.path_count
+        total_len += stats.total_length
+        longest = max(longest, stats.max_length)
+        print(f"{function.name:32s} {stats.path_count:7d} "
+              f"{stats.average_length:7.1f} {stats.max_length:6d}")
+    average = total_len / total_paths if total_paths else 0.0
+    print(f"{'TOTAL':32s} {total_paths:7d} {average:7.1f} {longest:6d}")
+    print(f"{program.loc()} non-blank lines in {len(args.files)} file(s)")
+    return 0
+
+
+def cmd_list(args) -> int:
+    print(f"{'checker':16s} {'metal LOC':>9s}")
+    for checker in all_checkers():
+        print(f"{checker.name:16s} {checker.metal_loc:9d}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mc-check",
+        description="Meta-level compilation checkers for FLASH protocol "
+                    "code (ASPLOS 2000 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="run FLASH checkers over C files")
+    p_check.add_argument("files", nargs="+")
+    p_check.add_argument("--checker", action="append",
+                         choices=checker_names(),
+                         help="run only this checker (repeatable)")
+    p_check.add_argument("--spec",
+                         help="protocol specification file (handler table, "
+                              "lane allowances, buffer routine tables)")
+    p_check.set_defaults(func=cmd_check)
+
+    p_metal = sub.add_parser("metal", help="run a textual metal checker")
+    p_metal.add_argument("checker", help="path to a .metal file")
+    p_metal.add_argument("files", nargs="+")
+    p_metal.set_defaults(func=cmd_metal)
+
+    p_gen = sub.add_parser("generate", help="emit a generated protocol")
+    p_gen.add_argument("protocol",
+                       choices=["bitvector", "dyn_ptr", "sci", "coma",
+                                "rac", "common"])
+    p_gen.add_argument("-o", "--output", default="generated")
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_transform = sub.add_parser(
+        "transform", help="remove redundant WAIT_FOR_DB_FULL calls")
+    p_transform.add_argument("files", nargs="+")
+    p_transform.add_argument("--write", action="store_true",
+                             help="rewrite files in place (default: print)")
+    p_transform.set_defaults(func=cmd_transform)
+
+    p_tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    p_tables.set_defaults(func=cmd_tables)
+
+    p_paths = sub.add_parser(
+        "paths", help="per-function path statistics (Table 1 style)")
+    p_paths.add_argument("files", nargs="+")
+    p_paths.set_defaults(func=cmd_paths)
+
+    p_list = sub.add_parser("list", help="list registered checkers")
+    p_list.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Piped into head/less that exited early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

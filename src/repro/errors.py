@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the compiler substrate, the metal language, the
+analysis engine, or the FLASH simulator derives from :class:`ReproError`,
+so callers can catch one type at the top level.  Errors that point at a
+place in source code carry a :class:`repro.lang.source.Location`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SourceError(ReproError):
+    """An error tied to a location in some source text.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the problem.
+    location:
+        Optional :class:`repro.lang.source.Location` identifying where in
+        the source the problem was found.
+    """
+
+    def __init__(self, message: str, location=None):
+        self.message = message
+        self.location = location
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        if self.location is not None:
+            return f"{self.location}: {self.message}"
+        return self.message
+
+
+class LexError(SourceError):
+    """The tokenizer encountered a character sequence it cannot tokenize."""
+
+
+class ParseError(SourceError):
+    """The parser encountered a token sequence it cannot parse."""
+
+
+class SemanticError(SourceError):
+    """Type checking or symbol resolution failed."""
+
+
+class CfgError(ReproError):
+    """Control-flow-graph construction failed (e.g. goto to missing label)."""
+
+
+class MetalError(SourceError):
+    """A metal checker program is malformed."""
+
+
+class PatternError(MetalError):
+    """A metal pattern could not be compiled or matched."""
+
+
+class EngineError(ReproError):
+    """The path-sensitive analysis engine was misused."""
+
+
+class CodegenError(ReproError):
+    """The FLASH protocol code generator was given an inconsistent spec."""
+
+
+class SimulationError(ReproError):
+    """The FLASH machine simulator detected an unrecoverable condition."""
+
+
+class ProtocolDeadlock(SimulationError):
+    """The simulated machine deadlocked (the failure mode the paper's bugs cause)."""
+
+
+class BufferAccounting(SimulationError):
+    """A data-buffer refcount rule was violated at runtime (double free, leak, use-after-free)."""
+
+
+class InterpError(SimulationError):
+    """The AST interpreter hit an unsupported construct or a runtime fault."""

@@ -1,0 +1,7 @@
+"""FLASH substrate: machine vocabulary, headers, code generator, simulator."""
+
+from . import machine
+from .headers import FLASH_INCLUDES, FLASH_INCLUDES_NAME, with_flash_includes
+
+__all__ = ["machine", "FLASH_INCLUDES", "FLASH_INCLUDES_NAME",
+           "with_flash_includes"]

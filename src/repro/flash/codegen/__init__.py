@@ -1,0 +1,13 @@
+"""Deterministic generation of the FLASH protocols under test."""
+
+from .builder import RoutineBuilder
+from .bugs import CATALOG, IDIOMS, SeedSpec
+from .emit import Emitter
+from .model import GeneratedProtocol, ProtocolTargets, SeededSite
+from .protocols import PROTOCOL_NAMES, TARGETS, generate_all, generate_protocol
+
+__all__ = [
+    "RoutineBuilder", "CATALOG", "IDIOMS", "SeedSpec", "Emitter",
+    "GeneratedProtocol", "ProtocolTargets", "SeededSite",
+    "PROTOCOL_NAMES", "TARGETS", "generate_all", "generate_protocol",
+]

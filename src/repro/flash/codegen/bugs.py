@@ -1,0 +1,492 @@
+"""Seeded defect idioms and the per-protocol catalog (Tables 2-7).
+
+Each idiom function emits one defective (or annotation-bearing) code
+idiom into an open :class:`RoutineBuilder` and returns the ground-truth
+:class:`SeededSite` entries for the diagnostics the checkers will (or,
+for annotations, will *not*) produce there.  The idioms are modelled on
+the paper's own descriptions of each bug class: unsynchronized
+first-byte reads (§4), uncached-read and eager-mode length bugs (§5),
+legacy double frees and buffer hand-off annotations (§6), the
+hardware-workaround and typo lane bugs (§7), simulator-hook omissions
+(§8), debug prints before allocation checks, caller-writes-back
+subroutines, silent speculative back-outs, explicit directory address
+computation, and spin-waits that bypass the interface macros (§9).
+
+``CATALOG`` maps each protocol to its exact seeded contents; the counts
+reproduce the per-protocol cells of Tables 2-7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .builder import RoutineBuilder
+from .model import SeededSite
+
+
+@dataclass(frozen=True)
+class IdiomCost:
+    """Structural quota an idiom consumes (kept in sync with emission)."""
+
+    reads: int = 0
+    sends: int = 0
+    allocs: int = 0
+    dir_lines: int = 0
+    swait_ops: int = 0
+
+
+@dataclass(frozen=True)
+class Idiom:
+    key: str
+    emit: Callable[[RoutineBuilder, str], list[SeededSite]]
+    cost: IdiomCost = field(default_factory=IdiomCost)
+    #: Routine kind the idiom needs ("hw", "sw", "proc").
+    kind: str = "hw"
+    #: Hook omission passed to RoutineBuilder.begin.
+    omit_hook: str | None = None
+
+
+def _site(rb: RoutineBuilder, checker: str, label: str, note: str,
+          line: int) -> SeededSite:
+    return SeededSite(checker=checker, label=label, note=note,
+                      file=rb.e.filename, line=line)
+
+
+# -- §4 buffer race -----------------------------------------------------------
+
+def race_read(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    rb.e.comment("reads the first byte before the fill completes")
+    line = rb.read_block(synchronized=False)
+    note = ("race: data buffer read without WAIT_FOR_DB_FULL"
+            if label == "error"
+            else "debug read that intentionally skips synchronization")
+    return [_site(rb, "buffer-race", label, note, line)]
+
+
+# -- §5 message length ---------------------------------------------------------
+
+def msglen_stale(rb: RoutineBuilder, label: str, *, initial: str,
+                 flag: str, note: str) -> list[SeededSite]:
+    rb.e.line(f"HANDLER_GLOBALS(header.nh.len) = {initial};")
+    rb.filler(2)
+    sites: list[SeededSite] = []
+
+    def buggy_arm():
+        line = rb.send_block(form="NI_SEND_REPLY", flag=flag, set_len=False)
+        sites.append(_site(rb, "msg-length", label, note, line))
+
+    rb.branch(buggy_arm)
+    return sites
+
+
+def msglen_uncached(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    return msglen_stale(
+        rb, label, initial="LEN_NODATA", flag="F_DATA",
+        note="uncached read handler: data reply sent with stale "
+             "LEN_NODATA when the line is dirty remotely and the queue "
+             "is full",
+    )
+
+
+def msglen_eager(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    return msglen_stale(
+        rb, label, initial="LEN_WORD", flag="F_NODATA",
+        note="eager-mode handler (simulation only): no-data reply sent "
+             "with a non-zero length left over",
+    )
+
+
+def msglen_harmless(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    return msglen_stale(
+        rb, label, initial="LEN_CACHELINE", flag="F_NODATA",
+        note="length/data inconsistency masked by a hardware detail but "
+             "fatal in simulation (counted as a bug by the paper)",
+    )
+
+
+def msglen_rac_queue(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    return msglen_stale(
+        rb, label, initial="LEN_NODATA", flag="F_DATA",
+        note="rac-only: replicated line reply with stale zero length",
+    )
+
+
+def msglen_runtime_flag(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    """The coma idiom: send parameter chosen by a run-time variable.
+
+    Produces two impossible-path diagnostics (Table 3's 2 false
+    positives, both in the same function).
+    """
+    cond = f"{rb.temp()} & 1"
+    rb.branch(
+        lambda: rb.e.line("HANDLER_GLOBALS(header.nh.len) = LEN_WORD;"),
+        lambda: rb.e.line("HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;"),
+        cond=cond,
+    )
+    rb.filler(2)
+    sites: list[SeededSite] = []
+
+    def data_arm():
+        line = rb.send_block(form="NI_SEND_REQ", flag="F_DATA", set_len=False)
+        sites.append(_site(
+            rb, "msg-length", label,
+            "impossible path: the same run-time flag selects length and "
+            "send parameter (checker does not prune)", line))
+
+    def nodata_arm():
+        line = rb.send_block(form="NI_SEND_REQ", flag="F_NODATA", set_len=False)
+        sites.append(_site(
+            rb, "msg-length", label,
+            "impossible path: the same run-time flag selects length and "
+            "send parameter (checker does not prune)", line))
+
+    rb.branch(data_arm, nodata_arm, cond=cond)
+    return sites
+
+
+# -- §6 buffer management ---------------------------------------------------
+
+def buf_double_free(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    sites: list[SeededSite] = []
+
+    def arm():
+        rb.e.comment("legacy path inherited from the parent protocol")
+        rb.call(rb.free_helper)
+        line = rb.e.line("DB_FREE();")
+        rb.e.line("return;")
+        sites.append(_site(
+            rb, "buffer-mgmt", label,
+            "double free: helper already freed the buffer (bug propagated "
+            "from the shared parent source)", line))
+
+    rb.branch(arm)
+    return sites
+
+
+def buf_leak(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    sites: list[SeededSite] = []
+
+    def arm():
+        rb.e.comment("forgets the incoming buffer on this path")
+        line = rb.e.line("return;")
+        sites.append(_site(
+            rb, "buffer-mgmt", label,
+            "leak: handler completes without freeing its data buffer",
+            line))
+
+    rb.branch(arm)
+    return sites
+
+
+def buf_minor(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    sites: list[SeededSite] = []
+
+    def arm():
+        rb.e.comment("debug-only escape; unreachable in production")
+        line = rb.e.line("return;")
+        sites.append(_site(
+            rb, "buffer-mgmt", label,
+            "harmless violation on an unreachable/debug path", line))
+
+    rb.branch(arm, cond=f"{rb.temp()} & 128")
+    return sites
+
+
+def buf_useful_annotation(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    sites: list[SeededSite] = []
+
+    def arm():
+        rb.e.comment("buffer deliberately kept for the next handler")
+        line = rb.e.line("no_free_needed();")
+        rb.e.line("return;")
+        sites.append(_site(
+            rb, "buffer-mgmt", label,
+            "useful annotation: hand-off path keeps the buffer for a "
+            "subsequent handler", line))
+
+    rb.branch(arm)
+    return sites
+
+
+def buf_useless_annotation(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    cond = f"{rb.temp()} & 8"
+    sites: list[SeededSite] = []
+    rb.e.open_block(f"if ({cond})")
+    rb.e.line("DB_FREE();")
+    rb.e.line("return;")
+    rb.e.close_block()
+    rb.filler(1)
+    rb.e.open_block(f"if ({cond})")
+    line = rb.e.line("no_free_needed();")
+    rb.e.line("return;")
+    rb.e.close_block()
+    sites.append(_site(
+        rb, "buffer-mgmt", label,
+        "useless annotation: second branch on the same condition is an "
+        "impossible path the checker does not prune", line))
+    return sites
+
+
+# -- §7 lanes ------------------------------------------------------------------
+
+def lane_extra_send(rb: RoutineBuilder, label: str, note: str) -> list[SeededSite]:
+    rb.send_block(form="NI_SEND_REQ", flag="F_NODATA")
+    rb.filler(2)
+    rb.e.comment("second send on the same lane without WAIT_FOR_SPACE")
+    line = rb.send_block(form="NI_SEND_REQ", flag="F_NODATA",
+                         count_lane=False)
+    return [_site(rb, "lanes", label, note, line)]
+
+
+def lane_workaround(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    return lane_extra_send(
+        rb, label,
+        "hardware-bug workaround inserted by a non-author exceeds the "
+        "handler's lane allowance (sporadic deadlock)",
+    )
+
+
+def lane_typo(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    return lane_extra_send(
+        rb, label,
+        "typo: duplicated send exceeds the handler's lane allowance",
+    )
+
+
+# -- §8 execution restrictions ---------------------------------------------
+
+def hook_omission(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    """The begin() call already omitted a hook; just record the site."""
+    note = ("simulator hook omitted (affects only simulation results)"
+            if label == "violation"
+            else "hook omission in an unimplemented routine (fatal if "
+                 "called; not counted by the paper)")
+    if label == "uncounted":
+        rb.e.line("FATAL_ERROR();")
+    return [_site(rb, "exec-restrict", label, note, rb.definition_line)]
+
+
+# -- §9 allocation failure ------------------------------------------------------
+
+def alloc_debug(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    lines = rb.alloc_block(check=True, debug_before_check=True)
+    return [_site(
+        rb, "alloc-fail", label,
+        "debug print of the buffer value before the DB_IS_ERROR check",
+        lines["debug"])]
+
+
+# -- §9 directory management -----------------------------------------------
+
+def dir_forgot_writeback(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    rb.dir_block(reads=1, modify=True, writeback=False)
+    rb.filler(1)
+    line = rb.explicit_return()
+    return [_site(
+        rb, "directory", label,
+        "directory entry modified but never written back (stale entry)",
+        line)]
+
+
+def dir_subroutine(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    rb.e.comment("caller is responsible for the write-back")
+    rb.dir_block(reads=0, modify=True, writeback=False)
+    line = rb.explicit_return()
+    return [_site(
+        rb, "directory", label,
+        "subroutine modifies the entry; its callers write it back "
+        "(annotation required to silence)", line)]
+
+
+def dir_speculative(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    rb.dir_block(reads=1, modify=True, writeback=False)
+    sites: list[SeededSite] = []
+    rb.e.open_block(f"if ({rb.temp()} & 2)")
+    rb.e.comment("back out of the speculative update without a NAK")
+    if rb.has_buffer:
+        rb.e.line("DB_FREE();")
+    line = rb.e.line("return;")
+    rb.e.close_block()
+    sites.append(_site(
+        rb, "directory", label,
+        "speculative path intentionally drops its modification without "
+        "sending a NAK", line))
+    rb.e.line("DIR_WRITEBACK(HANDLER_GLOBALS(header.nh.addr), "
+              "HANDLER_GLOBALS(dirEntry));")
+    return sites
+
+
+def dir_abstraction(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    t = rb.temp()
+    rb.e.line(f"{t} = ({rb.var(0)} << 3) + 64;")
+    rb.e.comment("entry address computed by hand instead of the macro")
+    line = rb.e.line(f"DIR_WRITEBACK({t}, {rb.temp()});")
+    return [_site(
+        rb, "directory", label,
+        "abstraction error: directory address computed explicitly, so "
+        "the checker sees a write-back with no load", line)]
+
+
+# -- §9 send-wait -------------------------------------------------------------
+
+def swait_spin(rb: RoutineBuilder, label: str) -> list[SeededSite]:
+    from .. import machine as m
+    base = rb.rng.choice(("PI", "NI"))
+    rb.e.line("HANDLER_GLOBALS(header.nh.len) = LEN_WORD;")
+    if base == "PI":
+        rb.e.line("PI_SEND(F_DATA, 1, 0, 1, 1, 0);")
+        lane = m.LANE_PI
+    else:
+        rb.e.line("NI_SEND(NI_REQUEST, F_DATA, 1, 1, 1, 0);")
+        lane = m.LANE_NI_REQUEST
+    rb.lane_cum[lane] += 1
+    rb.lane_max[lane] = max(rb.lane_max[lane], rb.lane_cum[lane])
+    rb.e.comment("abstraction violation: spin on the raw status register")
+    rb.e.open_block(f"while (!{base}_REPLY_READY())")
+    rb.e.line("SPIN();")
+    rb.e.close_block()
+    line = rb.explicit_return()
+    return [_site(
+        rb, "send-wait", label,
+        "wait performed by spinning on the interface status instead of "
+        "the supplied wait macro", line)]
+
+
+IDIOMS: dict[str, Idiom] = {
+    "race-read-error": Idiom("race-read-error",
+                             lambda rb, lb: race_read(rb, lb),
+                             IdiomCost(reads=1)),
+    "race-read-fp": Idiom("race-read-fp", lambda rb, lb: race_read(rb, lb),
+                          IdiomCost(reads=1), kind="proc"),
+    "msglen-uncached": Idiom("msglen-uncached",
+                             lambda rb, lb: msglen_uncached(rb, lb),
+                             IdiomCost(sends=1)),
+    "msglen-eager": Idiom("msglen-eager", lambda rb, lb: msglen_eager(rb, lb),
+                          IdiomCost(sends=1)),
+    "msglen-harmless": Idiom("msglen-harmless",
+                             lambda rb, lb: msglen_harmless(rb, lb),
+                             IdiomCost(sends=1)),
+    "msglen-rac-queue": Idiom("msglen-rac-queue",
+                              lambda rb, lb: msglen_rac_queue(rb, lb),
+                              IdiomCost(sends=1)),
+    "msglen-runtime-flag": Idiom("msglen-runtime-flag",
+                                 lambda rb, lb: msglen_runtime_flag(rb, lb),
+                                 IdiomCost(sends=2)),
+    "buf-double-free": Idiom("buf-double-free",
+                             lambda rb, lb: buf_double_free(rb, lb)),
+    "buf-leak": Idiom("buf-leak", lambda rb, lb: buf_leak(rb, lb)),
+    "buf-minor": Idiom("buf-minor", lambda rb, lb: buf_minor(rb, lb)),
+    "buf-useful-annotation": Idiom("buf-useful-annotation",
+                                   lambda rb, lb: buf_useful_annotation(rb, lb)),
+    "buf-useless-annotation": Idiom("buf-useless-annotation",
+                                    lambda rb, lb: buf_useless_annotation(rb, lb)),
+    "lane-workaround": Idiom("lane-workaround",
+                             lambda rb, lb: lane_workaround(rb, lb),
+                             IdiomCost(sends=2)),
+    "lane-typo": Idiom("lane-typo", lambda rb, lb: lane_typo(rb, lb),
+                       IdiomCost(sends=2)),
+    "hook-omission": Idiom("hook-omission",
+                           lambda rb, lb: hook_omission(rb, lb),
+                           omit_hook="second"),
+    "hook-omission-proc": Idiom("hook-omission-proc",
+                                lambda rb, lb: hook_omission(rb, lb),
+                                kind="proc", omit_hook="first"),
+    "alloc-debug": Idiom("alloc-debug", lambda rb, lb: alloc_debug(rb, lb),
+                         IdiomCost(sends=1, allocs=1)),
+    "dir-forgot-writeback": Idiom("dir-forgot-writeback",
+                                  lambda rb, lb: dir_forgot_writeback(rb, lb),
+                                  IdiomCost(dir_lines=3)),
+    "dir-subroutine": Idiom("dir-subroutine",
+                            lambda rb, lb: dir_subroutine(rb, lb),
+                            IdiomCost(dir_lines=2), kind="proc"),
+    "dir-speculative": Idiom("dir-speculative",
+                             lambda rb, lb: dir_speculative(rb, lb),
+                             IdiomCost(dir_lines=4)),
+    "dir-abstraction": Idiom("dir-abstraction",
+                             lambda rb, lb: dir_abstraction(rb, lb),
+                             IdiomCost(dir_lines=1)),
+    "swait-spin": Idiom("swait-spin", lambda rb, lb: swait_spin(rb, lb),
+                        IdiomCost(sends=1, swait_ops=1)),
+    "swait-spin-proc": Idiom("swait-spin-proc",
+                             lambda rb, lb: swait_spin(rb, lb),
+                             IdiomCost(sends=1, swait_ops=1), kind="proc"),
+}
+
+
+@dataclass(frozen=True)
+class SeedSpec:
+    """One catalog entry: which idiom, how it is classified, how many."""
+
+    idiom: str
+    label: str
+    count: int = 1
+
+
+#: Per-protocol seeded contents, matching Tables 2-7 cell by cell.
+CATALOG: dict[str, list[SeedSpec]] = {
+    "bitvector": [
+        SeedSpec("race-read-error", "error", 4),            # Table 2
+        SeedSpec("msglen-uncached", "error", 1),            # Table 3
+        SeedSpec("msglen-eager", "error", 1),
+        SeedSpec("msglen-harmless", "error", 1),
+        SeedSpec("buf-double-free", "error", 2),            # Table 4
+        SeedSpec("buf-minor", "minor", 1),
+        SeedSpec("buf-useless-annotation", "useless-annotation", 1),
+        SeedSpec("lane-typo", "error", 1),                  # §7
+        SeedSpec("hook-omission", "violation", 2),          # Table 5
+        SeedSpec("dir-forgot-writeback", "error", 1),       # Table 6
+        SeedSpec("dir-subroutine", "fp", 1),
+        SeedSpec("dir-abstraction", "fp", 2),
+        SeedSpec("swait-spin", "fp", 2),
+    ],
+    "dyn_ptr": [
+        SeedSpec("msglen-uncached", "error", 6),
+        SeedSpec("msglen-eager", "error", 1),
+        SeedSpec("buf-double-free", "error", 2),
+        SeedSpec("buf-minor", "minor", 2),
+        SeedSpec("buf-useful-annotation", "useful-annotation", 3),
+        SeedSpec("buf-useless-annotation", "useless-annotation", 3),
+        SeedSpec("lane-workaround", "error", 1),
+        SeedSpec("hook-omission", "violation", 4),
+        SeedSpec("alloc-debug", "fp", 2),
+        SeedSpec("dir-subroutine", "fp", 4),
+        SeedSpec("dir-speculative", "fp", 1),
+        SeedSpec("dir-abstraction", "fp", 8),
+        SeedSpec("swait-spin", "fp", 2),
+    ],
+    "sci": [
+        SeedSpec("buf-double-free", "error", 2),   # partially implemented code
+        SeedSpec("buf-leak", "error", 1),
+        SeedSpec("buf-minor", "minor", 2),
+        SeedSpec("buf-useful-annotation", "useful-annotation", 10),
+        SeedSpec("buf-useless-annotation", "useless-annotation", 10),
+        SeedSpec("hook-omission-proc", "uncounted", 3),
+        SeedSpec("dir-abstraction", "fp", 1),
+    ],
+    "coma": [
+        SeedSpec("msglen-runtime-flag", "fp", 1),   # yields 2 FP sites
+        SeedSpec("hook-omission", "violation", 3),
+        SeedSpec("dir-subroutine", "fp", 5),
+    ],
+    "rac": [
+        SeedSpec("msglen-uncached", "error", 6),
+        SeedSpec("msglen-eager", "error", 1),
+        SeedSpec("msglen-rac-queue", "error", 1),
+        SeedSpec("buf-double-free", "error", 2),
+        SeedSpec("buf-useful-annotation", "useful-annotation", 2),
+        SeedSpec("buf-useless-annotation", "useless-annotation", 4),
+        SeedSpec("hook-omission", "violation", 2),
+        SeedSpec("dir-subroutine", "fp", 4),
+        SeedSpec("dir-speculative", "fp", 2),
+        SeedSpec("dir-abstraction", "fp", 3),
+        SeedSpec("swait-spin", "fp", 2),
+    ],
+    "common": [
+        SeedSpec("race-read-fp", "fp", 1),
+        SeedSpec("buf-minor", "minor", 1),
+        SeedSpec("buf-useful-annotation", "useful-annotation", 3),
+        SeedSpec("buf-useless-annotation", "useless-annotation", 7),
+        SeedSpec("swait-spin-proc", "fp", 2),
+    ],
+}

@@ -1,0 +1,327 @@
+"""Routine- and protocol-level code builders.
+
+:class:`RoutineBuilder` emits one FLASH routine (hardware handler,
+software handler, or subroutine) that is *correct by construction* with
+respect to every checker: hooks first, buffer discipline balanced on all
+paths, every send paired with a consistent length assignment, directory
+transactions load/modify/write-back in order, wait-bit sends immediately
+waited for, allocations checked.  Seeded defects are injected by the
+idiom functions in :mod:`repro.flash.codegen.bugs`, which deliberately
+break exactly one of these guarantees and record where.
+
+The builder also tracks the structural counts the protocol must hit
+(sends, reads, allocations, directory lines, variables, lane maxima) so
+:mod:`repro.flash.codegen.protocols` can match the paper's "Applied"
+columns exactly.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Callable, Optional
+
+from ...project import HandlerInfo, ProtocolInfo
+from .. import machine
+from .emit import Emitter
+from .model import SeededSite
+
+LANES = machine.LANE_COUNT
+
+#: (send macro, lane, flag constant) choices for generated sends.
+_SEND_FORMS = (
+    ("PI_SEND", machine.LANE_PI),
+    ("IO_SEND", machine.LANE_IO),
+    ("NI_SEND_REQ", machine.LANE_NI_REQUEST),
+    ("NI_SEND_REPLY", machine.LANE_NI_REPLY),
+)
+
+_LEN_FOR_FLAG = {
+    "F_DATA": ("LEN_CACHELINE", "LEN_WORD"),
+    "F_NODATA": ("LEN_NODATA",),
+}
+
+
+class RoutineBuilder:
+    """Emits one routine into a file emitter."""
+
+    def __init__(self, emitter: Emitter, name: str, kind: str, rng: Random,
+                 nostack: bool = False, n_vars: int = 3):
+        self.e = emitter
+        self.name = name
+        self.kind = kind  # "hw" | "sw" | "proc"
+        self.rng = rng
+        self.nostack = nostack
+        self.n_vars = max(n_vars, 1)
+        self.has_buffer = kind == "hw"
+        self.var_names: list[str] = []
+        # Per-lane send tracking for the handler's allowance.
+        self.lane_cum = [0] * LANES
+        self.lane_max = [0] * LANES
+        self.definition_line = 0
+        self._open = False
+        self._returned = False
+        #: Name of this protocol's buffer-freeing helper (set by the
+        #: protocol builder; used by the double-free seed idiom).
+        self.free_helper = "forward_and_free"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin(self, omit_hook: Optional[str] = None) -> None:
+        """Open the function: signature, simulator hooks, declarations.
+
+        ``omit_hook`` skips one hook call ("first"/"second") — the §8
+        violation idiom.
+        """
+        self.definition_line = self.e.open_block(f"void {self.name}(void)")
+        if self.kind in ("hw", "sw"):
+            if omit_hook != "first":
+                self.e.line("HANDLER_DEFS();")
+            second = ("HANDLER_PROLOGUE" if self.kind == "hw"
+                      else "SWHANDLER_PROLOGUE")
+            if omit_hook != "second":
+                self.e.line(f"{second}();")
+        else:
+            if omit_hook != "first":
+                self.e.line("SUBROUTINE_PROLOGUE();")
+        if self.nostack:
+            self.e.line("NOSTACK();")
+        self._declare_vars()
+        self._open = True
+
+    def _declare_vars(self) -> None:
+        names = ["addr", "buf"] + [f"t{i}" for i in range(self.n_vars)]
+        self.var_names = names[: self.n_vars]
+        for name in self.var_names:
+            self.e.line(f"unsigned {name};")
+        self.e.line(f"{self.var_names[0]} = HANDLER_GLOBALS(header.nh.addr);")
+
+    def var(self, index: int = 0) -> str:
+        return self.var_names[index % len(self.var_names)]
+
+    def temp(self) -> str:
+        """A scratch variable (prefers t-names over addr/buf)."""
+        pool = self.var_names[2:] or self.var_names
+        return self.rng.choice(pool)
+
+    def end(self) -> None:
+        """Close the routine, freeing the buffer if still held."""
+        if not self._returned:
+            if self.has_buffer:
+                self.e.line("DB_FREE();")
+                self.has_buffer = False
+            self.e.line("return;")
+        self.e.close_block()
+        self.e.blank()
+        self._open = False
+
+    # -- structural segments ---------------------------------------------------
+
+    def filler(self, n: int = 1) -> None:
+        """Emit ``n`` lines of scalar arithmetic."""
+        for _ in range(n):
+            a, b = self.temp(), self.temp()
+            form = self.rng.randrange(5)
+            if form == 0:
+                self.e.line(f"{a} = {b} + {self.rng.randrange(1, 64)};")
+            elif form == 1:
+                self.e.line(f"{a} = ({b} << {self.rng.randrange(1, 4)}) & 1023;")
+            elif form == 2:
+                self.e.line(f"{a} = {b} ^ {self.var(0)};")
+            elif form == 3:
+                self.e.line(f"{a} = {b} | {1 << self.rng.randrange(8)};")
+            else:
+                self.e.line(f"{a} = {a} + ({b} & {self.rng.randrange(1, 16)});")
+
+    def loop_filler(self, body_lines: int = 2) -> None:
+        """A small counted loop (exercises back-edge handling)."""
+        counter = self.temp()
+        bound = self.rng.randrange(2, 9)
+        self.e.open_block(
+            f"for ({counter} = 0; {counter} < {bound}; {counter} = {counter} + 1)"
+        )
+        self.filler(body_lines)
+        self.e.close_block()
+
+    def branch(self, then_body: Callable[[], None],
+               else_body: Optional[Callable[[], None]] = None,
+               cond: Optional[str] = None) -> None:
+        """A plain two-way branch; lane counts merge with per-lane max."""
+        cond = cond or f"{self.temp()} & {1 << self.rng.randrange(6)}"
+        saved = list(self.lane_cum)
+        self.e.open_block(f"if ({cond})")
+        then_body()
+        then_cum = list(self.lane_cum)
+        self.e.close_block()
+        if else_body is not None:
+            self.lane_cum = list(saved)
+            self.e.open_block("else")
+            else_body()
+            self.e.close_block()
+        else:
+            self.lane_cum = list(saved)
+        self.lane_cum = [max(a, b) for a, b in zip(self.lane_cum, then_cum)]
+
+    def switch_dispatch(self, arms: int = 3, arm_lines: int = 2) -> None:
+        """A switch over the incoming opcode with ``arms`` cases."""
+        self.e.open_block("switch (HANDLER_GLOBALS(header.nh.op))")
+        for i in range(arms):
+            self.e.line(f"case {i}:")
+            self.filler(arm_lines)
+            self.e.line("break;")
+        self.e.line("default:")
+        self.e.line("break;")
+        self.e.close_block()
+
+    # -- FLASH operations ----------------------------------------------------
+
+    def read_block(self, synchronized: bool = True) -> int:
+        """WAIT_FOR_DB_FULL + MISCBUS_READ_DB; returns the read's line."""
+        target = self.temp()
+        if synchronized:
+            self.e.line(f"WAIT_FOR_DB_FULL({self.var(0)});")
+        return self.e.line(
+            f"{target} = MISCBUS_READ_DB({self.var(0)}, "
+            f"{self.rng.randrange(0, 32, 4)});"
+        )
+
+    def _send_text(self, form: str, flag: str, wait: int) -> str:
+        keep = self.rng.randrange(2)
+        if form == "PI_SEND":
+            return f"PI_SEND({flag}, {keep}, 0, {wait}, 1, 0);"
+        if form == "IO_SEND":
+            return f"IO_SEND({flag}, {keep}, 0, {wait}, 1, 0);"
+        ni_type = "NI_REQUEST" if form == "NI_SEND_REQ" else "NI_REPLY"
+        return f"NI_SEND({ni_type}, {flag}, {keep}, {wait}, 1, 0);"
+
+    def send_block(self, form: Optional[str] = None, flag: Optional[str] = None,
+                   wait: bool = False, count_lane: bool = True,
+                   set_len: bool = True) -> int:
+        """A length assignment + send (+ matching wait); returns send line."""
+        if form is None:
+            form, lane = self.rng.choice(_SEND_FORMS)
+        else:
+            lane = dict(_SEND_FORMS)[form]
+        if flag is None:
+            flag = self.rng.choice(("F_DATA", "F_NODATA"))
+        if set_len:
+            len_const = self.rng.choice(_LEN_FOR_FLAG[flag])
+            self.e.line(f"HANDLER_GLOBALS(header.nh.len) = {len_const};")
+        line = self.e.line(self._send_text(form, flag, 1 if wait else 0))
+        if count_lane:
+            self.lane_cum[lane] += 1
+            self.lane_max[lane] = max(self.lane_max[lane], self.lane_cum[lane])
+        if wait:
+            base = form.split("_")[0]  # PI / IO / NI
+            self.e.line(f"WAIT_FOR_{base}_REPLY();")
+        return line
+
+    def wait_for_space(self, lane: int) -> None:
+        """Explicit output-queue space check; resets the lane's quota."""
+        name = ("LANE_PI", "LANE_IO", "LANE_NI_REQUEST", "LANE_NI_REPLY")[lane]
+        self.e.line(f"WAIT_FOR_SPACE({name});")
+        self.lane_cum[lane] = 0
+
+    def stray_wait(self) -> int:
+        """A wait macro with no outstanding wait-bit send (legal)."""
+        base = self.rng.choice(("PI", "IO", "NI"))
+        return self.e.line(f"WAIT_FOR_{base}_REPLY();")
+
+    def alloc_block(self, check: bool = True, debug_before_check: bool = False) -> dict:
+        """Free current buffer (if held), allocate, check, send once.
+
+        Returns the line numbers of the pieces for seeding purposes.
+        """
+        lines: dict = {}
+        if self.has_buffer:
+            self.e.line("DB_FREE();")
+        lines["alloc"] = self.e.line("buf = DB_ALLOC();")
+        self.has_buffer = True
+        if debug_before_check:
+            lines["debug"] = self.e.line("DEBUG_PRINT(buf);")
+        if check:
+            self.e.open_block("if (DB_IS_ERROR(buf))")
+            self.e.line("return;")
+            self.e.close_block()
+        lines["send"] = self.send_block(flag="F_DATA")
+        return lines
+
+    def dir_block(self, reads: int = 1, modify: bool = False,
+                  writeback: Optional[bool] = None) -> dict:
+        """A directory transaction; returns line numbers.
+
+        Emits ``1 + reads + modify + writeback`` directory-op lines.
+        """
+        if writeback is None:
+            writeback = modify
+        lines: dict = {}
+        lines["load"] = self.e.line(
+            "HANDLER_GLOBALS(dirEntry) = "
+            "DIR_LOAD(HANDLER_GLOBALS(header.nh.addr));"
+        )
+        for _ in range(reads):
+            target = self.temp()
+            lines.setdefault("reads", []).append(self.e.line(
+                f"{target} = HANDLER_GLOBALS(dirEntry) & "
+                f"{(1 << self.rng.randrange(1, 8)) - 1};"
+            ))
+        if modify:
+            op = self.rng.choice(("|", "&"))
+            mask = 1 << self.rng.randrange(8)
+            operand = f"{mask}" if op == "|" else f"~{mask}"
+            lines["modify"] = self.e.line(
+                "HANDLER_GLOBALS(dirEntry) = "
+                f"HANDLER_GLOBALS(dirEntry) {op} {operand};"
+            )
+        if writeback:
+            lines["writeback"] = self.e.line(
+                "DIR_WRITEBACK(HANDLER_GLOBALS(header.nh.addr), "
+                "HANDLER_GLOBALS(dirEntry));"
+            )
+        return lines
+
+    def dir_lines_for(self, reads: int, modify: bool, writeback=None) -> int:
+        if writeback is None:
+            writeback = modify
+        return 1 + reads + int(modify) + int(writeback)
+
+    def nak_exit(self, cond: Optional[str] = None) -> int:
+        """Early back-out path: NAK reply, free, return.  +1 send."""
+        cond = cond or f"{self.temp()} & {1 << self.rng.randrange(6)}"
+        self.e.open_block(f"if ({cond})")
+        self.e.line("HANDLER_GLOBALS(header.nh.op) = MSG_NAK;")
+        line = self.send_block(form="NI_SEND_REPLY", flag="F_NODATA",
+                               count_lane=True)
+        if self.has_buffer:
+            self.e.line("DB_FREE();")
+        self.e.line("return;")
+        self.e.close_block()
+        return line
+
+    def free_and_return(self, cond: Optional[str] = None) -> int:
+        """Early exit that correctly frees first; returns the return line."""
+        cond = cond or f"{self.temp()} & {1 << self.rng.randrange(6)}"
+        self.e.open_block(f"if ({cond})")
+        if self.has_buffer:
+            self.e.line("DB_FREE();")
+        line = self.e.line("return;")
+        self.e.close_block()
+        return line
+
+    def explicit_return(self) -> int:
+        """Emit the routine's final free+return; returns the return line.
+
+        Used by seed idioms that need the exact line of the closing
+        ``return`` (several checkers report at the function exit).
+        """
+        if self.has_buffer:
+            self.e.line("DB_FREE();")
+            self.has_buffer = False
+        line = self.e.line("return;")
+        self._returned = True
+        return line
+
+    def call(self, callee: str) -> int:
+        """Call a subroutine (SET_STACKPTR discipline if no-stack)."""
+        if self.nostack:
+            self.e.line("SET_STACKPTR();")
+        return self.e.line(f"{callee}();")

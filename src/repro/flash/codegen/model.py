@@ -1,0 +1,112 @@
+"""Data model for generated FLASH protocols.
+
+The generator is driven by two kinds of data, both taken from the paper:
+
+* :class:`ProtocolTargets` — the *structural* numbers a protocol must hit
+  (Table 1's size and path statistics, Table 5's routine/variable counts,
+  and the per-checker "Applied" columns of Tables 2, 3 and 6);
+* a seeded-site catalog (:mod:`repro.flash.codegen.bugs`) — the *defects
+  and idioms* each protocol contains, matching the error / minor /
+  false-positive / annotation cells of Tables 2-7.
+
+Generation is deterministic: the same protocol name always yields the
+same sources, manifest and :class:`repro.project.ProtocolInfo`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...project import Program, ProtocolInfo
+
+
+@dataclass
+class SeededSite:
+    """Ground truth for one seeded report site.
+
+    ``label`` says how the paper's authors classified the diagnostic the
+    checker produces at this site:
+
+    - ``error``      — a real bug (Tables 2-7 "Errors");
+    - ``minor``      — technically a violation but minor/unreachable
+                       (Table 4 "Minor");
+    - ``violation``  — counted violations that are not errors (Table 5);
+    - ``fp``         — a false positive;
+    - ``uncounted``  — reported by the checker but excluded from the
+                       paper's counts (e.g. sci's unimplemented routines
+                       in Table 5);
+    - ``useful-annotation`` / ``useless-annotation`` — annotation call
+                       sites (Table 4); these *suppress* a warning rather
+                       than produce one.
+    """
+
+    checker: str
+    label: str
+    note: str
+    file: str = ""
+    line: int = 0
+
+    #: Labels that correspond to an expected checker *report*.
+    REPORT_LABELS = ("error", "minor", "violation", "fp", "uncounted")
+    #: Labels that correspond to an annotation call (no report expected).
+    ANNOTATION_LABELS = ("useful-annotation", "useless-annotation")
+
+    @property
+    def expects_report(self) -> bool:
+        return self.label in self.REPORT_LABELS
+
+    @property
+    def key(self) -> tuple:
+        return (self.file, self.line)
+
+
+@dataclass(frozen=True)
+class ProtocolTargets:
+    """Structural goals for one protocol, straight from the paper."""
+
+    name: str
+    loc: int                 # Table 1
+    paths: int               # Table 1
+    avg_path: int            # Table 1
+    max_path: int            # Table 1
+    routines: int            # Table 5 "Handlers"
+    variables: int           # Table 5 "Vars"
+    db_reads: int            # Table 2 "Applied"
+    sends: int               # Table 3 "Applied"
+    allocs: int              # Table 6 buffer-alloc "Applied"
+    dir_ops: int             # Table 6 directory "Applied"
+    send_wait_ops: int       # Table 6 send-wait "Applied"
+    hw_handlers: int         # paper §2.1: 65-90 handlers per protocol
+
+
+@dataclass
+class GeneratedProtocol:
+    """One generated protocol: sources + tables + ground truth."""
+
+    name: str
+    files: dict[str, str]
+    info: ProtocolInfo
+    manifest: list[SeededSite]
+    targets: ProtocolTargets
+    _program: Program | None = field(default=None, repr=False)
+
+    def program(self) -> Program:
+        """Parse and annotate the sources (cached)."""
+        if self._program is None:
+            self._program = Program(self.files, info=self.info)
+        return self._program
+
+    def manifest_by_key(self) -> dict[tuple, list[SeededSite]]:
+        index: dict[tuple, list[SeededSite]] = {}
+        for site in self.manifest:
+            index.setdefault(site.key, []).append(site)
+        return index
+
+    def sites_for(self, checker: str) -> list[SeededSite]:
+        return [s for s in self.manifest if s.checker == checker]
+
+    def loc(self) -> int:
+        return sum(
+            sum(1 for line in text.splitlines() if line.strip())
+            for text in self.files.values()
+        )

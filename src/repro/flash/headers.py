@@ -1,0 +1,125 @@
+"""``flash-includes.h`` — the C declarations generated protocol code uses.
+
+The real FLASH protocols included a header defining the macro vocabulary;
+the paper's checkers begin with ``#include "flash-includes.h"``.  Our
+frontend does not run a preprocessor (macros appear as calls, exactly how
+xg++ saw constant-folded code after the authors "redefined the relevant
+macro constants as variables", §11), so this header declares everything
+as ordinary C functions, variables and types.  Prepending it to a
+protocol source file gives sema enough to type every FLASH operation.
+"""
+
+from __future__ import annotations
+
+FLASH_INCLUDES_NAME = "flash-includes.h"
+
+FLASH_INCLUDES = """\
+/* flash-includes.h - FLASH protocol processor environment.
+ * Message length constants (decoupled from the has-data send flag). */
+extern unsigned LEN_NODATA;
+extern unsigned LEN_WORD;
+extern unsigned LEN_CACHELINE;
+
+/* Has-data send parameter values. */
+extern unsigned F_NODATA;
+extern unsigned F_DATA;
+
+/* NI_SEND type argument: request or reply virtual lane. */
+extern unsigned NI_REQUEST;
+extern unsigned NI_REPLY;
+
+/* Message opcodes (a representative subset). */
+extern unsigned MSG_GET;
+extern unsigned MSG_PUT;
+extern unsigned MSG_GETX;
+extern unsigned MSG_PUTX;
+extern unsigned MSG_INVAL;
+extern unsigned MSG_ACK;
+extern unsigned MSG_NAK;
+extern unsigned MSG_UNC_READ;
+extern unsigned MSG_UNC_REPLY;
+extern unsigned MSG_WB;
+
+/* The handler-global message header block. */
+struct flash_net_header {
+    unsigned len;
+    unsigned op;
+    unsigned src;
+    unsigned dest;
+    unsigned addr;
+};
+struct flash_header {
+    struct flash_net_header nh;
+};
+struct flash_globals {
+    struct flash_header header;
+    unsigned dirEntry;
+    unsigned buf;
+};
+
+/* HANDLER_GLOBALS(field) yields the handler-global lvalue.  Modelled as
+ * a function over the field expression; checkers match it by shape. */
+unsigned HANDLER_GLOBALS(unsigned field);
+
+/* Handler prologue / simulator hooks. */
+void HANDLER_DEFS(void);
+void HANDLER_PROLOGUE(void);
+void SWHANDLER_PROLOGUE(void);
+void SUBROUTINE_PROLOGUE(void);
+void SET_STACKPTR(void);
+/* "No stack" assertion: exactly one, at the beginning of the handler. */
+void NOSTACK(void);
+
+/* Data buffer management (manual reference counting). */
+unsigned DB_ALLOC(void);
+void DB_FREE(void);
+unsigned DB_IS_ERROR(unsigned buf);
+void DB_INC_REFCOUNT(unsigned buf);
+void WAIT_FOR_DB_FULL(unsigned addr);
+unsigned MISCBUS_READ_DB(unsigned addr, unsigned off);
+unsigned MISCBUS_READ(unsigned addr, unsigned off);
+
+/* Checker annotations (suppress false positives; checkable comments). */
+void has_buffer(void);
+void no_free_needed(void);
+
+/* Message sends.  PI/IO: (flag, keep, swap, wait, dec, null);
+ * NI: (type, flag, keep, wait, dec, null). */
+void PI_SEND(unsigned flag, unsigned keep, unsigned swap, unsigned wait,
+             unsigned dec, unsigned null);
+void IO_SEND(unsigned flag, unsigned keep, unsigned swap, unsigned wait,
+             unsigned dec, unsigned null);
+void NI_SEND(unsigned type, unsigned flag, unsigned keep, unsigned wait,
+             unsigned dec, unsigned null);
+
+/* Waits for synchronous sends. */
+void WAIT_FOR_PI_REPLY(void);
+void WAIT_FOR_IO_REPLY(void);
+void WAIT_FOR_NI_REPLY(void);
+
+/* Outgoing lane space check (suspends until space is available). */
+void WAIT_FOR_SPACE(unsigned lane);
+
+/* Directory entry access. */
+unsigned DIR_LOAD(unsigned addr);
+void DIR_WRITEBACK(unsigned addr, unsigned entry);
+
+/* Deprecated macros (the execution-restriction checker flags these). */
+void OLD_PI_SEND(unsigned flag, unsigned len);
+void OLD_LEN_SET(unsigned len);
+
+/* Debug helpers (appear in the false-positive idioms of Sec. 9). */
+void DEBUG_PRINT(unsigned value);
+
+/* Raw interface-status reads: waiting on these directly instead of the
+ * WAIT_FOR_*_REPLY macros "breaks the abstraction barrier" (Sec. 9). */
+unsigned PI_REPLY_READY(void);
+unsigned IO_REPLY_READY(void);
+unsigned NI_REPLY_READY(void);
+void SPIN(void);
+"""
+
+
+def with_flash_includes(source: str) -> str:
+    """Prepend the FLASH declarations to a protocol source string."""
+    return FLASH_INCLUDES + "\n" + source

@@ -1,0 +1,154 @@
+"""FLASH machine vocabulary: the macro and constant names shared by the
+generated protocol code, the checkers, and the simulator.
+
+These mirror the names quoted in the paper (``WAIT_FOR_DB_FULL``,
+``MISCBUS_READ_DB``, ``PI_SEND``/``NI_SEND``/``IO_SEND``, ``LEN_NODATA``/
+``LEN_WORD``/``LEN_CACHELINE``, ``F_DATA``/``F_NODATA``,
+``HANDLER_GLOBALS``, ``SET_STACKPTR``) plus the buffer-management,
+directory, lane and simulator-hook operations the checkers in §6-§9 need
+names for.  Where the paper does not spell a name we invent one and keep
+it stable here.
+"""
+
+from __future__ import annotations
+
+# -- message lengths and the decoupled has-data parameter (§5) --------------
+
+LEN_NODATA = 0
+LEN_WORD = 1
+LEN_CACHELINE = 2
+
+LENGTH_CONSTANTS = {
+    "LEN_NODATA": LEN_NODATA,
+    "LEN_WORD": LEN_WORD,
+    "LEN_CACHELINE": LEN_CACHELINE,
+}
+
+F_NODATA = 0
+F_DATA = 1
+
+HAS_DATA_CONSTANTS = {"F_NODATA": F_NODATA, "F_DATA": F_DATA}
+
+# -- send macros (§5, §7, §9) ------------------------------------------------
+#
+# PI_SEND(flag, keep, swap, wait, dec, null)  - to the processor interface
+# IO_SEND(flag, keep, swap, wait, dec, null)  - to the I/O interface
+# NI_SEND(type, flag, keep, wait, dec, null)  - to the network interface
+#
+# Argument positions the checkers rely on:
+SEND_MACROS = ("PI_SEND", "IO_SEND", "NI_SEND")
+SEND_FLAG_ARG = {"PI_SEND": 0, "IO_SEND": 0, "NI_SEND": 1}
+SEND_WAIT_ARG = {"PI_SEND": 3, "IO_SEND": 3, "NI_SEND": 3}
+
+# NI_SEND's leading ``type`` argument distinguishes request/reply traffic.
+NI_TYPE_REQUEST = "NI_REQUEST"
+NI_TYPE_REPLY = "NI_REPLY"
+
+# -- network lanes (§7) --------------------------------------------------------
+#
+# FLASH divides the physical network into four virtual lanes.  Each send
+# macro maps to a lane; NI sends split by their type argument.
+LANE_PI = 0
+LANE_IO = 1
+LANE_NI_REQUEST = 2
+LANE_NI_REPLY = 3
+LANE_COUNT = 4
+LANE_NAMES = ("pi", "io", "ni-request", "ni-reply")
+
+#: Suspend until the named lane has free slots; re-establishes the
+#: handler's quota on that lane (§7's "explicitly check ... and suspend").
+WAIT_FOR_SPACE = "WAIT_FOR_SPACE"
+
+# -- data buffers (§4, §6, §9) ---------------------------------------------
+
+WAIT_FOR_DB_FULL = "WAIT_FOR_DB_FULL"
+MISCBUS_READ_DB = "MISCBUS_READ_DB"
+#: Older-style read macro the real checker also recognized (§4 mentions
+#: "older style macros equivalent to MISCBUS_READ_DB").
+MISCBUS_READ_DB_OLD = "MISCBUS_READ"
+
+DB_ALLOC = "DB_ALLOC"
+DB_FREE = "DB_FREE"
+#: Allocation failure flag tested by the §9 allocation checker.
+DB_IS_ERROR = "DB_IS_ERROR"
+
+#: Checker-annotation functions (§6: "has_buffer" / "no_free_needed").
+ANNOTATION_HAS_BUFFER = "has_buffer"
+ANNOTATION_NO_FREE_NEEDED = "no_free_needed"
+
+#: The "never used" manual refcount function from the §11 war story;
+#: the refined checker aggressively objects to any occurrence.
+DB_INC_REFCOUNT = "DB_INC_REFCOUNT"
+
+# -- directory entries (§9) -----------------------------------------------
+
+DIR_LOAD = "DIR_LOAD"
+DIR_WRITEBACK = "DIR_WRITEBACK"
+#: Directory entries live in a handler-global; field writes mark it dirty.
+DIR_ENTRY_VAR = "dirEntry"
+
+#: Speculative handlers that back out send a NAK; the checker excuses
+#: their missing write-back when it sees this constant in the header (§9).
+MSG_NAK = "MSG_NAK"
+
+# -- waits (§9 send-wait) ----------------------------------------------------
+
+WAIT_FOR_PI_REPLY = "WAIT_FOR_PI_REPLY"
+WAIT_FOR_IO_REPLY = "WAIT_FOR_IO_REPLY"
+WAIT_FOR_NI_REPLY = "WAIT_FOR_NI_REPLY"
+
+WAIT_MACRO_FOR_SEND = {
+    "PI_SEND": WAIT_FOR_PI_REPLY,
+    "IO_SEND": WAIT_FOR_IO_REPLY,
+    "NI_SEND": WAIT_FOR_NI_REPLY,
+}
+WAIT_MACROS = tuple(WAIT_MACRO_FOR_SEND.values())
+
+# -- handler structure and simulator hooks (§8) ------------------------------
+
+HANDLER_DEFS = "HANDLER_DEFS"
+HANDLER_PROLOGUE = "HANDLER_PROLOGUE"
+#: Hook normal (non-handler) procedures must call first.
+SUBROUTINE_PROLOGUE = "SUBROUTINE_PROLOGUE"
+#: Hook software handlers call instead of HANDLER_PROLOGUE's second slot.
+SWHANDLER_PROLOGUE = "SWHANDLER_PROLOGUE"
+
+SET_STACKPTR = "SET_STACKPTR"
+#: The "no stack" source annotation (§8: "exactly one 'no stack'
+#: annotation at the beginning of the handler").
+NOSTACK = "NOSTACK"
+
+#: Deprecated macros the §8 checker warns about.
+DEPRECATED_MACROS = ("OLD_PI_SEND", "OLD_LEN_SET", "MISCBUS_READ")
+
+#: Stack restrictions for "no stack" handlers (§8).
+NOSTACK_MAX_LOCALS = 16
+NOSTACK_MAX_AGGREGATE_BITS = 64
+
+# -- HANDLER_GLOBALS fields ---------------------------------------------------
+
+HANDLER_GLOBALS = "HANDLER_GLOBALS"
+#: Spelling of the message-length lvalue as it appears in protocol code.
+MSG_LEN_LVALUE = "HANDLER_GLOBALS(header.nh.len)"
+MSG_OP_LVALUE = "HANDLER_GLOBALS(header.nh.op)"
+
+
+def lane_of_send(callee: str, args) -> int | None:
+    """Map a send call to its lane; None when the callee is not a send.
+
+    ``args`` is the AST argument list; for ``NI_SEND`` the first argument
+    (request vs reply type) picks between the two NI lanes, defaulting to
+    the request lane when it is not a recognized constant.
+    """
+    if callee == "PI_SEND":
+        return LANE_PI
+    if callee == "IO_SEND":
+        return LANE_IO
+    if callee == "NI_SEND":
+        if args:
+            first = args[0]
+            name = getattr(first, "name", None)
+            if name == NI_TYPE_REPLY:
+                return LANE_NI_REPLY
+        return LANE_NI_REQUEST
+    return None

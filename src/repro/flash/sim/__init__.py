@@ -1,0 +1,22 @@
+"""FlashLite-lite: a dynamic simulator for generated protocol code.
+
+The paper's only practical alternative to static checking was "testing
+and simulation" in FlashLite; this package provides the analogous
+substrate so benchmarks can show the seeded static-checker bugs
+*manifesting* dynamically (double frees, pool-draining leaks, lane
+overrun deadlocks, unsynchronized reads, length mismatches).
+"""
+
+from .buffers import BufferPool, DataBuffer
+from .directory import Directory
+from .interp import GlobalsView, Interpreter
+from .machine import FlashMachine, SimStats
+from .network import Message, OutputQueues
+from .node import CONSTANTS, Node
+from .workload import WorkloadSpec, generate
+
+__all__ = [
+    "BufferPool", "DataBuffer", "Directory", "GlobalsView", "Interpreter",
+    "FlashMachine", "SimStats", "Message", "OutputQueues", "CONSTANTS",
+    "Node", "WorkloadSpec", "generate",
+]

@@ -1,0 +1,115 @@
+"""Data-buffer pool with manual reference counting (§6 of the paper).
+
+The MAGIC hardware allocates a buffer for every incoming message,
+increments its reference count, and jumps to the handler; the handler
+must decrement the count when done.  The pool detects at run time the
+three §6 failure modes the static checker hunts for: double frees,
+use-after-free, and leaks (which drain the pool until the node can no
+longer accept messages — the "deadlocks only after several days" bug).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...errors import BufferAccounting
+
+
+@dataclass
+class DataBuffer:
+    index: int
+    refcount: int = 0
+    filled: bool = False
+    data: list = field(default_factory=lambda: [0] * 32)
+    generation: int = 0
+
+    @property
+    def live(self) -> bool:
+        return self.refcount > 0
+
+
+class BufferPool:
+    """Fixed-size pool of data buffers for one node."""
+
+    def __init__(self, size: int = 16):
+        self.buffers = [DataBuffer(i) for i in range(size)]
+        self.double_frees = 0
+        self.use_after_free = 0
+        self.unsynchronized_reads = 0
+        self.allocation_failures = 0
+        self.strict = True
+
+    # -- hardware-side operations ------------------------------------------
+
+    def hw_allocate(self, fill_data: list | None = None) -> DataBuffer | None:
+        """Allocate for an arriving message; None when the pool is dry."""
+        buf = self._find_free()
+        if buf is None:
+            self.allocation_failures += 1
+            return None
+        buf.refcount = 1
+        buf.generation += 1
+        buf.filled = False
+        if fill_data is not None:
+            buf.data = list(fill_data) + [0] * (32 - len(fill_data))
+        return buf
+
+    def _find_free(self) -> DataBuffer | None:
+        for buf in self.buffers:
+            if not buf.live:
+                return buf
+        return None
+
+    def complete_fill(self, buf: DataBuffer) -> None:
+        buf.filled = True
+
+    # -- handler-side operations -------------------------------------------
+
+    def allocate(self) -> DataBuffer | None:
+        """Handler-requested allocation (DB_ALLOC); can fail."""
+        return self.hw_allocate(fill_data=[0] * 32)
+
+    def free(self, buf: DataBuffer | None) -> None:
+        """Decrement the reference count (DB_FREE)."""
+        if buf is None or buf.refcount <= 0:
+            self.double_frees += 1
+            if self.strict:
+                raise BufferAccounting(
+                    "double free: buffer reference count already zero"
+                )
+            return
+        buf.refcount -= 1
+
+    def inc_refcount(self, buf: DataBuffer) -> None:
+        buf.refcount += 1
+
+    def read(self, buf: DataBuffer | None, offset: int,
+             expected_generation: int | None = None) -> int:
+        """MISCBUS_READ_DB: flags races and use-after-free."""
+        if buf is None or not buf.live or (
+                expected_generation is not None
+                and buf.generation != expected_generation):
+            self.use_after_free += 1
+            if self.strict:
+                raise BufferAccounting("read of a freed data buffer")
+            return 0xDEAD
+        if not buf.filled:
+            # The §4 race: the hardware has not finished the fill, so the
+            # handler observes stale bytes.
+            self.unsynchronized_reads += 1
+            return 0xDEAD
+        return buf.data[(offset // 4) % len(buf.data)]
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        return sum(1 for b in self.buffers if not b.live)
+
+    @property
+    def live_count(self) -> int:
+        return len(self.buffers) - self.free_count
+
+    def leak_count(self, outstanding_ok: int = 0) -> int:
+        """Buffers still live beyond what the caller says is legitimate."""
+        return max(self.live_count - outstanding_ok, 0)

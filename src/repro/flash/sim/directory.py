@@ -1,0 +1,38 @@
+"""Per-node directory state (§9's "manual directory entry updates").
+
+Each node's MAGIC chip owns the directory entries for the cache lines it
+is home to.  Handlers must explicitly load an entry into the handler
+globals, modify it there, and write it back; a forgotten write-back
+leaves the in-memory entry stale, which this model makes observable as
+``stale_entries``.
+"""
+
+from __future__ import annotations
+
+
+class Directory:
+    """Address -> directory-entry word, plus staleness accounting."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, int] = {}
+        #: (addr, written) pairs for entries loaded but never written back
+        #: despite modification - the dynamic shadow of the §9 checker.
+        self.stale_writebacks = 0
+        self._loaded: dict[int, int] = {}  # addr -> value at load time
+
+    def load(self, addr: int) -> int:
+        value = self._entries.get(addr, 0)
+        self._loaded[addr] = value
+        return value
+
+    def writeback(self, addr: int, value: int) -> None:
+        self._entries[addr] = value
+        self._loaded.pop(addr, None)
+
+    def entry(self, addr: int) -> int:
+        return self._entries.get(addr, 0)
+
+    def note_modified_without_writeback(self, addr: int) -> None:
+        """Called by the node when a handler retires with a dirty entry."""
+        self.stale_writebacks += 1
+        self._loaded.pop(addr, None)

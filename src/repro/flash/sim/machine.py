@@ -1,0 +1,100 @@
+"""The multi-node FLASH machine (FlashLite-lite).
+
+Drives a set of :class:`Node` objects with a workload: each injected
+message dispatches the handler registered for its opcode; messages the
+handler sends are delivered to their destination nodes, which run
+handlers for them in turn (bounded by a hop limit so buggy protocols
+cannot ping-pong forever).  The run either completes with statistics or
+raises :class:`ProtocolDeadlock` — the same observable the real FLASH
+team spent days chasing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...errors import ProtocolDeadlock
+from ...lang import ast
+from .network import Message
+from .node import Node
+from .workload import WorkloadSpec, generate
+
+
+@dataclass
+class SimStats:
+    """Aggregated observations from one simulation run."""
+
+    handlers_run: int = 0
+    sends: int = 0
+    double_frees: int = 0
+    use_after_free: int = 0
+    unsynchronized_reads: int = 0
+    msglen_mismatches: int = 0
+    pending_wait_violations: int = 0
+    stale_directory_writebacks: int = 0
+    lane_overruns: int = 0
+    leaked_buffers: int = 0
+    deadlock: Optional[str] = None
+
+    @property
+    def clean(self) -> bool:
+        return (self.deadlock is None and self.double_frees == 0
+                and self.use_after_free == 0
+                and self.unsynchronized_reads == 0
+                and self.msglen_mismatches == 0
+                and self.pending_wait_violations == 0
+                and self.stale_directory_writebacks == 0
+                and self.leaked_buffers == 0)
+
+
+class FlashMachine:
+    """A small FLASH machine running one protocol's handlers."""
+
+    def __init__(self, functions: dict[str, ast.FunctionDef],
+                 dispatch: dict[int, str], nodes: int = 2,
+                 n_buffers: int = 16, lane_capacity: int = 8,
+                 strict: bool = False, max_hops: int = 4):
+        self.dispatch = dispatch
+        self.max_hops = max_hops
+        self.nodes = [
+            Node(i, functions, n_buffers=n_buffers,
+                 lane_capacity=lane_capacity, strict=strict)
+            for i in range(nodes)
+        ]
+
+    def run(self, spec: WorkloadSpec) -> SimStats:
+        """Run the workload to completion (or deadlock)."""
+        stats = SimStats()
+        try:
+            for message in generate(spec):
+                self._deliver(message, hops=0)
+        except ProtocolDeadlock as deadlock:
+            stats.deadlock = str(deadlock)
+        self._collect(stats)
+        return stats
+
+    def _deliver(self, message: Message, hops: int) -> None:
+        handler = self.dispatch.get(message.opcode)
+        if handler is None:
+            return
+        node = self.nodes[message.dest % len(self.nodes)]
+        outgoing = node.run_handler(handler, message)
+        if hops >= self.max_hops:
+            return
+        for reply in outgoing:
+            reply.dest = reply.dest % len(self.nodes)
+            self._deliver(reply, hops + 1)
+
+    def _collect(self, stats: SimStats) -> None:
+        for node in self.nodes:
+            stats.handlers_run += node.handlers_run
+            stats.sends += node.sends
+            stats.double_frees += node.pool.double_frees
+            stats.use_after_free += node.pool.use_after_free
+            stats.unsynchronized_reads += node.pool.unsynchronized_reads
+            stats.msglen_mismatches += node.msglen_mismatches
+            stats.pending_wait_violations += node.pending_wait_violations
+            stats.stale_directory_writebacks += node.directory.stale_writebacks
+            stats.lane_overruns += node.queues.overruns
+            stats.leaked_buffers += node.pool.live_count

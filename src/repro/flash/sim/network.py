@@ -1,0 +1,64 @@
+"""Four-lane network model (§7).
+
+FLASH avoids message loss by only letting a handler run when its
+declared allowance of output-queue slots is available, and by requiring
+an explicit ``WAIT_FOR_SPACE`` before sending beyond the allowance.
+This model gives each lane a bounded output queue per node; a send onto
+a full lane is exactly the §7 failure ("can cause sporadic deadlocks"),
+surfaced as :class:`ProtocolDeadlock`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ...errors import ProtocolDeadlock
+from .. import machine as vocab
+
+
+@dataclass
+class Message:
+    opcode: int
+    addr: int
+    src: int
+    dest: int
+    lane: int
+    has_data: bool
+    length: int
+    payload: list = field(default_factory=list)
+
+
+class OutputQueues:
+    """Per-node output queues, one per virtual lane."""
+
+    def __init__(self, node_id: int, capacity: int = 4):
+        self.node_id = node_id
+        self.capacity = capacity
+        self.queues: list[deque] = [deque() for _ in range(vocab.LANE_COUNT)]
+        self.overruns = 0
+
+    def space(self, lane: int) -> int:
+        return self.capacity - len(self.queues[lane])
+
+    def send(self, message: Message) -> None:
+        queue = self.queues[message.lane]
+        if len(queue) >= self.capacity:
+            self.overruns += 1
+            raise ProtocolDeadlock(
+                f"node {self.node_id}: output queue for lane "
+                f"{vocab.LANE_NAMES[message.lane]} overran its "
+                f"{self.capacity} slots (handler exceeded its allowance)"
+            )
+        queue.append(message)
+
+    def drain(self) -> list[Message]:
+        """Remove and return all queued messages (network delivery)."""
+        out: list[Message] = []
+        for queue in self.queues:
+            while queue:
+                out.append(queue.popleft())
+        return out
+
+    def pending(self) -> int:
+        return sum(len(q) for q in self.queues)

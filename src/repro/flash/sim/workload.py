@@ -1,0 +1,44 @@
+"""Synthetic coherence workloads for the simulator.
+
+The paper's buffer bugs "show up sporadically only after days of
+continuous use"; a workload is simply a long, seeded stream of incoming
+coherence messages whose opcodes select handlers.  Rare opcodes model
+the corner-case traffic (uncached reads, eager mode) that the buggy
+handlers serve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Iterator
+
+from .network import Message
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a synthetic message stream."""
+
+    messages: int = 1000
+    nodes: int = 2
+    address_space: int = 1 << 12
+    seed: int = 7
+    #: opcode -> relative weight; opcodes absent from the dispatch table
+    #: are skipped by the machine.
+    opcode_weights: tuple = ((1, 10), (2, 10), (3, 6), (4, 4), (5, 2))
+
+
+def generate(spec: WorkloadSpec) -> Iterator[Message]:
+    """Yield the message stream for ``spec`` (deterministic)."""
+    rng = Random(spec.seed)
+    opcodes = [op for op, _w in spec.opcode_weights]
+    weights = [w for _op, w in spec.opcode_weights]
+    for i in range(spec.messages):
+        opcode = rng.choices(opcodes, weights=weights)[0]
+        addr = rng.randrange(0, spec.address_space, 8)
+        dest = i % spec.nodes
+        yield Message(
+            opcode=opcode, addr=addr, src=(dest + 1) % spec.nodes,
+            dest=dest, lane=0, has_data=False, length=0,
+        )

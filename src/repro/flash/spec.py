@@ -1,0 +1,114 @@
+"""The protocol specification file format.
+
+The paper's §8 checker "automatically constructs a list of all hardware
+handlers ... by extracting the former from the protocol specification",
+and §7's lane checker consumes "a protocol-writer supplied list of each
+handler's lane allowances".  This module gives that specification a
+concrete, human-editable form so the command-line tools can check real
+files with the right handler tables:
+
+.. code-block:: none
+
+    # comments and blank lines are ignored
+    protocol bitvector
+    handler PILocalGet hw lanes 1 1 2 1
+    handler SWHandlerIdle sw lanes 1 1 1 1 nostack
+    free_routine bitvector_forward_and_free
+    buffer_use_routine bitvector_inspect_buffer
+    frees_if_true try_forward
+    dir_writeback_routine update_sharers
+
+`mc-check generate` emits a ``.spec`` alongside the sources and
+``mc-check check --spec`` loads it.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..project import HandlerInfo, ProtocolInfo
+from . import machine
+
+
+class SpecError(ReproError):
+    """A protocol specification file is malformed."""
+
+
+def dump_spec(info: ProtocolInfo) -> str:
+    """Serialize a :class:`ProtocolInfo` to spec text."""
+    lines = [
+        "# FLASH protocol specification (see docs/checkers.md)",
+        f"protocol {info.name}",
+    ]
+    for handler in info.handlers.values():
+        lanes = " ".join(str(n) for n in handler.lane_allowance)
+        suffix = " nostack" if handler.nostack else ""
+        lines.append(
+            f"handler {handler.name} {handler.kind} lanes {lanes}{suffix}"
+        )
+    for key in ("free_routines", "buffer_use_routines", "frees_if_true",
+                "dir_writeback_routines"):
+        directive = key[:-1] if key.endswith("s") else key
+        for name in sorted(getattr(info, key)):
+            lines.append(f"{directive} {name}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_spec(text: str, filename: str = "<spec>") -> ProtocolInfo:
+    """Parse spec text into a :class:`ProtocolInfo`."""
+    info = ProtocolInfo()
+    table_for = {
+        "free_routine": "free_routines",
+        "buffer_use_routine": "buffer_use_routines",
+        "frees_if_true": "frees_if_true",
+        "dir_writeback_routine": "dir_writeback_routines",
+    }
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        words = line.split()
+        directive, args = words[0], words[1:]
+        where = f"{filename}:{lineno}"
+        if directive == "protocol":
+            if len(args) != 1:
+                raise SpecError(f"{where}: protocol needs exactly one name")
+            info.name = args[0]
+        elif directive == "handler":
+            info.handlers.update({args[0]: _parse_handler(args, where)})
+        elif directive in table_for:
+            if len(args) != 1:
+                raise SpecError(f"{where}: {directive} needs one routine name")
+            getattr(info, table_for[directive]).add(args[0])
+        else:
+            raise SpecError(f"{where}: unknown directive {directive!r}")
+    return info
+
+
+def _parse_handler(args: list[str], where: str) -> HandlerInfo:
+    if len(args) < 2:
+        raise SpecError(f"{where}: handler needs a name and a kind")
+    name, kind, rest = args[0], args[1], args[2:]
+    if kind not in ("hw", "sw", "proc"):
+        raise SpecError(f"{where}: bad handler kind {kind!r}")
+    allowance = (1,) * machine.LANE_COUNT
+    nostack = False
+    i = 0
+    while i < len(rest):
+        if rest[i] == "lanes":
+            lanes = rest[i + 1:i + 1 + machine.LANE_COUNT]
+            if len(lanes) != machine.LANE_COUNT:
+                raise SpecError(f"{where}: lanes needs "
+                                f"{machine.LANE_COUNT} counts")
+            try:
+                allowance = tuple(int(v) for v in lanes)
+            except ValueError as exc:
+                raise SpecError(f"{where}: bad lane count") from exc
+            i += 1 + machine.LANE_COUNT
+        elif rest[i] == "nostack":
+            nostack = True
+            i += 1
+        else:
+            raise SpecError(f"{where}: unknown handler attribute "
+                            f"{rest[i]!r}")
+    return HandlerInfo(name=name, kind=kind, lane_allowance=allowance,
+                       nostack=nostack)

@@ -1,0 +1,24 @@
+"""C-subset compiler frontend: lexer, parser, AST, types, sema, unparser.
+
+This package is the front half of the "xg++" analog described in
+DESIGN.md: it turns FLASH-style C source into typed ASTs that the CFG
+layer and the metal pattern matcher consume.
+"""
+
+from . import ast, ctypes
+from .lexer import Lexer, Token, TokenKind, tokenize
+from .parser import Parser, parse, parse_expression, parse_statement
+from .sema import SemaInfo, annotate
+from .source import Location, SourceFile, Span
+from .symtab import Scope, Symbol, SymbolKind
+from .unparse import unparse_decl, unparse_expr, unparse_stmt, unparse_unit
+
+__all__ = [
+    "ast", "ctypes",
+    "Lexer", "Token", "TokenKind", "tokenize",
+    "Parser", "parse", "parse_expression", "parse_statement",
+    "SemaInfo", "annotate",
+    "Location", "SourceFile", "Span",
+    "Scope", "Symbol", "SymbolKind",
+    "unparse_decl", "unparse_expr", "unparse_stmt", "unparse_unit",
+]

@@ -1,0 +1,419 @@
+"""Abstract syntax tree for the C subset.
+
+Nodes are plain dataclasses.  Each carries a source :class:`Location` and
+supports generic traversal through :meth:`Node.children` / :meth:`Node.walk`,
+which is what the metal pattern matcher and the checkers use to visit
+"every tree node" the way xg++ extensions do.
+
+Structural equality for pattern matching deliberately ignores locations:
+two ``x + 1`` expressions parsed from different lines are equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Iterator, Optional
+
+from .source import Location, unknown_location
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    location: Location = field(
+        default_factory=unknown_location, repr=False, compare=False, kw_only=True
+    )
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes, in source order."""
+        for f in fields(self):
+            if f.name == "location":
+                continue
+            value = getattr(self, f.name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions.  ``ctype`` is filled in by sema."""
+
+    def __post_init__(self):
+        # Annotated lazily by repro.lang.sema; not part of equality.
+        self.ctype = None
+
+
+@dataclass(eq=False)
+class IntLit(Expr):
+    text: str = ""
+
+    @property
+    def value(self) -> int:
+        t = self.text.rstrip("uUlL")
+        if t.startswith(("0x", "0X")):
+            return int(t, 16)
+        if len(t) > 1 and t.startswith("0"):
+            return int(t, 8)
+        return int(t, 10)
+
+    def __eq__(self, other):
+        return isinstance(other, IntLit) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("IntLit", self.value))
+
+
+@dataclass
+class FloatLit(Expr):
+    text: str = ""
+
+    @property
+    def value(self) -> float:
+        return float(self.text.rstrip("fFlL"))
+
+
+@dataclass
+class CharLit(Expr):
+    text: str = ""
+
+
+@dataclass
+class StringLit(Expr):
+    text: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Call(Expr):
+    func: Expr = None
+    args: list[Expr] = field(default_factory=list)
+
+    @property
+    def callee_name(self) -> Optional[str]:
+        """The called function's name when the callee is a plain identifier."""
+        return self.func.name if isinstance(self.func, Ident) else None
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Prefix operator: ``-x``, ``!x``, ``~x``, ``*p``, ``&x``, ``++x``, ``--x``."""
+
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class PostfixOp(Expr):
+    """Postfix ``x++`` / ``x--``."""
+
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment, including compound forms (``op`` is ``=``, ``+=``, ...)."""
+
+    op: str = "="
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr = None
+    then: Expr = None
+    otherwise: Expr = None
+
+
+@dataclass
+class Member(Expr):
+    """``base.name`` (arrow=False) or ``base->name`` (arrow=True)."""
+
+    base: Expr = None
+    name: str = ""
+    arrow: bool = False
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Cast(Expr):
+    type_name: "TypeName" = None
+    operand: Expr = None
+
+
+@dataclass
+class SizeofExpr(Expr):
+    operand: Expr = None
+
+
+@dataclass
+class SizeofType(Expr):
+    type_name: "TypeName" = None
+
+
+@dataclass
+class Comma(Expr):
+    parts: list[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Types as written in source (resolved to repro.lang.ctypes by sema)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TypeName(Node):
+    """A parsed type: base specifier text plus derived pointer/array layers.
+
+    ``specifiers`` keeps the ordered keyword/identifier spelling
+    (``["unsigned", "long"]``, ``["struct", "Header"]``, ``["MyTypedef"]``).
+    ``pointer_depth`` counts ``*`` layers; ``array_dims`` holds one entry per
+    ``[]`` (the expression, or None for ``[]``).
+    """
+
+    specifiers: list[str] = field(default_factory=list)
+    pointer_depth: int = 0
+    array_dims: list[Optional[Expr]] = field(default_factory=list)
+    qualifiers: list[str] = field(default_factory=list)
+
+    @property
+    def base_spelling(self) -> str:
+        return " ".join(self.specifiers)
+
+    @property
+    def is_void(self) -> bool:
+        return self.specifiers == ["void"] and self.pointer_depth == 0
+
+    @property
+    def is_floating(self) -> bool:
+        return bool(set(self.specifiers) & {"float", "double"}) and self.pointer_depth == 0
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class EmptyStmt(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: Stmt = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt = None
+    cond: Expr = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Node] = None  # Expr or DeclStmt
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None
+
+
+@dataclass
+class Switch(Stmt):
+    cond: Expr = None
+    body: Block = None
+
+
+@dataclass
+class Case(Stmt):
+    value: Expr = None
+
+
+@dataclass
+class Default(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Goto(Stmt):
+    label: str = ""
+
+
+@dataclass
+class Label(Stmt):
+    name: str = ""
+
+
+@dataclass
+class DeclStmt(Stmt):
+    decls: list["VarDecl"] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Decl(Node):
+    """Base class for file-scope declarations."""
+
+
+@dataclass
+class VarDecl(Decl):
+    name: str = ""
+    type_name: TypeName = None
+    init: Optional[Expr] = None
+    storage: Optional[str] = None  # "static", "extern", ...
+
+
+@dataclass
+class ParamDecl(Decl):
+    name: str = ""
+    type_name: TypeName = None
+
+
+@dataclass
+class FieldDecl(Decl):
+    name: str = ""
+    type_name: TypeName = None
+
+
+@dataclass
+class StructDef(Decl):
+    tag: str = ""
+    fields_: list[FieldDecl] = field(default_factory=list)
+    is_union: bool = False
+
+
+@dataclass
+class EnumDef(Decl):
+    tag: str = ""
+    enumerators: list[tuple] = field(default_factory=list)  # (name, Expr|None)
+
+
+@dataclass
+class TypedefDecl(Decl):
+    name: str = ""
+    type_name: TypeName = None
+
+
+@dataclass
+class FunctionDecl(Decl):
+    """A prototype (no body)."""
+
+    name: str = ""
+    return_type: TypeName = None
+    params: list[ParamDecl] = field(default_factory=list)
+    storage: Optional[str] = None
+
+
+@dataclass
+class FunctionDef(Decl):
+    """A function definition with a body."""
+
+    name: str = ""
+    return_type: TypeName = None
+    params: list[ParamDecl] = field(default_factory=list)
+    body: Block = None
+    storage: Optional[str] = None
+
+    @property
+    def takes_no_params(self) -> bool:
+        if not self.params:
+            return True
+        if len(self.params) == 1 and self.params[0].type_name.is_void:
+            return True
+        return False
+
+
+@dataclass
+class TranslationUnit(Node):
+    """One parsed source file."""
+
+    filename: str = ""
+    decls: list[Decl] = field(default_factory=list)
+
+    def functions(self) -> list[FunctionDef]:
+        return [d for d in self.decls if isinstance(d, FunctionDef)]
+
+    def function(self, name: str) -> FunctionDef:
+        for d in self.decls:
+            if isinstance(d, FunctionDef) and d.name == name:
+                return d
+        raise KeyError(name)

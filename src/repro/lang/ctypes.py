@@ -1,0 +1,199 @@
+"""Semantic type model for the C subset.
+
+The checkers only need a coarse view of types: integer-ness ("scalar" in
+metal's wildcard vocabulary), floating-ness (for the no-float execution
+restriction), pointers, arrays, and struct layout (for the stack-usage
+restriction, which limits aggregate sizes to 64 bits).  Sizes follow the
+32-bit MIPS ABI the FLASH protocol processor used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CType:
+    """Base class for resolved C types."""
+
+    @property
+    def is_integer(self) -> bool:
+        return False
+
+    @property
+    def is_floating(self) -> bool:
+        return False
+
+    @property
+    def is_scalar(self) -> bool:
+        """metal's ``scalar`` wildcard: any arithmetic or pointer type."""
+        return self.is_integer or self.is_floating or isinstance(self, Pointer)
+
+    def size_bits(self) -> Optional[int]:
+        """Size in bits, or None when unknown (incomplete types)."""
+        return None
+
+
+@dataclass(frozen=True)
+class Void(CType):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class Integer(CType):
+    """Any integer type; ``name`` is the canonical spelling."""
+
+    name: str = "int"
+    signed: bool = True
+    bits: int = 32
+
+    @property
+    def is_integer(self) -> bool:
+        return True
+
+    def size_bits(self) -> Optional[int]:
+        return self.bits
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Floating(CType):
+    name: str = "double"
+    bits: int = 64
+
+    @property
+    def is_floating(self) -> bool:
+        return True
+
+    def size_bits(self) -> Optional[int]:
+        return self.bits
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Pointer(CType):
+    pointee: CType = field(default_factory=Void)
+
+    def size_bits(self) -> Optional[int]:
+        return 32  # MIPS32 ABI
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class Array(CType):
+    element: CType = field(default_factory=lambda: Integer())
+    length: Optional[int] = None
+
+    def size_bits(self) -> Optional[int]:
+        if self.length is None:
+            return None
+        elem = self.element.size_bits()
+        return None if elem is None else elem * self.length
+
+    def __str__(self) -> str:
+        n = "" if self.length is None else str(self.length)
+        return f"{self.element}[{n}]"
+
+
+@dataclass(frozen=True)
+class Struct(CType):
+    """A struct or union type; fields are (name, type) pairs."""
+
+    tag: str = ""
+    members: tuple = ()
+    is_union: bool = False
+
+    def size_bits(self) -> Optional[int]:
+        total = 0
+        for _, mtype in self.members:
+            mbits = mtype.size_bits()
+            if mbits is None:
+                return None
+            total = max(total, mbits) if self.is_union else total + mbits
+        return total
+
+    def member(self, name: str) -> Optional[CType]:
+        for mname, mtype in self.members:
+            if mname == name:
+                return mtype
+        return None
+
+    def __str__(self) -> str:
+        kw = "union" if self.is_union else "struct"
+        return f"{kw} {self.tag}" if self.tag else kw
+
+
+@dataclass(frozen=True)
+class Function(CType):
+    return_type: CType = field(default_factory=Void)
+    param_types: tuple = ()
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.param_types) or "void"
+        return f"{self.return_type}({params})"
+
+
+@dataclass(frozen=True)
+class Unknown(CType):
+    """Used for unresolved identifiers so analysis can continue."""
+
+    def __str__(self) -> str:
+        return "<unknown>"
+
+
+# Singletons for the common cases.
+VOID = Void()
+INT = Integer("int", True, 32)
+UNSIGNED = Integer("unsigned", False, 32)
+CHAR = Integer("char", True, 8)
+UNSIGNED_CHAR = Integer("unsigned char", False, 8)
+SHORT = Integer("short", True, 16)
+UNSIGNED_SHORT = Integer("unsigned short", False, 16)
+LONG = Integer("long", True, 32)
+UNSIGNED_LONG = Integer("unsigned long", False, 32)
+LONG_LONG = Integer("long long", True, 64)
+UNSIGNED_LONG_LONG = Integer("unsigned long long", False, 64)
+FLOAT = Floating("float", 32)
+DOUBLE = Floating("double", 64)
+UNKNOWN = Unknown()
+
+_BASE_TYPES = {
+    "void": VOID,
+    "char": CHAR,
+    "signed char": CHAR,
+    "unsigned char": UNSIGNED_CHAR,
+    "short": SHORT,
+    "short int": SHORT,
+    "signed short": SHORT,
+    "unsigned short": UNSIGNED_SHORT,
+    "unsigned short int": UNSIGNED_SHORT,
+    "int": INT,
+    "signed": INT,
+    "signed int": INT,
+    "long": LONG,
+    "long int": LONG,
+    "signed long": LONG,
+    "unsigned": UNSIGNED,
+    "unsigned int": UNSIGNED,
+    "unsigned long": UNSIGNED_LONG,
+    "unsigned long int": UNSIGNED_LONG,
+    "long long": LONG_LONG,
+    "long long int": LONG_LONG,
+    "unsigned long long": UNSIGNED_LONG_LONG,
+    "float": FLOAT,
+    "double": DOUBLE,
+    "long double": Floating("long double", 64),
+}
+
+
+def lookup_base_type(spelling: str) -> Optional[CType]:
+    """Resolve a builtin specifier spelling like ``unsigned long``."""
+    return _BASE_TYPES.get(spelling)

@@ -1,0 +1,249 @@
+"""Tokenizer for the C subset understood by the frontend.
+
+The lexer produces a flat list of :class:`Token` objects.  It understands
+the full C operator set, character/string/number literals, and both comment
+styles.  FLASH macros (``WAIT_FOR_DB_FULL`` and friends) arrive here as
+ordinary identifiers — exactly how xg++ saw them after preprocessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from ..errors import LexError
+from .source import Location, SourceFile
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    KEYWORD = auto()
+    INT_LIT = auto()
+    FLOAT_LIT = auto()
+    CHAR_LIT = auto()
+    STRING_LIT = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+KEYWORDS = frozenset(
+    """
+    auto break case char const continue default do double else enum extern
+    float for goto if inline int long register return short signed sizeof
+    static struct switch typedef union unsigned void volatile while
+    """.split()
+)
+
+# Longest-match-first punctuation table.
+PUNCTUATION = (
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=",
+    "{", "}", "(", ")", "[", "]", ";", ",", ".", "?", ":",
+    "+", "-", "*", "/", "%", "<", ">", "=", "&", "^", "|", "!", "~",
+)
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+_HEX_DIGITS = _DIGITS | frozenset("abcdefABCDEF")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its spelling and source location."""
+
+    kind: TokenKind
+    text: str
+    location: Location
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    def __str__(self) -> str:
+        if self.kind is TokenKind.EOF:
+            return "<eof>"
+        return self.text
+
+
+class Lexer:
+    """Single-pass tokenizer over a :class:`SourceFile`."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.text = source.text
+        self.pos = 0
+
+    def tokenize(self) -> list[Token]:
+        """Tokenize the whole file, appending a single EOF token."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.text):
+                tokens.append(Token(TokenKind.EOF, "", self._loc(self.pos)))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals ---------------------------------------------------------
+
+    def _loc(self, offset: int) -> Location:
+        return self.source.location(min(offset, len(self.text)))
+
+    def _skip_whitespace_and_comments(self) -> None:
+        text, n = self.text, len(self.text)
+        while self.pos < n:
+            ch = text[self.pos]
+            if ch in " \t\r\n\f\v":
+                self.pos += 1
+            elif ch == "#":
+                self._skip_directive()
+            elif text.startswith("//", self.pos):
+                while self.pos < n and text[self.pos] != "\n":
+                    self.pos += 1
+            elif text.startswith("/*", self.pos):
+                end = text.find("*/", self.pos + 2)
+                if end == -1:
+                    raise LexError("unterminated block comment", self._loc(self.pos))
+                self.pos = end + 2
+            else:
+                return
+
+    def _skip_directive(self) -> None:
+        """Skip a preprocessor directive.
+
+        ``#include`` consumes only its filename (so the metal preamble
+        ``{ #include "flash-includes.h" }`` keeps its closing brace);
+        every other directive is skipped to end of line, honouring
+        backslash continuations.
+        """
+        text, n = self.text, len(self.text)
+        self.pos += 1  # '#'
+        while self.pos < n and text[self.pos] in " \t":
+            self.pos += 1
+        start = self.pos
+        while self.pos < n and text[self.pos] in _IDENT_CONT:
+            self.pos += 1
+        directive = text[start:self.pos]
+        if directive == "include":
+            while self.pos < n and text[self.pos] in " \t":
+                self.pos += 1
+            if self.pos < n and text[self.pos] == '"':
+                end = text.find('"', self.pos + 1)
+                self.pos = n if end == -1 else end + 1
+            elif self.pos < n and text[self.pos] == "<":
+                end = text.find(">", self.pos + 1)
+                self.pos = n if end == -1 else end + 1
+            return
+        while self.pos < n and text[self.pos] != "\n":
+            if text[self.pos] == "\\" and self.pos + 1 < n and text[self.pos + 1] == "\n":
+                self.pos += 1
+            self.pos += 1
+
+    def _next_token(self) -> Token:
+        ch = self.text[self.pos]
+        if ch in _IDENT_START:
+            return self._lex_ident()
+        if ch in _DIGITS or (ch == "." and self._peek(1) in _DIGITS):
+            return self._lex_number()
+        if ch == '"':
+            return self._lex_string()
+        if ch == "'":
+            return self._lex_char()
+        return self._lex_punct()
+
+    def _peek(self, ahead: int) -> str:
+        i = self.pos + ahead
+        return self.text[i] if i < len(self.text) else ""
+
+    def _lex_ident(self) -> Token:
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos] in _IDENT_CONT:
+            self.pos += 1
+        text = self.text[start:self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, self._loc(start))
+
+    def _lex_number(self) -> Token:
+        start = self.pos
+        text = self.text
+        is_float = False
+        if text.startswith(("0x", "0X"), self.pos):
+            self.pos += 2
+            while self.pos < len(text) and text[self.pos] in _HEX_DIGITS:
+                self.pos += 1
+        else:
+            while self.pos < len(text) and text[self.pos] in _DIGITS:
+                self.pos += 1
+            if self.pos < len(text) and text[self.pos] == "." and self._peek(1) != ".":
+                is_float = True
+                self.pos += 1
+                while self.pos < len(text) and text[self.pos] in _DIGITS:
+                    self.pos += 1
+            if self.pos < len(text) and text[self.pos] in "eE":
+                nxt = self._peek(1)
+                if nxt in _DIGITS or (nxt in "+-" and self._peek(2) in _DIGITS):
+                    is_float = True
+                    self.pos += 1
+                    if text[self.pos] in "+-":
+                        self.pos += 1
+                    while self.pos < len(text) and text[self.pos] in _DIGITS:
+                        self.pos += 1
+        # Suffixes: u/U/l/L for ints, f/F/l/L for floats.
+        while self.pos < len(text) and text[self.pos] in "uUlLfF":
+            if text[self.pos] in "fF":
+                is_float = True
+            self.pos += 1
+        kind = TokenKind.FLOAT_LIT if is_float else TokenKind.INT_LIT
+        return Token(kind, text[start:self.pos], self._loc(start))
+
+    def _lex_string(self) -> Token:
+        start = self.pos
+        self.pos += 1
+        text = self.text
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch == "\\":
+                self.pos += 2
+                continue
+            if ch == '"':
+                self.pos += 1
+                return Token(TokenKind.STRING_LIT, text[start:self.pos], self._loc(start))
+            if ch == "\n":
+                break
+            self.pos += 1
+        raise LexError("unterminated string literal", self._loc(start))
+
+    def _lex_char(self) -> Token:
+        start = self.pos
+        self.pos += 1
+        text = self.text
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch == "\\":
+                self.pos += 2
+                continue
+            if ch == "'":
+                self.pos += 1
+                return Token(TokenKind.CHAR_LIT, text[start:self.pos], self._loc(start))
+            if ch == "\n":
+                break
+            self.pos += 1
+        raise LexError("unterminated character literal", self._loc(start))
+
+    def _lex_punct(self) -> Token:
+        for punct in PUNCTUATION:
+            if self.text.startswith(punct, self.pos):
+                tok = Token(TokenKind.PUNCT, punct, self._loc(self.pos))
+                self.pos += len(punct)
+                return tok
+        raise LexError(
+            f"unexpected character {self.text[self.pos]!r}", self._loc(self.pos)
+        )
+
+
+def tokenize(text: str, filename: str = "<input>") -> list[Token]:
+    """Convenience wrapper: tokenize ``text`` into a token list (with EOF)."""
+    return Lexer(SourceFile(filename, text)).tokenize()

@@ -1,0 +1,349 @@
+"""Semantic annotation: symbol resolution and expression typing.
+
+:func:`annotate` walks a :class:`TranslationUnit`, builds scoped symbol
+tables, resolves typedef/struct/enum references, and stores a resolved
+:class:`repro.lang.ctypes.CType` on every expression node's ``ctype``
+attribute.  It is deliberately forgiving — unknown identifiers get
+``Unknown`` type rather than raising — because checkers must keep running
+over code that references symbols defined in headers we never see
+(exactly the situation xg++ faced with FLASH macros).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SemanticError
+from . import ast, ctypes
+from .symtab import Scope, Symbol, SymbolKind
+
+
+class SemaInfo:
+    """Results of semantic annotation over one translation unit."""
+
+    def __init__(self, unit: ast.TranslationUnit):
+        self.unit = unit
+        self.file_scope = Scope()
+        self.structs: dict[str, ctypes.Struct] = {}
+        self.typedefs: dict[str, ctypes.CType] = {}
+        # Per-function scope containing parameters + all locals (flattened).
+        self.function_locals: dict[str, list[Symbol]] = {}
+
+    def struct(self, tag: str) -> Optional[ctypes.Struct]:
+        return self.structs.get(tag)
+
+
+class _Annotator:
+    def __init__(self, unit: ast.TranslationUnit, strict: bool = False,
+                 prelude: Optional[ast.TranslationUnit] = None):
+        self.info = SemaInfo(unit)
+        self.strict = strict
+        self.scope = self.info.file_scope
+        self._current_function: Optional[str] = None
+        self.prelude = prelude
+
+    # -- type resolution ---------------------------------------------------
+
+    def resolve_type(self, type_name: Optional[ast.TypeName]) -> ctypes.CType:
+        if type_name is None:
+            return ctypes.UNKNOWN
+        base = self._resolve_base(type_name)
+        for _ in range(type_name.pointer_depth):
+            base = ctypes.Pointer(base)
+        for dim in reversed(type_name.array_dims):
+            length = None
+            if dim is not None:
+                length = self._const_int(dim)
+            base = ctypes.Array(base, length)
+        return base
+
+    def _resolve_base(self, type_name: ast.TypeName) -> ctypes.CType:
+        spec = type_name.specifiers
+        if spec and spec[0] in ("struct", "union"):
+            tag = spec[1] if len(spec) > 1 else ""
+            found = self.info.structs.get(tag)
+            if found is not None:
+                return found
+            return ctypes.Struct(tag=tag, is_union=spec[0] == "union")
+        if spec and spec[0] == "enum":
+            return ctypes.INT
+        builtin = ctypes.lookup_base_type(" ".join(spec))
+        if builtin is not None:
+            return builtin
+        if len(spec) == 1 and spec[0] in self.info.typedefs:
+            return self.info.typedefs[spec[0]]
+        if self.strict:
+            raise SemanticError(f"unknown type {' '.join(spec)!r}", type_name.location)
+        return ctypes.UNKNOWN
+
+    def _const_int(self, expr: ast.Expr) -> Optional[int]:
+        """Best-effort constant folding for array dimensions."""
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.Ident):
+            sym = self.scope.lookup(expr.name)
+            if sym is not None and sym.kind is SymbolKind.ENUMERATOR:
+                return sym.value
+        if isinstance(expr, ast.BinaryOp):
+            left = self._const_int(expr.left)
+            right = self._const_int(expr.right)
+            if left is None or right is None:
+                return None
+            try:
+                return {
+                    "+": lambda: left + right, "-": lambda: left - right,
+                    "*": lambda: left * right, "/": lambda: left // right,
+                    "%": lambda: left % right, "<<": lambda: left << right,
+                    ">>": lambda: left >> right, "|": lambda: left | right,
+                    "&": lambda: left & right, "^": lambda: left ^ right,
+                }[expr.op]()
+            except (KeyError, ZeroDivisionError):
+                return None
+        return None
+
+    # -- declaration processing ----------------------------------------------
+
+    def run(self) -> SemaInfo:
+        if self.prelude is not None:
+            for decl in self.prelude.decls:
+                self._declare(decl)
+        for decl in self.info.unit.decls:
+            self._declare(decl)
+        return self.info
+
+    def _declare(self, decl: ast.Decl) -> None:
+        if isinstance(decl, ast.StructDef):
+            self._declare_struct(decl)
+        elif isinstance(decl, ast.EnumDef):
+            self._declare_enum(decl)
+        elif isinstance(decl, ast.TypedefDecl):
+            nested = getattr(decl, "struct_def", None)
+            if nested is not None:
+                self._declare_struct(nested)
+            self.info.typedefs[decl.name] = self.resolve_type(decl.type_name)
+            self.scope.define(Symbol(decl.name, SymbolKind.TYPEDEF,
+                                     self.info.typedefs[decl.name], decl.location))
+        elif isinstance(decl, ast.VarDecl):
+            ctype = self.resolve_type(decl.type_name)
+            self.scope.define(Symbol(decl.name, SymbolKind.VARIABLE, ctype,
+                                     decl.location))
+            if decl.init is not None:
+                self._annotate_expr(decl.init)
+        elif isinstance(decl, ast.FunctionDecl):
+            self._declare_function_symbol(decl)
+        elif isinstance(decl, ast.FunctionDef):
+            self._declare_function_symbol(decl)
+            self._annotate_function(decl)
+
+    def _declare_struct(self, decl: ast.StructDef) -> None:
+        members = tuple(
+            (f.name, self.resolve_type(f.type_name)) for f in decl.fields_
+        )
+        struct = ctypes.Struct(tag=decl.tag, members=members, is_union=decl.is_union)
+        if decl.tag:
+            self.info.structs[decl.tag] = struct
+
+    def _declare_enum(self, decl: ast.EnumDef) -> None:
+        next_value = 0
+        for name, value_expr in decl.enumerators:
+            if value_expr is not None:
+                folded = self._const_int(value_expr)
+                if folded is not None:
+                    next_value = folded
+            self.scope.define(Symbol(name, SymbolKind.ENUMERATOR, ctypes.INT,
+                                     decl.location, value=next_value))
+            next_value += 1
+
+    def _declare_function_symbol(self, decl) -> None:
+        ftype = ctypes.Function(
+            return_type=self.resolve_type(decl.return_type),
+            param_types=tuple(self.resolve_type(p.type_name) for p in decl.params),
+        )
+        self.scope.define(Symbol(decl.name, SymbolKind.FUNCTION, ftype,
+                                 decl.location))
+
+    def _annotate_function(self, func: ast.FunctionDef) -> None:
+        outer = self.scope
+        self.scope = outer.child()
+        self._current_function = func.name
+        self.info.function_locals[func.name] = []
+        for param in func.params:
+            if not param.name:
+                continue
+            sym = Symbol(param.name, SymbolKind.PARAMETER,
+                         self.resolve_type(param.type_name), param.location)
+            self.scope.define(sym)
+            self.info.function_locals[func.name].append(sym)
+        self._annotate_stmt(func.body)
+        self._current_function = None
+        self.scope = outer
+
+    # -- statement / expression annotation -------------------------------------
+
+    def _annotate_stmt(self, stmt: Optional[ast.Stmt]) -> None:
+        if stmt is None:
+            return
+        if isinstance(stmt, ast.Block):
+            outer = self.scope
+            self.scope = outer.child()
+            for child in stmt.stmts:
+                self._annotate_stmt(child)
+            self.scope = outer
+        elif isinstance(stmt, ast.DeclStmt):
+            for decl in stmt.decls:
+                ctype = self.resolve_type(decl.type_name)
+                sym = Symbol(decl.name, SymbolKind.VARIABLE, ctype, decl.location)
+                self.scope.define(sym)
+                if self._current_function is not None:
+                    self.info.function_locals[self._current_function].append(sym)
+                if decl.init is not None:
+                    self._annotate_expr(decl.init)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._annotate_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._annotate_expr(stmt.cond)
+            self._annotate_stmt(stmt.then)
+            self._annotate_stmt(stmt.otherwise)
+        elif isinstance(stmt, ast.While):
+            self._annotate_expr(stmt.cond)
+            self._annotate_stmt(stmt.body)
+        elif isinstance(stmt, ast.DoWhile):
+            self._annotate_stmt(stmt.body)
+            self._annotate_expr(stmt.cond)
+        elif isinstance(stmt, ast.For):
+            outer = self.scope
+            self.scope = outer.child()
+            if isinstance(stmt.init, ast.DeclStmt):
+                self._annotate_stmt(stmt.init)
+            elif isinstance(stmt.init, ast.Expr):
+                self._annotate_expr(stmt.init)
+            if stmt.cond is not None:
+                self._annotate_expr(stmt.cond)
+            if stmt.step is not None:
+                self._annotate_expr(stmt.step)
+            self._annotate_stmt(stmt.body)
+            self.scope = outer
+        elif isinstance(stmt, ast.Switch):
+            self._annotate_expr(stmt.cond)
+            self._annotate_stmt(stmt.body)
+        elif isinstance(stmt, ast.Case):
+            self._annotate_expr(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._annotate_expr(stmt.value)
+        # Break/Continue/Goto/Label/Default/Empty have nothing to annotate.
+
+    def _annotate_expr(self, expr: Optional[ast.Expr]) -> ctypes.CType:
+        if expr is None:
+            return ctypes.UNKNOWN
+        ctype = self._compute_type(expr)
+        expr.ctype = ctype
+        return ctype
+
+    def _compute_type(self, expr: ast.Expr) -> ctypes.CType:
+        if isinstance(expr, ast.IntLit):
+            return ctypes.INT
+        if isinstance(expr, ast.FloatLit):
+            return ctypes.FLOAT if expr.text[-1] in "fF" else ctypes.DOUBLE
+        if isinstance(expr, ast.CharLit):
+            return ctypes.CHAR
+        if isinstance(expr, ast.StringLit):
+            return ctypes.Pointer(ctypes.CHAR)
+        if isinstance(expr, ast.Ident):
+            sym = self.scope.lookup(expr.name)
+            return sym.ctype if sym is not None else ctypes.UNKNOWN
+        if isinstance(expr, ast.Call):
+            func_type = self._annotate_expr(expr.func)
+            for arg in expr.args:
+                self._annotate_expr(arg)
+            if isinstance(func_type, ctypes.Function):
+                return func_type.return_type
+            return ctypes.UNKNOWN
+        if isinstance(expr, ast.BinaryOp):
+            left = self._annotate_expr(expr.left)
+            right = self._annotate_expr(expr.right)
+            if expr.op in ("==", "!=", "<", ">", "<=", ">=", "&&", "||"):
+                return ctypes.INT
+            return self._usual_arithmetic(left, right)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._annotate_expr(expr.operand)
+            if expr.op == "&":
+                return ctypes.Pointer(operand)
+            if expr.op == "*":
+                if isinstance(operand, ctypes.Pointer):
+                    return operand.pointee
+                if isinstance(operand, ctypes.Array):
+                    return operand.element
+                return ctypes.UNKNOWN
+            if expr.op == "!":
+                return ctypes.INT
+            return operand
+        if isinstance(expr, ast.PostfixOp):
+            return self._annotate_expr(expr.operand)
+        if isinstance(expr, ast.Assign):
+            target = self._annotate_expr(expr.target)
+            self._annotate_expr(expr.value)
+            return target
+        if isinstance(expr, ast.Ternary):
+            self._annotate_expr(expr.cond)
+            then = self._annotate_expr(expr.then)
+            otherwise = self._annotate_expr(expr.otherwise)
+            return self._usual_arithmetic(then, otherwise)
+        if isinstance(expr, ast.Member):
+            base = self._annotate_expr(expr.base)
+            if expr.arrow and isinstance(base, ctypes.Pointer):
+                base = base.pointee
+            if isinstance(base, ctypes.Struct):
+                member = base.member(expr.name)
+                if member is not None:
+                    return member
+            return ctypes.UNKNOWN
+        if isinstance(expr, ast.Index):
+            base = self._annotate_expr(expr.base)
+            self._annotate_expr(expr.index)
+            if isinstance(base, ctypes.Array):
+                return base.element
+            if isinstance(base, ctypes.Pointer):
+                return base.pointee
+            return ctypes.UNKNOWN
+        if isinstance(expr, ast.Cast):
+            self._annotate_expr(expr.operand)
+            return self.resolve_type(expr.type_name)
+        if isinstance(expr, (ast.SizeofExpr, ast.SizeofType)):
+            if isinstance(expr, ast.SizeofExpr):
+                self._annotate_expr(expr.operand)
+            return ctypes.UNSIGNED
+        if isinstance(expr, ast.Comma):
+            last = ctypes.UNKNOWN
+            for part in expr.parts:
+                last = self._annotate_expr(part)
+            return last
+        return ctypes.UNKNOWN
+
+    @staticmethod
+    def _usual_arithmetic(left: ctypes.CType, right: ctypes.CType) -> ctypes.CType:
+        if left.is_floating or right.is_floating:
+            for candidate in (left, right):
+                if isinstance(candidate, ctypes.Floating) and candidate.bits == 64:
+                    return candidate
+            return left if left.is_floating else right
+        if isinstance(left, (ctypes.Pointer, ctypes.Array)):
+            return left
+        if isinstance(right, (ctypes.Pointer, ctypes.Array)):
+            return right
+        if isinstance(left, ctypes.Unknown):
+            return right
+        if isinstance(right, ctypes.Unknown):
+            return left
+        return left
+
+
+def annotate(unit: ast.TranslationUnit, strict: bool = False,
+             prelude: Optional[ast.TranslationUnit] = None) -> SemaInfo:
+    """Annotate every expression in ``unit`` with its resolved type.
+
+    ``prelude`` is an optional already-parsed header whose declarations
+    are entered into scope first (used for ``flash-includes.h`` so
+    protocol files keep their own line numbers).
+    """
+    return _Annotator(unit, strict=strict, prelude=prelude).run()

@@ -1,0 +1,77 @@
+"""Lexically scoped symbol tables.
+
+A :class:`Scope` maps names to :class:`Symbol` entries (variables,
+parameters, functions, typedefs, enumerators).  Scopes chain to their
+parent, so lookup walks outward exactly like C name resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Iterator, Optional
+
+from . import ctypes
+from .source import Location, unknown_location
+
+
+class SymbolKind(Enum):
+    VARIABLE = auto()
+    PARAMETER = auto()
+    FUNCTION = auto()
+    TYPEDEF = auto()
+    ENUMERATOR = auto()
+    STRUCT_TAG = auto()
+
+
+@dataclass
+class Symbol:
+    name: str
+    kind: SymbolKind
+    ctype: ctypes.CType = ctypes.UNKNOWN
+    location: Location = field(default_factory=unknown_location)
+    # Enumerator constant value, when known.
+    value: Optional[int] = None
+
+    @property
+    def is_local(self) -> bool:
+        return self.kind in (SymbolKind.VARIABLE, SymbolKind.PARAMETER)
+
+
+class Scope:
+    """One lexical scope.  ``parent=None`` makes this the file scope."""
+
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self._symbols: dict[str, Symbol] = {}
+
+    def define(self, symbol: Symbol) -> Symbol:
+        """Insert a symbol, replacing a same-name symbol in *this* scope."""
+        self._symbols[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        """Resolve ``name``, walking outward through parent scopes."""
+        scope: Optional[Scope] = self
+        while scope is not None:
+            sym = scope._symbols.get(name)
+            if sym is not None:
+                return sym
+            scope = scope.parent
+        return None
+
+    def lookup_local(self, name: str) -> Optional[Symbol]:
+        """Resolve ``name`` in this scope only."""
+        return self._symbols.get(name)
+
+    def child(self) -> "Scope":
+        return Scope(parent=self)
+
+    def __contains__(self, name: str) -> bool:
+        return self.lookup(name) is not None
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._symbols.values())
+
+    def __len__(self) -> int:
+        return len(self._symbols)

@@ -1,0 +1,199 @@
+"""AST -> C source text.
+
+Used in two directions: the FLASH code generator emits specs as ASTs and
+unparses them to files, and diagnostics quote offending expressions back
+to the user the way xg++ error messages do.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+_INDENT = "    "
+
+# Precedence table for minimal-parenthesis expression printing.
+_PREC = {
+    ",": 1, "=": 2, "?:": 3, "||": 4, "&&": 5, "|": 6, "^": 7, "&": 8,
+    "==": 9, "!=": 9, "<": 10, ">": 10, "<=": 10, ">=": 10,
+    "<<": 11, ">>": 11, "+": 12, "-": 12, "*": 13, "/": 13, "%": 13,
+}
+_UNARY_PREC = 14
+_POSTFIX_PREC = 15
+
+
+def unparse_type(type_name: ast.TypeName, declarator: str = "") -> str:
+    """Render ``type_name`` with an optional declarator name."""
+    parts = list(type_name.qualifiers) + list(type_name.specifiers)
+    text = " ".join(parts)
+    stars = "*" * type_name.pointer_depth
+    decl = f"{stars}{declarator}" if (stars or declarator) else ""
+    for dim in type_name.array_dims:
+        decl += "[]" if dim is None else f"[{unparse_expr(dim)}]"
+    return f"{text} {decl}".rstrip()
+
+
+def unparse_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    text, prec = _expr_with_prec(expr)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _expr_with_prec(expr: ast.Expr) -> tuple[str, int]:
+    if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.CharLit, ast.StringLit)):
+        return expr.text, _POSTFIX_PREC
+    if isinstance(expr, ast.Ident):
+        return expr.name, _POSTFIX_PREC
+    if isinstance(expr, ast.Call):
+        func = unparse_expr(expr.func, _POSTFIX_PREC)
+        args = ", ".join(unparse_expr(a, 2) for a in expr.args)
+        return f"{func}({args})", _POSTFIX_PREC
+    if isinstance(expr, ast.Index):
+        return (
+            f"{unparse_expr(expr.base, _POSTFIX_PREC)}[{unparse_expr(expr.index)}]",
+            _POSTFIX_PREC,
+        )
+    if isinstance(expr, ast.Member):
+        sep = "->" if expr.arrow else "."
+        return f"{unparse_expr(expr.base, _POSTFIX_PREC)}{sep}{expr.name}", _POSTFIX_PREC
+    if isinstance(expr, ast.PostfixOp):
+        return f"{unparse_expr(expr.operand, _POSTFIX_PREC)}{expr.op}", _POSTFIX_PREC
+    if isinstance(expr, ast.UnaryOp):
+        operand = unparse_expr(expr.operand, _UNARY_PREC)
+        space = " " if expr.op in ("++", "--") and operand.startswith(expr.op[0]) else ""
+        return f"{expr.op}{space}{operand}", _UNARY_PREC
+    if isinstance(expr, ast.Cast):
+        return f"({unparse_type(expr.type_name)}){unparse_expr(expr.operand, _UNARY_PREC)}", _UNARY_PREC
+    if isinstance(expr, ast.SizeofExpr):
+        return f"sizeof({unparse_expr(expr.operand)})", _UNARY_PREC
+    if isinstance(expr, ast.SizeofType):
+        return f"sizeof({unparse_type(expr.type_name)})", _UNARY_PREC
+    if isinstance(expr, ast.BinaryOp):
+        prec = _PREC[expr.op]
+        left = unparse_expr(expr.left, prec)
+        right = unparse_expr(expr.right, prec + 1)
+        return f"{left} {expr.op} {right}", prec
+    if isinstance(expr, ast.Assign):
+        target = unparse_expr(expr.target, 3)
+        value = unparse_expr(expr.value, 2)
+        return f"{target} {expr.op} {value}", 2
+    if isinstance(expr, ast.Ternary):
+        cond = unparse_expr(expr.cond, 4)
+        then = unparse_expr(expr.then)
+        otherwise = unparse_expr(expr.otherwise, 3)
+        return f"{cond} ? {then} : {otherwise}", 3
+    if isinstance(expr, ast.Comma):
+        return ", ".join(unparse_expr(p, 2) for p in expr.parts), 1
+    raise TypeError(f"cannot unparse {type(expr).__name__}")
+
+
+def unparse_stmt(stmt: ast.Stmt, indent: int = 0) -> str:
+    """Render a statement (and its children) as indented C text."""
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.Block):
+        inner = "".join(unparse_stmt(s, indent + 1) for s in stmt.stmts)
+        return f"{pad}{{\n{inner}{pad}}}\n"
+    if isinstance(stmt, ast.ExprStmt):
+        return f"{pad}{unparse_expr(stmt.expr)};\n"
+    if isinstance(stmt, ast.EmptyStmt):
+        return f"{pad};\n"
+    if isinstance(stmt, ast.DeclStmt):
+        lines = []
+        for decl in stmt.decls:
+            init = f" = {unparse_expr(decl.init)}" if decl.init is not None else ""
+            storage = f"{decl.storage} " if decl.storage else ""
+            lines.append(f"{pad}{storage}{unparse_type(decl.type_name, decl.name)}{init};\n")
+        return "".join(lines)
+    if isinstance(stmt, ast.If):
+        text = f"{pad}if ({unparse_expr(stmt.cond)})\n"
+        text += _nested(stmt.then, indent)
+        if stmt.otherwise is not None:
+            text += f"{pad}else\n"
+            text += _nested(stmt.otherwise, indent)
+        return text
+    if isinstance(stmt, ast.While):
+        return f"{pad}while ({unparse_expr(stmt.cond)})\n" + _nested(stmt.body, indent)
+    if isinstance(stmt, ast.DoWhile):
+        return (f"{pad}do\n" + _nested(stmt.body, indent)
+                + f"{pad}while ({unparse_expr(stmt.cond)});\n")
+    if isinstance(stmt, ast.For):
+        if isinstance(stmt.init, ast.DeclStmt):
+            decl = stmt.init.decls[0]
+            init_text = unparse_type(decl.type_name, decl.name)
+            if decl.init is not None:
+                init_text += f" = {unparse_expr(decl.init)}"
+        elif isinstance(stmt.init, ast.Expr):
+            init_text = unparse_expr(stmt.init)
+        else:
+            init_text = ""
+        cond_text = unparse_expr(stmt.cond) if stmt.cond is not None else ""
+        step_text = unparse_expr(stmt.step) if stmt.step is not None else ""
+        return (f"{pad}for ({init_text}; {cond_text}; {step_text})\n"
+                + _nested(stmt.body, indent))
+    if isinstance(stmt, ast.Switch):
+        return f"{pad}switch ({unparse_expr(stmt.cond)})\n" + unparse_stmt(stmt.body, indent)
+    if isinstance(stmt, ast.Case):
+        return f"{pad}case {unparse_expr(stmt.value)}:\n"
+    if isinstance(stmt, ast.Default):
+        return f"{pad}default:\n"
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return f"{pad}return;\n"
+        return f"{pad}return {unparse_expr(stmt.value)};\n"
+    if isinstance(stmt, ast.Break):
+        return f"{pad}break;\n"
+    if isinstance(stmt, ast.Continue):
+        return f"{pad}continue;\n"
+    if isinstance(stmt, ast.Goto):
+        return f"{pad}goto {stmt.label};\n"
+    if isinstance(stmt, ast.Label):
+        return f"{_INDENT * max(indent - 1, 0)}{stmt.name}:\n"
+    raise TypeError(f"cannot unparse {type(stmt).__name__}")
+
+
+def _nested(stmt: ast.Stmt, indent: int) -> str:
+    if isinstance(stmt, ast.Block):
+        return unparse_stmt(stmt, indent)
+    return unparse_stmt(stmt, indent + 1)
+
+
+def unparse_decl(decl: ast.Decl, indent: int = 0) -> str:
+    pad = _INDENT * indent
+    if isinstance(decl, ast.FunctionDef):
+        params = ", ".join(
+            unparse_type(p.type_name, p.name) for p in decl.params
+        ) or "void"
+        storage = f"{decl.storage} " if decl.storage else ""
+        head = f"{pad}{storage}{unparse_type(decl.return_type)} {decl.name}({params})\n"
+        return head + unparse_stmt(decl.body, indent)
+    if isinstance(decl, ast.FunctionDecl):
+        params = ", ".join(
+            unparse_type(p.type_name, p.name) for p in decl.params
+        ) or "void"
+        storage = f"{decl.storage} " if decl.storage else ""
+        return f"{pad}{storage}{unparse_type(decl.return_type)} {decl.name}({params});\n"
+    if isinstance(decl, ast.VarDecl):
+        init = f" = {unparse_expr(decl.init)}" if decl.init is not None else ""
+        storage = f"{decl.storage} " if decl.storage else ""
+        return f"{pad}{storage}{unparse_type(decl.type_name, decl.name)}{init};\n"
+    if isinstance(decl, ast.StructDef):
+        kw = "union" if decl.is_union else "struct"
+        fields = "".join(
+            f"{pad}{_INDENT}{unparse_type(f.type_name, f.name)};\n" for f in decl.fields_
+        )
+        return f"{pad}{kw} {decl.tag} {{\n{fields}{pad}}};\n"
+    if isinstance(decl, ast.EnumDef):
+        items = ",\n".join(
+            f"{pad}{_INDENT}{name}" + (f" = {unparse_expr(v)}" if v is not None else "")
+            for name, v in decl.enumerators
+        )
+        return f"{pad}enum {decl.tag} {{\n{items}\n{pad}}};\n"
+    if isinstance(decl, ast.TypedefDecl):
+        return f"{pad}typedef {unparse_type(decl.type_name, decl.name)};\n"
+    raise TypeError(f"cannot unparse {type(decl).__name__}")
+
+
+def unparse_unit(unit: ast.TranslationUnit) -> str:
+    """Render a whole translation unit."""
+    return "\n".join(unparse_decl(d) for d in unit.decls)

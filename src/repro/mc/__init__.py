@@ -1,0 +1,15 @@
+"""The analysis engine: path-sensitive SM execution and global analysis."""
+
+from .engine import check_function, check_unit, run_machine, run_machine_naive
+from .flowcheck import find_unfollowed, find_unguarded, is_call_to
+from .interproc import bottom_up, walk_paths
+from .transform import RedundantWaitEliminator, TransformResult
+from .report import Report, ReportSink, format_reports, summarize_by_severity
+
+__all__ = [
+    "check_function", "check_unit", "run_machine", "run_machine_naive",
+    "find_unfollowed", "find_unguarded", "is_call_to",
+    "bottom_up", "walk_paths",
+    "RedundantWaitEliminator", "TransformResult",
+    "Report", "ReportSink", "format_reports", "summarize_by_severity",
+]

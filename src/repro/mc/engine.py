@@ -1,0 +1,168 @@
+"""The path-sensitive analysis engine — the back half of the xg++ analog.
+
+:func:`run_machine` replays a metal state machine down every execution
+path of a function's CFG.  Like xgcc, it memoizes on ``(block, state)``
+pairs: once a machine has entered a block in a given state, re-entering
+in the same state cannot produce new behaviour, so whole families of
+exponentially many paths are covered in linear work.  The
+:func:`run_machine_naive` variant enumerates paths explicitly and exists
+for the state-cache ablation benchmark (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cfg import Cfg, build_cfg
+from ..lang import ast
+from ..lang.source import Location
+from ..metal.runtime import MatchContext, ReportSink
+from ..metal.sm import StateMachine
+
+
+def _event_nodes(event: ast.Node):
+    """The node stream an event contributes: itself plus subtrees, pre-order."""
+    return event.walk()
+
+
+class _Run:
+    """Shared pieces of one machine-over-one-function execution."""
+
+    def __init__(self, sm: StateMachine, cfg: Cfg, sink: ReportSink):
+        self.sm = sm
+        self.cfg = cfg
+        self.sink = sink
+        self.function = cfg.function
+
+    def ctx_factory(self, node: ast.Node, bindings: dict, state: str) -> MatchContext:
+        return MatchContext(
+            checker=self.sm.name,
+            node=node,
+            bindings=bindings,
+            function=self.function,
+            sink=self.sink,
+            state=state,
+        )
+
+    def run_block_events(self, block, state: str) -> tuple[str, bool]:
+        """Feed one block's events through the machine.
+
+        Returns ``(state_after, stopped)``.
+        """
+        for event in block.events:
+            for node in _event_nodes(event):
+                result = self.sm.step(state, node, self.ctx_factory)
+                state = result.state
+                if result.stopped:
+                    return state, True
+        return state, False
+
+    def at_path_end(self, state: str) -> None:
+        if self.sm.path_end_action is None:
+            return
+        marker = ast.Ident(name="<function-exit>",
+                           location=self.function.location)
+        ctx = self.ctx_factory(marker, {}, state)
+        self.sm.path_end_action(state, ctx)
+
+
+def _edge_state(sm: StateMachine, block, state: str, edge) -> str:
+    """Apply the machine's edge-sensitive hook, if any.
+
+    The hook only fires for ``true``/``false`` edges out of a block whose
+    last event is the branch condition (how conditions are lowered by
+    :mod:`repro.cfg.builder`).
+    """
+    if sm.branch_fn is None or not block.events:
+        return state
+    if edge.label not in ("true", "false"):
+        return state
+    override = sm.branch_fn(state, block.events[-1], edge.label)
+    return override if override is not None else state
+
+
+def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink) -> None:
+    """Run ``sm`` over every path of ``cfg`` with (block, state) caching."""
+    initial = sm.initial_state(cfg.function)
+    if initial is None:
+        return
+    run = _Run(sm, cfg, sink)
+    visited: set[tuple[int, str]] = set()
+    stack: list[tuple] = [(cfg.entry, initial)]
+    while stack:
+        block, state = stack.pop()
+        key = (block.index, state)
+        if key in visited:
+            continue
+        visited.add(key)
+        state, stopped = run.run_block_events(block, state)
+        if stopped:
+            continue
+        if block is cfg.exit:
+            run.at_path_end(state)
+            continue
+        if not block.out_edges:
+            # A dead end that is not the exit (e.g. infinite loop body).
+            run.at_path_end(state)
+            continue
+        for edge in reversed(block.out_edges):
+            stack.append((edge.dst, _edge_state(sm, block, state, edge)))
+
+
+def run_machine_naive(sm: StateMachine, cfg: Cfg, sink: ReportSink,
+                      max_paths: int = 100000) -> int:
+    """Run ``sm`` by explicit path enumeration (no state cache).
+
+    Back edges are skipped, as in :mod:`repro.cfg.paths`.  Returns the
+    number of paths walked.  Exists to quantify what the state cache buys
+    (ablation 1 in DESIGN.md).
+
+    Note: on loop-free CFGs this produces exactly the diagnostics of
+    :func:`run_machine`; with loops it can under-approximate, because
+    cutting back edges loses the "loop body executed, then exited"
+    paths that the cached engine covers by following back edges with
+    memoization.
+    """
+    initial = sm.initial_state(cfg.function)
+    if initial is None:
+        return 0
+    run = _Run(sm, cfg, sink)
+    back = cfg.back_edges()
+    paths_walked = 0
+    stack: list[tuple] = [(cfg.entry, initial)]
+    while stack:
+        block, state = stack.pop()
+        state, stopped = run.run_block_events(block, state)
+        if stopped:
+            paths_walked += 1
+            continue
+        edges = [
+            e for e in block.out_edges
+            if (block.index, e.dst.index) not in back
+        ]
+        if block is cfg.exit or not edges:
+            run.at_path_end(state)
+            paths_walked += 1
+            if paths_walked > max_paths:
+                raise ValueError(f"{cfg.name}: more than {max_paths} paths")
+            continue
+        for edge in reversed(edges):
+            stack.append((edge.dst, _edge_state(sm, block, state, edge)))
+    return paths_walked
+
+
+def check_function(sm: StateMachine, function: ast.FunctionDef,
+                   sink: Optional[ReportSink] = None) -> ReportSink:
+    """Convenience: build the CFG of ``function`` and run ``sm`` over it."""
+    sink = sink if sink is not None else ReportSink()
+    run_machine(sm, build_cfg(function), sink)
+    return sink
+
+
+def check_unit(sm: StateMachine, unit: ast.TranslationUnit,
+               sink: Optional[ReportSink] = None) -> ReportSink:
+    """Run ``sm`` over every function in a translation unit."""
+    sink = sink if sink is not None else ReportSink()
+    for function in unit.functions():
+        run_machine(sm, build_cfg(function), sink)
+    return sink

@@ -1,0 +1,37 @@
+"""Diagnostic formatting for checker output.
+
+Re-exports the core :class:`Report`/:class:`ReportSink` types and adds
+the textual presentation used by the CLI and the benchmarks: grouped,
+sorted, with inter-procedural backtraces rendered the way the paper's
+lane checker printed "precise textual back traces".
+"""
+
+from __future__ import annotations
+
+from ..metal.runtime import Report, ReportSink
+
+__all__ = ["Report", "ReportSink", "format_reports", "summarize_by_severity"]
+
+
+def format_reports(reports, heading: str = "") -> str:
+    """Render reports sorted by file, line, then checker."""
+    lines: list[str] = []
+    if heading:
+        lines.append(heading)
+        lines.append("-" * len(heading))
+    ordered = sorted(
+        reports,
+        key=lambda r: (r.location.filename, r.location.line, r.checker, r.message),
+    )
+    for report in ordered:
+        lines.append(str(report))
+    if not ordered:
+        lines.append("(no diagnostics)")
+    return "\n".join(lines)
+
+
+def summarize_by_severity(reports) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for report in reports:
+        counts[report.severity] = counts.get(report.severity, 0) + 1
+    return counts

@@ -1,0 +1,13 @@
+"""The metal language: patterns, state machines, and the textual parser."""
+
+from .parser import MetalParser, parse_metal
+from .patterns import MetaVar, Pattern, compile_pattern
+from .runtime import MatchContext, Report, ReportSink
+from .sm import ALL, STOP, Action, Rule, State, StateMachine, StepResult
+
+__all__ = [
+    "MetalParser", "parse_metal",
+    "MetaVar", "Pattern", "compile_pattern",
+    "MatchContext", "Report", "ReportSink",
+    "ALL", "STOP", "Action", "Rule", "State", "StateMachine", "StepResult",
+]

@@ -1,0 +1,264 @@
+"""Parser for textual metal — the checker language of the paper.
+
+The grammar covers what Figures 2 and 3 of the paper use (both parse and
+run verbatim through this module):
+
+.. code-block:: none
+
+    file      := preamble? machine
+    preamble  := '{' ... '}'                      -- e.g. { #include "flash-includes.h" }
+    machine   := 'sm' IDENT '{' item* '}'
+    item      := decl | patdef | staterules
+    decl      := 'decl' '{' constraint '}' IDENT (',' IDENT)* ';'
+    patdef    := 'pat' IDENT '=' patgroup ('|' patgroup)* ';'
+    staterules:= IDENT ':' rule ('|' rule)* ';'
+    rule      := patatom ('|' patatom)* '==>' target
+    patatom   := patgroup | IDENT                 -- named pattern reference
+    patgroup  := '{' C-expression-or-statement '}'
+    target    := IDENT action? | action           -- IDENT may be a state or 'stop'
+
+Actions are restricted to sequences of ``err("...")`` / ``warn("...")``
+calls — the only escapes the paper's checkers use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import MetalError
+from ..lang.lexer import Token, TokenKind, tokenize
+from .runtime import MatchContext
+from .sm import StateMachine
+
+
+class _TokenCursor:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, ahead: int = 1) -> Token:
+        i = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def at_eof(self) -> bool:
+        return self.tok.kind is TokenKind.EOF
+
+    def expect_punct(self, text: str) -> Token:
+        if not self.tok.is_punct(text):
+            raise MetalError(f"expected {text!r}, found {str(self.tok)!r}",
+                             self.tok.location)
+        return self.advance()
+
+    def expect_word(self, text: str) -> Token:
+        tok = self.tok
+        if tok.kind not in (TokenKind.IDENT, TokenKind.KEYWORD) or tok.text != text:
+            raise MetalError(f"expected {text!r}, found {str(tok)!r}", tok.location)
+        return self.advance()
+
+    def expect_name(self) -> Token:
+        tok = self.tok
+        if tok.kind not in (TokenKind.IDENT, TokenKind.KEYWORD):
+            raise MetalError(f"expected a name, found {str(tok)!r}", tok.location)
+        return self.advance()
+
+    def at_arrow(self) -> bool:
+        return self.tok.is_punct("==") and self.peek().is_punct(">")
+
+    def eat_arrow(self) -> None:
+        self.expect_punct("==")
+        self.expect_punct(">")
+
+    def brace_group(self) -> list[Token]:
+        """Consume a balanced ``{ ... }`` group, returning the inner tokens."""
+        self.expect_punct("{")
+        depth = 1
+        inner: list[Token] = []
+        while True:
+            tok = self.tok
+            if tok.kind is TokenKind.EOF:
+                raise MetalError("unterminated { ... } group", tok.location)
+            if tok.is_punct("{"):
+                depth += 1
+            elif tok.is_punct("}"):
+                depth -= 1
+                if depth == 0:
+                    self.advance()
+                    return inner
+            inner.append(self.advance())
+
+
+def _tokens_to_text(tokens: list[Token]) -> str:
+    """Reassemble token texts into re-parseable source."""
+    return " ".join(tok.text for tok in tokens)
+
+
+def _parse_action(tokens: list[Token], location):
+    """Compile an action block into a Python callable.
+
+    Supports what the paper's checkers use: one or more ``err("...")`` /
+    ``warn("...")`` calls.
+    """
+    cursor = _TokenCursor(tokens + [Token(TokenKind.EOF, "", location)])
+    calls: list[tuple[str, str]] = []
+    while not cursor.at_eof():
+        name = cursor.expect_name().text
+        if name not in ("err", "warn"):
+            raise MetalError(
+                f"unsupported action {name!r} (only err/warn are allowed)",
+                cursor.tok.location,
+            )
+        cursor.expect_punct("(")
+        msg_tok = cursor.tok
+        if msg_tok.kind is not TokenKind.STRING_LIT:
+            raise MetalError("err()/warn() needs a string literal",
+                             msg_tok.location)
+        cursor.advance()
+        message = msg_tok.text[1:-1]
+        cursor.expect_punct(")")
+        if cursor.tok.is_punct(";"):
+            cursor.advance()
+        calls.append((name, message))
+    if not calls:
+        raise MetalError("empty action block", location)
+
+    def action(ctx: MatchContext) -> Optional[str]:
+        for kind, message in calls:
+            if kind == "err":
+                ctx.err(message)
+            else:
+                ctx.warn(message)
+        return None
+
+    return action
+
+
+class MetalParser:
+    """Parses one metal program into a :class:`StateMachine`."""
+
+    def __init__(self, text: str, filename: str = "<metal>"):
+        self.cursor = _TokenCursor(tokenize(text, filename))
+
+    def parse(self) -> StateMachine:
+        cursor = self.cursor
+        # Optional preamble block (e.g. ``{ #include "flash-includes.h" }``;
+        # preprocessor lines vanish in the lexer, so it is usually empty).
+        if cursor.tok.is_punct("{"):
+            cursor.brace_group()
+        cursor.expect_word("sm")
+        name = cursor.expect_name().text
+        sm = StateMachine(name)
+        cursor.expect_punct("{")
+        while not cursor.tok.is_punct("}"):
+            if cursor.at_eof():
+                raise MetalError("unterminated sm body", cursor.tok.location)
+            self._parse_item(sm)
+        cursor.expect_punct("}")
+        return sm
+
+    # -- items -------------------------------------------------------------
+
+    def _parse_item(self, sm: StateMachine) -> None:
+        cursor = self.cursor
+        tok = cursor.tok
+        if tok.kind is TokenKind.IDENT and tok.text == "decl":
+            self._parse_decl(sm)
+        elif tok.kind is TokenKind.IDENT and tok.text == "pat":
+            self._parse_patdef(sm)
+        elif (tok.kind in (TokenKind.IDENT, TokenKind.KEYWORD)
+              and cursor.peek().is_punct(":")):
+            self._parse_state(sm)
+        else:
+            raise MetalError(f"unexpected token {str(tok)!r} in sm body",
+                             tok.location)
+
+    def _parse_decl(self, sm: StateMachine) -> None:
+        cursor = self.cursor
+        cursor.expect_word("decl")
+        constraint_tokens = cursor.brace_group()
+        if len(constraint_tokens) != 1:
+            loc = cursor.tok.location
+            raise MetalError("decl constraint must be a single word", loc)
+        constraint = constraint_tokens[0].text
+        names = [cursor.expect_name().text]
+        while cursor.tok.is_punct(","):
+            cursor.advance()
+            names.append(cursor.expect_name().text)
+        cursor.expect_punct(";")
+        sm.decl(constraint, *names)
+
+    def _parse_patdef(self, sm: StateMachine) -> None:
+        cursor = self.cursor
+        cursor.expect_word("pat")
+        name = cursor.expect_name().text
+        cursor.expect_punct("=")
+        texts = [_tokens_to_text(cursor.brace_group())]
+        while cursor.tok.is_punct("|"):
+            cursor.advance()
+            texts.append(_tokens_to_text(cursor.brace_group()))
+        cursor.expect_punct(";")
+        sm.define_pattern(name, *texts)
+
+    def _parse_state(self, sm: StateMachine) -> None:
+        cursor = self.cursor
+        state_name = cursor.expect_name().text
+        cursor.expect_punct(":")
+        sm.state(state_name)  # register even if it ends up with no rules
+        while True:
+            self._parse_rule(sm, state_name)
+            if cursor.tok.is_punct("|"):
+                cursor.advance()
+                continue
+            break
+        cursor.expect_punct(";")
+
+    def _parse_rule(self, sm: StateMachine, state_name: str) -> None:
+        cursor = self.cursor
+        patterns: list = []
+        while True:
+            if cursor.tok.is_punct("{"):
+                group = cursor.brace_group()
+                patterns.append(sm.pattern(_tokens_to_text(group)))
+            elif cursor.tok.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
+                ref = cursor.advance().text
+                if ref not in sm.named_patterns:
+                    raise MetalError(f"unknown named pattern {ref!r}",
+                                     cursor.tok.location)
+                patterns.append(ref)
+            else:
+                raise MetalError(f"expected a pattern, found {str(cursor.tok)!r}",
+                                 cursor.tok.location)
+            if cursor.at_arrow():
+                break
+            if cursor.tok.is_punct("|"):
+                # Alternation *within* the rule only if another pattern
+                # follows before the arrow; otherwise it separates rules.
+                cursor.advance()
+                continue
+            break
+        cursor.eat_arrow()
+        target: Optional[str] = None
+        action = None
+        if cursor.tok.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
+            target = cursor.advance().text
+        if cursor.tok.is_punct("{"):
+            loc = cursor.tok.location
+            action = _parse_action(cursor.brace_group(), loc)
+        if target is None and action is None:
+            raise MetalError("rule needs a target state or an action",
+                             cursor.tok.location)
+        sm.add_rule(state_name, patterns, target=target, action=action)
+
+
+def parse_metal(text: str, filename: str = "<metal>") -> StateMachine:
+    """Parse a textual metal program into an executable state machine."""
+    return MetalParser(text, filename).parse()

@@ -1,0 +1,240 @@
+"""Metal patterns: C syntax with wildcard metavariables, unified against ASTs.
+
+A pattern is written in the base language (C), which is what made metal
+patterns "powerful yet easy to use, since they closely mirror the source
+constructs they are searching for" (paper §3.2).  Identifiers that were
+declared as wildcards — ``decl { scalar } addr, buf;`` — match any
+expression satisfying the declared type class; all other constructs must
+match the target AST structurally.
+
+A wildcard bound twice in one pattern must bind equal subtrees, so the
+pattern ``{ x = x; }`` with wildcard ``x`` matches ``a = a`` but not
+``a = b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import PatternError
+from ..lang import ast, ctypes
+from ..lang.parser import parse_expression, parse_statement
+
+# Type-class constraints a wildcard can declare.  ``accepts`` receives the
+# candidate node's resolved ctype (possibly Unknown when sema could not
+# type it) and must be permissive about Unknown, since checkers run over
+# code referencing symbols from headers we never see.
+_CONSTRAINTS = {
+    "any": lambda t: True,
+    "expr": lambda t: True,
+    "scalar": lambda t: isinstance(t, ctypes.Unknown) or t.is_scalar,
+    "int": lambda t: isinstance(t, (ctypes.Unknown, ctypes.Integer)),
+    "unsigned": lambda t: isinstance(t, (ctypes.Unknown, ctypes.Integer)),
+    "float": lambda t: isinstance(t, ctypes.Unknown) or t.is_floating,
+    "pointer": lambda t: isinstance(t, (ctypes.Unknown, ctypes.Pointer, ctypes.Array)),
+}
+
+
+@dataclass(frozen=True)
+class MetaVar:
+    """A declared wildcard variable."""
+
+    name: str
+    constraint: str = "any"
+
+    def __post_init__(self):
+        if self.constraint not in _CONSTRAINTS:
+            raise PatternError(
+                f"unknown wildcard constraint {self.constraint!r} for {self.name!r}"
+            )
+
+    def accepts(self, node: ast.Node) -> bool:
+        if not isinstance(node, ast.Expr):
+            return False
+        ctype = getattr(node, "ctype", None)
+        if ctype is None:
+            ctype = ctypes.UNKNOWN
+        return _CONSTRAINTS[self.constraint](ctype)
+
+
+def _equal_trees(a: ast.Node, b: ast.Node) -> bool:
+    """Structural equality ignoring source locations (dataclass eq)."""
+    return a == b
+
+
+class Pattern:
+    """One compiled pattern: an AST template plus its wildcard set."""
+
+    def __init__(self, template: ast.Node, metavars: dict[str, MetaVar],
+                 text: str = ""):
+        self.template = template
+        self.metavars = metavars
+        self.text = text or "<pattern>"
+
+    def __repr__(self) -> str:
+        return f"Pattern({self.text!r})"
+
+    # -- matching ----------------------------------------------------------
+
+    def match(self, node: ast.Node) -> Optional[dict[str, ast.Node]]:
+        """Unify this pattern against ``node`` itself (not its subtrees)."""
+        bindings: dict[str, ast.Node] = {}
+        if self._unify(self.template, node, bindings):
+            return bindings
+        return None
+
+    def search(self, event: ast.Node):
+        """Yield ``(node, bindings)`` for every subtree of ``event`` that matches."""
+        for node in event.walk():
+            bindings = self.match(node)
+            if bindings is not None:
+                yield node, bindings
+
+    def matches_anywhere(self, event: ast.Node) -> bool:
+        for _ in self.search(event):
+            return True
+        return False
+
+    # -- unification -------------------------------------------------------
+
+    def _unify(self, pattern: ast.Node, node: ast.Node,
+               bindings: dict[str, ast.Node]) -> bool:
+        # Wildcard?
+        if isinstance(pattern, ast.Ident) and pattern.name in self.metavars:
+            var = self.metavars[pattern.name]
+            if not var.accepts(node):
+                return False
+            bound = bindings.get(pattern.name)
+            if bound is not None:
+                return _equal_trees(bound, node)
+            bindings[pattern.name] = node
+            return True
+
+        if type(pattern) is not type(node):
+            return False
+
+        if isinstance(pattern, ast.Ident):
+            return pattern.name == node.name
+        if isinstance(pattern, ast.IntLit):
+            return pattern.value == node.value
+        if isinstance(pattern, (ast.FloatLit, ast.CharLit, ast.StringLit)):
+            return pattern.text == node.text
+        if isinstance(pattern, ast.Call):
+            if len(pattern.args) != len(node.args):
+                return False
+            if not self._unify(pattern.func, node.func, bindings):
+                return False
+            return all(
+                self._unify(p, n, bindings)
+                for p, n in zip(pattern.args, node.args)
+            )
+        if isinstance(pattern, ast.BinaryOp):
+            return (
+                pattern.op == node.op
+                and self._unify(pattern.left, node.left, bindings)
+                and self._unify(pattern.right, node.right, bindings)
+            )
+        if isinstance(pattern, ast.UnaryOp):
+            return pattern.op == node.op and self._unify(
+                pattern.operand, node.operand, bindings
+            )
+        if isinstance(pattern, ast.PostfixOp):
+            return pattern.op == node.op and self._unify(
+                pattern.operand, node.operand, bindings
+            )
+        if isinstance(pattern, ast.Assign):
+            return (
+                pattern.op == node.op
+                and self._unify(pattern.target, node.target, bindings)
+                and self._unify(pattern.value, node.value, bindings)
+            )
+        if isinstance(pattern, ast.Ternary):
+            return (
+                self._unify(pattern.cond, node.cond, bindings)
+                and self._unify(pattern.then, node.then, bindings)
+                and self._unify(pattern.otherwise, node.otherwise, bindings)
+            )
+        if isinstance(pattern, ast.Member):
+            return (
+                pattern.name == node.name
+                and pattern.arrow == node.arrow
+                and self._unify(pattern.base, node.base, bindings)
+            )
+        if isinstance(pattern, ast.Index):
+            return self._unify(pattern.base, node.base, bindings) and self._unify(
+                pattern.index, node.index, bindings
+            )
+        if isinstance(pattern, ast.Cast):
+            return self._unify(pattern.operand, node.operand, bindings)
+        if isinstance(pattern, ast.Comma):
+            if len(pattern.parts) != len(node.parts):
+                return False
+            return all(
+                self._unify(p, n, bindings)
+                for p, n in zip(pattern.parts, node.parts)
+            )
+        if isinstance(pattern, ast.Return):
+            if pattern.value is None or node.value is None:
+                return pattern.value is None and node.value is None
+            return self._unify(pattern.value, node.value, bindings)
+        if isinstance(pattern, ast.VarDecl):
+            # Declaration patterns: ``{ float x; }`` matches any variable
+            # declaration with that type; a wildcard name binds the
+            # declared identifier.
+            if pattern.type_name.specifiers != node.type_name.specifiers:
+                return False
+            if pattern.type_name.pointer_depth != node.type_name.pointer_depth:
+                return False
+            if pattern.name in self.metavars:
+                bound = bindings.get(pattern.name)
+                name_node = ast.Ident(name=node.name, location=node.location)
+                if bound is not None:
+                    return _equal_trees(bound, name_node)
+                bindings[pattern.name] = name_node
+                return True
+            return pattern.name == node.name
+        # Fallback: compare remaining node kinds structurally.
+        return pattern == node
+
+
+def compile_pattern(text: str, metavars: Optional[dict[str, MetaVar]] = None,
+                    typedefs: Optional[set[str]] = None) -> Pattern:
+    """Compile pattern ``text`` (C expression or statement) into a Pattern.
+
+    Statement-form patterns like ``WAIT_FOR_DB_FULL(addr);`` are unwrapped
+    to their expression, since matching happens at expression granularity.
+    ``return`` patterns stay as Return nodes so checkers can match exits.
+    """
+    metavars = metavars or {}
+    stripped = text.strip()
+    if not stripped:
+        raise PatternError("empty pattern")
+    template: ast.Node
+    first_word = stripped.split("(")[0].split()[0] if stripped else ""
+    is_decl = first_word in (
+        "void char short int long float double signed unsigned "
+        "struct union enum const volatile".split()
+    )
+    if is_decl:
+        stmt = parse_statement(
+            stripped if stripped.endswith(";") else stripped + ";",
+            typedefs=typedefs,
+        )
+        if not isinstance(stmt, ast.DeclStmt) or len(stmt.decls) != 1:
+            raise PatternError(
+                f"declaration pattern must declare one variable: {text!r}"
+            )
+        return Pattern(stmt.decls[0], metavars, text=stripped)
+    if stripped.startswith("return"):
+        template = parse_statement(
+            stripped if stripped.endswith(";") else stripped + ";",
+            typedefs=typedefs,
+        )
+    else:
+        expr_text = stripped[:-1].strip() if stripped.endswith(";") else stripped
+        try:
+            template = parse_expression(expr_text, typedefs=typedefs)
+        except Exception as exc:
+            raise PatternError(f"cannot parse pattern {text!r}: {exc}") from exc
+    return Pattern(template, metavars, text=stripped)

@@ -1,0 +1,131 @@
+"""Metal runtime objects: match bindings, reports, and the action context.
+
+When a rule's pattern matches an AST node, the engine builds a
+:class:`MatchContext` and invokes the rule's action with it.  Actions call
+``ctx.err(...)`` to emit a :class:`Report` — the analog of metal's
+``err()`` escape — and can read the matched node, the bindings of the
+pattern's wildcard variables, and the enclosing function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lang import ast
+from ..lang.source import Location, unknown_location
+from ..lang.unparse import unparse_expr
+
+
+@dataclass(frozen=True)
+class Report:
+    """One diagnostic produced by a checker."""
+
+    checker: str
+    message: str
+    location: Location
+    function: str = ""
+    severity: str = "error"
+    # Inter-procedural checkers attach a call-path backtrace.
+    backtrace: tuple = ()
+
+    def __str__(self) -> str:
+        text = f"{self.location}: [{self.checker}] {self.message}"
+        if self.function:
+            text += f" (in {self.function})"
+        for frame in self.backtrace:
+            text += f"\n    called from {frame}"
+        return text
+
+
+class ReportSink:
+    """Collects reports, de-duplicating repeats of the same diagnostic.
+
+    The path-sensitive engine can reach the same program point many times
+    in the same SM state via different paths; a diagnostic is identified
+    by (checker, message, location) so each distinct problem is reported
+    once, the way xg++ presented its output.
+    """
+
+    def __init__(self) -> None:
+        self._reports: list[Report] = []
+        self._seen: set[tuple] = set()
+
+    def add(self, report: Report) -> bool:
+        key = (report.checker, report.message, report.location)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._reports.append(report)
+        return True
+
+    @property
+    def reports(self) -> list[Report]:
+        return list(self._reports)
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    def __iter__(self):
+        return iter(self._reports)
+
+
+class MatchContext:
+    """What an action sees when its rule fires."""
+
+    def __init__(
+        self,
+        checker: str,
+        node: ast.Node,
+        bindings: dict[str, ast.Node],
+        function: Optional[ast.FunctionDef],
+        sink: ReportSink,
+        state: str = "",
+    ):
+        self.checker = checker
+        self.node = node
+        self.bindings = bindings
+        self.function = function
+        self.sink = sink
+        self.state = state
+
+    @property
+    def location(self) -> Location:
+        return self.node.location if self.node is not None else unknown_location()
+
+    @property
+    def function_name(self) -> str:
+        return self.function.name if self.function is not None else ""
+
+    def err(self, message: str, severity: str = "error") -> None:
+        """Emit a diagnostic at the matched node (metal's ``err()``)."""
+        self.sink.add(
+            Report(
+                checker=self.checker,
+                message=self._expand(message),
+                location=self.location,
+                function=self.function_name,
+                severity=severity,
+            )
+        )
+
+    def warn(self, message: str) -> None:
+        self.err(message, severity="warning")
+
+    def binding_text(self, name: str) -> str:
+        """Render a bound wildcard variable back to C text."""
+        node = self.bindings.get(name)
+        if node is None:
+            return f"<{name}?>"
+        if isinstance(node, ast.Expr):
+            return unparse_expr(node)
+        return node.kind
+
+    def _expand(self, message: str) -> str:
+        """Expand ``%name`` references to bound variables in messages."""
+        if "%" not in message:
+            return message
+        out = message
+        for name in self.bindings:
+            out = out.replace(f"%{name}", self.binding_text(name))
+        return out

@@ -1,0 +1,210 @@
+"""State machines: the core abstraction of the metal language.
+
+A :class:`StateMachine` has named states, each with an ordered list of
+:class:`Rule` objects.  A rule carries one or more :class:`Pattern`
+alternatives, an optional target state, and an optional action.  The
+``all`` state is special — its rules are implicitly tried in every state
+(paper §5) — and the target ``stop`` halts checking of the current path
+(paper §4).
+
+Machines can be built three ways: programmatically through this API, by
+parsing textual metal (:mod:`repro.metal.parser`), or subclassed by the
+checkers in :mod:`repro.checkers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import MetalError
+from ..lang import ast
+from .patterns import MetaVar, Pattern, compile_pattern
+from .runtime import MatchContext
+
+#: Special transition target: stop checking the current path.
+STOP = "stop"
+
+#: Name of the special always-active state.
+ALL = "all"
+
+Action = Callable[[MatchContext], Optional[str]]
+
+
+@dataclass
+class Rule:
+    """``pattern [| pattern...] ==> target { action }``.
+
+    ``target`` may be a state name, :data:`STOP`, or None (stay in the
+    current state).  ``action`` may return a state name to override the
+    static target — this is how Python-API checkers implement
+    data-dependent transitions (e.g. routines whose return value says
+    whether a buffer was freed, paper §6).
+    """
+
+    patterns: list[Pattern]
+    target: Optional[str] = None
+    action: Optional[Action] = None
+    name: str = ""
+
+    def try_match(self, node: ast.Node) -> Optional[tuple[Pattern, dict]]:
+        for pattern in self.patterns:
+            bindings = pattern.match(node)
+            if bindings is not None:
+                return pattern, bindings
+        return None
+
+
+@dataclass
+class State:
+    name: str
+    rules: list[Rule] = field(default_factory=list)
+
+
+@dataclass
+class StepResult:
+    """Outcome of feeding one AST node to the machine."""
+
+    state: str
+    fired: Optional[Rule] = None
+    stopped: bool = False
+
+
+class StateMachine:
+    """An executable metal state machine."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.metavars: dict[str, MetaVar] = {}
+        self.named_patterns: dict[str, list[Pattern]] = {}
+        self.states: dict[str, State] = {}
+        self._state_order: list[str] = []
+        # Hook: choose the initial state per function (paper §6 starts
+        # hardware handlers in "has buffer", others in "has no buffer").
+        self.initial_state_fn: Optional[Callable[[ast.FunctionDef], Optional[str]]] = None
+        # Hook: called when a path reaches the function exit.
+        self.path_end_action: Optional[Callable[[str, MatchContext], None]] = None
+        # Hook: edge-sensitive transition.  Called as
+        # ``branch_fn(state, condition_node, edge_label)`` when control
+        # leaves a block whose last event was a branch condition; may
+        # return a state for that edge (None keeps ``state``).  This is
+        # how the §6 refinement models routines that "returned a 0 or 1
+        # depending on whether or not they freed a buffer".
+        self.branch_fn: Optional[
+            Callable[[str, ast.Node, Optional[str]], Optional[str]]
+        ] = None
+
+    # -- construction ------------------------------------------------------
+
+    def decl(self, constraint: str, *names: str) -> None:
+        """Declare wildcard variables: ``decl { scalar } addr, buf;``."""
+        for name in names:
+            self.metavars[name] = MetaVar(name, constraint)
+
+    def pattern(self, text: str) -> Pattern:
+        """Compile a pattern using this machine's wildcard declarations."""
+        return compile_pattern(text, self.metavars)
+
+    def define_pattern(self, name: str, *texts: str) -> None:
+        """Define a named pattern alternation: ``pat send_data = {...} | {...};``"""
+        self.named_patterns[name] = [self.pattern(t) for t in texts]
+
+    def state(self, name: str) -> State:
+        if name not in self.states:
+            self.states[name] = State(name)
+            self._state_order.append(name)
+        return self.states[name]
+
+    def add_rule(
+        self,
+        state: str,
+        patterns,
+        target: Optional[str] = None,
+        action: Optional[Action] = None,
+        name: str = "",
+    ) -> Rule:
+        """Attach a rule to ``state``.
+
+        ``patterns`` may be pattern text, a :class:`Pattern`, a named
+        pattern reference, or a list mixing those.
+        """
+        rule = Rule(patterns=self._resolve_patterns(patterns), target=target,
+                    action=action, name=name)
+        self.state(state).rules.append(rule)
+        return rule
+
+    def _resolve_patterns(self, patterns) -> list[Pattern]:
+        if not isinstance(patterns, (list, tuple)):
+            patterns = [patterns]
+        resolved: list[Pattern] = []
+        for item in patterns:
+            if isinstance(item, Pattern):
+                resolved.append(item)
+            elif isinstance(item, str):
+                if item in self.named_patterns:
+                    resolved.extend(self.named_patterns[item])
+                else:
+                    resolved.append(self.pattern(item))
+            else:
+                raise MetalError(f"cannot use {item!r} as a pattern")
+        if not resolved:
+            raise MetalError("rule needs at least one pattern")
+        return resolved
+
+    # -- execution ---------------------------------------------------------
+
+    @property
+    def start_state(self) -> str:
+        """The first declared state (metal "begins in the first state").
+
+        Figure 3 of the paper deliberately starts in ``all`` — "the
+        special state all that does not warn about any message sends" —
+        so ``all`` counts if declared first.
+        """
+        if not self._state_order:
+            raise MetalError(f"state machine {self.name!r} declares no states")
+        return self._state_order[0]
+
+    def initial_state(self, function: Optional[ast.FunctionDef]) -> Optional[str]:
+        """Initial state for ``function``; None means "skip this function"."""
+        if self.initial_state_fn is not None and function is not None:
+            return self.initial_state_fn(function)
+        return self.start_state
+
+    def rules_for(self, state: str) -> list[Rule]:
+        """Rules tried in ``state``: the ``all`` state's first, then its own."""
+        rules: list[Rule] = []
+        all_state = self.states.get(ALL)
+        if all_state is not None:
+            rules.extend(all_state.rules)
+        own = self.states.get(state)
+        if own is not None and state != ALL:
+            rules.extend(own.rules)
+        return rules
+
+    def step(self, state: str, node: ast.Node, ctx_factory) -> StepResult:
+        """Feed one AST node to the machine in ``state``.
+
+        ``ctx_factory(node, bindings, state)`` builds the
+        :class:`MatchContext` handed to actions.  The first matching rule
+        fires; its action may override the transition target.
+        """
+        for rule in self.rules_for(state):
+            matched = rule.try_match(node)
+            if matched is None:
+                continue
+            _, bindings = matched
+            target = rule.target
+            if rule.action is not None:
+                ctx = ctx_factory(node, bindings, state)
+                override = rule.action(ctx)
+                if override is not None:
+                    target = override
+            if target == STOP:
+                return StepResult(state=state, fired=rule, stopped=True)
+            return StepResult(state=target if target is not None else state,
+                              fired=rule)
+        return StepResult(state=state)
+
+    def __repr__(self) -> str:
+        return f"<StateMachine {self.name!r} states={self._state_order}>"

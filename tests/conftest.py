@@ -1,0 +1,27 @@
+"""Shared fixtures: generated protocols and checker results are expensive
+(parsing ~80K LOC), so they are session-scoped and shared."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import Experiment
+from repro.flash.codegen import generate_protocol
+
+
+@pytest.fixture(scope="session")
+def experiment() -> Experiment:
+    """One fully-checked experiment shared by integration tests."""
+    exp = Experiment()
+    exp.check()
+    return exp
+
+
+@pytest.fixture(scope="session")
+def bitvector():
+    return generate_protocol("bitvector")
+
+
+@pytest.fixture(scope="session")
+def common():
+    return generate_protocol("common")

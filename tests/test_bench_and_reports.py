@@ -1,0 +1,135 @@
+"""Benchmark-layer (tables/formatting) and report-formatting tests."""
+
+from repro.bench.formatting import render_table
+from repro.bench.tables import Cell, TableResult
+from repro.bench import paper_data
+from repro.lang.source import Location
+from repro.mc.report import format_reports, summarize_by_severity
+from repro.metal.runtime import Report, ReportSink
+
+
+class TestCell:
+    def test_match(self):
+        assert Cell(4, 4).matches
+        assert not Cell(4, 5).matches
+
+    def test_str_marks_mismatch(self):
+        assert str(Cell(4, 4)) == "4 (paper 4)"
+        assert str(Cell(4, 5)).endswith("*")
+
+
+class TestTableResult:
+    def make(self):
+        table = TableResult("T", ["label", "a", "b"])
+        table.rows.append({"label": "x", "a": Cell(1, 1), "b": Cell(2, 3)})
+        table.rows.append({"label": "y", "a": Cell(5, 5), "b": Cell(6, 6)})
+        return table
+
+    def test_row_lookup(self):
+        table = self.make()
+        assert table.row("y")["a"].measured == 5
+
+    def test_row_missing(self):
+        import pytest
+        with pytest.raises(KeyError):
+            self.make().row("zzz")
+
+    def test_exact_cells(self):
+        assert self.make().exact_cells() == (3, 4)
+
+    def test_render(self):
+        text = render_table(self.make())
+        assert "T" in text
+        assert "3/4 cells" in text
+        assert "3 (paper 2) *" in text or "3 (paper 2)*" in text
+
+
+class TestPaperData:
+    def test_table1_totals(self):
+        assert sum(v[0] for v in paper_data.TABLE1.values()) == 80507
+
+    def test_table7_error_total(self):
+        assert sum(v[1] for v in paper_data.TABLE7.values()) == 34
+
+    def test_table7_fp_total(self):
+        assert sum(v[2] for v in paper_data.TABLE7.values()) == 69
+
+    def test_table7_loc_total(self):
+        assert sum(v[0] for v in paper_data.TABLE7.values()) == 553
+
+    def test_table5_handler_total(self):
+        assert sum(v[1] for v in paper_data.TABLE5.values()) == 1064
+
+    def test_table6_applied_totals(self):
+        assert sum(v[1] for v in paper_data.TABLE6.values()) == 97
+        assert sum(v[3] for v in paper_data.TABLE6.values()) == 1768
+        assert sum(v[5] for v in paper_data.TABLE6.values()) == 125
+
+    def test_table2_and_3_applied_totals(self):
+        assert sum(v[2] for v in paper_data.TABLE2.values()) == 59
+        assert sum(v[2] for v in paper_data.TABLE3.values()) == 1550
+
+
+class TestReportSink:
+    def loc(self, line=1):
+        return Location("x.c", line, 1)
+
+    def test_deduplication(self):
+        sink = ReportSink()
+        report = Report("c", "m", self.loc())
+        assert sink.add(report) is True
+        assert sink.add(Report("c", "m", self.loc())) is False
+        assert len(sink) == 1
+
+    def test_different_locations_kept(self):
+        sink = ReportSink()
+        sink.add(Report("c", "m", self.loc(1)))
+        sink.add(Report("c", "m", self.loc(2)))
+        assert len(sink) == 2
+
+    def test_iteration(self):
+        sink = ReportSink()
+        sink.add(Report("c", "m", self.loc()))
+        assert [r.message for r in sink] == ["m"]
+
+
+class TestFormatting:
+    def test_format_reports_sorted(self):
+        reports = [
+            Report("c", "late", Location("b.c", 9, 1)),
+            Report("c", "early", Location("a.c", 2, 1)),
+        ]
+        text = format_reports(reports)
+        assert text.index("early") < text.index("late")
+
+    def test_format_reports_empty(self):
+        assert "no diagnostics" in format_reports([])
+
+    def test_format_with_heading(self):
+        text = format_reports([], heading="results")
+        assert text.startswith("results\n-------")
+
+    def test_report_str_with_backtrace(self):
+        report = Report("lanes", "too many sends", Location("p.c", 5, 1),
+                        function="H", backtrace=("H:3",))
+        text = str(report)
+        assert "called from H:3" in text
+
+    def test_summarize_by_severity(self):
+        reports = [
+            Report("c", "a", Location("x.c", 1, 1)),
+            Report("c", "b", Location("x.c", 2, 1), severity="warning"),
+            Report("c", "d", Location("x.c", 3, 1)),
+        ]
+        assert summarize_by_severity(reports) == {"error": 2, "warning": 1}
+
+
+class TestExperimentObject:
+    def test_shared_experiment_is_singleton(self):
+        from repro.bench.tables import shared_experiment
+        assert shared_experiment() is shared_experiment()
+
+    def test_classified_before_check_returns_empty(self):
+        from repro.bench.tables import ClassifiedReports
+        empty = ClassifiedReports()
+        assert empty.errors == 0 and empty.unmatched == 0

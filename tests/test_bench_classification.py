@@ -1,0 +1,86 @@
+"""Unit tests for the Experiment classification join (reports x manifest)."""
+
+from repro.bench.tables import Experiment
+from repro.flash.codegen.model import GeneratedProtocol, SeededSite
+from repro.flash.codegen.protocols import TARGETS
+from repro.project import ProtocolInfo
+
+
+def make_protocol(source: str, manifest: list[SeededSite]):
+    return GeneratedProtocol(
+        name="tiny",
+        files={"tiny.c": source},
+        info=ProtocolInfo(name="tiny"),
+        manifest=manifest,
+        targets=TARGETS["common"],
+    )
+
+
+def classify(source, manifest):
+    from repro.checkers import run_all
+    experiment = Experiment()
+    gp = make_protocol(source, manifest)
+    results = run_all(gp.program())
+    experiment._classify("tiny", gp, results)
+    return experiment
+
+
+RACY = """
+void util(void) {
+    SUBROUTINE_PROLOGUE();
+    unsigned v;
+    v = MISCBUS_READ_DB(0, 0);
+    return;
+}
+"""
+
+
+def test_report_matching_manifest_classified_by_label():
+    site = SeededSite(checker="buffer-race", label="error", note="seeded",
+                      file="tiny.c", line=5)
+    experiment = classify(RACY, [site])
+    cls = experiment._classified[("tiny", "buffer-race")]
+    assert cls.errors == 1
+    assert cls.unmatched == 0
+
+
+def test_fp_label_counted_as_fp():
+    site = SeededSite(checker="buffer-race", label="fp", note="debug",
+                      file="tiny.c", line=5)
+    experiment = classify(RACY, [site])
+    cls = experiment._classified[("tiny", "buffer-race")]
+    assert cls.fps == 1 and cls.errors == 0
+
+
+def test_report_without_manifest_entry_is_unmatched():
+    experiment = classify(RACY, [])
+    cls = experiment._classified[("tiny", "buffer-race")]
+    assert cls.unmatched == 1
+
+
+def test_manifest_entry_for_wrong_checker_does_not_match():
+    site = SeededSite(checker="msg-length", label="error", note="wrong",
+                      file="tiny.c", line=5)
+    experiment = classify(RACY, [site])
+    cls = experiment._classified[("tiny", "buffer-race")]
+    assert cls.unmatched == 1
+    assert cls.errors == 0
+
+
+def test_seeded_site_properties():
+    error = SeededSite(checker="x", label="error", note="n",
+                       file="f.c", line=3)
+    annotation = SeededSite(checker="x", label="useful-annotation",
+                            note="n", file="f.c", line=4)
+    assert error.expects_report
+    assert not annotation.expects_report
+    assert error.key == ("f.c", 3)
+
+
+def test_manifest_by_key_groups_sites():
+    a = SeededSite(checker="x", label="error", note="", file="f.c", line=3)
+    b = SeededSite(checker="y", label="fp", note="", file="f.c", line=3)
+    gp = make_protocol("void util(void) { SUBROUTINE_PROLOGUE(); }", [a, b])
+    index = gp.manifest_by_key()
+    assert len(index[("f.c", 3)]) == 2
+    assert gp.sites_for("x") == [a]

@@ -1,0 +1,205 @@
+"""CFG construction and path statistics tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfg import build_cfg, enumerate_paths, path_stats
+from repro.errors import CfgError
+from repro.lang import ast
+from repro.lang.parser import parse
+
+
+def cfg_of(body: str):
+    unit = parse(f"void f(void) {{ {body} }}")
+    return build_cfg(unit.function("f"))
+
+
+def count_paths(body: str) -> int:
+    return path_stats(cfg_of(body)).path_count
+
+
+class TestShapes:
+    def test_straight_line_single_path(self):
+        assert count_paths("a(); b(); c();") == 1
+
+    def test_if_two_paths(self):
+        assert count_paths("if (x) { a(); }") == 2
+
+    def test_if_else_two_paths(self):
+        assert count_paths("if (x) { a(); } else { b(); }") == 2
+
+    def test_sequential_ifs_multiply(self):
+        assert count_paths("if (x) { a(); } if (y) { b(); }") == 4
+
+    def test_nested_ifs(self):
+        assert count_paths("if (x) { if (y) { a(); } }") == 3
+
+    def test_early_return_adds_path(self):
+        assert count_paths("if (x) { return; } a();") == 2
+
+    def test_both_branches_return(self):
+        assert count_paths("if (x) { return; } else { return; } ") == 2
+
+    def test_while_loop(self):
+        # continue-past + enter-body (terminates at back edge)
+        assert count_paths("while (x) { a(); }") == 2
+
+    def test_do_while_single_acyclic_path(self):
+        # The body executes unconditionally; the repeat edge is a back
+        # edge, so the acyclic traversal sees exactly one path.
+        assert count_paths("do { a(); } while (x);") == 1
+
+    def test_for_loop(self):
+        assert count_paths("for (i = 0; i < 3; i++) { a(); }") == 2
+
+    def test_loop_with_break(self):
+        assert count_paths("while (x) { if (y) { break; } a(); }") == 3
+
+    def test_loop_with_continue(self):
+        assert count_paths("while (x) { if (y) { continue; } a(); }") == 3
+
+    def test_switch_cases(self):
+        body = "switch (x) { case 1: a(); break; case 2: b(); break; }"
+        # two cases + implicit no-case edge
+        assert count_paths(body) == 3
+
+    def test_switch_with_default(self):
+        body = ("switch (x) { case 1: a(); break; default: b(); break; }")
+        assert count_paths(body) == 2
+
+    def test_switch_fallthrough(self):
+        body = "switch (x) { case 1: a(); case 2: b(); break; }"
+        assert count_paths(body) == 3
+
+    def test_goto_forward(self):
+        assert count_paths("if (x) { goto out; } a(); out: b();") == 2
+
+    def test_goto_undefined_label_raises(self):
+        with pytest.raises(CfgError):
+            cfg_of("goto nowhere;")
+
+    def test_break_outside_loop_raises(self):
+        with pytest.raises(CfgError):
+            cfg_of("break;")
+
+    def test_continue_outside_loop_raises(self):
+        with pytest.raises(CfgError):
+            cfg_of("continue;")
+
+    def test_continue_inside_switch_in_loop(self):
+        body = ("while (x) { switch (y) { case 1: continue; } a(); }")
+        assert count_paths(body) >= 2
+
+    def test_infinite_loop_no_fallthrough(self):
+        cfg = cfg_of("for (;;) { a(); }")
+        stats = path_stats(cfg)
+        assert stats.path_count >= 1
+
+    def test_unreachable_code_after_return(self):
+        cfg = cfg_of("return; a();")
+        # does not crash; unreachable block exists but is disconnected
+        assert path_stats(cfg).path_count == 1
+
+
+class TestEventPlacement:
+    def test_condition_is_event_in_branch_block(self):
+        cfg = cfg_of("if (x > 1) { a(); }")
+        cond_blocks = [
+            b for b in cfg.blocks
+            if any(isinstance(e, ast.BinaryOp) for e in b.events)
+        ]
+        assert len(cond_blocks) == 1
+        labels = sorted(e.label for e in cond_blocks[0].out_edges)
+        assert labels == ["false", "true"]
+
+    def test_return_event_recorded(self):
+        cfg = cfg_of("return;")
+        returns = [e for b in cfg.blocks for e in b.events
+                   if isinstance(e, ast.Return)]
+        assert len(returns) == 1
+
+    def test_decl_event_recorded(self):
+        cfg = cfg_of("int x = f();")
+        decls = [e for b in cfg.blocks for e in b.events
+                 if isinstance(e, ast.DeclStmt)]
+        assert len(decls) == 1
+
+    def test_back_edges_detected(self):
+        cfg = cfg_of("while (x) { a(); }")
+        assert len(cfg.back_edges()) == 1
+
+    def test_no_back_edges_in_dag(self):
+        cfg = cfg_of("if (x) { a(); } if (y) { b(); }")
+        assert cfg.back_edges() == set()
+
+
+class TestStatsConsistency:
+    BODIES = [
+        "a();",
+        "if (x) { a(); }",
+        "if (x) { a(); } else { b(); } c();",
+        "if (x) { return; } if (y) { a(); } b();",
+        "while (x) { if (y) { break; } }",
+        "for (i = 0; i < 4; i++) { if (x) { continue; } a(); }",
+        "switch (x) { case 1: a(); case 2: b(); break; default: c(); }",
+        "if (a) { if (b) { f(); } else { g(); } } h(); if (c) { k(); }",
+        "do { if (x) { break; } } while (y);",
+    ]
+
+    @pytest.mark.parametrize("body", BODIES)
+    def test_dp_count_matches_enumeration(self, body):
+        cfg = cfg_of(body)
+        stats = path_stats(cfg)
+        assert stats.path_count == len(list(enumerate_paths(cfg)))
+
+    @pytest.mark.parametrize("body", BODIES)
+    def test_max_length_matches_enumeration(self, body):
+        cfg = cfg_of(body)
+        stats = path_stats(cfg)
+        lengths = []
+        for path in enumerate_paths(cfg):
+            lines = set()
+            for block in path:
+                for event in block.events:
+                    if event.location.line > 0:
+                        lines.add((block.index, event.location.line))
+            lengths.append(len(lines))
+        assert stats.max_length == max(lengths)
+
+    def test_enumerate_respects_cap(self):
+        body = " ".join(f"if (x{i}) {{ a(); }}" for i in range(12))
+        cfg = cfg_of(body)
+        with pytest.raises(ValueError):
+            list(enumerate_paths(cfg, max_paths=100))
+
+
+_STMTS = st.sampled_from([
+    "a();", "b();", "if (x) { a(); }", "if (y) { a(); } else { b(); }",
+    "while (z) { c(); }", "if (w) { return; }",
+    "for (i = 0; i < 2; i++) { d(); }",
+])
+
+
+@given(st.lists(_STMTS, min_size=1, max_size=5))
+@settings(max_examples=100, deadline=None)
+def test_property_dp_equals_enumeration(stmts):
+    cfg = cfg_of(" ".join(stmts))
+    stats = path_stats(cfg)
+    assert stats.path_count == len(list(enumerate_paths(cfg, max_paths=None)))
+
+
+class TestAggregate:
+    def test_aggregate_stats(self):
+        from repro.cfg import aggregate_stats
+        cfgs = [cfg_of("a();"), cfg_of("if (x) { a(); } b();")]
+        per_fn = [path_stats(c) for c in cfgs]
+        agg = aggregate_stats(per_fn, loc=100)
+        assert agg.loc == 100
+        assert agg.path_count == 3
+        assert agg.max_path_length >= 1
+
+    def test_aggregate_empty(self):
+        from repro.cfg import aggregate_stats
+        agg = aggregate_stats([], loc=0)
+        assert agg.path_count == 0
+        assert agg.average_path_length == 0.0

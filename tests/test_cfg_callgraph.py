@@ -1,0 +1,119 @@
+"""Flow-graph emission, serialization, and call-graph linking."""
+
+from pathlib import Path
+
+from repro.cfg import (
+    CallGraph,
+    FlowGraph,
+    build_cfg,
+    emit_flowgraph,
+    load_flowgraph,
+    write_flowgraph,
+)
+from repro.lang import ast
+from repro.lang.parser import parse
+
+SRC = """
+void leaf(void) { work(); }
+void mid(void) { leaf(); leaf(); }
+void top(void) { if (x) { mid(); } else { leaf(); } }
+void self_rec(void) { if (x) { self_rec(); } }
+void mutual_a(void) { mutual_b(); }
+void mutual_b(void) { mutual_a(); }
+"""
+
+
+def make_callgraph():
+    unit = parse(SRC)
+    return CallGraph.from_cfgs(build_cfg(f) for f in unit.functions())
+
+
+class TestEmission:
+    def test_calls_recorded(self):
+        unit = parse(SRC)
+        graph = emit_flowgraph(build_cfg(unit.function("mid")))
+        assert graph.callees() == {"leaf"}
+
+    def test_lines_recorded(self):
+        unit = parse("void f(void) {\n    g();\n}")
+        graph = emit_flowgraph(build_cfg(unit.function("f")))
+        lines = [ln for node in graph.nodes.values() for ln in node.lines]
+        assert 2 in lines
+
+    def test_annotation_hook(self):
+        unit = parse(SRC)
+
+        def annotate(event):
+            calls = [n for n in event.walk()
+                     if isinstance(n, ast.Call)]
+            return {"ncalls": len(calls)} if calls else None
+
+        graph = emit_flowgraph(build_cfg(unit.function("mid")),
+                               annotate=annotate)
+        annotations = [a for node in graph.nodes.values()
+                       for a in node.annotations if a]
+        assert all(a["ncalls"] == 1 for a in annotations)
+        assert len(annotations) == 2
+
+    def test_json_round_trip(self, tmp_path: Path):
+        unit = parse(SRC)
+        graph = emit_flowgraph(build_cfg(unit.function("top")))
+        path = tmp_path / "top.flow"
+        write_flowgraph(graph, path)
+        loaded = load_flowgraph(path)
+        assert loaded.function == "top"
+        assert loaded.entry == graph.entry
+        assert loaded.callees() == graph.callees()
+        assert set(loaded.nodes) == set(graph.nodes)
+
+    def test_callgraph_from_files(self, tmp_path: Path):
+        unit = parse(SRC)
+        paths = []
+        for func in unit.functions():
+            graph = emit_flowgraph(build_cfg(func))
+            p = tmp_path / f"{func.name}.flow"
+            write_flowgraph(graph, p)
+            paths.append(p)
+        cg = CallGraph.from_files(paths)
+        assert cg.callees("top") == {"mid", "leaf"}
+
+
+class TestCallGraphQueries:
+    def test_callees(self):
+        cg = make_callgraph()
+        assert cg.callees("top") == {"mid", "leaf"}
+        assert cg.callees("leaf") == set()
+
+    def test_callers(self):
+        cg = make_callgraph()
+        assert cg.callers("leaf") == {"mid", "top"}
+
+    def test_contains(self):
+        cg = make_callgraph()
+        assert "top" in cg
+        assert "nonexistent" not in cg
+
+    def test_self_recursion_detected(self):
+        cg = make_callgraph()
+        assert "self_rec" in cg.recursive_functions()
+
+    def test_mutual_recursion_detected(self):
+        cg = make_callgraph()
+        rec = cg.recursive_functions()
+        assert {"mutual_a", "mutual_b"} <= rec
+
+    def test_non_recursive_not_flagged(self):
+        cg = make_callgraph()
+        rec = cg.recursive_functions()
+        assert "top" not in rec and "leaf" not in rec
+
+    def test_reachable_from(self):
+        cg = make_callgraph()
+        assert cg.reachable_from("top") == {"top", "mid", "leaf"}
+        assert cg.reachable_from("missing") == set()
+
+    def test_unknown_callee_ignored(self):
+        # `work()` is not defined in the program; the call graph only
+        # links defined functions.
+        cg = make_callgraph()
+        assert cg.callees("leaf") == set()

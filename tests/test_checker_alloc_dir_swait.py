@@ -1,0 +1,327 @@
+"""§9 checker unit tests: allocation failure, directory, send-wait."""
+
+from repro.checkers import AllocFailChecker, DirectoryChecker, SendWaitChecker
+from repro.project import program_from_source
+
+
+def run_alloc(src):
+    return AllocFailChecker().check(program_from_source(src))
+
+
+def run_dir(src):
+    return DirectoryChecker().check(program_from_source(src))
+
+
+def run_swait(src):
+    return SendWaitChecker().check(program_from_source(src))
+
+
+class TestAllocFail:
+    def test_checked_allocation_clean(self):
+        result = run_alloc("""
+            void h(void) {
+                unsigned b;
+                b = DB_ALLOC();
+                if (DB_IS_ERROR(b)) { return; }
+                NI_SEND(NI_REQUEST, F_DATA, 1, 0, 1, 0);
+            }
+        """)
+        assert result.reports == []
+
+    def test_unchecked_use_flagged(self):
+        result = run_alloc("""
+            void h(void) {
+                unsigned b;
+                b = DB_ALLOC();
+                NI_SEND(NI_REQUEST, F_DATA, 1, 0, 1, 0);
+            }
+        """)
+        assert len(result.errors) == 1
+
+    def test_debug_print_before_check_flagged(self):
+        result = run_alloc("""
+            void h(void) {
+                unsigned b;
+                b = DB_ALLOC();
+                DEBUG_PRINT(b);
+                if (DB_IS_ERROR(b)) { return; }
+            }
+        """)
+        assert len(result.errors) == 1
+
+    def test_free_before_check_flagged(self):
+        result = run_alloc("""
+            void h(void) {
+                unsigned b;
+                b = DB_ALLOC();
+                DB_FREE();
+            }
+        """)
+        assert len(result.errors) == 1
+
+    def test_check_on_one_path_only(self):
+        result = run_alloc("""
+            void h(void) {
+                unsigned b;
+                b = DB_ALLOC();
+                if (c) {
+                    if (DB_IS_ERROR(b)) { return; }
+                }
+                NI_SEND(NI_REQUEST, F_DATA, 1, 0, 1, 0);
+            }
+        """)
+        assert len(result.errors) == 1
+
+    def test_applied_counts_alloc_sites(self):
+        result = run_alloc("""
+            void h(void) {
+                unsigned b;
+                b = DB_ALLOC();
+                if (DB_IS_ERROR(b)) { return; }
+                b = DB_ALLOC();
+                if (DB_IS_ERROR(b)) { return; }
+            }
+        """)
+        assert result.applied == 2
+
+    def test_one_report_per_path(self):
+        result = run_alloc("""
+            void h(void) {
+                unsigned b;
+                b = DB_ALLOC();
+                DEBUG_PRINT(b);
+                DEBUG_PRINT(b);
+            }
+        """)
+        # after the first report the path resets to OK
+        assert len(result.errors) == 1
+
+
+class TestDirectory:
+    def test_full_transaction_clean(self):
+        result = run_dir("""
+            void h(void) {
+                HANDLER_GLOBALS(dirEntry) = DIR_LOAD(HANDLER_GLOBALS(header.nh.addr));
+                HANDLER_GLOBALS(dirEntry) = HANDLER_GLOBALS(dirEntry) | 4;
+                DIR_WRITEBACK(HANDLER_GLOBALS(header.nh.addr), HANDLER_GLOBALS(dirEntry));
+                return;
+            }
+        """)
+        assert result.reports == []
+
+    def test_read_only_transaction_clean(self):
+        result = run_dir("""
+            void h(void) {
+                unsigned t;
+                HANDLER_GLOBALS(dirEntry) = DIR_LOAD(addr);
+                t = HANDLER_GLOBALS(dirEntry) & 7;
+                return;
+            }
+        """)
+        assert result.reports == []
+
+    def test_modify_without_writeback_flagged(self):
+        result = run_dir("""
+            void h(void) {
+                HANDLER_GLOBALS(dirEntry) = DIR_LOAD(addr);
+                HANDLER_GLOBALS(dirEntry) = HANDLER_GLOBALS(dirEntry) | 4;
+                return;
+            }
+        """)
+        assert len(result.errors) == 1
+        assert "never written back" in result.errors[0].message
+
+    def test_read_before_load_flagged(self):
+        result = run_dir("""
+            void h(void) {
+                unsigned t;
+                t = HANDLER_GLOBALS(dirEntry) & 3;
+                return;
+            }
+        """)
+        assert len(result.errors) == 1
+        assert "before DIR_LOAD" in result.errors[0].message
+
+    def test_modify_before_load_flagged(self):
+        result = run_dir("""
+            void h(void) {
+                HANDLER_GLOBALS(dirEntry) = HANDLER_GLOBALS(dirEntry) | 1;
+                return;
+            }
+        """)
+        assert len(result.errors) == 1
+
+    def test_writeback_without_load_flagged(self):
+        result = run_dir("""
+            void h(void) {
+                unsigned t;
+                t = (addr << 3) + 64;
+                DIR_WRITEBACK(t, v);
+                return;
+            }
+        """)
+        assert len(result.errors) == 1
+        assert "explicitly" in result.errors[0].message
+
+    def test_nak_excuses_missing_writeback(self):
+        result = run_dir("""
+            void h(void) {
+                HANDLER_GLOBALS(dirEntry) = DIR_LOAD(addr);
+                HANDLER_GLOBALS(dirEntry) = HANDLER_GLOBALS(dirEntry) | 4;
+                if (race) {
+                    HANDLER_GLOBALS(header.nh.op) = MSG_NAK;
+                    NI_SEND(NI_REPLY, F_NODATA, 1, 0, 1, 0);
+                    return;
+                }
+                DIR_WRITEBACK(addr, HANDLER_GLOBALS(dirEntry));
+                return;
+            }
+        """)
+        assert result.reports == []
+
+    def test_speculative_backout_without_nak_flagged(self):
+        result = run_dir("""
+            void h(void) {
+                HANDLER_GLOBALS(dirEntry) = DIR_LOAD(addr);
+                HANDLER_GLOBALS(dirEntry) = HANDLER_GLOBALS(dirEntry) | 4;
+                if (race) { return; }
+                DIR_WRITEBACK(addr, HANDLER_GLOBALS(dirEntry));
+                return;
+            }
+        """)
+        assert len(result.errors) == 1
+
+    def test_modify_after_writeback_needs_another_writeback(self):
+        result = run_dir("""
+            void h(void) {
+                HANDLER_GLOBALS(dirEntry) = DIR_LOAD(addr);
+                HANDLER_GLOBALS(dirEntry) = HANDLER_GLOBALS(dirEntry) | 4;
+                DIR_WRITEBACK(addr, HANDLER_GLOBALS(dirEntry));
+                HANDLER_GLOBALS(dirEntry) = HANDLER_GLOBALS(dirEntry) | 8;
+                return;
+            }
+        """)
+        assert len(result.errors) == 1
+
+    def test_reload_after_writeback_clean(self):
+        result = run_dir("""
+            void h(void) {
+                HANDLER_GLOBALS(dirEntry) = DIR_LOAD(a1);
+                HANDLER_GLOBALS(dirEntry) = HANDLER_GLOBALS(dirEntry) | 4;
+                DIR_WRITEBACK(a1, HANDLER_GLOBALS(dirEntry));
+                HANDLER_GLOBALS(dirEntry) = DIR_LOAD(a2);
+                return;
+            }
+        """)
+        assert result.reports == []
+
+    def test_applied_counts_operation_lines(self):
+        result = run_dir("""
+            void h(void) {
+                unsigned t;
+                HANDLER_GLOBALS(dirEntry) = DIR_LOAD(addr);
+                t = HANDLER_GLOBALS(dirEntry) & 7;
+                HANDLER_GLOBALS(dirEntry) = HANDLER_GLOBALS(dirEntry) | 4;
+                DIR_WRITEBACK(addr, HANDLER_GLOBALS(dirEntry));
+                return;
+            }
+        """)
+        assert result.applied == 4
+
+
+class TestSendWait:
+    def test_wait_send_then_wait_clean(self):
+        result = run_swait("""
+            void h(void) {
+                PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+                WAIT_FOR_PI_REPLY();
+                return;
+            }
+        """)
+        assert result.reports == []
+
+    def test_wait_send_never_waited_flagged(self):
+        result = run_swait("""
+            void h(void) {
+                PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+                return;
+            }
+        """)
+        assert len(result.errors) == 1
+        assert "never waited" in result.errors[0].message
+
+    def test_wrong_interface_wait_flagged(self):
+        result = run_swait("""
+            void h(void) {
+                NI_SEND(NI_REQUEST, F_DATA, 1, 1, 1, 0);
+                WAIT_FOR_PI_REPLY();
+                return;
+            }
+        """)
+        assert len(result.errors) == 1
+        assert "wrong" in result.errors[0].message or "needs" in result.errors[0].message
+
+    def test_second_send_before_wait_flagged(self):
+        result = run_swait("""
+            void h(void) {
+                PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+                NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+                WAIT_FOR_PI_REPLY();
+                return;
+            }
+        """)
+        assert len(result.errors) == 1
+
+    def test_async_sends_unconstrained(self):
+        result = run_swait("""
+            void h(void) {
+                PI_SEND(F_DATA, 1, 0, 0, 1, 0);
+                NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+                return;
+            }
+        """)
+        assert result.reports == []
+
+    def test_stray_wait_is_legal(self):
+        result = run_swait("void h(void) { WAIT_FOR_NI_REPLY(); return; }")
+        assert result.reports == []
+
+    def test_fall_off_end_while_waiting_flagged(self):
+        result = run_swait("""
+            void h(void) { IO_SEND(F_DATA, 1, 0, 1, 1, 0); }
+        """)
+        assert len(result.errors) == 1
+
+    def test_wait_on_one_path_only(self):
+        result = run_swait("""
+            void h(void) {
+                NI_SEND(NI_REQUEST, F_DATA, 1, 1, 1, 0);
+                if (c) { WAIT_FOR_NI_REPLY(); }
+                return;
+            }
+        """)
+        assert len(result.errors) == 1
+
+    def test_spin_wait_is_reported(self):
+        # The §9 false-positive idiom: a real wait the checker cannot see.
+        result = run_swait("""
+            void h(void) {
+                NI_SEND(NI_REQUEST, F_DATA, 1, 1, 1, 0);
+                while (!NI_REPLY_READY()) { SPIN(); }
+                return;
+            }
+        """)
+        assert len(result.errors) == 1
+
+    def test_applied_counts_wait_ops(self):
+        result = run_swait("""
+            void h(void) {
+                PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+                WAIT_FOR_PI_REPLY();
+                PI_SEND(F_DATA, 1, 0, 0, 1, 0);
+                WAIT_FOR_NI_REPLY();
+                return;
+            }
+        """)
+        # wait-bit send + two wait macros; async send not counted
+        assert result.applied == 3

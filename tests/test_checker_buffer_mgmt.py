@@ -1,0 +1,237 @@
+"""§6 buffer management checker unit tests."""
+
+import pytest
+
+from repro.checkers import BufferMgmtChecker
+from repro.project import HandlerInfo, ProtocolInfo, program_from_source
+
+
+def make_info(**kwargs):
+    info = ProtocolInfo(name="t", handlers={
+        "HW": HandlerInfo("HW", "hw"),
+        "SW": HandlerInfo("SW", "sw"),
+    })
+    for key, names in kwargs.items():
+        getattr(info, key).update(names)
+    return info
+
+
+def run(src, info=None, refined=True):
+    info = info if info is not None else make_info()
+    checker = BufferMgmtChecker(use_branch_refinement=refined)
+    return checker.check(program_from_source(src, info))
+
+
+class TestHardwareHandlers:
+    def test_free_then_return_clean(self):
+        result = run("void HW(void) { DB_FREE(); return; }")
+        assert result.reports == []
+
+    def test_return_without_free_is_leak(self):
+        result = run("void HW(void) { return; }")
+        assert len(result.errors) == 1
+        assert "leak" in result.errors[0].message
+
+    def test_fall_off_end_without_free_is_leak(self):
+        result = run("void HW(void) { f(); }")
+        assert len(result.errors) == 1
+
+    def test_double_free(self):
+        result = run("void HW(void) { DB_FREE(); DB_FREE(); }")
+        assert len(result.errors) == 1
+        assert "twice" in result.errors[0].message
+
+    def test_send_before_free_clean(self):
+        result = run("""
+            void HW(void) {
+                PI_SEND(F_DATA, 1, 0, 0, 1, 0);
+                DB_FREE();
+            }
+        """)
+        assert result.reports == []
+
+    def test_send_after_free_is_error(self):
+        result = run("""
+            void HW(void) {
+                DB_FREE();
+                PI_SEND(F_DATA, 1, 0, 0, 1, 0);
+            }
+        """)
+        assert len(result.errors) == 1
+        assert "without a data buffer" in result.errors[0].message
+
+    def test_alloc_while_holding_is_error(self):
+        result = run("""
+            void HW(void) {
+                unsigned b;
+                b = DB_ALLOC();
+                DB_FREE();
+            }
+        """)
+        assert len(result.errors) == 1
+        assert "leaks current" in result.errors[0].message
+
+    def test_free_alloc_send_free_clean(self):
+        result = run("""
+            void HW(void) {
+                unsigned b;
+                DB_FREE();
+                b = DB_ALLOC();
+                NI_SEND(NI_REQUEST, F_DATA, 1, 0, 1, 0);
+                DB_FREE();
+            }
+        """)
+        assert result.reports == []
+
+    def test_leak_on_one_branch_only(self):
+        result = run("""
+            void HW(void) {
+                if (c) { return; }
+                DB_FREE();
+            }
+        """)
+        assert len(result.errors) == 1
+
+
+class TestSoftwareHandlers:
+    def test_send_before_alloc_is_error(self):
+        result = run("""
+            void SW(void) { NI_SEND(NI_REQUEST, F_DATA, 1, 0, 1, 0); }
+        """)
+        assert len(result.errors) == 1
+
+    def test_alloc_then_send_then_free_clean(self):
+        result = run("""
+            void SW(void) {
+                unsigned b;
+                b = DB_ALLOC();
+                NI_SEND(NI_REQUEST, F_DATA, 1, 0, 1, 0);
+                DB_FREE();
+            }
+        """)
+        assert result.reports == []
+
+
+class TestRoutineTables:
+    def test_free_routine_transitions(self):
+        info = make_info(free_routines={"pass_to_io"})
+        result = run("""
+            void HW(void) { pass_to_io(); return; }
+        """, info)
+        assert result.reports == []
+
+    def test_free_routine_then_explicit_free_is_double(self):
+        info = make_info(free_routines={"pass_to_io"})
+        result = run("""
+            void HW(void) { pass_to_io(); DB_FREE(); }
+        """, info)
+        assert len(result.errors) == 1
+
+    def test_free_routine_checked_for_consistency(self):
+        # A routine in the free table that never frees exits holding.
+        info = make_info(free_routines={"broken_helper"})
+        result = run("void broken_helper(void) { f(); return; }", info)
+        assert len(result.errors) == 1
+
+    def test_use_routine_checked_for_consistency(self):
+        # A buffer-use routine that frees breaks its contract.
+        info = make_info(buffer_use_routines={"peek"})
+        result = run("void peek(void) { DB_FREE(); return; }", info)
+        assert len(result.errors) == 1
+        assert "callers expect" in result.errors[0].message
+
+    def test_use_routine_call_without_buffer(self):
+        info = make_info(buffer_use_routines={"peek"})
+        result = run("""
+            void HW(void) { DB_FREE(); peek(); }
+        """, info)
+        assert len(result.errors) == 1
+
+    def test_plain_proc_without_buffer_ops_clean(self):
+        result = run("void util(void) { a = b + 1; return; }")
+        assert result.reports == []
+
+
+class TestAnnotations:
+    def test_no_free_needed_suppresses_leak(self):
+        result = run("""
+            void HW(void) {
+                if (c) { no_free_needed(); return; }
+                DB_FREE();
+            }
+        """)
+        assert result.reports == []
+        assert len(result.annotations) == 1
+
+    def test_has_buffer_asserts_state(self):
+        result = run("""
+            void util(void) {
+                has_buffer();
+                NI_SEND(NI_REQUEST, F_DATA, 1, 0, 1, 0);
+                DB_FREE();
+                return;
+            }
+        """)
+        assert result.reports == []
+
+    def test_annotation_sites_deduplicated(self):
+        result = run("""
+            void HW(void) {
+                if (a) { f(); }
+                if (b) { g(); }
+                no_free_needed();
+                return;
+            }
+        """)
+        assert len(result.annotations) == 1
+
+
+class TestBranchRefinement:
+    SRC = """
+        void HW(void) {
+            if (try_forward()) { return; }
+            DB_FREE();
+        }
+    """
+
+    def test_frees_if_true_refinement(self):
+        info = make_info(frees_if_true={"try_forward"})
+        assert run(self.SRC, info).reports == []
+
+    def test_naive_mode_cascades(self):
+        info = make_info(frees_if_true={"try_forward"})
+        result = run(self.SRC, info, refined=False)
+        assert len(result.errors) >= 1
+
+    def test_negated_condition(self):
+        info = make_info(frees_if_true={"try_forward"})
+        result = run("""
+            void HW(void) {
+                if (!try_forward()) { DB_FREE(); return; }
+                return;
+            }
+        """, info)
+        assert result.reports == []
+
+    def test_alloc_failure_path_not_a_leak(self):
+        result = run("""
+            void SW(void) {
+                unsigned b;
+                b = DB_ALLOC();
+                if (DB_IS_ERROR(b)) { return; }
+                DB_FREE();
+            }
+        """)
+        assert result.reports == []
+
+
+class TestRefcountWarStory:
+    def test_manual_refcount_flagged(self):
+        result = run("""
+            void HW(void) {
+                DB_INC_REFCOUNT(buf);
+                DB_FREE();
+            }
+        """)
+        assert len(result.warnings) == 1
+        assert "DB_INC_REFCOUNT" in result.warnings[0].message

@@ -1,0 +1,118 @@
+"""§4 buffer race checker unit tests."""
+
+from repro.checkers import BufferRaceChecker
+from repro.project import program_from_source
+
+
+def run(src):
+    return BufferRaceChecker().check(program_from_source(src))
+
+
+def test_read_without_wait_flagged():
+    result = run("""
+        void h(void) { unsigned v; v = MISCBUS_READ_DB(addr, 0); }
+    """)
+    assert len(result.errors) == 1
+
+
+def test_read_after_wait_clean():
+    result = run("""
+        void h(void) {
+            unsigned v;
+            WAIT_FOR_DB_FULL(addr);
+            v = MISCBUS_READ_DB(addr, 0);
+        }
+    """)
+    assert result.reports == []
+
+
+def test_wait_on_one_path_only():
+    result = run("""
+        void h(void) {
+            unsigned v;
+            if (c) { WAIT_FOR_DB_FULL(addr); }
+            v = MISCBUS_READ_DB(addr, 0);
+        }
+    """)
+    assert len(result.errors) == 1
+
+
+def test_wait_on_both_paths_clean():
+    result = run("""
+        void h(void) {
+            unsigned v;
+            if (c) { WAIT_FOR_DB_FULL(addr); } else { WAIT_FOR_DB_FULL(addr); }
+            v = MISCBUS_READ_DB(addr, 0);
+        }
+    """)
+    assert result.reports == []
+
+
+def test_legacy_macro_checked():
+    result = run("""
+        void h(void) { unsigned v; v = MISCBUS_READ(addr, 0); }
+    """)
+    assert len(result.errors) == 1
+
+
+def test_wait_late_on_path_still_race():
+    result = run("""
+        void h(void) {
+            unsigned v;
+            v = MISCBUS_READ_DB(addr, 0);
+            WAIT_FOR_DB_FULL(addr);
+        }
+    """)
+    assert len(result.errors) == 1
+
+
+def test_applied_counts_unique_read_sites():
+    result = run("""
+        void h1(void) {
+            unsigned v;
+            WAIT_FOR_DB_FULL(addr);
+            v = MISCBUS_READ_DB(addr, 0);
+            v = MISCBUS_READ_DB(addr, 4);
+        }
+        void h2(void) {
+            unsigned v;
+            WAIT_FOR_DB_FULL(addr);
+            v = MISCBUS_READ(addr, 8);
+        }
+    """)
+    assert result.applied == 3
+
+
+def test_multiple_functions_independent():
+    result = run("""
+        void good(void) {
+            unsigned v;
+            WAIT_FOR_DB_FULL(addr);
+            v = MISCBUS_READ_DB(addr, 0);
+        }
+        void bad(void) { unsigned v; v = MISCBUS_READ_DB(addr, 0); }
+    """)
+    assert len(result.errors) == 1
+    assert result.errors[0].function == "bad"
+
+
+def test_read_in_condition_detected():
+    result = run("""
+        void h(void) {
+            if (MISCBUS_READ_DB(addr, 0) == 5) { f(); }
+        }
+    """)
+    assert len(result.errors) == 1
+
+
+def test_two_reads_one_report_each_path_continues():
+    # The checker stays in start after reporting ("to catch further
+    # violations along the path").
+    result = run("""
+        void h(void) {
+            unsigned v;
+            v = MISCBUS_READ_DB(addr, 0);
+            v = MISCBUS_READ_DB(addr, 4);
+        }
+    """)
+    assert len(result.errors) == 2

@@ -1,0 +1,332 @@
+"""§8 execution restriction and no-float checker unit tests."""
+
+from repro.checkers import ExecRestrictChecker, NoFloatChecker
+from repro.project import HandlerInfo, ProtocolInfo, program_from_source
+
+
+def make_info(handlers=None):
+    handlers = handlers or {}
+    return ProtocolInfo(name="t", handlers={
+        name: HandlerInfo(name, kind, nostack=nostack)
+        for name, (kind, nostack) in handlers.items()
+    })
+
+
+def run(src, handlers=None):
+    return ExecRestrictChecker().check(
+        program_from_source(src, make_info(handlers)))
+
+
+class TestSignature:
+    def test_handler_with_params_flagged(self):
+        result = run("void H(int x) { HANDLER_DEFS(); HANDLER_PROLOGUE(); }",
+                     {"H": ("hw", False)})
+        assert any("no parameters" in r.message for r in result.reports)
+
+    def test_handler_with_return_value_flagged(self):
+        result = run("int H(void) { HANDLER_DEFS(); HANDLER_PROLOGUE(); return 0; }",
+                     {"H": ("hw", False)})
+        assert any("return void" in r.message for r in result.reports)
+
+    def test_conforming_handler_clean(self):
+        result = run("void H(void) { HANDLER_DEFS(); HANDLER_PROLOGUE(); }",
+                     {"H": ("hw", False)})
+        assert result.reports == []
+
+    def test_procs_may_take_params(self):
+        result = run("int util(int x) { SUBROUTINE_PROLOGUE(); return x; }")
+        assert result.reports == []
+
+
+class TestSimulatorHooks:
+    def test_hw_handler_missing_first_hook(self):
+        result = run("void H(void) { HANDLER_PROLOGUE(); }",
+                     {"H": ("hw", False)})
+        assert any("HANDLER_DEFS" in r.message for r in result.reports)
+
+    def test_hw_handler_missing_second_hook(self):
+        result = run("void H(void) { HANDLER_DEFS(); f(); }",
+                     {"H": ("hw", False)})
+        assert any("HANDLER_PROLOGUE" in r.message for r in result.reports)
+
+    def test_sw_handler_needs_sw_prologue(self):
+        result = run("void S(void) { HANDLER_DEFS(); HANDLER_PROLOGUE(); }",
+                     {"S": ("sw", False)})
+        assert any("SWHANDLER_PROLOGUE" in r.message for r in result.reports)
+
+    def test_sw_handler_correct(self):
+        result = run("void S(void) { HANDLER_DEFS(); SWHANDLER_PROLOGUE(); }",
+                     {"S": ("sw", False)})
+        assert result.reports == []
+
+    def test_proc_needs_subroutine_prologue(self):
+        result = run("void util(void) { f(); }")
+        assert any("SUBROUTINE_PROLOGUE" in r.message for r in result.reports)
+
+    def test_proc_correct(self):
+        result = run("void util(void) { SUBROUTINE_PROLOGUE(); f(); }")
+        assert result.reports == []
+
+
+class TestDeprecated:
+    def test_deprecated_macro_warned(self):
+        result = run("""
+            void util(void) { SUBROUTINE_PROLOGUE(); OLD_PI_SEND(1, 2); }
+        """)
+        assert len(result.warnings) == 1
+
+    def test_counts(self):
+        result = run("""
+            void util(void) {
+                SUBROUTINE_PROLOGUE();
+                OLD_PI_SEND(1, 2);
+                OLD_LEN_SET(3);
+            }
+        """)
+        assert len(result.warnings) == 2
+
+
+class TestNoStack:
+    def test_address_of_local_flagged(self):
+        result = run("""
+            void H(void) {
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                NOSTACK();
+                unsigned x;
+                f(&x);
+            }
+        """, {"H": ("hw", True)})
+        assert any("address" in r.message for r in result.reports)
+
+    def test_address_of_global_allowed(self):
+        result = run("""
+            unsigned g;
+            void H(void) {
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                NOSTACK();
+                f(&g);
+            }
+        """, {"H": ("hw", True)})
+        assert result.reports == []
+
+    def test_array_declaration_flagged(self):
+        result = run("""
+            void H(void) {
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                NOSTACK();
+                unsigned a[8];
+            }
+        """, {"H": ("hw", True)})
+        assert any("array" in r.message for r in result.reports)
+
+    def test_large_struct_declaration_flagged(self):
+        result = run("""
+            struct Big { unsigned a; unsigned b; unsigned c; };
+            void H(void) {
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                NOSTACK();
+                struct Big b;
+            }
+        """, {"H": ("hw", True)})
+        assert any("aggregate" in r.message for r in result.reports)
+
+    def test_small_struct_fits_in_registers(self):
+        # §8: structures up to 64 bits "safely reside in registers".
+        result = run("""
+            struct Pair { unsigned lo; unsigned hi; };
+            void H(void) {
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                NOSTACK();
+                struct Pair p;
+            }
+        """, {"H": ("hw", True)})
+        assert result.reports == []
+
+    def test_unknown_struct_size_flagged_conservatively(self):
+        result = run("""
+            void H(void) {
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                NOSTACK();
+                struct Mystery m;
+            }
+        """, {"H": ("hw", True)})
+        assert any("unknown size" in r.message for r in result.reports)
+
+    def test_too_many_locals_flagged(self):
+        decls = "\n".join(f"unsigned v{i};" for i in range(20))
+        result = run(f"""
+            void H(void) {{
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                NOSTACK();
+                {decls}
+            }}
+        """, {"H": ("hw", True)})
+        assert any("locals" in r.message for r in result.reports)
+
+    def test_call_without_set_stackptr(self):
+        result = run("""
+            void util(void) { SUBROUTINE_PROLOGUE(); }
+            void H(void) {
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                NOSTACK();
+                util();
+            }
+        """, {"H": ("hw", True)})
+        assert any("without SET_STACKPTR" in r.message for r in result.reports)
+
+    def test_call_with_set_stackptr_clean(self):
+        result = run("""
+            void util(void) { SUBROUTINE_PROLOGUE(); }
+            void H(void) {
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                NOSTACK();
+                SET_STACKPTR();
+                util();
+            }
+        """, {"H": ("hw", True)})
+        assert result.reports == []
+
+    def test_spurious_set_stackptr_flagged(self):
+        result = run("""
+            void H(void) {
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                NOSTACK();
+                SET_STACKPTR();
+                x = 1;
+            }
+        """, {"H": ("hw", True)})
+        assert any("not followed by a call" in r.message
+                   for r in result.reports)
+
+    def test_macro_calls_need_no_stackptr(self):
+        result = run("""
+            void H(void) {
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                NOSTACK();
+                DB_FREE();
+            }
+        """, {"H": ("hw", True)})
+        assert result.reports == []
+
+    def test_nostack_annotation_required(self):
+        # Declared no-stack in the spec but missing the NOSTACK() marker.
+        result = run("""
+            void H(void) {
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                t = 1;
+            }
+        """, {"H": ("hw", True)})
+        assert any("exactly one NOSTACK()" in r.message
+                   for r in result.reports)
+
+    def test_nostack_annotation_correct(self):
+        result = run("""
+            void H(void) {
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                NOSTACK();
+                t = 1;
+            }
+        """, {"H": ("hw", True)})
+        assert result.reports == []
+
+    def test_duplicate_nostack_annotation_flagged(self):
+        result = run("""
+            void H(void) {
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                NOSTACK();
+                NOSTACK();
+            }
+        """, {"H": ("hw", True)})
+        assert any("exactly one NOSTACK() annotation (found 2)" in r.message
+                   for r in result.reports)
+
+    def test_late_nostack_annotation_flagged(self):
+        result = run("""
+            void H(void) {
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                t = 1;
+                NOSTACK();
+            }
+        """, {"H": ("hw", True)})
+        assert any("first statement after the simulator hooks" in r.message
+                   for r in result.reports)
+
+    def test_annotation_alone_triggers_stack_rules(self):
+        # A NOSTACK() marker without a spec entry still enforces the
+        # stack restrictions.
+        result = run("""
+            void H(void) {
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                NOSTACK();
+                unsigned a[4];
+            }
+        """, {"H": ("hw", False)})
+        assert any("array" in r.message for r in result.reports)
+
+    def test_stack_rules_not_applied_to_normal_handlers(self):
+        result = run("""
+            void H(void) {
+                HANDLER_DEFS();
+                HANDLER_PROLOGUE();
+                unsigned a[8];
+                f(&a);
+            }
+        """, {"H": ("hw", False)})
+        assert result.reports == []
+
+
+class TestCounters:
+    def test_handlers_and_vars_counted(self):
+        result = run("""
+            void a(void) { SUBROUTINE_PROLOGUE(); unsigned x, y; }
+            void b(int p) { SUBROUTINE_PROLOGUE(); unsigned z; }
+        """)
+        assert result.extra["handlers_checked"] == 2
+        assert result.extra["vars_checked"] == 4  # x, y, p, z
+
+
+class TestNoFloat:
+    def run(self, src):
+        return NoFloatChecker().check(program_from_source(src))
+
+    def test_float_literal_flagged(self):
+        result = self.run("void f(void) { x = 1.5; }")
+        assert len(result.errors) >= 1
+
+    def test_float_declaration_flagged(self):
+        result = self.run("void f(void) { float x; }")
+        assert len(result.errors) >= 1
+
+    def test_double_param_flagged(self):
+        result = self.run("void f(double d) { }")
+        assert len(result.errors) >= 1
+
+    def test_float_arithmetic_via_types(self):
+        result = self.run("void f(float a) { x = a + 1; }")
+        assert len(result.errors) >= 1
+
+    def test_integer_code_clean(self):
+        result = self.run("""
+            void f(void) { unsigned a; a = (3 << 2) / 5 % 7; }
+        """)
+        assert result.reports == []
+
+    def test_applied_counts_nodes(self):
+        result = self.run("void f(void) { a = 1; }")
+        assert result.applied > 3

@@ -1,0 +1,175 @@
+"""§7 lane deadlock checker unit tests."""
+
+from repro.checkers import LaneChecker
+from repro.project import HandlerInfo, ProtocolInfo, program_from_source
+
+
+def run(src, handlers):
+    info = ProtocolInfo(name="t", handlers={
+        name: HandlerInfo(name, "hw", lane_allowance=tuple(allowance))
+        for name, allowance in handlers.items()
+    })
+    return LaneChecker().check(program_from_source(src, info))
+
+
+def test_within_allowance_clean():
+    result = run("""
+        void H(void) {
+            NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+            DB_FREE();
+        }
+    """, {"H": (1, 1, 1, 1)})
+    assert result.reports == []
+
+
+def test_exceeding_allowance_flagged():
+    result = run("""
+        void H(void) {
+            NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+            NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+            DB_FREE();
+        }
+    """, {"H": (1, 1, 1, 1)})
+    assert len(result.errors) == 1
+    assert "ni-request" in result.errors[0].message
+
+
+def test_lanes_are_independent():
+    result = run("""
+        void H(void) {
+            PI_SEND(F_NODATA, 1, 0, 0, 1, 0);
+            IO_SEND(F_NODATA, 1, 0, 0, 1, 0);
+            NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+            NI_SEND(NI_REPLY, F_NODATA, 1, 0, 1, 0);
+            DB_FREE();
+        }
+    """, {"H": (1, 1, 1, 1)})
+    assert result.reports == []
+
+
+def test_branches_take_max_not_sum():
+    result = run("""
+        void H(void) {
+            if (c) { PI_SEND(F_NODATA, 1, 0, 0, 1, 0); }
+            else { PI_SEND(F_NODATA, 1, 0, 0, 1, 0); }
+            DB_FREE();
+        }
+    """, {"H": (1, 1, 1, 1)})
+    assert result.reports == []
+
+
+def test_wait_for_space_resets_quota():
+    result = run("""
+        void H(void) {
+            PI_SEND(F_NODATA, 1, 0, 0, 1, 0);
+            WAIT_FOR_SPACE(LANE_PI);
+            PI_SEND(F_NODATA, 1, 0, 0, 1, 0);
+            DB_FREE();
+        }
+    """, {"H": (1, 1, 1, 1)})
+    assert result.reports == []
+
+
+def test_sends_through_callee_counted():
+    result = run("""
+        void helper(void) { NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0); }
+        void H(void) {
+            NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+            helper();
+            DB_FREE();
+        }
+    """, {"H": (1, 1, 1, 1)})
+    assert len(result.errors) == 1
+
+
+def test_callee_two_levels_deep():
+    result = run("""
+        void leaf(void) { PI_SEND(F_NODATA, 1, 0, 0, 1, 0); }
+        void mid(void) { leaf(); }
+        void H(void) { mid(); PI_SEND(F_NODATA, 1, 0, 0, 1, 0); DB_FREE(); }
+    """, {"H": (1, 1, 1, 1)})
+    assert len(result.errors) == 1
+
+
+def test_backtrace_present_for_interprocedural_error():
+    result = run("""
+        void helper(void) { NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0); }
+        void H(void) {
+            NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+            helper();
+        }
+    """, {"H": (1, 1, 1, 1)})
+    assert len(result.errors) == 1
+    assert result.errors[0].backtrace
+
+
+def test_send_free_recursion_is_fixed_point():
+    result = run("""
+        void walk(void) { if (c) { walk(); } }
+        void H(void) { walk(); PI_SEND(F_NODATA, 1, 0, 0, 1, 0); DB_FREE(); }
+    """, {"H": (1, 1, 1, 1)})
+    assert result.reports == []
+
+
+def test_recursion_with_sends_warned():
+    result = run("""
+        void spin(void) { NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0); if (c) { spin(); } }
+        void H(void) { DB_FREE(); }
+    """, {"H": (4, 4, 4, 4)})
+    assert len(result.reports) == 1
+    assert "cycle" in result.reports[0].message
+
+
+def test_mutual_recursion_with_sends_warned_once():
+    result = run("""
+        void a(void) { PI_SEND(F_NODATA, 1, 0, 0, 1, 0); b(); }
+        void b(void) { a(); }
+        void H(void) { DB_FREE(); }
+    """, {"H": (4, 4, 4, 4)})
+    cycle_reports = [r for r in result.reports if "cycle" in r.message]
+    assert len(cycle_reports) == 1
+
+
+def test_allowance_of_two_allows_two():
+    result = run("""
+        void H(void) {
+            NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+            NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+            DB_FREE();
+        }
+    """, {"H": (1, 1, 2, 1)})
+    assert result.reports == []
+
+
+def test_applied_counts_send_events():
+    result = run("""
+        void H(void) {
+            PI_SEND(F_NODATA, 1, 0, 0, 1, 0);
+            NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+            DB_FREE();
+        }
+    """, {"H": (4, 4, 4, 4)})
+    assert result.applied == 2
+
+
+def test_proc_routines_not_checked_against_allowance():
+    # Subroutines have no allowance; only handlers are checked.
+    result = run("""
+        void helper2(void) {
+            PI_SEND(F_NODATA, 1, 0, 0, 1, 0);
+            PI_SEND(F_NODATA, 1, 0, 0, 1, 0);
+        }
+    """, {})
+    assert result.reports == []
+
+
+def test_loop_without_sends_ignored():
+    result = run("""
+        void H(void) {
+            unsigned i;
+            for (i = 0; i < 8; i++) { t = t + 1; }
+            PI_SEND(F_NODATA, 1, 0, 0, 1, 0);
+            DB_FREE();
+        }
+    """, {"H": (1, 1, 1, 1)})
+    assert result.reports == []

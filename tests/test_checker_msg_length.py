@@ -1,0 +1,118 @@
+"""§5 message length checker unit tests."""
+
+from repro.checkers import MsgLengthChecker
+from repro.project import program_from_source
+
+
+def run(src):
+    return MsgLengthChecker().check(program_from_source(src))
+
+
+def test_zero_len_data_send():
+    result = run("""
+        void h(void) {
+            HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+            PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+        }
+    """)
+    assert len(result.errors) == 1
+    assert "data send, zero len" in result.errors[0].message
+
+
+def test_nonzero_len_nodata_send():
+    result = run("""
+        void h(void) {
+            HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+            IO_SEND(F_NODATA, 1, 0, 1, 1, 0);
+        }
+    """)
+    assert len(result.errors) == 1
+
+
+def test_consistent_sends_clean():
+    result = run("""
+        void h(void) {
+            HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+            PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+            HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+            NI_SEND(t, F_NODATA, 1, 1, 1, 0);
+        }
+    """)
+    assert result.reports == []
+
+
+def test_assignment_hundreds_of_lines_before_send():
+    filler = "\n".join(f"    t{i} = {i};" for i in range(200))
+    result = run(f"""
+        void h(void) {{
+            unsigned {', '.join(f't{i}' for i in range(200))};
+            HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+{filler}
+            NI_SEND(t, F_DATA, 1, 1, 1, 0);
+        }}
+    """)
+    assert len(result.errors) == 1
+
+
+def test_reassignment_on_one_branch():
+    result = run("""
+        void h(void) {
+            HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+            if (q) { HANDLER_GLOBALS(header.nh.len) = LEN_NODATA; }
+            PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+        }
+    """)
+    assert len(result.errors) == 1
+
+
+def test_send_without_any_assignment_ignored():
+    result = run("void h(void) { PI_SEND(F_DATA, 1, 0, 1, 1, 0); }")
+    assert result.reports == []
+
+
+def test_runtime_flag_idiom_two_false_positives():
+    # The coma idiom: the checker reports both impossible paths.
+    result = run("""
+        void h(void) {
+            if (flag) { HANDLER_GLOBALS(header.nh.len) = LEN_WORD; }
+            else { HANDLER_GLOBALS(header.nh.len) = LEN_NODATA; }
+            if (flag) { NI_SEND(t, F_DATA, 1, 1, 1, 0); }
+            else { NI_SEND(t, F_NODATA, 1, 1, 1, 0); }
+        }
+    """)
+    assert len(result.errors) == 2
+
+
+def test_applied_counts_sends():
+    result = run("""
+        void h(void) {
+            HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+            NI_SEND(t, F_NODATA, 1, 1, 1, 0);
+            NI_SEND(t, F_NODATA, 1, 1, 1, 0);
+            IO_SEND(F_NODATA, 1, 0, 1, 1, 0);
+        }
+    """)
+    assert result.applied == 3
+
+
+def test_all_three_send_macros_checked():
+    for macro, args in (
+        ("PI_SEND", "F_DATA, 1, 0, 1, 1, 0"),
+        ("IO_SEND", "F_DATA, 1, 0, 1, 1, 0"),
+        ("NI_SEND", "t, F_DATA, 1, 1, 1, 0"),
+    ):
+        result = run(f"""
+            void h(void) {{
+                HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+                {macro}({args});
+            }}
+        """)
+        assert len(result.errors) == 1, macro
+
+
+def test_length_state_does_not_leak_between_functions():
+    result = run("""
+        void h1(void) { HANDLER_GLOBALS(header.nh.len) = LEN_NODATA; }
+        void h2(void) { PI_SEND(F_DATA, 1, 0, 1, 1, 0); }
+    """)
+    assert result.reports == []

@@ -1,0 +1,110 @@
+"""Table audit checker tests."""
+
+from repro.checkers import TableAuditChecker
+from repro.project import HandlerInfo, ProtocolInfo, program_from_source
+
+
+def make_info(**kwargs):
+    info = ProtocolInfo(name="t", handlers={"HW": HandlerInfo("HW", "hw")})
+    for key, names in kwargs.items():
+        getattr(info, key).update(names)
+    return info
+
+
+def run(src, info):
+    return TableAuditChecker().check(program_from_source(src, info))
+
+
+class TestConsistentTables:
+    def test_correct_free_routine_clean(self):
+        info = make_info(free_routines={"helper"})
+        result = run("void helper(void) { DB_FREE(); return; }", info)
+        assert result.reports == []
+
+    def test_correct_use_routine_clean(self):
+        info = make_info(buffer_use_routines={"peek"})
+        result = run("void peek(void) { t = t + 1; return; }", info)
+        assert result.reports == []
+
+    def test_conditional_free_routine_tolerated(self):
+        # Data-dependent frees are what frees_if_true / annotations handle.
+        info = make_info(free_routines={"maybe"})
+        result = run("""
+            void maybe(void) {
+                if (c) { DB_FREE(); }
+                return;
+            }
+        """, info)
+        assert result.reports == []
+
+    def test_undeclared_plain_routine_ignored(self):
+        info = make_info()
+        result = run("void plain(void) { t = 1; return; }", info)
+        assert result.reports == []
+
+    def test_handlers_not_audited(self):
+        info = make_info(free_routines={"HW"})
+        result = run("void HW(void) { t = 1; return; }", info)
+        assert result.reports == []
+
+    def test_allocating_routine_skipped(self):
+        info = make_info(buffer_use_routines={"maker"})
+        result = run("""
+            void maker(void) {
+                unsigned b;
+                b = DB_ALLOC();
+                DB_FREE();
+                return;
+            }
+        """, info)
+        assert result.reports == []
+
+
+class TestContradictions:
+    def test_free_routine_that_never_frees(self):
+        info = make_info(free_routines={"helper"})
+        result = run("void helper(void) { t = 1; return; }", info)
+        assert len(result.errors) == 1
+        assert "no path" in result.errors[0].message
+
+    def test_use_routine_that_always_frees(self):
+        info = make_info(buffer_use_routines={"peek"})
+        result = run("void peek(void) { DB_FREE(); return; }", info)
+        assert len(result.errors) == 1
+        assert "every path" in result.errors[0].message
+
+    def test_frees_if_true_that_is_unconditional(self):
+        info = make_info(frees_if_true={"decide"})
+        result = run("void decide(void) { DB_FREE(); return; }", info)
+        assert len(result.warnings) == 1
+
+    def test_transitive_free_through_tabled_helper(self):
+        # Calling a tabled freeing routine counts as freeing.
+        info = make_info(free_routines={"outer", "inner"})
+        result = run("""
+            void inner(void) { DB_FREE(); return; }
+            void outer(void) { inner(); return; }
+        """, info)
+        assert result.reports == []
+
+    def test_annotation_counts_as_resolution(self):
+        info = make_info(free_routines={"handoff"})
+        result = run("""
+            void handoff(void) {
+                no_free_needed();
+                return;
+            }
+        """, info)
+        # The annotation asserts the buffer obligation was discharged.
+        assert result.reports == []
+
+
+class TestGeneratedProtocolsAudit:
+    def test_all_generated_tables_consistent(self, experiment):
+        for name, gp in experiment.protocols.items():
+            result = TableAuditChecker().check(gp.program())
+            assert result.reports == [], (name, [str(r) for r in result.reports])
+
+    def test_applied_counts_subroutines(self, common):
+        result = TableAuditChecker().check(common.program())
+        assert result.applied > 0

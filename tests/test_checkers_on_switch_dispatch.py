@@ -1,0 +1,162 @@
+"""Checkers over switch-based handler bodies (the real FLASH dispatch
+shape: 'for every combination of incoming message type ... a different
+software handler')."""
+
+from repro.checkers import (
+    BufferMgmtChecker,
+    BufferRaceChecker,
+    MsgLengthChecker,
+    SendWaitChecker,
+)
+from repro.project import HandlerInfo, ProtocolInfo, program_from_source
+
+
+def hw_info(name="H"):
+    return ProtocolInfo(name="t", handlers={name: HandlerInfo(name, "hw")})
+
+
+class TestMsgLengthThroughSwitch:
+    def test_consistent_arms_clean(self):
+        result = MsgLengthChecker().check(program_from_source("""
+            void H(void) {
+                switch (HANDLER_GLOBALS(header.nh.op)) {
+                case 1:
+                    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+                    NI_SEND(NI_REPLY, F_DATA, 1, 0, 1, 0);
+                    break;
+                case 2:
+                    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+                    NI_SEND(NI_REPLY, F_NODATA, 1, 0, 1, 0);
+                    break;
+                }
+            }
+        """))
+        assert result.reports == []
+
+    def test_one_bad_arm_found(self):
+        result = MsgLengthChecker().check(program_from_source("""
+            void H(void) {
+                switch (HANDLER_GLOBALS(header.nh.op)) {
+                case 1:
+                    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+                    NI_SEND(NI_REPLY, F_DATA, 1, 0, 1, 0);
+                    break;
+                default:
+                    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+                    NI_SEND(NI_REPLY, F_NODATA, 1, 0, 1, 0);
+                    break;
+                }
+            }
+        """))
+        assert len(result.errors) == 1
+
+    def test_fallthrough_carries_length_state(self):
+        # Case 1 sets a nonzero length and falls through into case 2's
+        # no-data send: the fallthrough path is inconsistent.
+        result = MsgLengthChecker().check(program_from_source("""
+            void H(void) {
+                switch (HANDLER_GLOBALS(header.nh.op)) {
+                case 1:
+                    HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+                case 2:
+                    NI_SEND(NI_REPLY, F_NODATA, 1, 0, 1, 0);
+                    break;
+                }
+            }
+        """))
+        assert len(result.errors) == 1
+
+
+class TestBufferMgmtThroughSwitch:
+    def test_free_in_every_arm_clean(self):
+        result = BufferMgmtChecker().check(program_from_source("""
+            void H(void) {
+                switch (HANDLER_GLOBALS(header.nh.op)) {
+                case 1: DB_FREE(); return;
+                case 2: DB_FREE(); return;
+                default: DB_FREE(); return;
+                }
+            }
+        """, hw_info()))
+        assert result.reports == []
+
+    def test_arm_missing_free_is_leak(self):
+        result = BufferMgmtChecker().check(program_from_source("""
+            void H(void) {
+                switch (HANDLER_GLOBALS(header.nh.op)) {
+                case 1: DB_FREE(); return;
+                case 2: return;
+                default: DB_FREE(); return;
+                }
+            }
+        """, hw_info()))
+        assert len(result.errors) == 1
+
+    def test_no_default_falls_out_holding(self):
+        # With no default arm and no matching case, control falls past
+        # the switch still holding the buffer: the epilogue must free.
+        result = BufferMgmtChecker().check(program_from_source("""
+            void H(void) {
+                switch (HANDLER_GLOBALS(header.nh.op)) {
+                case 1: DB_FREE(); return;
+                }
+                DB_FREE();
+                return;
+            }
+        """, hw_info()))
+        assert result.reports == []
+
+    def test_fallthrough_double_free(self):
+        result = BufferMgmtChecker().check(program_from_source("""
+            void H(void) {
+                switch (HANDLER_GLOBALS(header.nh.op)) {
+                case 1:
+                    DB_FREE();
+                case 2:
+                    DB_FREE();
+                    return;
+                default:
+                    DB_FREE();
+                    return;
+                }
+            }
+        """, hw_info()))
+        assert len(result.errors) == 1
+        assert "twice" in result.errors[0].message
+
+
+class TestOthersThroughSwitch:
+    def test_buffer_race_per_arm(self):
+        result = BufferRaceChecker().check(program_from_source("""
+            void H(void) {
+                unsigned v;
+                switch (HANDLER_GLOBALS(header.nh.op)) {
+                case 1:
+                    WAIT_FOR_DB_FULL(0);
+                    v = MISCBUS_READ_DB(0, 0);
+                    break;
+                case 2:
+                    v = MISCBUS_READ_DB(0, 4);
+                    break;
+                }
+            }
+        """))
+        assert len(result.errors) == 1
+
+    def test_send_wait_across_switch_join(self):
+        # The wait-bit send happens before the switch; only some arms
+        # wait, so the non-waiting arms are errors.
+        result = SendWaitChecker().check(program_from_source("""
+            void H(void) {
+                NI_SEND(NI_REQUEST, F_DATA, 1, 1, 1, 0);
+                switch (x) {
+                case 1:
+                    WAIT_FOR_NI_REPLY();
+                    break;
+                case 2:
+                    break;
+                }
+                return;
+            }
+        """))
+        assert len(result.errors) == 1

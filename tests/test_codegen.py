@@ -1,0 +1,158 @@
+"""Code generator tests: determinism, structural targets, manifest."""
+
+import pytest
+
+from repro.flash.codegen import (
+    CATALOG,
+    IDIOMS,
+    TARGETS,
+    generate_protocol,
+)
+from repro.flash.codegen.emit import Emitter
+
+
+class TestEmitter:
+    def test_line_numbers(self):
+        e = Emitter("x.c")
+        assert e.next_line == 1
+        assert e.line("a;") == 1
+        assert e.line("b;") == 2
+        assert e.next_line == 3
+
+    def test_indentation(self):
+        e = Emitter("x.c")
+        e.open_block("void f(void)")
+        e.line("x = 1;")
+        e.close_block()
+        text = e.text()
+        assert "void f(void) {" in text
+        assert "    x = 1;" in text
+
+    def test_lines_returns_first(self):
+        e = Emitter("x.c")
+        assert e.lines("a;", "b;", "c;") == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        a = generate_protocol("sci")
+        b = generate_protocol("sci")
+        assert a.files == b.files
+        assert [(s.checker, s.label, s.file, s.line) for s in a.manifest] == \
+            [(s.checker, s.label, s.file, s.line) for s in b.manifest]
+
+    def test_different_seed_different_output(self):
+        a = generate_protocol("sci")
+        b = generate_protocol("sci", seed=12345)
+        assert a.files != b.files
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(KeyError):
+            generate_protocol("nonexistent")
+
+
+class TestStructure:
+    @pytest.fixture(scope="class")
+    def gp(self):
+        return generate_protocol("rac")
+
+    def test_loc_close_to_target(self, gp):
+        assert abs(gp.loc() - gp.targets.loc) / gp.targets.loc < 0.05
+
+    def test_routine_count_exact(self, gp):
+        assert len(gp.program().functions()) == gp.targets.routines
+
+    def test_hw_handler_count(self, gp):
+        hw = [h for h in gp.info.handlers.values() if h.kind == "hw"]
+        assert len(hw) == gp.targets.hw_handlers
+
+    def test_every_file_parses(self, gp):
+        prog = gp.program()
+        assert len(prog.units) == 5
+
+    def test_manifest_lines_point_at_real_lines(self, gp):
+        for site in gp.manifest:
+            text = gp.files[site.file]
+            lines = text.splitlines()
+            assert 1 <= site.line <= len(lines), site
+            assert lines[site.line - 1].strip(), site
+
+    def test_manifest_matches_catalog_counts(self, gp):
+        expected = {}
+        for spec in CATALOG["rac"]:
+            idiom = IDIOMS[spec.idiom]
+            # msglen-runtime-flag produces two sites per instance
+            per = 2 if spec.idiom == "msglen-runtime-flag" else 1
+            key = (spec.label,)
+            expected[key] = expected.get(key, 0) + spec.count * per
+        actual = {}
+        for site in gp.manifest:
+            key = (site.label,)
+            actual[key] = actual.get(key, 0) + 1
+        assert actual == expected
+
+    def test_handler_tables_populated(self, gp):
+        assert gp.info.free_routines
+        assert gp.info.buffer_use_routines
+        assert all(len(h.lane_allowance) == 4
+                   for h in gp.info.handlers.values())
+
+    def test_nostack_handlers_exist(self, gp):
+        assert any(h.nostack for h in gp.info.handlers.values())
+
+
+class TestAllProtocolManifests:
+    @pytest.mark.parametrize("name", list(TARGETS))
+    def test_manifest_sites_exist_and_are_unique_lines(self, name):
+        gp = generate_protocol(name)
+        seen = set()
+        for site in gp.manifest:
+            text = gp.files[site.file]
+            lines = text.splitlines()
+            assert 1 <= site.line <= len(lines), site
+            # Sites that expect reports must be unique per (file, line)
+            # per checker, or the classification join is ambiguous.
+            key = (site.checker, site.file, site.line)
+            assert key not in seen, site
+            seen.add(key)
+
+    @pytest.mark.parametrize("name", list(TARGETS))
+    def test_catalog_expansion_matches_manifest(self, name):
+        gp = generate_protocol(name)
+        expected = 0
+        for spec in CATALOG[name]:
+            per = 2 if spec.idiom == "msglen-runtime-flag" else 1
+            expected += spec.count * per
+        assert len(gp.manifest) == expected
+
+    @pytest.mark.parametrize("name", list(TARGETS))
+    def test_handler_counts(self, name):
+        gp = generate_protocol(name)
+        hw = sum(1 for h in gp.info.handlers.values() if h.kind == "hw")
+        assert hw == gp.targets.hw_handlers
+
+
+class TestTargetsTable:
+    def test_all_six_protocols_defined(self):
+        assert set(TARGETS) == {
+            "bitvector", "dyn_ptr", "sci", "coma", "rac", "common"
+        }
+
+    def test_common_has_no_handlers(self):
+        gp = generate_protocol("common")
+        assert gp.info.handlers == {}
+
+    def test_catalog_totals_match_paper(self):
+        # 34 errors, 69 false positives (25 of them useless annotations),
+        # 6 minor, 11 violations, 3 uncounted, 18 useful annotations.
+        totals = {}
+        for proto, specs in CATALOG.items():
+            for spec in specs:
+                per = 2 if spec.idiom == "msglen-runtime-flag" else 1
+                totals[spec.label] = totals.get(spec.label, 0) + spec.count * per
+        assert totals["error"] == 34
+        assert totals["fp"] + totals["useless-annotation"] == 69
+        assert totals["minor"] == 6
+        assert totals["violation"] == 11
+        assert totals["uncounted"] == 3
+        assert totals["useful-annotation"] == 18

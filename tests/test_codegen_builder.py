@@ -1,0 +1,147 @@
+"""RoutineBuilder unit tests: the emitted idioms are structurally what
+the checkers expect, and lane accounting is conservative."""
+
+import random
+
+from repro.flash.codegen.builder import RoutineBuilder
+from repro.flash.codegen.emit import Emitter
+from repro.flash import machine
+from repro.project import Program
+
+
+def build(kind="hw", n_vars=4, fn=None, **kwargs):
+    emitter = Emitter("unit.c")
+    rb = RoutineBuilder(emitter, "R", kind, random.Random(1),
+                        n_vars=n_vars, **kwargs)
+    rb.begin()
+    if fn is not None:
+        fn(rb)
+    rb.end()
+    return rb, emitter.text()
+
+
+def parse_routine(text):
+    program = Program({"unit.c": text})
+    return program, program.function("R")
+
+
+class TestSkeleton:
+    def test_hw_routine_parses_with_hooks(self):
+        _, text = build("hw")
+        _, func = parse_routine(text)
+        first_two = [s.expr.callee_name for s in func.body.stmts[:2]]
+        assert first_two == ["HANDLER_DEFS", "HANDLER_PROLOGUE"]
+
+    def test_sw_routine_uses_sw_prologue(self):
+        _, text = build("sw")
+        assert "SWHANDLER_PROLOGUE();" in text
+
+    def test_proc_routine_uses_subroutine_prologue(self):
+        _, text = build("proc")
+        assert "SUBROUTINE_PROLOGUE();" in text
+
+    def test_hw_epilogue_frees(self):
+        _, text = build("hw")
+        assert "DB_FREE();" in text
+
+    def test_proc_epilogue_does_not_free(self):
+        _, text = build("proc")
+        assert "DB_FREE();" not in text
+
+    def test_variable_count(self):
+        rb, text = build("hw", n_vars=5)
+        assert len(rb.var_names) == 5
+        assert text.count("unsigned ") == 5
+
+
+class TestLaneAccounting:
+    def test_sequential_sends_counted(self):
+        def body(rb):
+            rb.send_block(form="PI_SEND", flag="F_NODATA")
+            rb.send_block(form="PI_SEND", flag="F_NODATA")
+        rb, _ = build("hw", fn=body)
+        assert rb.lane_max[machine.LANE_PI] == 2
+
+    def test_branch_takes_max(self):
+        def body(rb):
+            rb.branch(
+                lambda: rb.send_block(form="IO_SEND", flag="F_NODATA"),
+                lambda: rb.send_block(form="IO_SEND", flag="F_NODATA"),
+            )
+        rb, _ = build("hw", fn=body)
+        assert rb.lane_max[machine.LANE_IO] == 1
+
+    def test_wait_for_space_resets(self):
+        def body(rb):
+            rb.send_block(form="NI_SEND_REQ", flag="F_NODATA")
+            rb.wait_for_space(machine.LANE_NI_REQUEST)
+            rb.send_block(form="NI_SEND_REQ", flag="F_NODATA")
+        rb, _ = build("hw", fn=body)
+        assert rb.lane_max[machine.LANE_NI_REQUEST] == 1
+
+    def test_uncounted_send_excluded(self):
+        def body(rb):
+            rb.send_block(form="PI_SEND", flag="F_NODATA",
+                          count_lane=False)
+        rb, _ = build("hw", fn=body)
+        assert rb.lane_max == [0, 0, 0, 0]
+
+
+class TestSegments:
+    def test_alloc_block_checks_error(self):
+        def body(rb):
+            rb.alloc_block()
+        _, text = build("hw", fn=body)
+        assert "DB_ALLOC();" in text
+        assert "DB_IS_ERROR(buf)" in text
+
+    def test_nak_exit_frees_before_return(self):
+        def body(rb):
+            rb.nak_exit()
+        _, text = build("hw", fn=body)
+        assert "MSG_NAK" in text
+        nak_pos = text.index("MSG_NAK")
+        free_pos = text.index("DB_FREE();", nak_pos)
+        ret_pos = text.index("return;", free_pos)
+        assert free_pos < ret_pos
+
+    def test_dir_block_line_count_helper(self):
+        def body(rb):
+            lines = rb.dir_block(reads=2, modify=True)
+            assert rb.dir_lines_for(2, True) == 5
+            assert len(lines["reads"]) == 2
+        build("hw", fn=body)
+
+    def test_read_block_synchronized_by_default(self):
+        def body(rb):
+            rb.read_block()
+        _, text = build("hw", fn=body)
+        assert text.index("WAIT_FOR_DB_FULL") < text.index("MISCBUS_READ_DB")
+
+    def test_explicit_return_frees_once(self):
+        def body(rb):
+            rb.explicit_return()
+        _, text = build("hw", fn=body)
+        assert text.count("DB_FREE();") == 1
+        assert text.count("return;") == 1
+
+    def test_nostack_call_emits_set_stackptr(self):
+        def body(rb):
+            rb.call("helper")
+        _, text = build("hw", fn=body, nostack=True)
+        assert "SET_STACKPTR();" in text
+
+    def test_everything_parses(self):
+        def body(rb):
+            rb.filler(3)
+            rb.loop_filler(2)
+            rb.switch_dispatch(arms=2)
+            rb.read_block()
+            rb.send_block(wait=True)
+            rb.stray_wait()
+            rb.dir_block(reads=1, modify=True)
+            rb.alloc_block()
+            rb.free_and_return()
+        _, text = build("hw", fn=body)
+        program, func = parse_routine(text)
+        assert func.name == "R"

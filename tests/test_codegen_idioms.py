@@ -1,0 +1,125 @@
+"""Each seed idiom, in isolation: the emitted code triggers exactly its
+checker at exactly the recorded line."""
+
+import random
+
+import pytest
+
+from repro.checkers import (
+    AllocFailChecker,
+    BufferMgmtChecker,
+    BufferRaceChecker,
+    DirectoryChecker,
+    LaneChecker,
+    MsgLengthChecker,
+    SendWaitChecker,
+)
+from repro.flash.codegen.builder import RoutineBuilder
+from repro.flash.codegen.bugs import IDIOMS
+from repro.flash.codegen.emit import Emitter
+from repro.project import HandlerInfo, Program, ProtocolInfo
+
+CHECKER_FOR = {
+    "buffer-race": BufferRaceChecker,
+    "msg-length": MsgLengthChecker,
+    "buffer-mgmt": BufferMgmtChecker,
+    "lanes": LaneChecker,
+    "alloc-fail": AllocFailChecker,
+    "directory": DirectoryChecker,
+    "send-wait": SendWaitChecker,
+}
+
+
+def emit_idiom(key: str, label: str):
+    """Emit one idiom into a standalone routine; returns (program, sites)."""
+    idiom = IDIOMS[key]
+    emitter = Emitter("seed.c")
+    rng = random.Random(42)
+    kind = idiom.kind
+    rb = RoutineBuilder(emitter, "SeedRoutine", kind, rng, n_vars=4)
+    rb.free_helper = "helper_free"
+    rb.begin(omit_hook=idiom.omit_hook)
+    info = ProtocolInfo(name="t")
+    if kind in ("hw", "sw"):
+        info.handlers["SeedRoutine"] = HandlerInfo("SeedRoutine", kind)
+    if kind == "proc" and key.startswith("buf-"):
+        rb.has_buffer = True
+        info.free_routines.add("SeedRoutine")
+    sites = idiom.emit(rb, label)
+    rb.filler(2)
+    rb.end()
+    if kind in ("hw", "sw"):
+        allowance = tuple(max(1, m) for m in rb.lane_max)
+        info.handlers["SeedRoutine"] = HandlerInfo(
+            "SeedRoutine", kind, lane_allowance=allowance)
+    info.free_routines.add("helper_free")
+    if kind == "proc" and idiom.cost.sends:
+        info.buffer_use_routines.add("SeedRoutine")
+    # A helper body so calls resolve.
+    emitter.line("void helper_free(void) {")
+    emitter.line("    SUBROUTINE_PROLOGUE();")
+    emitter.line("    DB_FREE();")
+    emitter.line("}")
+    program = Program({"seed.c": emitter.text()}, info=info)
+    return program, sites
+
+
+REPORTING_IDIOMS = [
+    ("race-read-error", "error"),
+    ("race-read-fp", "fp"),
+    ("msglen-uncached", "error"),
+    ("msglen-eager", "error"),
+    ("msglen-harmless", "error"),
+    ("msglen-rac-queue", "error"),
+    ("msglen-runtime-flag", "fp"),
+    ("buf-double-free", "error"),
+    ("buf-leak", "error"),
+    ("buf-minor", "minor"),
+    ("lane-workaround", "error"),
+    ("lane-typo", "error"),
+    ("alloc-debug", "fp"),
+    ("dir-forgot-writeback", "error"),
+    ("dir-subroutine", "fp"),
+    ("dir-speculative", "fp"),
+    ("dir-abstraction", "fp"),
+    ("swait-spin", "fp"),
+    ("swait-spin-proc", "fp"),
+]
+
+
+@pytest.mark.parametrize("key,label", REPORTING_IDIOMS)
+def test_idiom_triggers_its_checker_at_recorded_lines(key, label):
+    program, sites = emit_idiom(key, label)
+    assert sites, key
+    checker_cls = CHECKER_FOR[sites[0].checker]
+    result = checker_cls().check(program)
+    got = {(r.location.filename, r.location.line) for r in result.reports}
+    for site in sites:
+        assert (site.file, site.line) in got, (key, site, sorted(got))
+
+
+@pytest.mark.parametrize("key,label", [
+    ("buf-useful-annotation", "useful-annotation"),
+    ("buf-useless-annotation", "useless-annotation"),
+])
+def test_annotation_idioms_suppress_and_record(key, label):
+    program, sites = emit_idiom(key, label)
+    result = BufferMgmtChecker().check(program)
+    # No reports (suppressed), and the annotation site is honoured.
+    assert result.reports == []
+    honoured = {(a.filename, a.line) for a in result.annotations}
+    for site in sites:
+        assert (site.file, site.line) in honoured
+
+
+@pytest.mark.parametrize("key,label", [
+    ("hook-omission", "violation"),
+    ("hook-omission-proc", "uncounted"),
+])
+def test_hook_omission_idioms(key, label):
+    from repro.checkers import ExecRestrictChecker
+    program, sites = emit_idiom(key, label)
+    result = ExecRestrictChecker().check(program)
+    got = {(r.location.filename, r.location.line) for r in result.reports}
+    for site in sites:
+        assert (site.file, site.line) in got

@@ -1,0 +1,201 @@
+"""Dominator analysis and the redundant-wait transformation."""
+
+from repro.cfg import build_cfg
+from repro.cfg.dominators import compute_dominators
+from repro.checkers import BufferRaceChecker
+from repro.lang import annotate, parse
+from repro.lang.unparse import unparse_unit
+from repro.mc.transform import RedundantWaitEliminator
+from repro.project import program_from_source
+
+
+def cfg_of(body: str):
+    unit = parse(f"void f(void) {{ {body} }}")
+    return build_cfg(unit.function("f"))
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = cfg_of("a(); if (x) { b(); } c();")
+        dom = compute_dominators(cfg)
+        for block in cfg.reachable_blocks():
+            assert dom.dominates(cfg.entry.index, block.index)
+
+    def test_self_domination(self):
+        cfg = cfg_of("a();")
+        dom = compute_dominators(cfg)
+        assert dom.dominates(cfg.entry.index, cfg.entry.index)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        cfg = cfg_of("if (x) { a(); } else { b(); } c();")
+        dom = compute_dominators(cfg)
+        entry = cfg.entry
+        then_block = entry.out_edges[0].dst
+        join = then_block.out_edges[0].dst
+        assert not dom.dominates(then_block.index, join.index)
+        assert dom.dominates(entry.index, join.index)
+
+    def test_straightline_chain(self):
+        cfg = cfg_of("a(); b();")
+        dom = compute_dominators(cfg)
+        # entry -> exit: entry dominates exit
+        assert dom.dominates(cfg.entry.index, cfg.exit.index)
+
+    def test_immediate_dominator_of_entry_is_none(self):
+        cfg = cfg_of("a();")
+        dom = compute_dominators(cfg)
+        assert dom.immediate_dominator(cfg.entry.index) is None
+
+    def test_dominators_of_lists_chain(self):
+        cfg = cfg_of("if (x) { a(); } c();")
+        dom = compute_dominators(cfg)
+        chain = dom.dominators_of(cfg.exit.index)
+        assert chain[-1] == cfg.entry.index
+        assert chain[0] == cfg.exit.index
+
+    def test_loop_header_dominates_body(self):
+        cfg = cfg_of("while (x) { a(); }")
+        dom = compute_dominators(cfg)
+        header = next(b for b in cfg.blocks if b.note == "loop-head")
+        body = next(b for b in cfg.blocks if b.note == "loop-body")
+        assert dom.dominates(header.index, body.index)
+        assert not dom.dominates(body.index, header.index)
+
+
+def transform(src):
+    unit = parse(src)
+    annotate(unit)
+    results = RedundantWaitEliminator().transform_unit(unit)
+    return unit, results
+
+
+class TestRedundantWaitElimination:
+    def test_straightline_duplicate_removed(self):
+        unit, results = transform("""
+            void h(void) {
+                unsigned v;
+                WAIT_FOR_DB_FULL(a);
+                WAIT_FOR_DB_FULL(a);
+                v = MISCBUS_READ_DB(a, 0);
+            }
+        """)
+        assert len(results[0].removed) == 1
+        text = unparse_unit(unit)
+        assert text.count("WAIT_FOR_DB_FULL") == 1
+
+    def test_single_wait_kept(self):
+        unit, results = transform("""
+            void h(void) {
+                unsigned v;
+                WAIT_FOR_DB_FULL(a);
+                v = MISCBUS_READ_DB(a, 0);
+            }
+        """)
+        assert results[0].removed == []
+
+    def test_wait_after_both_branches_waited_removed(self):
+        unit, results = transform("""
+            void h(void) {
+                unsigned v;
+                if (c) { WAIT_FOR_DB_FULL(a); v = MISCBUS_READ_DB(a, 0); }
+                else { WAIT_FOR_DB_FULL(a); }
+                WAIT_FOR_DB_FULL(a);
+                v = MISCBUS_READ_DB(a, 4);
+            }
+        """)
+        assert len(results[0].removed) == 1
+        assert unparse_unit(unit).count("WAIT_FOR_DB_FULL") == 2
+
+    def test_wait_after_one_armed_branch_kept(self):
+        unit, results = transform("""
+            void h(void) {
+                unsigned v;
+                if (c) { WAIT_FOR_DB_FULL(a); }
+                WAIT_FOR_DB_FULL(a);
+                v = MISCBUS_READ_DB(a, 0);
+            }
+        """)
+        # The else path never waited, so the late wait is load-bearing.
+        assert results[0].removed == []
+
+    def test_wait_inside_loop_after_prior_wait_removed(self):
+        unit, results = transform("""
+            void h(void) {
+                unsigned v;
+                WAIT_FOR_DB_FULL(a);
+                while (c) {
+                    WAIT_FOR_DB_FULL(a);
+                    v = MISCBUS_READ_DB(a, 0);
+                }
+            }
+        """)
+        assert len(results[0].removed) == 1
+
+    def test_wait_only_inside_loop_kept(self):
+        unit, results = transform("""
+            void h(void) {
+                unsigned v;
+                while (c) {
+                    WAIT_FOR_DB_FULL(a);
+                    v = MISCBUS_READ_DB(a, 0);
+                }
+            }
+        """)
+        # The loop may not execute; its wait is the first on its path.
+        assert results[0].removed == []
+
+    def test_checker_clean_before_and_after(self):
+        src = """
+            void h(void) {
+                unsigned v;
+                WAIT_FOR_DB_FULL(a);
+                if (c) { WAIT_FOR_DB_FULL(a); v = MISCBUS_READ_DB(a, 0); }
+                WAIT_FOR_DB_FULL(a);
+                v = MISCBUS_READ_DB(a, 4);
+            }
+        """
+        before = BufferRaceChecker().check(program_from_source(src))
+        assert before.reports == []
+        unit, results = transform(src)
+        assert len(results[0].removed) == 2
+        after_src = unparse_unit(unit)
+        after = BufferRaceChecker().check(program_from_source(after_src))
+        assert after.reports == []
+
+    def test_transformation_never_introduces_races(self):
+        # Apply to every generated common-code routine and re-check.
+        from repro.flash.codegen import generate_protocol
+        gp = generate_protocol("common")
+        program = gp.program()
+        unit = program.units["common_util.c"]
+        RedundantWaitEliminator().transform_unit(unit)
+        after = BufferRaceChecker().check(
+            program_from_source(unparse_unit(unit)))
+        # common has exactly one seeded (debug) race; no new ones appear.
+        assert len(after.reports) == 1
+
+    def test_simulator_behaviour_unchanged(self):
+        from repro.flash.sim import FlashMachine, WorkloadSpec
+        src = """
+            void H(void) {
+                unsigned v;
+                WAIT_FOR_DB_FULL(0);
+                WAIT_FOR_DB_FULL(0);
+                v = MISCBUS_READ_DB(0, 0);
+                DB_FREE();
+                return;
+            }
+        """
+        spec = WorkloadSpec(messages=50, opcode_weights=((1, 1),))
+
+        def run(source):
+            program = program_from_source(source)
+            funcs = {f.name: f for f in program.functions()}
+            return FlashMachine(funcs, {1: "H"}).run(spec)
+
+        before = run(src)
+        unit, results = transform(src)
+        assert len(results[0].removed) == 1
+        after = run(unparse_unit(unit))
+        assert before.clean and after.clean
+        assert before.handlers_run == after.handlers_run

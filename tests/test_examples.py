@@ -1,0 +1,48 @@
+"""Every example script runs green (the slow full-evaluation one is
+covered by the integration tests and benchmarks instead)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "Buffer not synchronized" in out
+
+
+def test_custom_checker_locks(capsys):
+    run_example("custom_checker_locks.py")
+    out = capsys.readouterr().out
+    assert "self-deadlock" in out
+    assert "3 bugs found" in out
+
+
+def test_simulate_bug_manifestation(capsys):
+    run_example("simulate_bug_manifestation.py")
+    out = capsys.readouterr().out
+    assert "DEADLOCK" in out
+    assert "static checker" in out
+    assert "ran 100000 handlers cleanly" in out
+
+
+def test_optimize_waits(capsys):
+    run_example("optimize_waits.py")
+    out = capsys.readouterr().out
+    assert "2 of 4 waits removed" in out
+
+
+def test_msi_protocol(capsys):
+    run_example("msi_protocol.py")
+    out = capsys.readouterr().out
+    assert "0 diagnostics" in out
+    assert "directory entries verified" in out

@@ -1,0 +1,165 @@
+"""Integration: seeded static-checker bugs manifest dynamically.
+
+The paper's motivation is that these bugs otherwise "show up sporadically
+only after days of continuous use".  These tests run the buggy idioms in
+the FlashLite-lite simulator and watch them fail, then run the fixed
+versions and watch them pass — closing the loop between the static and
+dynamic halves of the reproduction.
+"""
+
+import pytest
+
+from repro.flash.sim import FlashMachine, WorkloadSpec
+from repro.flash.sim.interp import Interpreter
+from repro.project import program_from_source
+
+
+def machine_for(src, dispatch, **kwargs):
+    prog = program_from_source(src)
+    funcs = {f.name: f for f in prog.functions()}
+    return FlashMachine(funcs, dispatch, **kwargs)
+
+
+BUGGY_DOUBLE_FREE = """
+void forward_and_free(void) { DB_FREE(); }
+void H(void) {
+    unsigned addr;
+    addr = HANDLER_GLOBALS(header.nh.addr);
+    if ((addr & 1023) == 8) {
+        forward_and_free();
+        DB_FREE();
+        return;
+    }
+    DB_FREE();
+    return;
+}
+"""
+
+FIXED_DOUBLE_FREE = BUGGY_DOUBLE_FREE.replace(
+    "        forward_and_free();\n        DB_FREE();",
+    "        forward_and_free();",
+)
+
+
+class TestDoubleFree:
+    def test_buggy_version_corrupts_pool(self):
+        m = machine_for(BUGGY_DOUBLE_FREE, {1: "H"})
+        stats = m.run(WorkloadSpec(messages=2000, opcode_weights=((1, 1),)))
+        assert stats.double_frees > 0
+
+    def test_fixed_version_clean(self):
+        m = machine_for(FIXED_DOUBLE_FREE, {1: "H"})
+        stats = m.run(WorkloadSpec(messages=2000, opcode_weights=((1, 1),)))
+        assert stats.double_frees == 0
+        assert stats.clean
+
+    def test_bug_is_rare(self):
+        # 1 in 64 addresses takes the buggy path: sporadic, like the paper.
+        m = machine_for(BUGGY_DOUBLE_FREE, {1: "H"})
+        stats = m.run(WorkloadSpec(messages=2000, opcode_weights=((1, 1),)))
+        assert 0 < stats.double_frees < stats.handlers_run / 10
+
+
+BUGGY_LEAK = """
+void H(void) {
+    unsigned addr;
+    addr = HANDLER_GLOBALS(header.nh.addr);
+    if ((addr & 511) == 24) {
+        return;
+    }
+    DB_FREE();
+    return;
+}
+"""
+
+
+class TestLeak:
+    def test_low_grade_leak_deadlocks_eventually(self):
+        m = machine_for(BUGGY_LEAK, {1: "H"}, n_buffers=8)
+        stats = m.run(WorkloadSpec(messages=200000,
+                                   opcode_weights=((1, 1),)))
+        assert stats.deadlock is not None
+        # many clean handler executions happen first - the "days of
+        # continuous use" failure profile
+        assert stats.handlers_run > 500
+
+    def test_fixed_version_survives_same_workload(self):
+        fixed = BUGGY_LEAK.replace("        return;\n    }",
+                                   "        DB_FREE();\n        return;\n    }", 1)
+        m = machine_for(fixed, {1: "H"}, n_buffers=8)
+        stats = m.run(WorkloadSpec(messages=20000, opcode_weights=((1, 1),)))
+        assert stats.deadlock is None
+
+
+BUGGY_LANES = """
+void H(void) {
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+    NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+    DB_FREE();
+    return;
+}
+"""
+
+
+class TestLaneOverrun:
+    def test_exceeding_lane_capacity_deadlocks(self):
+        m = machine_for(BUGGY_LANES, {1: "H"}, lane_capacity=1)
+        stats = m.run(WorkloadSpec(messages=10, opcode_weights=((1, 1),)))
+        assert stats.deadlock is not None
+        assert "overran" in stats.deadlock
+
+    def test_wait_for_space_avoids_deadlock(self):
+        fixed = BUGGY_LANES.replace(
+            "    NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);\n"
+            "    NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);",
+            "    NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);\n"
+            "    WAIT_FOR_SPACE(LANE_NI_REQUEST);\n"
+            "    NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);",
+        )
+        m = machine_for(fixed, {1: "H"}, lane_capacity=1)
+        stats = m.run(WorkloadSpec(messages=10, opcode_weights=((1, 1),)))
+        assert stats.deadlock is None
+
+
+class TestGeneratedProtocolRuns:
+    """The generated bitvector protocol executes under the interpreter."""
+
+    @pytest.fixture(scope="class")
+    def machine(self, bitvector):
+        prog = bitvector.program()
+        funcs = {f.name: f for f in prog.functions()}
+        # Dispatch a handful of *clean* hardware handlers (ones without
+        # seeded defects, identified via the manifest).
+        manifest_fns = set()
+        for site in bitvector.manifest:
+            best = None
+            for func in prog.functions():
+                if (func.location.filename == site.file
+                        and func.location.line <= site.line
+                        and (best is None
+                             or func.location.line > best.location.line)):
+                    best = func
+            if best is not None:
+                manifest_fns.add(best.name)
+        clean = [
+            h.name for h in bitvector.info.handlers.values()
+            if h.kind == "hw" and h.name not in manifest_fns
+        ][:5]
+        dispatch = {i + 1: name for i, name in enumerate(clean)}
+        return FlashMachine(funcs, dispatch, n_buffers=32,
+                            lane_capacity=16, max_hops=0)
+
+    def test_handlers_execute(self, machine):
+        weights = tuple((op, 1) for op in machine.dispatch)
+        stats = machine.run(WorkloadSpec(messages=60,
+                                         opcode_weights=weights))
+        assert stats.deadlock is None
+        assert stats.handlers_run == 60
+
+    def test_no_buffer_bugs_in_clean_handlers(self, machine):
+        weights = tuple((op, 1) for op in machine.dispatch)
+        stats = machine.run(WorkloadSpec(messages=60,
+                                         opcode_weights=weights))
+        assert stats.double_frees == 0
+        assert stats.leaked_buffers == 0

@@ -1,0 +1,97 @@
+"""AST node utilities and source bookkeeping."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse, parse_expression
+from repro.lang.source import Location, SourceFile, Span, unknown_location
+
+
+class TestWalk:
+    def test_walk_yields_self_first(self):
+        expr = parse_expression("a + b")
+        nodes = list(expr.walk())
+        assert nodes[0] is expr
+
+    def test_walk_preorder(self):
+        expr = parse_expression("f(a, b + c)")
+        kinds = [n.kind for n in expr.walk()]
+        assert kinds == ["Call", "Ident", "Ident", "BinaryOp", "Ident", "Ident"]
+
+    def test_children_of_if(self):
+        unit = parse("void f(void) { if (a) { g(); } else { h(); } }")
+        if_stmt = unit.function("f").body.stmts[0]
+        kinds = [c.kind for c in if_stmt.children()]
+        assert kinds == ["Ident", "Block", "Block"]
+
+    def test_walk_covers_declarations(self):
+        unit = parse("void f(void) { int x = g(); }")
+        calls = [n for n in unit.walk() if isinstance(n, ast.Call)]
+        assert len(calls) == 1
+
+
+class TestEquality:
+    def test_structural_equality_ignores_location(self):
+        a = parse_expression("x + 1")
+        b = parse_expression("  x   + 1")
+        assert a == b
+
+    def test_different_ops_not_equal(self):
+        assert parse_expression("x + 1") != parse_expression("x - 1")
+
+    def test_intlit_compares_by_value(self):
+        assert parse_expression("0x10") == parse_expression("16")
+
+    def test_different_names_not_equal(self):
+        assert parse_expression("f(a)") != parse_expression("f(b)")
+
+    def test_member_arrow_matters(self):
+        assert parse_expression("a.b") != parse_expression("a->b")
+
+
+class TestIntLit:
+    @pytest.mark.parametrize("text,value", [
+        ("0", 0), ("42", 42), ("0x1F", 31), ("017", 15), ("0xffUL", 255),
+        ("1u", 1), ("0", 0),
+    ])
+    def test_values(self, text, value):
+        assert ast.IntLit(text=text).value == value
+
+
+class TestSourceFile:
+    def test_location_of_offsets(self):
+        src = SourceFile("f.c", "ab\ncd\n")
+        assert src.location(0) == Location("f.c", 1, 1)
+        assert src.location(1) == Location("f.c", 1, 2)
+        assert src.location(3) == Location("f.c", 2, 1)
+        assert src.location(4) == Location("f.c", 2, 2)
+
+    def test_location_at_end(self):
+        src = SourceFile("f.c", "ab")
+        assert src.location(2).line == 1
+
+    def test_location_out_of_range(self):
+        src = SourceFile("f.c", "ab")
+        with pytest.raises(ValueError):
+            src.location(99)
+
+    def test_line_text(self):
+        src = SourceFile("f.c", "first\nsecond\nthird")
+        assert src.line_text(2) == "second"
+        assert src.line_text(3) == "third"
+
+    def test_line_count(self):
+        assert SourceFile("f.c", "a\nb\n").line_count == 2
+        assert SourceFile("f.c", "a\nb").line_count == 2
+        assert SourceFile("f.c", "").line_count == 0
+
+    def test_location_str(self):
+        assert str(Location("x.c", 3, 7)) == "x.c:3:7"
+
+    def test_span_point(self):
+        loc = Location("x.c", 1, 1)
+        span = Span.point(loc)
+        assert span.start == span.end == loc
+
+    def test_unknown_location(self):
+        assert unknown_location().line == 0

@@ -1,0 +1,171 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (tok,) = tokenize("hello")[:-1]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "hello"
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert texts("_x9 __foo a1b2") == ["_x9", "__foo", "a1b2"]
+
+    def test_keyword_recognized(self):
+        (tok,) = tokenize("while")[:-1]
+        assert tok.kind is TokenKind.KEYWORD
+
+    def test_keyword_prefix_is_identifier(self):
+        (tok,) = tokenize("whilem")[:-1]
+        assert tok.kind is TokenKind.IDENT
+
+    def test_all_c_keywords(self):
+        for kw in ("if", "else", "return", "switch", "case", "struct",
+                   "unsigned", "void", "typedef", "goto", "sizeof"):
+            assert tokenize(kw)[0].kind is TokenKind.KEYWORD
+
+
+class TestNumbers:
+    def test_decimal(self):
+        (tok,) = tokenize("1234")[:-1]
+        assert tok.kind is TokenKind.INT_LIT
+        assert tok.text == "1234"
+
+    def test_hex(self):
+        (tok,) = tokenize("0xDEADbeef")[:-1]
+        assert tok.kind is TokenKind.INT_LIT
+
+    def test_octal(self):
+        (tok,) = tokenize("0777")[:-1]
+        assert tok.kind is TokenKind.INT_LIT
+
+    def test_unsigned_long_suffixes(self):
+        for text in ("1u", "2UL", "3LL", "4uLL"):
+            (tok,) = tokenize(text)[:-1]
+            assert tok.kind is TokenKind.INT_LIT, text
+
+    def test_float(self):
+        for text in ("1.5", "2.", ".5", "1e10", "1.5e-3", "2f", "3.0F"):
+            (tok,) = tokenize(text)[:-1]
+            assert tok.kind is TokenKind.FLOAT_LIT, text
+
+    def test_int_then_member_not_float(self):
+        # "1..." forms: ensure a.b after number doesn't glue
+        toks = texts("x[1].f")
+        assert toks == ["x", "[", "1", "]", ".", "f"]
+
+    def test_ellipsis_not_consumed_by_number(self):
+        toks = texts("f(1, ...)")
+        assert "..." in toks
+
+
+class TestStringsAndChars:
+    def test_string(self):
+        (tok,) = tokenize('"hello world"')[:-1]
+        assert tok.kind is TokenKind.STRING_LIT
+        assert tok.text == '"hello world"'
+
+    def test_string_with_escapes(self):
+        (tok,) = tokenize(r'"a\"b\n"')[:-1]
+        assert tok.kind is TokenKind.STRING_LIT
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_char_literal(self):
+        (tok,) = tokenize("'a'")[:-1]
+        assert tok.kind is TokenKind.CHAR_LIT
+
+    def test_escaped_char(self):
+        (tok,) = tokenize(r"'\n'")[:-1]
+        assert tok.kind is TokenKind.CHAR_LIT
+
+    def test_unterminated_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x */ b") == ["a", "b"]
+
+    def test_multiline_block_comment(self):
+        assert texts("a /* 1\n2\n3 */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* oops")
+
+    def test_comment_containing_string(self):
+        assert texts('a /* "not a string */ b') == ["a", "b"]
+
+
+class TestDirectives:
+    def test_include_quoted_keeps_rest_of_line(self):
+        # Critical for the metal preamble { #include "x.h" }.
+        assert texts('{ #include "flash-includes.h" }') == ["{", "}"]
+
+    def test_include_angle(self):
+        assert texts("#include <stdio.h>\nx") == ["x"]
+
+    def test_define_skips_line(self):
+        assert texts("#define FOO 12 + bar\nx") == ["x"]
+
+    def test_define_with_continuation(self):
+        assert texts("#define FOO \\\n 12\nx") == ["x"]
+
+    def test_ifdef_endif(self):
+        assert texts("#ifdef A\nx\n#endif\n") == ["x"]
+
+
+class TestPunctuation:
+    def test_longest_match(self):
+        assert texts("a <<= b") == ["a", "<<=", "b"]
+
+    def test_arrow_vs_minus(self):
+        assert texts("a->b - c") == ["a", "->", "b", "-", "c"]
+
+    def test_increment_vs_plus(self):
+        assert texts("a++ + b") == ["a", "++", "+", "b"]
+
+    def test_all_compound_assignment_ops(self):
+        for op in ("+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=", "<<=", ">>="):
+            assert texts(f"a {op} b")[1] == op
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a ` b")
+
+
+class TestLocations:
+    def test_line_and_column(self):
+        tokens = tokenize("a\n  bb\n   c")
+        a, bb, c = tokens[:-1]
+        assert (a.location.line, a.location.column) == (1, 1)
+        assert (bb.location.line, bb.location.column) == (2, 3)
+        assert (c.location.line, c.location.column) == (3, 4)
+
+    def test_filename_propagates(self):
+        tok = tokenize("x", filename="proto.c")[0]
+        assert tok.location.filename == "proto.c"

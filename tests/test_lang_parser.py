@@ -1,0 +1,318 @@
+"""Parser tests: declarations, statements, expressions, precedence."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.parser import parse, parse_expression, parse_statement
+
+
+class TestExpressions:
+    def test_integer_literal(self):
+        expr = parse_expression("42")
+        assert isinstance(expr, ast.IntLit)
+        assert expr.value == 42
+
+    def test_hex_literal_value(self):
+        assert parse_expression("0x10").value == 16
+
+    def test_octal_literal_value(self):
+        assert parse_expression("010").value == 8
+
+    def test_suffixed_literal_value(self):
+        assert parse_expression("42UL").value == 42
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        expr = parse_expression("a << 2 + 1")
+        assert expr.op == "<<"
+        assert expr.right.op == "+"
+
+    def test_precedence_bitand_below_equality(self):
+        expr = parse_expression("a & b == c")
+        assert expr.op == "&"
+        assert expr.right.op == "=="
+
+    def test_logical_and_or(self):
+        expr = parse_expression("a || b && c")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_left_associativity(self):
+        expr = parse_expression("a - b - c")
+        assert expr.op == "-"
+        assert isinstance(expr.left, ast.BinaryOp) and expr.left.op == "-"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_assignment_right_associative(self):
+        expr = parse_expression("a = b = c")
+        assert isinstance(expr, ast.Assign)
+        assert isinstance(expr.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        expr = parse_expression("a += 2")
+        assert isinstance(expr, ast.Assign) and expr.op == "+="
+
+    def test_ternary(self):
+        expr = parse_expression("a ? b : c")
+        assert isinstance(expr, ast.Ternary)
+
+    def test_nested_ternary_right_assoc(self):
+        expr = parse_expression("a ? b : c ? d : e")
+        assert isinstance(expr.otherwise, ast.Ternary)
+
+    def test_call_no_args(self):
+        expr = parse_expression("f()")
+        assert isinstance(expr, ast.Call) and expr.args == []
+
+    def test_call_with_args(self):
+        expr = parse_expression("f(1, x, g(2))")
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[2], ast.Call)
+
+    def test_callee_name(self):
+        assert parse_expression("PI_SEND(1)").callee_name == "PI_SEND"
+
+    def test_member_chain(self):
+        expr = parse_expression("a.b.c")
+        assert isinstance(expr, ast.Member) and expr.name == "c"
+        assert isinstance(expr.base, ast.Member) and expr.base.name == "b"
+
+    def test_arrow(self):
+        expr = parse_expression("p->f")
+        assert expr.arrow is True
+
+    def test_index(self):
+        expr = parse_expression("a[i + 1]")
+        assert isinstance(expr, ast.Index)
+
+    def test_postfix_chain(self):
+        expr = parse_expression("a.b[0].c")
+        assert isinstance(expr, ast.Member)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_unary_operators(self):
+        for op in ("-", "!", "~", "*", "&", "++", "--"):
+            expr = parse_expression(f"{op}x")
+            assert isinstance(expr, ast.UnaryOp) and expr.op == op
+
+    def test_postincrement(self):
+        expr = parse_expression("x++")
+        assert isinstance(expr, ast.PostfixOp) and expr.op == "++"
+
+    def test_sizeof_expr(self):
+        assert isinstance(parse_expression("sizeof(x)"), ast.SizeofExpr)
+
+    def test_sizeof_type(self):
+        assert isinstance(parse_expression("sizeof(unsigned)"), ast.SizeofType)
+
+    def test_cast(self):
+        expr = parse_expression("(unsigned)x")
+        assert isinstance(expr, ast.Cast)
+
+    def test_cast_with_typedef(self):
+        expr = parse_expression("(u32)x", typedefs={"u32"})
+        assert isinstance(expr, ast.Cast)
+
+    def test_comma_operator(self):
+        expr = parse_expression("a = 1, b = 2")
+        assert isinstance(expr, ast.Comma)
+        assert len(expr.parts) == 2
+
+    def test_adjacent_string_concatenation(self):
+        expr = parse_expression('"ab" "cd"')
+        assert isinstance(expr, ast.StringLit)
+        assert expr.text == '"abcd"'
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("a b")
+
+    def test_unbalanced_paren_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("(a + b")
+
+
+class TestStatements:
+    def test_expression_statement(self):
+        stmt = parse_statement("f();")
+        assert isinstance(stmt, ast.ExprStmt)
+
+    def test_empty_statement(self):
+        assert isinstance(parse_statement(";"), ast.EmptyStmt)
+
+    def test_if_else(self):
+        stmt = parse_statement("if (a) f(); else g();")
+        assert isinstance(stmt, ast.If)
+        assert stmt.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = parse_statement("if (a) if (b) f(); else g();")
+        assert stmt.otherwise is None
+        assert stmt.then.otherwise is not None
+
+    def test_while(self):
+        stmt = parse_statement("while (a < 3) a++;")
+        assert isinstance(stmt, ast.While)
+
+    def test_do_while(self):
+        stmt = parse_statement("do { f(); } while (x);")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_for_full(self):
+        stmt = parse_statement("for (i = 0; i < 10; i++) f();")
+        assert isinstance(stmt, ast.For)
+        assert stmt.init is not None and stmt.cond is not None
+
+    def test_for_with_declaration(self):
+        stmt = parse_statement("for (int i = 0; i < 10; i++) f();")
+        assert isinstance(stmt.init, ast.DeclStmt)
+
+    def test_for_empty_clauses(self):
+        stmt = parse_statement("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_switch_with_cases(self):
+        stmt = parse_statement(
+            "switch (x) { case 1: f(); break; default: g(); }"
+        )
+        assert isinstance(stmt, ast.Switch)
+        kinds = [type(s).__name__ for s in stmt.body.stmts]
+        assert "Case" in kinds and "Default" in kinds
+
+    def test_return_value(self):
+        stmt = parse_statement("return x + 1;")
+        assert isinstance(stmt, ast.Return) and stmt.value is not None
+
+    def test_return_void(self):
+        assert parse_statement("return;").value is None
+
+    def test_goto_and_label(self):
+        stmt = parse_statement("goto out;")
+        assert isinstance(stmt, ast.Goto) and stmt.label == "out"
+        label = parse_statement("out:")
+        assert isinstance(label, ast.Label) and label.name == "out"
+
+    def test_local_declaration(self):
+        stmt = parse_statement("unsigned a = 1, b;")
+        assert isinstance(stmt, ast.DeclStmt)
+        assert [d.name for d in stmt.decls] == ["a", "b"]
+        assert stmt.decls[0].init is not None
+
+    def test_pointer_declaration(self):
+        stmt = parse_statement("int *p;")
+        assert stmt.decls[0].type_name.pointer_depth == 1
+
+    def test_array_declaration(self):
+        stmt = parse_statement("int a[4];")
+        assert len(stmt.decls[0].type_name.array_dims) == 1
+
+    def test_block(self):
+        stmt = parse_statement("{ f(); g(); }")
+        assert isinstance(stmt, ast.Block)
+        assert len(stmt.stmts) == 2
+
+
+class TestTopLevel:
+    def test_function_definition(self):
+        unit = parse("void f(void) { return; }")
+        func = unit.function("f")
+        assert func.takes_no_params
+        assert func.return_type.is_void
+
+    def test_function_with_params(self):
+        unit = parse("int add(int a, int b) { return a + b; }")
+        func = unit.function("add")
+        assert [p.name for p in func.params] == ["a", "b"]
+        assert not func.takes_no_params
+
+    def test_prototype(self):
+        unit = parse("int f(int x);")
+        assert isinstance(unit.decls[0], ast.FunctionDecl)
+
+    def test_global_variable(self):
+        unit = parse("static unsigned counter = 0;")
+        decl = unit.decls[0]
+        assert isinstance(decl, ast.VarDecl)
+        assert decl.storage == "static"
+
+    def test_multiple_globals_one_line(self):
+        unit = parse("int a, b, *c;")
+        assert [d.name for d in unit.decls] == ["a", "b", "c"]
+        assert unit.decls[2].type_name.pointer_depth == 1
+
+    def test_struct_definition(self):
+        unit = parse("struct H { int len; unsigned op; };")
+        struct = unit.decls[0]
+        assert isinstance(struct, ast.StructDef)
+        assert [f.name for f in struct.fields_] == ["len", "op"]
+
+    def test_union_definition(self):
+        unit = parse("union U { int i; unsigned u; };")
+        assert unit.decls[0].is_union
+
+    def test_nested_struct_reference(self):
+        unit = parse(
+            "struct A { int x; };\nstruct B { struct A a; };"
+        )
+        field = unit.decls[1].fields_[0]
+        assert field.type_name.specifiers == ["struct", "A"]
+
+    def test_enum_definition(self):
+        unit = parse("enum E { RED, GREEN = 5, BLUE };")
+        enum = unit.decls[0]
+        assert isinstance(enum, ast.EnumDef)
+        assert [name for name, _ in enum.enumerators] == ["RED", "GREEN", "BLUE"]
+
+    def test_typedef_registers_name(self):
+        unit = parse("typedef unsigned long u32;\nu32 x;\nvoid f(void) { u32 y; y = 1; }")
+        assert isinstance(unit.decls[1], ast.VarDecl)
+
+    def test_typedef_struct(self):
+        unit = parse("typedef struct Hdr { int len; } Header;\nHeader h;")
+        assert isinstance(unit.decls[1], ast.VarDecl)
+
+    def test_functions_listing(self):
+        unit = parse("void a(void) {}\nint x;\nvoid b(void) {}")
+        assert [f.name for f in unit.functions()] == ["a", "b"]
+
+    def test_missing_function_raises_keyerror(self):
+        unit = parse("void a(void) {}")
+        with pytest.raises(KeyError):
+            unit.function("nope")
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { if (x) {")
+
+    def test_error_has_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("void f(void) { 1 +; }")
+        assert excinfo.value.location is not None
+
+
+class TestFlashShapedCode:
+    """The constructs the FLASH generator and checkers rely on."""
+
+    def test_handler_globals_assignment(self):
+        stmt = parse_statement("HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;")
+        expr = stmt.expr
+        assert isinstance(expr, ast.Assign)
+        assert expr.target.callee_name == "HANDLER_GLOBALS"
+
+    def test_send_macro_call(self):
+        stmt = parse_statement("NI_SEND(NI_REQUEST, F_DATA, 1, 0, 1, 0);")
+        assert len(stmt.expr.args) == 6
+
+    def test_read_inside_assignment(self):
+        stmt = parse_statement("v = MISCBUS_READ_DB(addr, 8);")
+        call = stmt.expr.value
+        assert call.callee_name == "MISCBUS_READ_DB"

@@ -1,0 +1,191 @@
+"""Type model and semantic annotation tests."""
+
+import pytest
+
+from repro.lang import ast, ctypes
+from repro.lang.parser import parse
+from repro.lang.sema import annotate
+
+
+def annotate_source(src, prelude_src=None):
+    unit = parse(src)
+    prelude = parse(prelude_src) if prelude_src else None
+    info = annotate(unit, prelude=prelude)
+    return unit, info
+
+
+def expr_of(unit, func, index=0):
+    """The expression of the index-th ExprStmt in a function body."""
+    stmts = [s for s in unit.function(func).body.stmts
+             if isinstance(s, ast.ExprStmt)]
+    return stmts[index].expr
+
+
+class TestCTypes:
+    def test_integer_sizes(self):
+        assert ctypes.CHAR.size_bits() == 8
+        assert ctypes.SHORT.size_bits() == 16
+        assert ctypes.INT.size_bits() == 32
+        assert ctypes.LONG_LONG.size_bits() == 64
+
+    def test_scalar_classification(self):
+        assert ctypes.INT.is_scalar
+        assert ctypes.FLOAT.is_scalar
+        assert ctypes.Pointer(ctypes.INT).is_scalar
+        assert not ctypes.VOID.is_scalar
+        assert not ctypes.Struct("s").is_scalar
+
+    def test_floating_flags(self):
+        assert ctypes.DOUBLE.is_floating
+        assert not ctypes.DOUBLE.is_integer
+        assert ctypes.UNSIGNED.is_integer
+
+    def test_pointer_size_is_32bit_mips(self):
+        assert ctypes.Pointer(ctypes.DOUBLE).size_bits() == 32
+
+    def test_array_size(self):
+        arr = ctypes.Array(ctypes.INT, 4)
+        assert arr.size_bits() == 128
+        assert ctypes.Array(ctypes.INT, None).size_bits() is None
+
+    def test_struct_size_sums_members(self):
+        s = ctypes.Struct("s", (("a", ctypes.INT), ("b", ctypes.CHAR)))
+        assert s.size_bits() == 40
+
+    def test_union_size_is_max(self):
+        u = ctypes.Struct("u", (("a", ctypes.INT), ("b", ctypes.LONG_LONG)),
+                          is_union=True)
+        assert u.size_bits() == 64
+
+    def test_struct_member_lookup(self):
+        s = ctypes.Struct("s", (("a", ctypes.INT),))
+        assert s.member("a") is ctypes.INT
+        assert s.member("z") is None
+
+    def test_base_type_spelling_lookup(self):
+        assert ctypes.lookup_base_type("unsigned long") is ctypes.UNSIGNED_LONG
+        assert ctypes.lookup_base_type("long int") is ctypes.LONG
+        assert ctypes.lookup_base_type("bogus") is None
+
+    def test_str_representations(self):
+        assert str(ctypes.Pointer(ctypes.INT)) == "int*"
+        assert str(ctypes.Array(ctypes.CHAR, 3)) == "char[3]"
+        assert str(ctypes.Struct("hdr")) == "struct hdr"
+
+
+class TestAnnotation:
+    def test_int_literal_type(self):
+        unit, _ = annotate_source("void f(void) { 1 + 2; }")
+        assert expr_of(unit, "f").ctype.is_integer
+
+    def test_local_variable_type(self):
+        unit, _ = annotate_source("void f(void) { unsigned x; x; }")
+        assert expr_of(unit, "f").ctype is ctypes.UNSIGNED
+
+    def test_parameter_type(self):
+        unit, _ = annotate_source("void f(double d) { d; }")
+        assert expr_of(unit, "f").ctype.is_floating
+
+    def test_float_propagates_through_arithmetic(self):
+        unit, _ = annotate_source("void f(float a) { a + 1; }")
+        assert expr_of(unit, "f").ctype.is_floating
+
+    def test_comparison_is_int(self):
+        unit, _ = annotate_source("void f(float a) { a < 1.0; }")
+        assert expr_of(unit, "f").ctype is ctypes.INT
+
+    def test_unknown_identifier_is_unknown_not_error(self):
+        unit, _ = annotate_source("void f(void) { mystery; }")
+        assert isinstance(expr_of(unit, "f").ctype, ctypes.Unknown)
+
+    def test_call_returns_function_return_type(self):
+        unit, _ = annotate_source(
+            "unsigned g(void);\nvoid f(void) { g(); }"
+        )
+        assert expr_of(unit, "f").ctype is ctypes.UNSIGNED
+
+    def test_member_access_resolves(self):
+        unit, _ = annotate_source(
+            "struct H { unsigned len; };\n"
+            "void f(void) { struct H h; h.len; }"
+        )
+        assert expr_of(unit, "f").ctype is ctypes.UNSIGNED
+
+    def test_arrow_through_pointer(self):
+        unit, _ = annotate_source(
+            "struct H { unsigned len; };\n"
+            "void f(struct H *p) { p->len; }"
+        )
+        assert expr_of(unit, "f").ctype is ctypes.UNSIGNED
+
+    def test_index_into_array(self):
+        unit, _ = annotate_source("void f(void) { int a[3]; a[0]; }")
+        assert expr_of(unit, "f").ctype.is_integer
+
+    def test_deref_pointer(self):
+        unit, _ = annotate_source("void f(int *p) { *p; }")
+        assert expr_of(unit, "f").ctype.is_integer
+
+    def test_address_of(self):
+        unit, _ = annotate_source("void f(void) { int x; &x; }")
+        assert isinstance(expr_of(unit, "f").ctype, ctypes.Pointer)
+
+    def test_cast_type(self):
+        unit, _ = annotate_source("void f(void) { (unsigned)1; }")
+        assert expr_of(unit, "f").ctype is ctypes.UNSIGNED
+
+    def test_typedef_resolution(self):
+        unit, _ = annotate_source(
+            "typedef unsigned long u32;\nvoid f(void) { u32 x; x; }"
+        )
+        assert expr_of(unit, "f").ctype is ctypes.UNSIGNED_LONG
+
+    def test_enum_constants_fold(self):
+        unit, info = annotate_source(
+            "enum E { A = 2, B, C = A + 4 };\nint arr[C];\n"
+        )
+        sym = info.file_scope.lookup("C")
+        assert sym.value == 6
+
+    def test_scopes_shadowing(self):
+        unit, _ = annotate_source(
+            "void f(void) { unsigned x; { float x; x; } }"
+        )
+        block = unit.function("f").body.stmts[1]
+        inner_expr = block.stmts[1].expr
+        assert inner_expr.ctype.is_floating
+
+    def test_for_loop_scope(self):
+        unit, _ = annotate_source(
+            "void f(void) { for (int i = 0; i < 3; i++) { i; } }"
+        )
+        # no crash, loop variable resolved
+        loop = unit.function("f").body.stmts[0]
+        assert loop.cond.ctype is ctypes.INT
+
+    def test_function_locals_recorded(self):
+        _, info = annotate_source(
+            "void f(int a) { unsigned b; { char c; } }"
+        )
+        names = [s.name for s in info.function_locals["f"]]
+        assert names == ["a", "b", "c"]
+
+    def test_prelude_declarations_visible(self):
+        unit, _ = annotate_source(
+            "void f(void) { DB_ALLOC(); }",
+            prelude_src="unsigned DB_ALLOC(void);",
+        )
+        assert expr_of(unit, "f").ctype is ctypes.UNSIGNED
+
+    def test_prelude_does_not_shift_line_numbers(self):
+        unit, _ = annotate_source(
+            "void f(void) { g(); }",
+            prelude_src="void g(void);\nvoid h(void);\n",
+        )
+        assert unit.function("f").location.line == 1
+
+    def test_strict_mode_raises_on_unknown_type(self):
+        from repro.errors import SemanticError
+        unit = parse("void f(void) { mystery_t x; }", typedefs={"mystery_t"})
+        with pytest.raises(SemanticError):
+            annotate(unit, strict=True)

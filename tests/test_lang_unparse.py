@@ -1,0 +1,154 @@
+"""Unparser tests, including hypothesis round-trip properties."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import ast
+from repro.lang.parser import parse, parse_expression, parse_statement
+from repro.lang.unparse import unparse_expr, unparse_stmt, unparse_unit
+
+
+class TestExprUnparse:
+    def test_simple(self):
+        assert unparse_expr(parse_expression("a + b")) == "a + b"
+
+    def test_minimal_parens_precedence(self):
+        assert unparse_expr(parse_expression("(a + b) * c")) == "(a + b) * c"
+        assert unparse_expr(parse_expression("a + b * c")) == "a + b * c"
+
+    def test_nested_calls(self):
+        text = "f(g(x), y + 1)"
+        assert unparse_expr(parse_expression(text)) == text
+
+    def test_member_and_index(self):
+        text = "a.b[i]->c"
+        assert unparse_expr(parse_expression(text)) == "a.b[i]->c"
+
+    def test_assignment(self):
+        assert unparse_expr(parse_expression("a = b + 1")) == "a = b + 1"
+
+    def test_ternary(self):
+        assert unparse_expr(parse_expression("a ? b : c")) == "a ? b : c"
+
+    def test_unary(self):
+        assert unparse_expr(parse_expression("-x + !y")) == "-x + !y"
+
+    def test_handler_globals_lvalue(self):
+        text = "HANDLER_GLOBALS(header.nh.len) = LEN_NODATA"
+        assert unparse_expr(parse_expression(text)) == text
+
+
+class TestStmtUnparse:
+    def test_if_else(self):
+        stmt = parse_statement("if (a) { f(); } else { g(); }")
+        text = unparse_stmt(stmt)
+        assert "if (a)" in text and "else" in text
+
+    def test_for_loop(self):
+        stmt = parse_statement("for (i = 0; i < 10; i++) { f(); }")
+        assert "for (i = 0; i < 10; i++)" in unparse_stmt(stmt)
+
+    def test_switch(self):
+        stmt = parse_statement("switch (x) { case 1: break; default: break; }")
+        text = unparse_stmt(stmt)
+        assert "switch (x)" in text and "case 1:" in text
+
+
+# -- round-trip property: parse(unparse(parse(x))) == parse(x) -------------
+
+_EXPRESSIONS = st.sampled_from([
+    "a", "1", "a + b * c", "f(a, b)", "a.b->c[2]", "(a + b) << 2",
+    "a ? b + 1 : c", "!(a && b) || c", "x = y = z + 1", "p = &v",
+    "*p + a[i]", "(unsigned)x + 1", "sizeof(x)", "a % b / c",
+    "HANDLER_GLOBALS(header.nh.len) = LEN_WORD",
+    "NI_SEND(NI_REQUEST, F_DATA, 1, 0, 1, 0)",
+    "a & 0xff | b ^ 3", "~mask >> 4", "x += y -= 2", "a, b, c",
+])
+
+
+@given(_EXPRESSIONS)
+def test_expression_round_trip(text):
+    first = parse_expression(text)
+    rendered = unparse_expr(first)
+    second = parse_expression(rendered)
+    assert first == second
+
+
+_atoms = st.sampled_from(["a", "b", "c", "x", "1", "2", "42"])
+_binops = st.sampled_from(["+", "-", "*", "&", "|", "^", "<<", "==", "<"])
+
+
+@st.composite
+def random_expr_text(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return draw(_atoms)
+    form = draw(st.integers(0, 3))
+    if form == 0:
+        left = draw(random_expr_text(depth=depth - 1))
+        right = draw(random_expr_text(depth=depth - 1))
+        op = draw(_binops)
+        return f"({left}) {op} ({right})"
+    if form == 1:
+        inner = draw(random_expr_text(depth=depth - 1))
+        return f"f({inner})"
+    if form == 2:
+        inner = draw(random_expr_text(depth=depth - 1))
+        return f"!({inner})"
+    cond = draw(random_expr_text(depth=depth - 1))
+    a = draw(random_expr_text(depth=depth - 1))
+    b = draw(random_expr_text(depth=depth - 1))
+    return f"({cond}) ? ({a}) : ({b})"
+
+
+@given(random_expr_text())
+@settings(max_examples=200)
+def test_generated_expression_round_trip(text):
+    first = parse_expression(text)
+    second = parse_expression(unparse_expr(first))
+    assert first == second
+
+
+def test_unit_round_trip_on_flash_style_code():
+    src = """\
+struct Header { unsigned len; unsigned op; };
+static unsigned counter = 0;
+void handler(void)
+{
+    unsigned addr;
+    addr = HANDLER_GLOBALS(header.nh.addr);
+    if (addr > 16) {
+        WAIT_FOR_DB_FULL(addr);
+        counter = MISCBUS_READ_DB(addr, 4);
+    } else {
+        counter += 1;
+    }
+    for (addr = 0; addr < 4; addr++) {
+        counter = counter << 1;
+    }
+    switch (counter) {
+    case 0:
+        PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+        break;
+    default:
+        break;
+    }
+    DB_FREE();
+    return;
+}
+"""
+    unit1 = parse(src, "a.c")
+    text = unparse_unit(unit1)
+    unit2 = parse(text, "b.c")
+    assert len(unit1.decls) == len(unit2.decls)
+    body1 = unit1.function("handler").body
+    body2 = unit2.function("handler").body
+    assert body1 == body2
+
+
+def test_unit_round_trip_on_generated_protocol(bitvector):
+    # Every generated file must survive unparse -> reparse structurally.
+    prog = bitvector.program()
+    unit = prog.units["bitvector_sw.c"]
+    text = unparse_unit(unit)
+    reparsed = parse(text, "rt.c")
+    assert [f.name for f in reparsed.functions()] == \
+        [f.name for f in unit.functions()]

@@ -1,0 +1,193 @@
+"""Flow-graph-search checking (§11's pre-metal style) and its
+equivalence with the metal formulation."""
+
+from repro.cfg import build_cfg
+from repro.checkers import BufferRaceChecker
+from repro.lang import annotate, parse
+from repro.mc.flowcheck import find_unfollowed, find_unguarded, is_call_to
+
+READ = is_call_to("MISCBUS_READ_DB", "MISCBUS_READ")
+WAIT = is_call_to("WAIT_FOR_DB_FULL")
+
+
+def cfg_of(src, name="h"):
+    unit = parse(src)
+    annotate(unit)
+    return build_cfg(unit.function(name)), unit
+
+
+class TestFindUnguarded:
+    def test_unguarded_use_found(self):
+        cfg, _ = cfg_of("void h(void) { unsigned v; v = MISCBUS_READ_DB(a, 0); }")
+        assert len(find_unguarded(cfg, READ, WAIT)) == 1
+
+    def test_guarded_use_clean(self):
+        cfg, _ = cfg_of("""
+            void h(void) {
+                unsigned v;
+                WAIT_FOR_DB_FULL(a);
+                v = MISCBUS_READ_DB(a, 0);
+            }
+        """)
+        assert find_unguarded(cfg, READ, WAIT) == []
+
+    def test_guard_on_one_path_only(self):
+        cfg, _ = cfg_of("""
+            void h(void) {
+                unsigned v;
+                if (c) { WAIT_FOR_DB_FULL(a); }
+                v = MISCBUS_READ_DB(a, 0);
+            }
+        """)
+        assert len(find_unguarded(cfg, READ, WAIT)) == 1
+
+    def test_guard_on_both_paths(self):
+        cfg, _ = cfg_of("""
+            void h(void) {
+                unsigned v;
+                if (c) { WAIT_FOR_DB_FULL(a); } else { WAIT_FOR_DB_FULL(a); }
+                v = MISCBUS_READ_DB(a, 0);
+            }
+        """)
+        assert find_unguarded(cfg, READ, WAIT) == []
+
+    def test_results_sorted_by_location(self):
+        cfg, _ = cfg_of("""
+            void h(void) {
+                unsigned v;
+                v = MISCBUS_READ_DB(a, 0);
+                v = MISCBUS_READ_DB(a, 4);
+            }
+        """)
+        found = find_unguarded(cfg, READ, WAIT)
+        assert [n.location.line for n in found] == sorted(
+            n.location.line for n in found)
+
+    def test_equivalent_to_metal_checker_on_protocols(self, bitvector):
+        """The flow-graph search and Figure 2 find the same bitvector bugs."""
+        program = bitvector.program()
+        flow_hits = set()
+        for function in program.functions():
+            for node in find_unguarded(program.cfg(function), READ, WAIT):
+                flow_hits.add((node.location.filename, node.location.line))
+        metal = BufferRaceChecker().check(program)
+        metal_hits = {
+            (r.location.filename, r.location.line) for r in metal.reports
+        }
+        assert flow_hits == metal_hits
+
+
+WAIT_SEND = is_call_to("PI_SEND")
+PI_WAIT = is_call_to("WAIT_FOR_PI_REPLY")
+
+
+class TestFindUnfollowed:
+    def test_followed_trigger_clean(self):
+        cfg, _ = cfg_of("""
+            void h(void) {
+                PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+                WAIT_FOR_PI_REPLY();
+                return;
+            }
+        """)
+        assert find_unfollowed(cfg, WAIT_SEND, PI_WAIT) == []
+
+    def test_unfollowed_trigger_found(self):
+        cfg, _ = cfg_of("""
+            void h(void) {
+                PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+                return;
+            }
+        """)
+        assert len(find_unfollowed(cfg, WAIT_SEND, PI_WAIT)) == 1
+
+    def test_followed_on_one_path_only(self):
+        cfg, _ = cfg_of("""
+            void h(void) {
+                PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+                if (c) { WAIT_FOR_PI_REPLY(); }
+                return;
+            }
+        """)
+        assert len(find_unfollowed(cfg, WAIT_SEND, PI_WAIT)) == 1
+
+    def test_followed_on_all_paths(self):
+        cfg, _ = cfg_of("""
+            void h(void) {
+                PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+                if (c) { WAIT_FOR_PI_REPLY(); } else { WAIT_FOR_PI_REPLY(); }
+                return;
+            }
+        """)
+        assert find_unfollowed(cfg, WAIT_SEND, PI_WAIT) == []
+
+    def test_wait_in_branch_then_join(self):
+        cfg, _ = cfg_of("""
+            void h(void) {
+                if (c) { PI_SEND(F_DATA, 1, 0, 1, 1, 0); }
+                WAIT_FOR_PI_REPLY();
+                return;
+            }
+        """)
+        assert find_unfollowed(cfg, WAIT_SEND, PI_WAIT) == []
+
+
+class TestAnnotationVerification:
+    """§6: "the extension can warn when they are wrong"."""
+
+    def run(self, src):
+        from repro.checkers import BufferMgmtChecker
+        from repro.project import HandlerInfo, ProtocolInfo, program_from_source
+        info = ProtocolInfo(name="t", handlers={
+            "HW": HandlerInfo("HW", "hw"),
+        })
+        checker = BufferMgmtChecker(check_annotations=True)
+        return checker.check(program_from_source(src, info))
+
+    def test_needed_annotation_not_warned(self):
+        result = self.run("""
+            void HW(void) {
+                if (c) { no_free_needed(); return; }
+                DB_FREE();
+            }
+        """)
+        assert result.warnings == []
+
+    def test_redundant_annotation_warned(self):
+        result = self.run("""
+            void HW(void) {
+                DB_FREE();
+                no_free_needed();
+                return;
+            }
+        """)
+        assert len(result.warnings) == 1
+        assert "not needed" in result.warnings[0].message
+
+    def test_redundant_has_buffer_warned(self):
+        result = self.run("""
+            void HW(void) {
+                has_buffer();
+                DB_FREE();
+            }
+        """)
+        assert len(result.warnings) == 1
+
+    def test_disabled_by_default(self):
+        from repro.checkers import BufferMgmtChecker
+        from repro.project import HandlerInfo, ProtocolInfo, program_from_source
+        info = ProtocolInfo(name="t", handlers={
+            "HW": HandlerInfo("HW", "hw"),
+        })
+        result = BufferMgmtChecker().check(program_from_source("""
+            void HW(void) { DB_FREE(); no_free_needed(); return; }
+        """, info))
+        assert result.warnings == []
+
+    def test_generated_protocol_annotations_all_meaningful(self, common):
+        # Every seeded annotation in the generated code changes the
+        # checker's state on some path, so none are flagged.
+        from repro.checkers import BufferMgmtChecker
+        checker = BufferMgmtChecker(check_annotations=True)
+        result = checker.check(common.program())
+        assert [w for w in result.warnings if "not needed" in w.message] == []

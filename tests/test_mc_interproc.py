@@ -1,0 +1,99 @@
+"""Bottom-up inter-procedural framework tests."""
+
+from repro.cfg import CallGraph, build_cfg, emit_flowgraph
+from repro.lang.parser import parse
+from repro.mc.interproc import bottom_up, walk_paths
+
+
+def callgraph_of(src):
+    unit = parse(src)
+    return CallGraph.from_cfgs(build_cfg(f) for f in unit.functions())
+
+
+class TestBottomUp:
+    def test_callees_summarized_first(self):
+        order = []
+
+        def summarize(graph, summaries, cycle_peers):
+            order.append(graph.function)
+            for callee in graph.callees():
+                if callee in order or callee == graph.function:
+                    continue
+                raise AssertionError(f"{callee} not summarized before "
+                                     f"{graph.function}")
+            return len(order)
+
+        cg = callgraph_of("""
+            void leaf(void) { }
+            void mid(void) { leaf(); }
+            void top(void) { mid(); leaf(); }
+        """)
+        bottom_up(cg, summarize)
+        assert order.index("leaf") < order.index("mid") < order.index("top")
+
+    def test_summaries_passed_through(self):
+        def summarize(graph, summaries, cycle_peers):
+            total = 1
+            for callee in graph.callees():
+                total += summaries.get(callee, 0)
+            return total
+
+        cg = callgraph_of("""
+            void a(void) { }
+            void b(void) { a(); }
+            void c(void) { b(); a(); }
+        """)
+        summaries = bottom_up(cg, summarize)
+        assert summaries == {"a": 1, "b": 2, "c": 4}
+
+    def test_self_recursion_reports_cycle_peers(self):
+        peers_seen = {}
+
+        def summarize(graph, summaries, cycle_peers):
+            peers_seen[graph.function] = set(cycle_peers)
+            return 0
+
+        cg = callgraph_of("""
+            void rec(void) { if (x) { rec(); } }
+            void plain(void) { rec(); }
+        """)
+        bottom_up(cg, summarize)
+        assert peers_seen["rec"] == {"rec"}
+        assert peers_seen["plain"] == set()
+
+    def test_mutual_recursion_groups_scc(self):
+        peers_seen = {}
+
+        def summarize(graph, summaries, cycle_peers):
+            peers_seen[graph.function] = set(cycle_peers)
+            return 0
+
+        cg = callgraph_of("""
+            void a(void) { b(); }
+            void b(void) { a(); }
+            void top(void) { a(); }
+        """)
+        bottom_up(cg, summarize)
+        assert peers_seen["a"] == {"a", "b"}
+        assert peers_seen["b"] == {"a", "b"}
+        assert peers_seen["top"] == set()
+
+    def test_every_function_summarized(self):
+        cg = callgraph_of("""
+            void a(void) { }
+            void b(void) { a(); }
+            void island(void) { }
+        """)
+        summaries = bottom_up(cg, lambda g, s, p: g.function)
+        assert set(summaries) == {"a", "b", "island"}
+
+
+class TestWalkPaths:
+    def test_visits_every_event(self):
+        unit = parse("""
+            void f(void) { g(); if (x) { h(); } }
+        """)
+        graph = emit_flowgraph(build_cfg(unit.function("f")))
+        calls = []
+        walk_paths(graph, lambda b, i, call, ann: calls.append(call))
+        assert "g" in calls and "h" in calls

@@ -1,0 +1,94 @@
+"""Declaration patterns in metal (§3.2: patterns match declarations)."""
+
+import pytest
+
+from repro.checkers.metal_sources import NO_FLOAT_DECLS
+from repro.errors import PatternError
+from repro.lang import annotate, parse
+from repro.lang.parser import parse_statement
+from repro.metal import parse_metal
+from repro.metal.patterns import MetaVar, compile_pattern
+from repro.mc import check_unit
+
+
+def make(text, **constraints):
+    metavars = {name: MetaVar(name, c) for name, c in constraints.items()}
+    return compile_pattern(text, metavars)
+
+
+class TestDeclPatternCompilation:
+    def test_decl_pattern_compiles(self):
+        pattern = make("float x;", x="any")
+        decl_stmt = parse_statement("float temperature;")
+        matches = list(pattern.search(decl_stmt))
+        assert len(matches) == 1
+
+    def test_wildcard_binds_declared_name(self):
+        pattern = make("float x;", x="any")
+        decl_stmt = parse_statement("float temperature;")
+        _, bindings = next(iter(pattern.search(decl_stmt)))
+        assert bindings["x"].name == "temperature"
+
+    def test_type_must_match(self):
+        pattern = make("float x;", x="any")
+        assert not list(pattern.search(parse_statement("int i;")))
+
+    def test_pointer_depth_matters(self):
+        pattern = make("float x;", x="any")
+        assert not list(pattern.search(parse_statement("float *p;")))
+        ptr_pattern = make("float *x;", x="any")
+        assert list(ptr_pattern.search(parse_statement("float *p;")))
+
+    def test_concrete_name_must_match(self):
+        pattern = make("unsigned counter;")
+        assert list(pattern.search(parse_statement("unsigned counter;")))
+        assert not list(pattern.search(parse_statement("unsigned other;")))
+
+    def test_multi_decl_statement_matches_each(self):
+        pattern = make("double x;", x="any")
+        stmt = parse_statement("double a, b;")
+        assert len(list(pattern.search(stmt))) == 2
+
+    def test_multi_decl_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            compile_pattern("float a, b;")
+
+
+class TestNoFloatDeclsMetal:
+    def run(self, src):
+        sm = parse_metal(NO_FLOAT_DECLS)
+        unit = parse(src)
+        annotate(unit)
+        return check_unit(sm, unit).reports
+
+    def test_float_local_flagged(self):
+        reports = self.run("void f(void) { float ratio; }")
+        assert len(reports) == 1
+        assert "floating point" in reports[0].message
+
+    def test_double_local_flagged(self):
+        reports = self.run("void f(void) { double d; }")
+        assert len(reports) == 1
+
+    def test_integer_locals_clean(self):
+        reports = self.run("void f(void) { unsigned a; int b; char c; }")
+        assert reports == []
+
+    def test_multiple_floats_all_flagged(self):
+        reports = self.run("""
+            void f(void) { float a; }
+            void g(void) { double b; float c; }
+        """)
+        assert len(reports) == 3
+
+    def test_agrees_with_python_checker_on_decls(self):
+        src = "void f(void) { float a; unsigned ok; double b; }"
+        metal_reports = self.run(src)
+
+        from repro.checkers import NoFloatChecker
+        from repro.project import program_from_source
+        python_result = NoFloatChecker().check(program_from_source(src))
+        python_lines = {r.location.line for r in python_result.reports}
+        metal_lines = {r.location.line for r in metal_reports}
+        assert metal_lines <= python_lines
+        assert len(metal_reports) == 2

@@ -1,0 +1,167 @@
+"""Pattern unification tests."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.lang.parser import parse_expression, parse_statement
+from repro.lang.sema import annotate
+from repro.lang.parser import parse
+from repro.metal.patterns import MetaVar, Pattern, compile_pattern
+
+
+def make(text, **constraints):
+    metavars = {name: MetaVar(name, c) for name, c in constraints.items()}
+    return compile_pattern(text, metavars)
+
+
+class TestLiteralMatching:
+    def test_exact_call(self):
+        pattern = make("DB_FREE()")
+        assert pattern.match(parse_expression("DB_FREE()")) == {}
+
+    def test_wrong_name_no_match(self):
+        pattern = make("DB_FREE()")
+        assert pattern.match(parse_expression("DB_ALLOC()")) is None
+
+    def test_arity_must_match(self):
+        pattern = make("f(x)", x="any")
+        assert pattern.match(parse_expression("f(1, 2)")) is None
+
+    def test_int_literal_by_value(self):
+        pattern = make("f(1)")
+        assert pattern.match(parse_expression("f(0x1)")) is not None
+        assert pattern.match(parse_expression("f(2)")) is None
+
+    def test_member_chain(self):
+        pattern = make("HANDLER_GLOBALS(header.nh.len)")
+        assert pattern.match(
+            parse_expression("HANDLER_GLOBALS(header.nh.len)")) is not None
+        assert pattern.match(
+            parse_expression("HANDLER_GLOBALS(header.nh.op)")) is None
+
+    def test_assignment_pattern(self):
+        pattern = make("HANDLER_GLOBALS(header.nh.len) = LEN_NODATA")
+        target = parse_expression("HANDLER_GLOBALS(header.nh.len) = LEN_NODATA")
+        assert pattern.match(target) is not None
+
+    def test_assignment_op_must_match(self):
+        pattern = make("x = y", x="any", y="any")
+        assert pattern.match(parse_expression("a += b")) is None
+
+    def test_binary_op(self):
+        pattern = make("x + 1", x="any")
+        assert pattern.match(parse_expression("a + 1")) is not None
+        assert pattern.match(parse_expression("a - 1")) is None
+
+    def test_unary(self):
+        pattern = make("!x", x="any")
+        assert pattern.match(parse_expression("!ready")) is not None
+
+    def test_return_statement_pattern(self):
+        pattern = make("return")
+        assert pattern.match(parse_statement("return;")) is not None
+        assert pattern.match(parse_expression("f()")) is None
+
+
+class TestWildcards:
+    def test_binding_captured(self):
+        pattern = make("WAIT_FOR_DB_FULL(addr)", addr="scalar")
+        bindings = pattern.match(parse_expression("WAIT_FOR_DB_FULL(a + 4)"))
+        assert bindings is not None
+        assert "addr" in bindings
+
+    def test_same_var_twice_must_bind_equal(self):
+        pattern = make("f(x, x)", x="any")
+        assert pattern.match(parse_expression("f(a, a)")) is not None
+        assert pattern.match(parse_expression("f(a, b)")) is None
+
+    def test_different_vars_can_differ(self):
+        pattern = make("f(x, y)", x="any", y="any")
+        assert pattern.match(parse_expression("f(a, b)")) is not None
+
+    def test_wildcard_matches_nested_expression(self):
+        pattern = make("MISCBUS_READ_DB(addr, buf)", addr="scalar",
+                       buf="scalar")
+        target = parse_expression("MISCBUS_READ_DB(base + 8, idx * 2)")
+        bindings = pattern.match(target)
+        assert bindings is not None
+
+
+class TestConstraints:
+    def _typed_expr(self, src, func="f"):
+        unit = parse(src)
+        annotate(unit)
+        stmt = unit.function(func).body.stmts[-1]
+        return stmt.expr
+
+    def test_scalar_accepts_unsigned(self):
+        expr = self._typed_expr("void f(void) { unsigned u; f2(u); }")
+        pattern = make("f2(x)", x="scalar")
+        assert pattern.match(expr) is not None
+
+    def test_scalar_rejects_struct(self):
+        expr = self._typed_expr(
+            "struct S { int a; };\nvoid f(void) { struct S s; f2(s); }"
+        )
+        pattern = make("f2(x)", x="scalar")
+        assert pattern.match(expr) is None
+
+    def test_scalar_accepts_unknown(self):
+        expr = self._typed_expr("void f(void) { f2(mystery); }")
+        pattern = make("f2(x)", x="scalar")
+        assert pattern.match(expr) is not None
+
+    def test_float_constraint(self):
+        expr = self._typed_expr("void f(void) { float g; f2(g); }")
+        assert make("f2(x)", x="float").match(expr) is not None
+        int_expr = self._typed_expr("void f(void) { int g; f2(g); }")
+        assert make("f2(x)", x="float").match(int_expr) is None
+
+    def test_pointer_constraint(self):
+        expr = self._typed_expr("void f(int *p) { f2(p); }")
+        assert make("f2(x)", x="pointer").match(expr) is not None
+
+    def test_unknown_constraint_rejected(self):
+        with pytest.raises(PatternError):
+            MetaVar("x", "bogus")
+
+    def test_wildcard_only_matches_expressions(self):
+        pattern = make("x", x="any")
+        assert pattern.match(parse_statement("return;")) is None
+
+
+class TestSearch:
+    def test_search_finds_nested_match(self):
+        pattern = make("MISCBUS_READ_DB(a, b)", a="scalar", b="scalar")
+        event = parse_expression("v = MISCBUS_READ_DB(addr, 0) + 1")
+        matches = list(pattern.search(event))
+        assert len(matches) == 1
+
+    def test_search_finds_multiple(self):
+        pattern = make("g(x)", x="any")
+        event = parse_expression("g(1) + g(2)")
+        assert len(list(pattern.search(event))) == 2
+
+    def test_matches_anywhere(self):
+        pattern = make("DB_FREE()")
+        assert pattern.matches_anywhere(parse_expression("a + DB_FREE()"))
+        assert not pattern.matches_anywhere(parse_expression("a + b"))
+
+
+class TestCompilation:
+    def test_statement_form_unwrapped(self):
+        pattern = compile_pattern("WAIT_FOR_DB_FULL(a);",
+                                  {"a": MetaVar("a", "scalar")})
+        assert pattern.match(parse_expression("WAIT_FOR_DB_FULL(x)")) is not None
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            compile_pattern("   ")
+
+    def test_garbage_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            compile_pattern("+++---")
+
+    def test_repr(self):
+        pattern = make("f(x)", x="any")
+        assert "f" in repr(pattern)

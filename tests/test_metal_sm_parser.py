@@ -1,0 +1,241 @@
+"""State machine API and textual metal parser tests."""
+
+import pytest
+
+from repro.checkers.metal_sources import BUFFER_RACE_FULL, FIGURE_2, FIGURE_3
+from repro.errors import MetalError
+from repro.lang.parser import parse
+from repro.lang.sema import annotate
+from repro.metal import parse_metal
+from repro.metal.sm import ALL, STOP, StateMachine
+from repro.mc import check_unit
+
+
+def checked(sm, src):
+    unit = parse(src)
+    annotate(unit)
+    return check_unit(sm, unit).reports
+
+
+class TestStateMachineApi:
+    def test_start_state_is_first_declared(self):
+        sm = StateMachine("t")
+        sm.state("alpha")
+        sm.state("beta")
+        assert sm.start_state == "alpha"
+
+    def test_all_can_be_start_state(self):
+        sm = StateMachine("t")
+        sm.state(ALL)
+        sm.state("other")
+        assert sm.start_state == ALL
+
+    def test_no_states_raises(self):
+        with pytest.raises(MetalError):
+            StateMachine("t").start_state
+
+    def test_rules_for_includes_all_state_first(self):
+        sm = StateMachine("t")
+        sm.decl("any", "x")
+        r_all = sm.add_rule(ALL, "f(x)", target="s2")
+        sm.state("s1")
+        r_own = sm.add_rule("s1", "g(x)", target="s2")
+        rules = sm.rules_for("s1")
+        assert rules == [r_all, r_own]
+
+    def test_named_pattern_resolution(self):
+        sm = StateMachine("t")
+        sm.decl("any", "x")
+        sm.define_pattern("sends", "f(x)", "g(x)")
+        sm.state("s")
+        rule = sm.add_rule("s", "sends")
+        assert len(rule.patterns) == 2
+
+    def test_unknown_rule_input_rejected(self):
+        sm = StateMachine("t")
+        sm.state("s")
+        with pytest.raises(MetalError):
+            sm.add_rule("s", [42])
+
+    def test_action_can_override_target(self):
+        sm = StateMachine("t")
+        sm.decl("any", "x")
+        sm.state("a")
+        sm.state("b")
+        sm.add_rule("a", "f(x)", target="a", action=lambda ctx: "b")
+        result = sm.step("a", parse("void q(void){f(1);}").function("q")
+                         .body.stmts[0].expr,
+                         lambda n, b, s: _ctx(sm, n, b, s))
+        assert result.state == "b"
+
+    def test_stop_target(self):
+        sm = StateMachine("t")
+        sm.decl("any", "x")
+        sm.state("a")
+        sm.add_rule("a", "f(x)", target=STOP)
+        node = parse("void q(void){f(1);}").function("q").body.stmts[0].expr
+        result = sm.step("a", node, lambda n, b, s: _ctx(sm, n, b, s))
+        assert result.stopped
+
+
+def _ctx(sm, node, bindings, state):
+    from repro.metal.runtime import MatchContext, ReportSink
+    return MatchContext(sm.name, node, bindings, None, ReportSink(), state)
+
+
+class TestMetalParser:
+    def test_figure_2_parses(self):
+        sm = parse_metal(FIGURE_2)
+        assert sm.name == "wait_for_db"
+        assert sm.start_state == "start"
+        assert "addr" in sm.metavars and "buf" in sm.metavars
+
+    def test_figure_3_parses(self):
+        sm = parse_metal(FIGURE_3)
+        assert sm.name == "msglen_check"
+        assert sm.start_state == "all"
+        assert set(sm.named_patterns) == {
+            "zero_assign", "nonzero_assign", "send_data", "send_nodata"
+        }
+
+    def test_figure_2_finds_unsynchronized_read(self):
+        sm = parse_metal(FIGURE_2)
+        reports = checked(sm, """
+            void h(void) {
+                unsigned v;
+                v = MISCBUS_READ_DB(addr, 0);
+            }
+        """)
+        assert len(reports) == 1
+        assert "not synchronized" in reports[0].message
+
+    def test_figure_2_wait_suppresses(self):
+        sm = parse_metal(FIGURE_2)
+        reports = checked(sm, """
+            void h(void) {
+                unsigned v;
+                WAIT_FOR_DB_FULL(addr);
+                v = MISCBUS_READ_DB(addr, 0);
+            }
+        """)
+        assert reports == []
+
+    def test_figure_2_path_sensitivity(self):
+        sm = parse_metal(FIGURE_2)
+        reports = checked(sm, """
+            void h(void) {
+                unsigned v;
+                if (c) { WAIT_FOR_DB_FULL(addr); }
+                v = MISCBUS_READ_DB(addr, 0);
+            }
+        """)
+        # The path not taking the branch still races.
+        assert len(reports) == 1
+
+    def test_buffer_race_full_handles_legacy_macro(self):
+        sm = parse_metal(BUFFER_RACE_FULL)
+        reports = checked(sm, """
+            void h(void) { unsigned v; v = MISCBUS_READ(addr, 0); }
+        """)
+        assert len(reports) == 1
+
+    def test_figure_3_zero_then_data_send(self):
+        sm = parse_metal(FIGURE_3)
+        reports = checked(sm, """
+            void h(void) {
+                HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+                PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+            }
+        """)
+        assert len(reports) == 1
+        assert "data send, zero len" in reports[0].message
+
+    def test_figure_3_nonzero_then_nodata_send(self):
+        sm = parse_metal(FIGURE_3)
+        reports = checked(sm, """
+            void h(void) {
+                HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+                NI_SEND(t, F_NODATA, 1, 1, 1, 0);
+            }
+        """)
+        assert len(reports) == 1
+        assert "nodata send, nonzero len" in reports[0].message
+
+    def test_figure_3_send_before_assignment_ignored(self):
+        # "We assume sends in this state are ok and ignore them."
+        sm = parse_metal(FIGURE_3)
+        reports = checked(sm, """
+            void h(void) { PI_SEND(F_DATA, 1, 0, 1, 1, 0); }
+        """)
+        assert reports == []
+
+    def test_figure_3_consistent_pairs_clean(self):
+        sm = parse_metal(FIGURE_3)
+        reports = checked(sm, """
+            void h(void) {
+                HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+                PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+                HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+                NI_SEND(t, F_NODATA, 1, 1, 1, 0);
+            }
+        """)
+        assert reports == []
+
+    def test_figure_3_all_state_applies_everywhere(self):
+        # A length reassignment inside the nonzero_len state still fires.
+        sm = parse_metal(FIGURE_3)
+        reports = checked(sm, """
+            void h(void) {
+                HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+                HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+                NI_SEND(t, F_NODATA, 1, 1, 1, 0);
+            }
+        """)
+        assert reports == []
+
+
+class TestMetalSyntaxErrors:
+    def test_missing_sm_keyword(self):
+        with pytest.raises(MetalError):
+            parse_metal("machine x { }")
+
+    def test_unterminated_body(self):
+        with pytest.raises(MetalError):
+            parse_metal("sm x { start: { f(); } ==> stop ;")
+
+    def test_rule_without_target_or_action(self):
+        with pytest.raises(MetalError):
+            parse_metal("sm x { start: { f(); } ==> ; }")
+
+    def test_unknown_named_pattern(self):
+        with pytest.raises(MetalError):
+            parse_metal("sm x { start: nothere ==> stop ; }")
+
+    def test_bad_action_function(self):
+        with pytest.raises(MetalError):
+            parse_metal('sm x { start: { f(); } ==> { launch("x"); } ; }')
+
+    def test_action_requires_string(self):
+        with pytest.raises(MetalError):
+            parse_metal("sm x { start: { f(); } ==> { err(42); } ; }")
+
+    def test_bad_decl_constraint_arity(self):
+        with pytest.raises(MetalError):
+            parse_metal("sm x { decl { a b } v; start: { f(); } ==> stop ; }")
+
+    def test_warn_action_supported(self):
+        sm = parse_metal(
+            'sm x { decl { any } v; start: { f(v); } ==> { warn("careful"); } ; }'
+        )
+        reports = checked(sm, "void h(void) { f(1); }")
+        assert len(reports) == 1
+        assert reports[0].severity == "warning"
+
+    def test_inline_pattern_alternation(self):
+        sm = parse_metal(
+            "sm x { decl { any } v; "
+            "start: { f(v); } | { g(v); } ==> stop ; }"
+        )
+        rules = sm.rules_for("start")
+        assert len(rules) == 1
+        assert len(rules[0].patterns) == 2

@@ -1,0 +1,148 @@
+"""Unit tests for smaller surfaces: headers, runtime helpers, registry,
+vocabulary, errors."""
+
+import pytest
+
+from repro import check_source, parse_metal
+from repro.checkers.base import all_checkers, checker_names, get_checker
+from repro.errors import (
+    BufferAccounting,
+    InterpError,
+    MetalError,
+    ProtocolDeadlock,
+    ReproError,
+    SourceError,
+)
+from repro.flash import FLASH_INCLUDES, machine, with_flash_includes
+from repro.lang import parse
+from repro.lang.parser import parse_expression
+from repro.lang.source import Location
+from repro.metal.runtime import MatchContext, ReportSink
+
+
+class TestHeaders:
+    def test_header_parses_cleanly(self):
+        unit = parse(FLASH_INCLUDES, "flash-includes.h")
+        names = {d.name for d in unit.decls if hasattr(d, "name")}
+        for expected in ("PI_SEND", "NI_SEND", "IO_SEND", "DB_ALLOC",
+                         "DB_FREE", "WAIT_FOR_DB_FULL", "MISCBUS_READ_DB",
+                         "DIR_LOAD", "DIR_WRITEBACK", "HANDLER_GLOBALS"):
+            assert expected in names, expected
+
+    def test_with_flash_includes_prepends(self):
+        combined = with_flash_includes("void f(void) { }")
+        assert combined.startswith("/* flash-includes.h")
+        assert combined.rstrip().endswith("}")
+        parse(combined)  # must remain parseable as a whole
+
+
+class TestMachineVocabulary:
+    def test_lane_of_send_pi(self):
+        assert machine.lane_of_send("PI_SEND", []) == machine.LANE_PI
+
+    def test_lane_of_send_io(self):
+        assert machine.lane_of_send("IO_SEND", []) == machine.LANE_IO
+
+    def test_lane_of_ni_request_vs_reply(self):
+        req = parse_expression("NI_SEND(NI_REQUEST, F_DATA, 1, 0, 1, 0)")
+        rep = parse_expression("NI_SEND(NI_REPLY, F_DATA, 1, 0, 1, 0)")
+        assert machine.lane_of_send("NI_SEND", req.args) == machine.LANE_NI_REQUEST
+        assert machine.lane_of_send("NI_SEND", rep.args) == machine.LANE_NI_REPLY
+
+    def test_lane_of_non_send(self):
+        assert machine.lane_of_send("DB_FREE", []) is None
+
+    def test_wait_macro_mapping(self):
+        assert machine.WAIT_MACRO_FOR_SEND["PI_SEND"] == "WAIT_FOR_PI_REPLY"
+        assert len(machine.WAIT_MACROS) == 3
+
+    def test_lane_constants(self):
+        assert machine.LANE_COUNT == 4
+        assert len(machine.LANE_NAMES) == 4
+
+
+class TestCheckerRegistry:
+    def test_all_paper_checkers_registered(self):
+        names = checker_names()
+        for expected in ("buffer-race", "msg-length", "buffer-mgmt",
+                         "lanes", "exec-restrict", "no-float",
+                         "alloc-fail", "directory", "send-wait",
+                         "table-audit"):
+            assert expected in names
+
+    def test_get_checker_returns_fresh_instances(self):
+        assert get_checker("lanes") is not get_checker("lanes")
+
+    def test_get_checker_unknown(self):
+        with pytest.raises(KeyError):
+            get_checker("nonexistent")
+
+    def test_all_checkers_order_stable(self):
+        first = [c.name for c in all_checkers()]
+        second = [c.name for c in all_checkers()]
+        assert first == second
+
+    def test_paper_metal_loc_total(self):
+        total = sum(c.metal_loc for c in all_checkers())
+        assert total == 553  # Table 7 total (table-audit contributes 0)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (BufferAccounting, ProtocolDeadlock, InterpError,
+                    MetalError):
+            assert issubclass(exc, ReproError)
+
+    def test_source_error_renders_location(self):
+        err = SourceError("boom", Location("x.c", 3, 9))
+        assert str(err) == "x.c:3:9: boom"
+
+    def test_source_error_without_location(self):
+        assert str(SourceError("boom")) == "boom"
+
+
+class TestMatchContext:
+    def make(self, node_text="f(a + 1)"):
+        node = parse_expression(node_text)
+        bindings = {"x": node.args[0]}
+        sink = ReportSink()
+        return MatchContext("test", node, bindings, None, sink), sink
+
+    def test_err_records_report(self):
+        ctx, sink = self.make()
+        ctx.err("problem")
+        assert len(sink) == 1
+        assert sink.reports[0].severity == "error"
+
+    def test_warn_severity(self):
+        ctx, sink = self.make()
+        ctx.warn("careful")
+        assert sink.reports[0].severity == "warning"
+
+    def test_binding_text(self):
+        ctx, _ = self.make()
+        assert ctx.binding_text("x") == "a + 1"
+        assert ctx.binding_text("missing") == "<missing?>"
+
+    def test_message_expansion(self):
+        ctx, sink = self.make()
+        ctx.err("bad value %x here")
+        assert "bad value a + 1 here" in sink.reports[0].message
+
+    def test_function_name_empty_without_function(self):
+        ctx, _ = self.make()
+        assert ctx.function_name == ""
+
+
+class TestTopLevelApi:
+    def test_check_source_helper(self):
+        sm = parse_metal("""
+            sm t { decl { any } v;
+                start: { boom(v); } ==> { err("no"); } ; }
+        """)
+        reports = check_source(sm, "void f(void) { boom(1); }")
+        assert len(reports) == 1
+
+    def test_version(self):
+        import repro
+        assert repro.__version__

@@ -1,0 +1,195 @@
+"""Second batch of frontend edge cases (constructs real headers use)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast, ctypes
+from repro.lang.parser import parse, parse_expression, parse_statement
+from repro.lang.sema import annotate
+
+
+class TestDeclarationEdgeCases:
+    def test_bitfield_parsed_and_ignored(self):
+        unit = parse("struct H { unsigned op : 4; unsigned len : 4; };")
+        struct = unit.decls[0]
+        assert [f.name for f in struct.fields_] == ["op", "len"]
+
+    def test_anonymous_typedef_struct(self):
+        unit = parse("typedef struct { int a; } Anon;\nAnon x;")
+        assert isinstance(unit.decls[1], ast.VarDecl)
+
+    def test_typedef_struct_with_tag(self):
+        unit = parse("typedef struct hdr_s { int a; } hdr_t;\nhdr_t h;")
+        info = annotate(unit)
+        sym = info.file_scope.lookup("h")
+        assert isinstance(sym.ctype, ctypes.Struct)
+        assert sym.ctype.tag == "hdr_s"
+
+    def test_struct_with_array_field(self):
+        unit = parse("struct B { unsigned words[8]; };")
+        info = annotate(unit)
+        struct = info.structs["B"]
+        assert struct.member("words").size_bits() == 8 * 32
+
+    def test_nested_struct_members_resolve(self):
+        src = """
+        struct Inner { unsigned len; };
+        struct Outer { struct Inner nh; };
+        void f(void) { struct Outer o; o.nh.len; }
+        """
+        unit = parse(src)
+        annotate(unit)
+        expr = unit.function("f").body.stmts[1].expr
+        assert expr.ctype is ctypes.UNSIGNED
+
+    def test_const_qualifiers(self):
+        unit = parse("const unsigned limit = 8;")
+        assert unit.decls[0].type_name.qualifiers == ["const"]
+
+    def test_pointer_to_const(self):
+        stmt = parse_statement("const char *msg;")
+        assert stmt.decls[0].type_name.pointer_depth == 1
+
+    def test_double_pointer(self):
+        stmt = parse_statement("int **pp;")
+        assert stmt.decls[0].type_name.pointer_depth == 2
+
+    def test_mixed_pointer_decl_list(self):
+        stmt = parse_statement("int a, *b, **c;")
+        depths = [d.type_name.pointer_depth for d in stmt.decls]
+        assert depths == [0, 1, 2]
+
+    def test_star_binds_to_first_declarator_only(self):
+        stmt = parse_statement("int *a, b;")
+        depths = [d.type_name.pointer_depth for d in stmt.decls]
+        assert depths == [1, 0]
+
+    def test_each_declarator_needs_its_own_star(self):
+        stmt = parse_statement("int *a, *b;")
+        depths = [d.type_name.pointer_depth for d in stmt.decls]
+        assert depths == [1, 1]
+
+    def test_array_with_constant_expression_size(self):
+        unit = parse("enum K { N = 4 };\nint table[N * 2];")
+        info = annotate(unit)
+        sym = info.file_scope.lookup("table")
+        assert sym.ctype.length == 8
+
+    def test_initializer_list(self):
+        unit = parse("int table[3] = { 1, 2, 3 };")
+        assert isinstance(unit.decls[0].init, ast.Comma)
+        assert len(unit.decls[0].init.parts) == 3
+
+    def test_extern_storage(self):
+        unit = parse("extern unsigned LEN_NODATA;")
+        assert unit.decls[0].storage == "extern"
+
+    def test_static_function(self):
+        unit = parse("static void helper(void) { }")
+        assert unit.function("helper").storage == "static"
+
+    def test_unnamed_parameters(self):
+        unit = parse("void cb(int, unsigned);")
+        proto = unit.decls[0]
+        assert [p.name for p in proto.params] == ["", ""]
+
+    def test_array_parameter(self):
+        unit = parse("void f(int data[4]) { }")
+        param = unit.function("f").params[0]
+        assert len(param.type_name.array_dims) == 1
+
+
+class TestExpressionEdgeCases:
+    def test_chained_relational(self):
+        expr = parse_expression("a < b < c")  # parses as (a<b)<c
+        assert expr.op == "<"
+        assert expr.left.op == "<"
+
+    def test_shift_assignment(self):
+        expr = parse_expression("mask <<= 2")
+        assert expr.op == "<<="
+
+    def test_sizeof_binds_tighter_than_binary(self):
+        expr = parse_expression("sizeof(x) + 1")
+        assert expr.op == "+"
+        assert isinstance(expr.left, ast.SizeofExpr)
+
+    def test_unary_minus_on_parenthesized(self):
+        expr = parse_expression("-(a + b)")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_cast_of_call(self):
+        expr = parse_expression("(unsigned)f(x)")
+        assert isinstance(expr, ast.Cast)
+        assert isinstance(expr.operand, ast.Call)
+
+    def test_address_of_member(self):
+        expr = parse_expression("&h.nh")
+        assert isinstance(expr, ast.UnaryOp)
+        assert isinstance(expr.operand, ast.Member)
+
+    def test_nested_index(self):
+        expr = parse_expression("m[i][j]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_call_through_member_is_rejected_gracefully(self):
+        # Function pointers are out of scope; callee_name is None but
+        # the expression still parses as a call on a member.
+        expr = parse_expression("ops.send(1)")
+        assert isinstance(expr, ast.Call)
+        assert expr.callee_name is None
+
+    def test_char_arith(self):
+        expr = parse_expression("'a' + 1")
+        assert expr.op == "+"
+
+    def test_deeply_nested_parens(self):
+        expr = parse_expression("((((x))))")
+        assert isinstance(expr, ast.Ident)
+
+
+class TestStatementEdgeCases:
+    def test_if_without_braces(self):
+        stmt = parse_statement("if (a) f(); else g();")
+        assert isinstance(stmt.then, ast.ExprStmt)
+
+    def test_nested_loops(self):
+        stmt = parse_statement(
+            "while (a) { for (i = 0; i < 3; i++) { do { f(); } while (b); } }"
+        )
+        assert isinstance(stmt, ast.While)
+
+    def test_label_then_statement(self):
+        unit = parse("""
+            void f(void) {
+                goto out;
+                f2();
+            out:
+                g();
+            }
+        """)
+        body = unit.function("f").body
+        kinds = [type(s).__name__ for s in body.stmts]
+        assert "Label" in kinds
+
+    def test_switch_with_nested_block(self):
+        stmt = parse_statement("""
+            switch (x) {
+            case 1: { int t; t = 1; f(t); } break;
+            }
+        """)
+        assert isinstance(stmt, ast.Switch)
+
+    def test_empty_function_body(self):
+        unit = parse("void f(void) { }")
+        assert unit.function("f").body.stmts == []
+
+    def test_statement_requires_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { a = 1 }")
+
+    def test_comma_in_for_step(self):
+        stmt = parse_statement("for (i = 0, j = 9; i < j; i++, j--) { }")
+        assert isinstance(stmt.init, ast.Comma)
+        assert isinstance(stmt.step, ast.Comma)

@@ -1,0 +1,303 @@
+"""Simulator component and machine-level tests."""
+
+import pytest
+
+from repro.errors import BufferAccounting, ProtocolDeadlock
+from repro.flash.sim import (
+    BufferPool,
+    Directory,
+    FlashMachine,
+    Message,
+    OutputQueues,
+    WorkloadSpec,
+)
+from repro.flash.sim.workload import generate
+from repro.project import program_from_source
+
+
+class TestBufferPool:
+    def test_alloc_and_free(self):
+        pool = BufferPool(2)
+        buf = pool.hw_allocate()
+        assert buf is not None and buf.live
+        pool.free(buf)
+        assert not buf.live
+        assert pool.free_count == 2
+
+    def test_exhaustion_returns_none(self):
+        pool = BufferPool(1)
+        assert pool.hw_allocate() is not None
+        assert pool.hw_allocate() is None
+        assert pool.allocation_failures == 1
+
+    def test_double_free_strict_raises(self):
+        pool = BufferPool(1)
+        buf = pool.hw_allocate()
+        pool.free(buf)
+        with pytest.raises(BufferAccounting):
+            pool.free(buf)
+
+    def test_double_free_counted_when_lenient(self):
+        pool = BufferPool(1)
+        pool.strict = False
+        buf = pool.hw_allocate()
+        pool.free(buf)
+        pool.free(buf)
+        assert pool.double_frees == 1
+
+    def test_refcount_keeps_buffer_alive(self):
+        pool = BufferPool(1)
+        buf = pool.hw_allocate()
+        pool.inc_refcount(buf)
+        pool.free(buf)
+        assert buf.live
+        pool.free(buf)
+        assert not buf.live
+
+    def test_read_before_fill_counts_race(self):
+        pool = BufferPool(1)
+        pool.strict = False
+        buf = pool.hw_allocate(fill_data=[7, 8])
+        value = pool.read(buf, 0)
+        assert value == 0xDEAD
+        assert pool.unsynchronized_reads == 1
+
+    def test_read_after_fill_returns_data(self):
+        pool = BufferPool(1)
+        buf = pool.hw_allocate(fill_data=[7, 8])
+        pool.complete_fill(buf)
+        assert pool.read(buf, 0) == 7
+        assert pool.read(buf, 4) == 8
+
+    def test_use_after_free_detected(self):
+        pool = BufferPool(1)
+        pool.strict = False
+        buf = pool.hw_allocate()
+        pool.free(buf)
+        pool.read(buf, 0)
+        assert pool.use_after_free == 1
+
+    def test_leak_count(self):
+        pool = BufferPool(4)
+        pool.hw_allocate()
+        pool.hw_allocate()
+        assert pool.leak_count() == 2
+        assert pool.leak_count(outstanding_ok=1) == 1
+
+
+class TestDirectory:
+    def test_load_and_writeback(self):
+        d = Directory()
+        assert d.load(0x100) == 0
+        d.writeback(0x100, 7)
+        assert d.entry(0x100) == 7
+        assert d.load(0x100) == 7
+
+    def test_stale_writeback_accounting(self):
+        d = Directory()
+        d.load(0x40)
+        d.note_modified_without_writeback(0x40)
+        assert d.stale_writebacks == 1
+
+
+class TestOutputQueues:
+    def _message(self, lane):
+        return Message(opcode=1, addr=0, src=0, dest=1, lane=lane,
+                       has_data=False, length=0)
+
+    def test_send_and_drain(self):
+        q = OutputQueues(0, capacity=2)
+        q.send(self._message(0))
+        q.send(self._message(2))
+        assert q.pending() == 2
+        drained = q.drain()
+        assert len(drained) == 2
+        assert q.pending() == 0
+
+    def test_space_accounting(self):
+        q = OutputQueues(0, capacity=2)
+        assert q.space(1) == 2
+        q.send(self._message(1))
+        assert q.space(1) == 1
+
+    def test_overrun_deadlocks(self):
+        q = OutputQueues(0, capacity=1)
+        q.send(self._message(3))
+        with pytest.raises(ProtocolDeadlock):
+            q.send(self._message(3))
+        assert q.overruns == 1
+
+
+class TestWorkload:
+    def test_deterministic(self):
+        spec = WorkloadSpec(messages=20, seed=3)
+        first = [(m.opcode, m.addr) for m in generate(spec)]
+        second = [(m.opcode, m.addr) for m in generate(spec)]
+        assert first == second
+
+    def test_message_count(self):
+        assert len(list(generate(WorkloadSpec(messages=17)))) == 17
+
+    def test_opcode_weights_respected(self):
+        spec = WorkloadSpec(messages=100, opcode_weights=((9, 1),))
+        assert all(m.opcode == 9 for m in generate(spec))
+
+
+def machine_for(src, dispatch, **kwargs):
+    prog = program_from_source(src)
+    funcs = {f.name: f for f in prog.functions()}
+    return FlashMachine(funcs, dispatch, **kwargs)
+
+
+GOOD = """
+void Handler(void) {
+    unsigned addr;
+    unsigned v;
+    addr = HANDLER_GLOBALS(header.nh.addr);
+    WAIT_FOR_DB_FULL(addr);
+    v = MISCBUS_READ_DB(addr, 0);
+    HANDLER_GLOBALS(dirEntry) = DIR_LOAD(addr);
+    HANDLER_GLOBALS(dirEntry) = HANDLER_GLOBALS(dirEntry) | 1;
+    DIR_WRITEBACK(addr, HANDLER_GLOBALS(dirEntry));
+    DB_FREE();
+    return;
+}
+"""
+
+
+class TestMachine:
+    def test_clean_protocol_runs_clean(self):
+        m = machine_for(GOOD, {1: "Handler"})
+        stats = m.run(WorkloadSpec(messages=200, opcode_weights=((1, 1),)))
+        assert stats.deadlock is None
+        assert stats.clean
+        assert stats.handlers_run == 200
+
+    def test_unknown_opcodes_skipped(self):
+        m = machine_for(GOOD, {1: "Handler"})
+        stats = m.run(WorkloadSpec(messages=50, opcode_weights=((2, 1),)))
+        assert stats.handlers_run == 0
+
+    def test_leak_eventually_deadlocks(self):
+        src = GOOD + """
+        void Leaky(void) {
+            unsigned addr;
+            addr = HANDLER_GLOBALS(header.nh.addr);
+            if ((addr & 255) == 16) { return; }
+            DB_FREE();
+            return;
+        }
+        """
+        m = machine_for(src, {1: "Leaky"}, n_buffers=4)
+        stats = m.run(WorkloadSpec(messages=50000,
+                                   opcode_weights=((1, 1),)))
+        assert stats.deadlock is not None
+        assert "no data buffer" in stats.deadlock
+        # the leak takes a while to drain the pool - "after days of use"
+        assert stats.handlers_run > 100
+
+    def test_double_free_detected(self):
+        src = """
+        void Buggy(void) {
+            DB_FREE();
+            DB_FREE();
+            return;
+        }
+        """
+        m = machine_for(src, {1: "Buggy"})
+        stats = m.run(WorkloadSpec(messages=5, opcode_weights=((1, 1),)))
+        assert stats.double_frees > 0
+
+    def test_lane_overrun_deadlocks(self):
+        sends = "\n".join(
+            "HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;\n"
+            "NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);" for _ in range(9)
+        )
+        src = f"void Chatty(void) {{ {sends} DB_FREE(); return; }}"
+        m = machine_for(src, {1: "Chatty"}, lane_capacity=8)
+        stats = m.run(WorkloadSpec(messages=5, opcode_weights=((1, 1),)))
+        assert stats.deadlock is not None
+        assert "overran" in stats.deadlock
+
+    def test_msglen_mismatch_observed(self):
+        src = """
+        void WrongLen(void) {
+            HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+            NI_SEND(NI_REQUEST, F_DATA, 1, 0, 1, 0);
+            DB_FREE();
+            return;
+        }
+        """
+        m = machine_for(src, {1: "WrongLen"})
+        stats = m.run(WorkloadSpec(messages=10, opcode_weights=((1, 1),)))
+        assert stats.msglen_mismatches == stats.sends > 0
+
+    def test_unwaited_send_counted(self):
+        src = """
+        void NoWait(void) {
+            HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+            PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+            DB_FREE();
+            return;
+        }
+        """
+        m = machine_for(src, {1: "NoWait"})
+        stats = m.run(WorkloadSpec(messages=4, opcode_weights=((1, 1),)))
+        assert stats.pending_wait_violations > 0
+
+    def test_spin_wait_is_dynamically_fine(self):
+        # The §9 false positive: spinning on the raw status register does
+        # consume the reply, so the simulator sees no violation.
+        src = """
+        void Spin(void) {
+            HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+            NI_SEND(NI_REQUEST, F_DATA, 1, 1, 1, 0);
+            while (!NI_REPLY_READY()) { SPIN(); }
+            DB_FREE();
+            return;
+        }
+        """
+        m = machine_for(src, {1: "Spin"})
+        stats = m.run(WorkloadSpec(messages=10, opcode_weights=((1, 1),)))
+        assert stats.pending_wait_violations == 0
+
+    def test_stale_directory_writeback_counted(self):
+        src = """
+        void Stale(void) {
+            unsigned addr;
+            addr = HANDLER_GLOBALS(header.nh.addr);
+            HANDLER_GLOBALS(dirEntry) = DIR_LOAD(addr);
+            HANDLER_GLOBALS(dirEntry) = HANDLER_GLOBALS(dirEntry) | 2;
+            DB_FREE();
+            return;
+        }
+        """
+        m = machine_for(src, {1: "Stale"})
+        stats = m.run(WorkloadSpec(messages=8, opcode_weights=((1, 1),)))
+        assert stats.stale_directory_writebacks == 8
+
+    def test_racy_read_counted(self):
+        src = """
+        void Racy(void) {
+            unsigned v;
+            v = MISCBUS_READ_DB(0, 0);
+            DB_FREE();
+            return;
+        }
+        """
+        m = machine_for(src, {1: "Racy"})
+        stats = m.run(WorkloadSpec(messages=6, opcode_weights=((1, 1),)))
+        assert stats.unsynchronized_reads == 6
+
+    def test_strict_mode_raises_on_unwaited_send(self):
+        src = """
+        void NoWait(void) {
+            HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+            PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+            DB_FREE();
+            return;
+        }
+        """
+        m = machine_for(src, {1: "NoWait"}, strict=True)
+        stats = m.run(WorkloadSpec(messages=2, opcode_weights=((1, 1),)))
+        assert stats.deadlock is not None

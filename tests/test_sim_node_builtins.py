@@ -1,0 +1,213 @@
+"""Node-level builtin bindings: each FLASH macro against one node."""
+
+import pytest
+
+from repro.flash.sim import Message, Node
+from repro.project import program_from_source
+
+
+def make_node(src="void noop(void) { return; }", **kwargs):
+    program = program_from_source(src)
+    functions = {f.name: f for f in program.functions()}
+    return Node(0, functions, **kwargs)
+
+
+def incoming(opcode=1, addr=0x40, length=0, payload=None):
+    return Message(opcode=opcode, addr=addr, src=1, dest=0, lane=0,
+                   has_data=bool(payload), length=length,
+                   payload=payload or [])
+
+
+class TestHandlerDispatch:
+    def test_run_handler_sets_header_globals(self):
+        node = make_node("""
+            void h(void) {
+                t_probe();
+                DB_FREE();
+                return;
+            }
+        """)
+        captured = {}
+        node.interp.builtins["t_probe"] = lambda: captured.update(
+            op=node.globals.read("header.nh.op"),
+            addr=node.globals.read("header.nh.addr"),
+        )
+        node.run_handler("h", incoming(opcode=7, addr=0x99))
+        assert captured == {"op": 7, "addr": 0x99}
+
+    def test_outgoing_messages_returned(self):
+        node = make_node("""
+            void h(void) {
+                HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+                NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+                DB_FREE();
+                return;
+            }
+        """)
+        out = node.run_handler("h", incoming())
+        assert len(out) == 1
+        assert out[0].opcode == 1
+
+    def test_handler_counts(self):
+        node = make_node("void h(void) { DB_FREE(); return; }")
+        node.run_handler("h", incoming())
+        node.run_handler("h", incoming())
+        assert node.handlers_run == 2
+
+    def test_buffer_allocated_per_message_and_freed(self):
+        node = make_node("void h(void) { DB_FREE(); return; }")
+        node.run_handler("h", incoming())
+        assert node.pool.free_count == len(node.pool.buffers)
+
+    def test_leak_reduces_pool(self):
+        node = make_node("void h(void) { return; }")
+        node.run_handler("h", incoming())
+        assert node.pool.live_count == 1
+
+    def test_deadlock_when_pool_empty(self):
+        from repro.errors import ProtocolDeadlock
+        node = make_node("void h(void) { return; }", n_buffers=2)
+        node.run_handler("h", incoming())
+        node.run_handler("h", incoming())
+        with pytest.raises(ProtocolDeadlock):
+            node.run_handler("h", incoming())
+
+
+class TestDataPath:
+    def test_payload_visible_after_wait(self):
+        node = make_node("""
+            unsigned h(void) {
+                unsigned v;
+                WAIT_FOR_DB_FULL(0);
+                v = MISCBUS_READ_DB(0, 0);
+                DB_FREE();
+                return v;
+            }
+        """)
+        node.run_handler("h", incoming(payload=[0xABCD]))
+        # return value not observable through run_handler; call directly:
+        node.current_buffer = node.pool.hw_allocate(fill_data=[0xABCD])
+        assert node.interp.call("h") == 0xABCD
+
+    def test_read_before_wait_is_garbage(self):
+        node = make_node("""
+            void h(void) {
+                unsigned v;
+                v = MISCBUS_READ_DB(0, 0);
+                DB_FREE();
+                return;
+            }
+        """)
+        node.run_handler("h", incoming(payload=[5]))
+        assert node.pool.unsynchronized_reads == 1
+
+    def test_db_alloc_failure_returns_zero(self):
+        node = make_node("""
+            unsigned h(void) {
+                unsigned b;
+                b = DB_ALLOC();
+                return DB_IS_ERROR(b);
+            }
+        """, n_buffers=1)
+        # Fill the pool so DB_ALLOC inside the handler fails.
+        node.pool.hw_allocate()
+        assert node.interp.call("h") == 1
+
+    def test_db_inc_refcount_binding(self):
+        node = make_node("""
+            void h(void) {
+                DB_INC_REFCOUNT(0);
+                DB_FREE();
+                DB_FREE();
+                return;
+            }
+        """)
+        node.run_handler("h", incoming())
+        # refcount bumped to 2, freed twice: balanced, no error.
+        assert node.pool.double_frees == 0
+
+
+class TestDirectoryBindings:
+    def test_load_modify_writeback_round_trip(self):
+        node = make_node("""
+            void h(void) {
+                unsigned a;
+                a = HANDLER_GLOBALS(header.nh.addr);
+                HANDLER_GLOBALS(dirEntry) = DIR_LOAD(a);
+                HANDLER_GLOBALS(dirEntry) = HANDLER_GLOBALS(dirEntry) | 4;
+                DIR_WRITEBACK(a, HANDLER_GLOBALS(dirEntry));
+                DB_FREE();
+                return;
+            }
+        """)
+        node.run_handler("h", incoming(addr=0x80))
+        assert node.directory.entry(0x80) == 4
+        assert node.directory.stale_writebacks == 0
+
+    def test_load_without_modify_not_stale(self):
+        node = make_node("""
+            void h(void) {
+                unsigned t;
+                HANDLER_GLOBALS(dirEntry) = DIR_LOAD(8);
+                t = HANDLER_GLOBALS(dirEntry);
+                DB_FREE();
+                return;
+            }
+        """)
+        node.run_handler("h", incoming())
+        assert node.directory.stale_writebacks == 0
+
+    def test_modify_without_writeback_is_stale(self):
+        node = make_node("""
+            void h(void) {
+                HANDLER_GLOBALS(dirEntry) = DIR_LOAD(8);
+                HANDLER_GLOBALS(dirEntry) = HANDLER_GLOBALS(dirEntry) | 1;
+                DB_FREE();
+                return;
+            }
+        """)
+        node.run_handler("h", incoming())
+        assert node.directory.stale_writebacks == 1
+
+
+class TestWaitBindings:
+    def test_matched_wait_clears(self):
+        node = make_node("""
+            void h(void) {
+                HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+                PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+                WAIT_FOR_PI_REPLY();
+                DB_FREE();
+                return;
+            }
+        """)
+        node.run_handler("h", incoming())
+        assert node.pending_wait_violations == 0
+
+    def test_wrong_interface_wait_counted(self):
+        node = make_node("""
+            void h(void) {
+                HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+                PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+                WAIT_FOR_NI_REPLY();
+                DB_FREE();
+                return;
+            }
+        """)
+        node.run_handler("h", incoming())
+        assert node.pending_wait_violations == 1
+
+    def test_wait_for_space_drains_lane(self):
+        node = make_node("""
+            void h(void) {
+                HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+                NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+                WAIT_FOR_SPACE(LANE_NI_REQUEST);
+                NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+                DB_FREE();
+                return;
+            }
+        """, lane_capacity=1)
+        out = node.run_handler("h", incoming())
+        assert len(out) == 2
+        assert node.queues.overruns == 0

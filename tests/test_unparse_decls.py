@@ -1,0 +1,105 @@
+"""Unparser coverage for declarations and full units."""
+
+from repro.lang import parse
+from repro.lang.unparse import unparse_decl, unparse_type, unparse_unit
+
+
+def round_trip_unit(src):
+    unit1 = parse(src)
+    text = unparse_unit(unit1)
+    unit2 = parse(text)
+    return unit1, unit2, text
+
+
+class TestDeclUnparse:
+    def test_prototype(self):
+        unit = parse("unsigned f(int a, char b);")
+        text = unparse_decl(unit.decls[0])
+        assert text.strip() == "unsigned f(int a, char b);"
+
+    def test_void_params_rendered(self):
+        unit = parse("void f(void);")
+        assert "f(void)" in unparse_decl(unit.decls[0])
+
+    def test_global_with_initializer(self):
+        unit = parse("static unsigned counter = 42;")
+        assert unparse_decl(unit.decls[0]).strip() == \
+            "static unsigned counter = 42;"
+
+    def test_struct(self):
+        unit = parse("struct H { unsigned len; int *next; };")
+        text = unparse_decl(unit.decls[0])
+        assert "struct H {" in text
+        assert "unsigned len;" in text
+        assert "int *next;" in text
+
+    def test_union(self):
+        unit = parse("union U { int i; unsigned u; };")
+        assert unparse_decl(unit.decls[0]).startswith("union U")
+
+    def test_enum(self):
+        unit = parse("enum E { A, B = 5 };")
+        text = unparse_decl(unit.decls[0])
+        assert "A" in text and "B = 5" in text
+
+    def test_typedef(self):
+        unit = parse("typedef unsigned long u32;")
+        assert unparse_decl(unit.decls[0]).strip() == \
+            "typedef unsigned long u32;"
+
+    def test_array_global(self):
+        unit = parse("unsigned table[16];")
+        assert "table[16]" in unparse_decl(unit.decls[0])
+
+    def test_unparse_type_pointer(self):
+        unit = parse("int **pp;")
+        assert unparse_type(unit.decls[0].type_name, "pp") == "int **pp"
+
+
+class TestUnitRoundTrips:
+    def test_declarations_survive(self):
+        unit1, unit2, _ = round_trip_unit("""
+            typedef unsigned long u32;
+            enum Op { GET = 1, PUT, GETX = 4 };
+            struct Header { u32 len; u32 op; };
+            static u32 counter = 0;
+            extern unsigned LEN_NODATA;
+            unsigned helper(unsigned a, unsigned b);
+            void handler(void)
+            {
+                struct Header h;
+                h.len = 0;
+                counter = helper(h.len, GET);
+            }
+        """)
+        assert len(unit1.decls) == len(unit2.decls)
+        assert [d.kind for d in unit1.decls] == [d.kind for d in unit2.decls]
+
+    def test_goto_survives(self):
+        _, unit2, text = round_trip_unit("""
+            void f(void)
+            {
+                if (x) {
+                    goto out;
+                }
+                work();
+            out:
+                done();
+            }
+        """)
+        assert "goto out;" in text
+        assert "out:" in text
+        assert unit2.function("f") is not None
+
+    def test_do_while_survives(self):
+        _, unit2, text = round_trip_unit("""
+            void f(void)
+            {
+                do {
+                    g();
+                } while (x < 3);
+            }
+        """)
+        assert "do" in text and "while (x < 3);" in text
+        body1 = unit2.function("f").body
+        assert body1.stmts[0].kind == "DoWhile"
