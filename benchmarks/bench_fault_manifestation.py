@@ -1,0 +1,137 @@
+"""Fault injection closes the dynamic-coverage gap the paper leans on.
+
+§9's argument for static checking is that failure paths — allocation
+failure, lane backpressure — essentially never execute under ordinary
+testing, so the bugs sitting on them stay latent.  This benchmark makes
+that quantitative with the fault subsystem: the same buggy handlers run
+**clean** under a plain simulated workload, while a seeded
+:class:`FaultPlan` forces the failure paths and the bug classes
+manifest.  It also measures what injection costs in wall time.
+
+``FAULT_BENCH_MESSAGES`` shrinks the workload for CI smoke runs.
+"""
+
+import os
+
+from repro.faults import FaultPlan, FaultRule
+from repro.flash.sim import FlashMachine, WorkloadSpec
+from repro.project import program_from_source
+
+MESSAGES = int(os.environ.get("FAULT_BENCH_MESSAGES", "4000"))
+
+# Both handlers are §9-buggy *only on failure paths*: AllocNoCheck
+# skips the DB_IS_ERROR check, Chatty has no headroom for backpressure.
+SOURCES = """
+void AllocNoCheck(void) {
+    unsigned buf;
+    unsigned v;
+    DB_FREE();
+    buf = DB_ALLOC();
+    v = MISCBUS_READ_DB(0, 0);
+    DB_FREE();
+    return;
+}
+
+void Chatty(void) {
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+    NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+    DB_FREE();
+    return;
+}
+"""
+
+DISPATCH = {1: "AllocNoCheck", 2: "Chatty"}
+
+PLAN = FaultPlan(
+    rules=(
+        FaultRule(site="alloc_fail", every=50),
+        FaultRule(site="lane_overflow", after=100, every=97),
+    ),
+    seed=42,
+)
+
+#: bug class -> SimStats attribute that counts its manifestations
+BUG_CLASSES = {
+    "alloc-fail use-after-free": "use_after_free",
+    "alloc-fail double-free": "double_frees",
+    "lane overflow": "lane_overruns",
+}
+
+
+def _machine(fault_plan=None):
+    prog = program_from_source(SOURCES)
+    funcs = {f.name: f for f in prog.functions()}
+    return FlashMachine(funcs, DISPATCH, fault_plan=fault_plan)
+
+
+def _spec():
+    return WorkloadSpec(messages=MESSAGES,
+                        opcode_weights=((1, 1), (2, 1)))
+
+
+def _manifested(stats):
+    return [name for name, attr in BUG_CLASSES.items()
+            if getattr(stats, attr) > 0]
+
+
+def test_fault_manifestation(benchmark, show):
+    baseline = _machine().run(_spec())
+    assert baseline.clean, "seeded bugs must stay latent without faults"
+    assert _manifested(baseline) == []
+
+    stats = benchmark.pedantic(
+        lambda: _machine(fault_plan=PLAN).run(_spec()),
+        rounds=3, iterations=1,
+    )
+
+    manifested = _manifested(stats)
+    assert set(manifested) == set(BUG_CLASSES), (
+        f"only {manifested} manifested under the plan")
+    assert not stats.clean
+    assert stats.deadlock is None, "injection degrades, it must not kill"
+
+    # Determinism: the whole point of a *seeded* plan.
+    again = _machine(fault_plan=PLAN).run(_spec())
+    assert (again.use_after_free, again.double_frees, again.lane_overruns) \
+        == (stats.use_after_free, stats.double_frees, stats.lane_overruns)
+
+    show(f"\n{MESSAGES} messages: 0/{len(BUG_CLASSES)} bug classes "
+         f"manifest without faults, {len(manifested)}/{len(BUG_CLASSES)} "
+         f"with the seeded plan ({stats.injected_faults} injections: "
+         f"{stats.faults_by_site})")
+    benchmark.extra_info["messages"] = MESSAGES
+    benchmark.extra_info["bug_classes_baseline"] = 0
+    benchmark.extra_info["bug_classes_injected"] = len(manifested)
+    benchmark.extra_info["injected_faults"] = stats.injected_faults
+
+
+def test_injection_overhead(benchmark, show):
+    """A plan whose rules never fire: the cost of *checking* for faults."""
+    idle_plan = FaultPlan(
+        rules=(FaultRule(site="alloc_fail", handler="NoSuchHandler"),),
+        seed=1,
+    )
+    import time
+
+    start = time.perf_counter()
+    _machine().run(_spec())
+    plain_s = time.perf_counter() - start
+
+    def instrumented():
+        t0 = time.perf_counter()
+        result = _machine(fault_plan=idle_plan).run(_spec())
+        timings.append(time.perf_counter() - t0)
+        return result
+
+    timings = []
+    stats = benchmark.pedantic(instrumented, rounds=3, iterations=1)
+    assert stats.clean
+    assert stats.injected_faults == 0
+
+    injected_s = min(timings)
+    overhead = injected_s / plain_s if plain_s else float("inf")
+    show(f"\nidle-plan overhead: {overhead:.2f}x "
+         f"({plain_s * 1000:.0f} ms plain vs "
+         f"{injected_s * 1000:.0f} ms instrumented)")
+    benchmark.extra_info["overhead_x"] = round(overhead, 2)

@@ -32,6 +32,10 @@ class CheckerResult:
     annotations: list[Location] = field(default_factory=list)
     #: Checker-specific extras (e.g. Table 5's handler/variable counts).
     extra: dict = field(default_factory=dict)
+    #: (checker, function) pairs this run had to isolate after a crash.
+    quarantines: list = field(default_factory=list)
+    #: True when the result is partial (quarantine or exhausted budget).
+    degraded: bool = False
 
     @property
     def errors(self) -> list[Report]:
@@ -72,6 +76,8 @@ class Checker(ABC):
 
     def _finish(self, result: CheckerResult, sink: ReportSink) -> CheckerResult:
         result.reports = sink.reports
+        result.quarantines = list(getattr(sink, "quarantines", []))
+        result.degraded = bool(getattr(sink, "degraded", False))
         return result
 
 
@@ -104,9 +110,30 @@ def all_checkers() -> list[Checker]:
 
 
 def run_all(program: Program,
-            names: Optional[list[str]] = None) -> dict[str, CheckerResult]:
-    """Run the named checkers (default: all) over ``program``."""
+            names: Optional[list[str]] = None, *,
+            keep_going: bool = False) -> dict[str, CheckerResult]:
+    """Run the named checkers (default: all) over ``program``.
+
+    With ``keep_going``, one checker blowing up costs only that checker:
+    its crash becomes a quarantine diagnostic on an otherwise-empty
+    (degraded) result, and every other checker still reports — the
+    engine analog of the simulator surviving a single handler's fault.
+    """
     checkers = (
         [get_checker(n) for n in names] if names is not None else all_checkers()
     )
-    return {checker.name: checker.check(program) for checker in checkers}
+    results: dict[str, CheckerResult] = {}
+    for checker in checkers:
+        try:
+            results[checker.name] = checker.check(program)
+        except Exception as exc:
+            if not keep_going:
+                raise
+            from ..mc.resilience import Quarantine
+            result = CheckerResult(checker=checker.name, degraded=True)
+            result.quarantines.append(Quarantine(
+                checker=checker.name, function="*", phase="checker",
+                error_type=type(exc).__name__, message=str(exc),
+            ))
+            results[checker.name] = result
+    return results

@@ -17,8 +17,16 @@ Subcommands:
 ``mc-check tables``
     Regenerate every table of the paper and print paper-vs-measured.
 
+``mc-check simulate FILE... --dispatch OP=HANDLER``
+    Run protocol handlers in the FlashLite-lite simulator, optionally
+    under a deterministic fault plan (``--fault-plan plan.json``).
+
 ``mc-check list``
     List registered checkers with their Table 7 metadata.
+
+Exit codes (``check``, ``metal``, ``simulate``): **0** clean, **1**
+bugs/diagnostics found, **2** internal error or quarantined checker —
+so CI can tell "the protocol is buggy" from "the tool is".
 """
 
 from __future__ import annotations
@@ -29,10 +37,17 @@ from pathlib import Path
 
 from . import __version__
 from .checkers import all_checkers, checker_names, get_checker
+from .checkers.base import run_all
+from .errors import ReproError
 from .lang import annotate, parse
-from .mc import check_unit, format_reports
+from .mc import Budget, check_unit, format_quarantines, format_reports
 from .metal import parse_metal
 from .project import Program
+
+#: Exit statuses: clean / bugs found / the tool itself misbehaved.
+EXIT_CLEAN = 0
+EXIT_BUGS = 1
+EXIT_INTERNAL = 2
 
 
 def _load_program(paths: list[str], spec_path: str | None = None) -> Program:
@@ -49,32 +64,118 @@ def _load_program(paths: list[str], spec_path: str | None = None) -> Program:
 def cmd_check(args) -> int:
     program = _load_program(args.files, getattr(args, "spec", None))
     names = args.checker or None
+    keep_going = getattr(args, "keep_going", False)
+    results = run_all(program, names, keep_going=keep_going)
     failures = 0
-    checkers = [get_checker(n) for n in names] if names else all_checkers()
-    for checker in checkers:
-        result = checker.check(program)
+    quarantines = []
+    degraded = False
+    for result in results.values():
         if result.reports:
             print(format_reports(result.reports,
-                                 heading=f"checker: {checker.name}"))
+                                 heading=f"checker: {result.checker}"))
             print()
             failures += len(result.errors)
-    if failures == 0:
+        quarantines.extend(result.quarantines)
+        degraded = degraded or result.degraded
+    if quarantines:
+        print(format_quarantines(quarantines))
+        print()
+    if degraded:
+        print("DEGRADED: results are partial")
+    if failures == 0 and not quarantines:
         print("no errors found")
-    return 1 if failures else 0
+    if quarantines:
+        return EXIT_INTERNAL
+    return EXIT_BUGS if failures else EXIT_CLEAN
+
+
+def _budget_from_args(args) -> Budget | None:
+    steps = getattr(args, "budget_steps", None)
+    paths = getattr(args, "budget_paths", None)
+    seconds = getattr(args, "budget_seconds", None)
+    if steps is None and paths is None and seconds is None:
+        return None
+    return Budget(max_steps=steps, max_paths=paths, max_seconds=seconds)
 
 
 def cmd_metal(args) -> int:
     sm = parse_metal(Path(args.checker).read_text(), filename=args.checker)
+    budget = _budget_from_args(args)
+    keep_going = getattr(args, "keep_going", False)
     total = 0
+    quarantined = 0
+    degraded = False
     for path in args.files:
         unit = parse(Path(path).read_text(), path)
         annotate(unit)
-        sink = check_unit(sm, unit)
+        sink = check_unit(sm, unit, budget=budget, keep_going=keep_going)
         for report in sink.reports:
             print(report)
+        if sink.quarantines:
+            print(format_quarantines(sink.quarantines))
         total += len(sink)
+        quarantined += len(sink.quarantines)
+        degraded = degraded or sink.degraded
     print(f"{total} diagnostic(s) from sm {sm.name}")
-    return 1 if total else 0
+    if degraded:
+        print("DEGRADED: results are partial"
+              + (f" ({budget.note()})" if budget and budget.exhausted else ""))
+    if quarantined:
+        return EXIT_INTERNAL
+    return EXIT_BUGS if total else EXIT_CLEAN
+
+
+def cmd_simulate(args) -> int:
+    from .faults import load_fault_plan
+    from .flash.sim import FlashMachine, WorkloadSpec
+
+    program = _load_program(args.files)
+    functions = {f.name: f for f in program.functions()}
+    dispatch: dict[int, str] = {}
+    for entry in args.dispatch:
+        opcode, sep, handler = entry.partition("=")
+        if not sep or not handler:
+            raise ReproError(f"--dispatch wants OPCODE=HANDLER, got {entry!r}")
+        if handler not in functions:
+            raise ReproError(f"--dispatch: no function named {handler!r}")
+        dispatch[int(opcode, 0)] = handler
+    plan = load_fault_plan(args.fault_plan) if args.fault_plan else None
+    machine = FlashMachine(
+        functions, dispatch, nodes=args.nodes, n_buffers=args.buffers,
+        lane_capacity=args.lane_capacity, strict=args.strict,
+        max_hops=args.max_hops, fault_plan=plan,
+    )
+    spec = WorkloadSpec(
+        messages=args.messages, nodes=args.nodes, seed=args.seed,
+        opcode_weights=tuple((op, 1) for op in dispatch),
+    )
+    stats = machine.run(spec)
+    print(f"handlers run: {stats.handlers_run}, sends: {stats.sends}")
+    observed = {
+        "double frees": stats.double_frees,
+        "use after free": stats.use_after_free,
+        "unsynchronized reads": stats.unsynchronized_reads,
+        "msglen mismatches": stats.msglen_mismatches,
+        "pending-wait violations": stats.pending_wait_violations,
+        "stale directory writebacks": stats.stale_directory_writebacks,
+        "lane overruns": stats.lane_overruns,
+        "refcount errors": stats.refcount_errors,
+        "leaked buffers": stats.leaked_buffers,
+    }
+    for label, value in observed.items():
+        if value:
+            print(f"  {label}: {value}")
+    if stats.deadlock:
+        print(f"  deadlock: {stats.deadlock}")
+    if plan is not None:
+        print(f"injected faults: {stats.injected_faults} "
+              f"({stats.faults_by_site}), handler crashes: "
+              f"{stats.injected_crashes}, dropped messages: "
+              f"{stats.dropped_messages}")
+        for event in stats.fault_events:
+            print(f"  {event}")
+    print("clean" if stats.clean else "NOT CLEAN")
+    return EXIT_CLEAN if stats.clean else EXIT_BUGS
 
 
 def cmd_generate(args) -> int:
@@ -172,12 +273,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--spec",
                          help="protocol specification file (handler table, "
                               "lane allowances, buffer routine tables)")
+    p_check.add_argument("--keep-going", action="store_true",
+                         help="a crashing checker is quarantined (exit 2) "
+                              "instead of aborting the whole run")
     p_check.set_defaults(func=cmd_check)
 
     p_metal = sub.add_parser("metal", help="run a textual metal checker")
     p_metal.add_argument("checker", help="path to a .metal file")
     p_metal.add_argument("files", nargs="+")
+    p_metal.add_argument("--keep-going", action="store_true",
+                         help="quarantine crashing (checker, function) "
+                              "pairs instead of aborting")
+    p_metal.add_argument("--budget-steps", type=int, default=None,
+                         help="stop exploring after this many machine steps "
+                              "(partial results, marked DEGRADED)")
+    p_metal.add_argument("--budget-paths", type=int, default=None,
+                         help="path cap for the naive engine fallback")
+    p_metal.add_argument("--budget-seconds", type=float, default=None,
+                         help="wall-clock cap for the whole analysis")
     p_metal.set_defaults(func=cmd_metal)
+
+    p_sim = sub.add_parser(
+        "simulate", help="run handlers in the FlashLite-lite simulator")
+    p_sim.add_argument("files", nargs="+")
+    p_sim.add_argument("--dispatch", action="append", required=True,
+                       metavar="OPCODE=HANDLER",
+                       help="dispatch-table entry (repeatable)")
+    p_sim.add_argument("--messages", type=int, default=1000)
+    p_sim.add_argument("--nodes", type=int, default=2)
+    p_sim.add_argument("--buffers", type=int, default=16)
+    p_sim.add_argument("--lane-capacity", type=int, default=8)
+    p_sim.add_argument("--max-hops", type=int, default=4)
+    p_sim.add_argument("--seed", type=int, default=7)
+    p_sim.add_argument("--strict", action="store_true",
+                       help="violations raise instead of being counted")
+    p_sim.add_argument("--fault-plan", default=None,
+                       help="JSON fault plan forcing failure paths "
+                            "(see docs/simulator.md)")
+    p_sim.set_defaults(func=cmd_simulate)
 
     p_gen = sub.add_parser("generate", help="emit a generated protocol")
     p_gen.add_argument("protocol",
@@ -217,6 +350,11 @@ def main(argv=None) -> int:
         except Exception:
             pass
         return 0
+    except ReproError as exc:
+        # The tool (or its input plumbing) failed — distinct from "the
+        # checked protocol has bugs" (exit 1).
+        print(f"mc-check: internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":

@@ -76,9 +76,52 @@ class ProtocolDeadlock(SimulationError):
     """The simulated machine deadlocked (the failure mode the paper's bugs cause)."""
 
 
+class LaneOverflowError(ProtocolDeadlock):
+    """A send overran its lane's bounded output queue (§7).
+
+    Subclasses :class:`ProtocolDeadlock` because on the real machine an
+    overrun drops a message and eventually wedges the protocol; the
+    simulator records it per event so one overrun does not end the run.
+    """
+
+    def __init__(self, message: str, node: int = -1, lane: int = -1):
+        super().__init__(message)
+        self.node = node
+        self.lane = lane
+
+
 class BufferAccounting(SimulationError):
     """A data-buffer refcount rule was violated at runtime (double free, leak, use-after-free)."""
 
 
+class DoubleFreeError(BufferAccounting):
+    """``free()`` on a buffer whose reference count is already zero."""
+
+
+class RefcountError(BufferAccounting):
+    """A reference count went negative or was bumped on a dead buffer."""
+
+
 class InterpError(SimulationError):
     """The AST interpreter hit an unsupported construct or a runtime fault."""
+
+
+class InjectedFault(SimulationError):
+    """A fault-plan rule deliberately interrupted the simulation.
+
+    ``kind`` is ``"crash"`` (the running handler died) or
+    ``"dropped_message"`` (an incoming message found no buffer and was
+    NAKed); the machine loop records each kind separately.
+    """
+
+    def __init__(self, message: str, kind: str = "crash"):
+        super().__init__(message)
+        self.kind = kind
+
+
+class FaultPlanError(ReproError):
+    """A fault plan is malformed (unknown site, bad trigger, bad JSON)."""
+
+
+class BudgetExhausted(EngineError):
+    """An analysis budget (steps, paths, or wall time) ran out."""

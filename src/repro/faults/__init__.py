@@ -1,0 +1,16 @@
+"""Deterministic fault injection for the FlashLite-lite simulator.
+
+The paper's checkers target failure paths that testing rarely reaches;
+this package forces those paths on demand.  Declare *what* to break in
+a :class:`FaultPlan` (pure data, JSON-loadable), and the simulator's
+:class:`FaultInjector` makes it happen deterministically: same plan,
+same seed, same run.
+"""
+
+from .injector import FaultInjector
+from .plan import SITES, FaultEvent, FaultPlan, FaultRule, load_fault_plan
+
+__all__ = [
+    "SITES", "FaultEvent", "FaultPlan", "FaultRule", "FaultInjector",
+    "load_fault_plan",
+]

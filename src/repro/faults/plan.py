@@ -1,0 +1,166 @@
+"""Deterministic fault plans for the FlashLite-lite simulator.
+
+The paper's core claim is that static checking finds bugs on *failure
+paths* — buffer-allocation failure, lane backpressure, adverse message
+timing — that dynamic testing almost never exercises.  A
+:class:`FaultPlan` closes that loop: it is a declarative, seeded
+description of which failure paths to force and when, so a seeded bug
+class can be made to manifest in simulation on demand, repeatably.
+
+A plan is a list of :class:`FaultRule` objects.  Each rule names an
+injection *site* (one of :data:`SITES`) and narrows when it fires:
+
+- ``node`` / ``handler`` / ``lane``: only while that node, dispatched
+  handler, or virtual lane is active;
+- ``from_cycle`` / ``until_cycle``: only inside a window of the global
+  interpreter-step clock;
+- ``after`` / ``every`` / ``count``: skip the first N eligible events,
+  then fire on every Nth, up to a cap;
+- ``probability``: a per-rule seeded coin, so rare faults stay rare but
+  identical across runs with the same plan seed.
+
+Plans are plain data (JSON-serializable) so the CLI can load them from
+a file via ``--fault-plan``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from ..errors import FaultPlanError
+
+#: Every site the simulator exposes for injection.
+SITES = frozenset({
+    "hw_alloc_fail",   # BufferPool.hw_allocate: arriving message finds no buffer
+    "alloc_fail",      # BufferPool.allocate: DB_ALLOC returns the error value
+    "lane_overflow",   # OutputQueues.send: backpressure — the lane has no slot
+    "msg_delay",       # OutputQueues.send: message is reordered to the back
+    "msg_dup",         # OutputQueues.send: message is duplicated in its lane
+    "handler_crash",   # Interpreter tick: the running handler dies mid-path
+})
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One trigger: *at this site, under these conditions, fire like so*."""
+
+    site: str
+    node: Optional[int] = None
+    handler: Optional[str] = None
+    lane: Optional[int] = None
+    from_cycle: Optional[int] = None
+    until_cycle: Optional[int] = None
+    after: int = 0
+    every: int = 1
+    count: Optional[int] = None
+    probability: Optional[float] = None
+
+    def __post_init__(self):
+        if self.site not in SITES:
+            raise FaultPlanError(
+                f"unknown fault site {self.site!r}; known sites: "
+                f"{', '.join(sorted(SITES))}"
+            )
+        if self.after < 0:
+            raise FaultPlanError(f"after must be >= 0, got {self.after}")
+        if self.every < 1:
+            raise FaultPlanError(f"every must be >= 1, got {self.every}")
+        if self.count is not None and self.count < 1:
+            raise FaultPlanError(f"count must be >= 1, got {self.count}")
+        if (self.from_cycle is not None and self.until_cycle is not None
+                and self.until_cycle < self.from_cycle):
+            raise FaultPlanError(
+                f"empty cycle window: until_cycle {self.until_cycle} < "
+                f"from_cycle {self.from_cycle}"
+            )
+        if self.probability is not None and not 0.0 < self.probability <= 1.0:
+            raise FaultPlanError(
+                f"probability must be in (0, 1], got {self.probability}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One firing of one rule, recorded for reporting and determinism tests."""
+
+    site: str
+    node: Optional[int]
+    handler: Optional[str]
+    lane: Optional[int]
+    cycle: int
+    rule_index: int
+
+    def __str__(self) -> str:
+        where = f"node {self.node}" if self.node is not None else "machine"
+        who = f" in {self.handler}" if self.handler else ""
+        lane = f" lane {self.lane}" if self.lane is not None else ""
+        return (f"{self.site} @ cycle {self.cycle} on {where}{who}{lane} "
+                f"(rule {self.rule_index})")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic set of fault rules."""
+
+    rules: tuple = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "rules", tuple(self.rules))
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise FaultPlanError(f"not a FaultRule: {rule!r}")
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "rules": [
+                {k: v for k, v in asdict(rule).items() if v is not None}
+                for rule in self.rules
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultPlanError("fault plan must be a JSON object")
+        unknown = set(data) - {"seed", "rules"}
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault-plan keys: {', '.join(sorted(unknown))}"
+            )
+        rules = []
+        for i, raw in enumerate(data.get("rules", [])):
+            if not isinstance(raw, dict):
+                raise FaultPlanError(f"rule {i} must be a JSON object")
+            try:
+                rules.append(FaultRule(**raw))
+            except TypeError as exc:
+                raise FaultPlanError(f"rule {i}: {exc}") from None
+        return cls(rules=tuple(rules), seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def from_json(cls, text: str, filename: str = "<fault-plan>") -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"{filename}: invalid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+
+def load_fault_plan(path) -> FaultPlan:
+    """Read a :class:`FaultPlan` from a JSON file."""
+    from pathlib import Path
+    p = Path(path)
+    try:
+        text = p.read_text()
+    except OSError as exc:
+        raise FaultPlanError(f"cannot read fault plan {p}: {exc}") from None
+    return FaultPlan.from_json(text, filename=str(p))

@@ -4,7 +4,10 @@ The paper's only practical alternative to static checking was "testing
 and simulation" in FlashLite; this package provides the analogous
 substrate so benchmarks can show the seeded static-checker bugs
 *manifesting* dynamically (double frees, pool-draining leaks, lane
-overrun deadlocks, unsynchronized reads, length mismatches).
+overrun deadlocks, unsynchronized reads, length mismatches).  A
+:class:`repro.faults.FaultPlan` passed to :class:`FlashMachine` forces
+the failure paths — allocation failure, lane backpressure, message
+delay/duplication — that random workloads almost never reach.
 """
 
 from .buffers import BufferPool, DataBuffer

@@ -11,8 +11,9 @@ longer accept messages — the "deadlocks only after several days" bug).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
-from ...errors import BufferAccounting
+from ...errors import BufferAccounting, DoubleFreeError, RefcountError
 
 
 @dataclass
@@ -31,18 +32,33 @@ class DataBuffer:
 class BufferPool:
     """Fixed-size pool of data buffers for one node."""
 
-    def __init__(self, size: int = 16):
+    def __init__(self, size: int = 16, injector: Optional[object] = None):
         self.buffers = [DataBuffer(i) for i in range(size)]
         self.double_frees = 0
         self.use_after_free = 0
         self.unsynchronized_reads = 0
         self.allocation_failures = 0
+        self.refcount_errors = 0
+        self.injected_alloc_failures = 0
         self.strict = True
+        #: Optional :class:`repro.faults.FaultInjector`; when a rule for
+        #: ``hw_alloc_fail``/``alloc_fail`` fires, the pool behaves
+        #: exactly as if it were dry.
+        self.injector = injector
+
+    def _injected(self, site: str) -> bool:
+        if self.injector is not None and self.injector.fires(site):
+            self.allocation_failures += 1
+            self.injected_alloc_failures += 1
+            return True
+        return False
 
     # -- hardware-side operations ------------------------------------------
 
     def hw_allocate(self, fill_data: list | None = None) -> DataBuffer | None:
         """Allocate for an arriving message; None when the pool is dry."""
+        if self._injected("hw_alloc_fail"):
+            return None
         buf = self._find_free()
         if buf is None:
             self.allocation_failures += 1
@@ -67,20 +83,39 @@ class BufferPool:
 
     def allocate(self) -> DataBuffer | None:
         """Handler-requested allocation (DB_ALLOC); can fail."""
+        if self._injected("alloc_fail"):
+            return None
         return self.hw_allocate(fill_data=[0] * 32)
 
     def free(self, buf: DataBuffer | None) -> None:
         """Decrement the reference count (DB_FREE)."""
         if buf is None or buf.refcount <= 0:
             self.double_frees += 1
+            if buf is not None and buf.refcount < 0:
+                # A count below zero means an earlier violation went
+                # unrecorded; that is a pool-invariant breach, not just
+                # a protocol bug, so it is fatal even in lenient mode.
+                raise RefcountError(
+                    f"buffer {buf.index} reference count is negative "
+                    f"({buf.refcount})"
+                )
             if self.strict:
-                raise BufferAccounting(
+                raise DoubleFreeError(
                     "double free: buffer reference count already zero"
                 )
             return
         buf.refcount -= 1
 
     def inc_refcount(self, buf: DataBuffer) -> None:
+        if not buf.live:
+            # Bumping a dead buffer would resurrect a freed buffer and
+            # corrupt the free list on the real machine.
+            self.refcount_errors += 1
+            if self.strict:
+                raise RefcountError(
+                    f"refcount bump on dead buffer {buf.index}"
+                )
+            return
         buf.refcount += 1
 
     def read(self, buf: DataBuffer | None, offset: int,

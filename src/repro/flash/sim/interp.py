@@ -75,6 +75,7 @@ class Interpreter:
         handler_globals: Optional[GlobalsView] = None,
         max_steps: int = 1_000_000,
         max_depth: int = 64,
+        tick_hook: Optional[Callable[[ast.Node], None]] = None,
     ):
         self.functions = functions
         self.builtins = dict(builtins or {})
@@ -82,6 +83,11 @@ class Interpreter:
         self.globals = handler_globals if handler_globals is not None else GlobalsView()
         self.max_steps = max_steps
         self.max_depth = max_depth
+        #: Called once per executed statement/expression — the
+        #: simulator's cycle clock.  A fault injector installs itself
+        #: here to support cycle-window triggers and ``handler_crash``
+        #: rules (which raise out of the hook).
+        self.tick_hook = tick_hook
         self._steps = 0
         self._depth = 0
 
@@ -145,6 +151,8 @@ class Interpreter:
             raise InterpError(
                 f"step budget exhausted at {node.location}"
             )
+        if self.tick_hook is not None:
+            self.tick_hook(node)
 
     def _exec_block(self, block: ast.Block, frame: dict) -> None:
         for stmt in block.stmts:

@@ -7,6 +7,20 @@ handlers for them in turn (bounded by a hop limit so buggy protocols
 cannot ping-pong forever).  The run either completes with statistics or
 raises :class:`ProtocolDeadlock` — the same observable the real FLASH
 team spent days chasing.
+
+Two classes of mid-handler failures are *recorded* rather than fatal
+(they end one handler, not the run):
+
+- :class:`LaneOverflowError` — a send overran its lane's bounded queue
+  (§7); the handler aborts and the event is counted in
+  ``SimStats.lane_overflow_events`` (in ``strict`` mode it still ends
+  the run, like the real machine wedging);
+- :class:`InjectedFault` — a :class:`~repro.faults.FaultPlan` rule
+  deliberately crashed the handler or dropped its incoming message.
+
+Pass ``fault_plan=`` to force failure paths (allocation failure, lane
+backpressure, message delay/duplication) deterministically; the firing
+log lands in ``SimStats.fault_events``.
 """
 
 from __future__ import annotations
@@ -14,7 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ...errors import ProtocolDeadlock
+from ...errors import InjectedFault, LaneOverflowError, ProtocolDeadlock
+from ...faults import FaultInjector, FaultPlan
 from ...lang import ast
 from .network import Message
 from .node import Node
@@ -34,8 +49,22 @@ class SimStats:
     pending_wait_violations: int = 0
     stale_directory_writebacks: int = 0
     lane_overruns: int = 0
+    refcount_errors: int = 0
     leaked_buffers: int = 0
     deadlock: Optional[str] = None
+    #: Handlers aborted because a send overran its lane (recorded, not fatal).
+    lane_overflow_events: int = 0
+    #: Handlers aborted / messages dropped by the fault plan.
+    injected_crashes: int = 0
+    dropped_messages: int = 0
+    #: Every fault-plan firing, in order (strings; deterministic per seed).
+    fault_events: list = field(default_factory=list)
+    #: Firing counts keyed by injection site.
+    faults_by_site: dict = field(default_factory=dict)
+
+    @property
+    def injected_faults(self) -> int:
+        return len(self.fault_events)
 
     @property
     def clean(self) -> bool:
@@ -45,6 +74,8 @@ class SimStats:
                 and self.msglen_mismatches == 0
                 and self.pending_wait_violations == 0
                 and self.stale_directory_writebacks == 0
+                and self.lane_overruns == 0
+                and self.refcount_errors == 0
                 and self.leaked_buffers == 0)
 
 
@@ -54,14 +85,21 @@ class FlashMachine:
     def __init__(self, functions: dict[str, ast.FunctionDef],
                  dispatch: dict[int, str], nodes: int = 2,
                  n_buffers: int = 16, lane_capacity: int = 8,
-                 strict: bool = False, max_hops: int = 4):
+                 strict: bool = False, max_hops: int = 4,
+                 fault_plan: Optional[FaultPlan] = None):
         self.dispatch = dispatch
         self.max_hops = max_hops
+        self.injector = (FaultInjector(fault_plan)
+                         if fault_plan is not None else None)
         self.nodes = [
             Node(i, functions, n_buffers=n_buffers,
-                 lane_capacity=lane_capacity, strict=strict)
+                 lane_capacity=lane_capacity, strict=strict,
+                 injector=self.injector)
             for i in range(nodes)
         ]
+        self._lane_overflow_events = 0
+        self._injected_crashes = 0
+        self._dropped_messages = 0
 
     def run(self, spec: WorkloadSpec) -> SimStats:
         """Run the workload to completion (or deadlock)."""
@@ -79,7 +117,21 @@ class FlashMachine:
         if handler is None:
             return
         node = self.nodes[message.dest % len(self.nodes)]
-        outgoing = node.run_handler(handler, message)
+        try:
+            outgoing = node.run_handler(handler, message)
+        except LaneOverflowError:
+            if node.strict:
+                raise
+            node.abort_handler()
+            self._lane_overflow_events += 1
+            return
+        except InjectedFault as fault:
+            node.abort_handler()
+            if fault.kind == "dropped_message":
+                self._dropped_messages += 1
+            else:
+                self._injected_crashes += 1
+            return
         if hops >= self.max_hops:
             return
         for reply in outgoing:
@@ -97,4 +149,11 @@ class FlashMachine:
             stats.pending_wait_violations += node.pending_wait_violations
             stats.stale_directory_writebacks += node.directory.stale_writebacks
             stats.lane_overruns += node.queues.overruns
+            stats.refcount_errors += node.pool.refcount_errors
             stats.leaked_buffers += node.pool.live_count
+        stats.lane_overflow_events = self._lane_overflow_events
+        stats.injected_crashes = self._injected_crashes
+        stats.dropped_messages = self._dropped_messages
+        if self.injector is not None:
+            stats.fault_events = [str(e) for e in self.injector.events]
+            stats.faults_by_site = self.injector.counts_by_site()

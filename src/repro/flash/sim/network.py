@@ -5,15 +5,24 @@ declared allowance of output-queue slots is available, and by requiring
 an explicit ``WAIT_FOR_SPACE`` before sending beyond the allowance.
 This model gives each lane a bounded output queue per node; a send onto
 a full lane is exactly the §7 failure ("can cause sporadic deadlocks"),
-surfaced as :class:`ProtocolDeadlock`.
+surfaced as the typed :class:`LaneOverflowError` and recorded by the
+machine loop as a per-run event.
+
+A :class:`~repro.faults.FaultInjector` can force the failure paths that
+real traffic rarely produces: ``lane_overflow`` makes a send behave as
+if the lane had no slot (transient backpressure), ``msg_delay`` holds a
+message back so later traffic in its lane overtakes it, and ``msg_dup``
+delivers a message twice — the misordering/duplication conditions the
+§5/§7 checkers assume the network can produce.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Optional
 
-from ...errors import ProtocolDeadlock
+from ...errors import LaneOverflowError
 from .. import machine as vocab
 
 
@@ -32,33 +41,67 @@ class Message:
 class OutputQueues:
     """Per-node output queues, one per virtual lane."""
 
-    def __init__(self, node_id: int, capacity: int = 4):
+    def __init__(self, node_id: int, capacity: int = 4,
+                 injector: Optional[object] = None):
         self.node_id = node_id
         self.capacity = capacity
         self.queues: list[deque] = [deque() for _ in range(vocab.LANE_COUNT)]
         self.overruns = 0
+        self.injected_overflows = 0
+        self.delayed_messages = 0
+        self.duplicated_messages = 0
+        self.injector = injector
+        # Messages a ``msg_delay`` rule held back; they re-enter their
+        # lane at the back of the next drain, behind later traffic.
+        self._delayed: list[list[Message]] = [
+            [] for _ in range(vocab.LANE_COUNT)
+        ]
 
     def space(self, lane: int) -> int:
         return self.capacity - len(self.queues[lane])
 
     def send(self, message: Message) -> None:
         queue = self.queues[message.lane]
-        if len(queue) >= self.capacity:
+        forced = (self.injector is not None
+                  and self.injector.fires("lane_overflow", lane=message.lane))
+        if forced:
+            self.injected_overflows += 1
+        if forced or len(queue) >= self.capacity:
             self.overruns += 1
-            raise ProtocolDeadlock(
+            cause = ("backpressure left no slot in"
+                     if forced else "handler exceeded its allowance on")
+            raise LaneOverflowError(
                 f"node {self.node_id}: output queue for lane "
                 f"{vocab.LANE_NAMES[message.lane]} overran its "
-                f"{self.capacity} slots (handler exceeded its allowance)"
+                f"{self.capacity} slots ({cause} the lane)",
+                node=self.node_id, lane=message.lane,
             )
+        if (self.injector is not None
+                and self.injector.fires("msg_delay", lane=message.lane)):
+            self.delayed_messages += 1
+            self._delayed[message.lane].append(message)
+            return
         queue.append(message)
+        if (self.injector is not None
+                and self.injector.fires("msg_dup", lane=message.lane)):
+            self.duplicated_messages += 1
+            queue.append(replace(message, payload=list(message.payload)))
 
     def drain(self) -> list[Message]:
-        """Remove and return all queued messages (network delivery)."""
+        """Remove and return all queued messages (network delivery).
+
+        Delayed messages come out after everything else in their lane —
+        that *is* the reordering fault.
+        """
         out: list[Message] = []
-        for queue in self.queues:
+        for lane, queue in enumerate(self.queues):
             while queue:
                 out.append(queue.popleft())
+            if self._delayed[lane]:
+                out.extend(self._delayed[lane])
+                self._delayed[lane] = []
         return out
 
     def pending(self) -> int:
-        return sum(len(q) for q in self.queues)
+        return (sum(len(q) for q in self.queues)
+                + sum(len(d) for d in self._delayed))

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ...errors import ProtocolDeadlock
+from ...errors import InjectedFault, ProtocolDeadlock
 from ...lang import ast
 from .. import machine as vocab
 from .buffers import BufferPool, DataBuffer
@@ -71,12 +71,14 @@ class Node:
 
     def __init__(self, node_id: int, functions: dict[str, ast.FunctionDef],
                  n_buffers: int = 16, lane_capacity: int = 8,
-                 strict: bool = False):
+                 strict: bool = False, injector=None):
         self.node_id = node_id
-        self.pool = BufferPool(n_buffers)
+        self.injector = injector
+        self.pool = BufferPool(n_buffers, injector=injector)
         self.pool.strict = strict
         self.directory = Directory()
-        self.queues = OutputQueues(node_id, capacity=lane_capacity)
+        self.queues = OutputQueues(node_id, capacity=lane_capacity,
+                                   injector=injector)
         self.globals = _NodeGlobals(self)
         self.strict = strict
 
@@ -97,6 +99,7 @@ class Node:
             builtins=self._builtins(),
             constants=CONSTANTS,
             handler_globals=self.globals,
+            tick_hook=injector.tick if injector is not None else None,
         )
 
     # -- builtin bindings -----------------------------------------------------
@@ -136,6 +139,11 @@ class Node:
     def _db_alloc(self) -> int:
         buf = self.pool.allocate()
         if buf is None:
+            # The hardware hands back a null buffer pointer; handlers
+            # that skip the DB_IS_ERROR check then operate through it —
+            # the §9 alloc-fail bug class made observable (reads count
+            # as wild derefs, frees as double frees).
+            self.current_buffer = None
             return 0
         # Overwriting the current buffer pointer without freeing leaks the
         # old buffer (paper §6, failure mode 1).
@@ -243,8 +251,19 @@ class Node:
 
     def run_handler(self, handler: str, message: Message) -> list[Message]:
         """Run one handler for an incoming message; returns sent messages."""
+        if self.injector is not None:
+            self.injector.begin_handler(self.node_id, handler)
+        injected_before = self.pool.injected_alloc_failures
         buf = self.pool.hw_allocate(fill_data=message.payload or [0])
         if buf is None:
+            if self.pool.injected_alloc_failures > injected_before:
+                # A fault-plan rule, not a drained pool: the incoming
+                # message is dropped (NAKed by hardware), the run goes on.
+                raise InjectedFault(
+                    f"node {self.node_id}: injected allocation failure for "
+                    f"incoming message (handler {handler})",
+                    kind="dropped_message",
+                )
             raise ProtocolDeadlock(
                 f"node {self.node_id}: no data buffer for incoming message "
                 f"(pool drained by leaks after {self.handlers_run} handlers)"
@@ -277,4 +296,26 @@ class Node:
             self.directory.note_modified_without_writeback(self.dir_loaded_addr)
         outgoing = self._drained + self.queues.drain()
         self.current_buffer = None
+        if self.injector is not None:
+            self.injector.end_handler()
         return outgoing
+
+    def abort_handler(self) -> None:
+        """Reclaim per-handler state after a handler died mid-run.
+
+        Called by the machine loop when a send overran its lane or a
+        fault plan crashed the handler: the hardware reclaims the data
+        buffer, and the aborted handler's queued output is discarded.
+        """
+        if self.current_buffer is not None:
+            self.current_buffer.refcount = 0
+        self.current_buffer = None
+        self.pending_wait = None
+        self.dir_loaded_addr = None
+        self.dir_dirty = False
+        self._expect_load_store = False
+        self._drained = []
+        for queue in self.queues.queues:
+            queue.clear()
+        if self.injector is not None:
+            self.injector.end_handler()

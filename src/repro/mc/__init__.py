@@ -1,15 +1,25 @@
 """The analysis engine: path-sensitive SM execution and global analysis."""
 
 from .engine import check_function, check_unit, run_machine, run_machine_naive
-from .flowcheck import find_unfollowed, find_unguarded, is_call_to
+from .flowcheck import find_unfollowed, find_unguarded, is_call_to, quarantining
 from .interproc import bottom_up, walk_paths
+from .resilience import Budget, Quarantine
 from .transform import RedundantWaitEliminator, TransformResult
-from .report import Report, ReportSink, format_reports, summarize_by_severity
+from .report import (
+    Report,
+    ReportSink,
+    format_quarantines,
+    format_reports,
+    format_sink,
+    summarize_by_severity,
+)
 
 __all__ = [
     "check_function", "check_unit", "run_machine", "run_machine_naive",
-    "find_unfollowed", "find_unguarded", "is_call_to",
+    "find_unfollowed", "find_unguarded", "is_call_to", "quarantining",
     "bottom_up", "walk_paths",
+    "Budget", "Quarantine",
     "RedundantWaitEliminator", "TransformResult",
-    "Report", "ReportSink", "format_reports", "summarize_by_severity",
+    "Report", "ReportSink", "format_quarantines", "format_reports",
+    "format_sink", "summarize_by_severity",
 ]

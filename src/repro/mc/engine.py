@@ -18,6 +18,7 @@ from ..lang import ast
 from ..lang.source import Location
 from ..metal.runtime import MatchContext, ReportSink
 from ..metal.sm import StateMachine
+from .resilience import Budget, Quarantine
 
 
 def _event_nodes(event: ast.Node):
@@ -25,13 +26,19 @@ def _event_nodes(event: ast.Node):
     return event.walk()
 
 
+class _OutOfBudget(Exception):
+    """Internal: the active Budget ran out mid-exploration."""
+
+
 class _Run:
     """Shared pieces of one machine-over-one-function execution."""
 
-    def __init__(self, sm: StateMachine, cfg: Cfg, sink: ReportSink):
+    def __init__(self, sm: StateMachine, cfg: Cfg, sink: ReportSink,
+                 budget: Optional[Budget] = None):
         self.sm = sm
         self.cfg = cfg
         self.sink = sink
+        self.budget = budget
         self.function = cfg.function
 
     def ctx_factory(self, node: ast.Node, bindings: dict, state: str) -> MatchContext:
@@ -51,6 +58,8 @@ class _Run:
         """
         for event in block.events:
             for node in _event_nodes(event):
+                if self.budget is not None and not self.budget.charge_step():
+                    raise _OutOfBudget()
                 result = self.sm.step(state, node, self.ctx_factory)
                 state = result.state
                 if result.stopped:
@@ -81,14 +90,43 @@ def _edge_state(sm: StateMachine, block, state: str, edge) -> str:
     return override if override is not None else state
 
 
-def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink) -> None:
-    """Run ``sm`` over every path of ``cfg`` with (block, state) caching."""
+def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink, *,
+                budget: Optional[Budget] = None,
+                isolate: bool = False) -> None:
+    """Run ``sm`` over every path of ``cfg`` with (block, state) caching.
+
+    With a ``budget``, exploration stops gracefully when it runs out:
+    diagnostics found so far stay in ``sink``, which is marked
+    ``degraded``.  With ``isolate=True``, an exception escaping the
+    machine (a buggy checker action, a malformed pattern) quarantines
+    this (checker, function) pair into ``sink.quarantines`` instead of
+    propagating.
+    """
     initial = sm.initial_state(cfg.function)
     if initial is None:
         return
-    run = _Run(sm, cfg, sink)
+    run = _Run(sm, cfg, sink, budget)
+    if budget is not None:
+        budget.start_clock()
+    try:
+        _walk_cached(run, cfg)
+    except _OutOfBudget:
+        sink.degraded = True
+        sink.degradation_notes.append(
+            f"[{sm.name}] {cfg.name}: exploration stopped — {budget.note()}"
+        )
+    except Exception as exc:
+        if not isolate:
+            raise
+        sink.add_quarantine(Quarantine(
+            checker=sm.name, function=cfg.name, phase="path-walk",
+            error_type=type(exc).__name__, message=str(exc),
+        ))
+
+
+def _walk_cached(run: _Run, cfg: Cfg) -> None:
     visited: set[tuple[int, str]] = set()
-    stack: list[tuple] = [(cfg.entry, initial)]
+    stack: list[tuple] = [(cfg.entry, run.sm.initial_state(cfg.function))]
     while stack:
         block, state = stack.pop()
         key = (block.index, state)
@@ -106,11 +144,12 @@ def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink) -> None:
             run.at_path_end(state)
             continue
         for edge in reversed(block.out_edges):
-            stack.append((edge.dst, _edge_state(sm, block, state, edge)))
+            stack.append((edge.dst, _edge_state(run.sm, block, state, edge)))
 
 
 def run_machine_naive(sm: StateMachine, cfg: Cfg, sink: ReportSink,
-                      max_paths: int = 100000) -> int:
+                      max_paths: int = 100000,
+                      budget: Optional[Budget] = None) -> int:
     """Run ``sm`` by explicit path enumeration (no state cache).
 
     Back edges are skipped, as in :mod:`repro.cfg.paths`.  Returns the
@@ -126,43 +165,98 @@ def run_machine_naive(sm: StateMachine, cfg: Cfg, sink: ReportSink,
     initial = sm.initial_state(cfg.function)
     if initial is None:
         return 0
-    run = _Run(sm, cfg, sink)
+    run = _Run(sm, cfg, sink, budget)
+    if budget is not None:
+        budget.start_clock()
     back = cfg.back_edges()
     paths_walked = 0
     stack: list[tuple] = [(cfg.entry, initial)]
-    while stack:
-        block, state = stack.pop()
-        state, stopped = run.run_block_events(block, state)
-        if stopped:
-            paths_walked += 1
-            continue
-        edges = [
-            e for e in block.out_edges
-            if (block.index, e.dst.index) not in back
-        ]
-        if block is cfg.exit or not edges:
-            run.at_path_end(state)
-            paths_walked += 1
-            if paths_walked > max_paths:
-                raise ValueError(f"{cfg.name}: more than {max_paths} paths")
-            continue
-        for edge in reversed(edges):
-            stack.append((edge.dst, _edge_state(sm, block, state, edge)))
+    try:
+        while stack:
+            block, state = stack.pop()
+            state, stopped = run.run_block_events(block, state)
+            if stopped:
+                paths_walked += 1
+                continue
+            edges = [
+                e for e in block.out_edges
+                if (block.index, e.dst.index) not in back
+            ]
+            if block is cfg.exit or not edges:
+                run.at_path_end(state)
+                paths_walked += 1
+                if budget is not None and not budget.charge_path():
+                    raise _OutOfBudget()
+                if paths_walked > max_paths:
+                    raise ValueError(
+                        f"{cfg.name}: more than {max_paths} paths")
+                continue
+            for edge in reversed(edges):
+                stack.append((edge.dst, _edge_state(sm, block, state, edge)))
+    except _OutOfBudget:
+        sink.degraded = True
+        sink.degradation_notes.append(
+            f"[{sm.name}] {cfg.name}: naive enumeration stopped — "
+            f"{budget.note()}"
+        )
     return paths_walked
 
 
 def check_function(sm: StateMachine, function: ast.FunctionDef,
-                   sink: Optional[ReportSink] = None) -> ReportSink:
+                   sink: Optional[ReportSink] = None, *,
+                   budget: Optional[Budget] = None,
+                   keep_going: bool = False) -> ReportSink:
     """Convenience: build the CFG of ``function`` and run ``sm`` over it."""
     sink = sink if sink is not None else ReportSink()
-    run_machine(sm, build_cfg(function), sink)
+    run_machine(sm, build_cfg(function), sink, budget=budget,
+                isolate=keep_going)
     return sink
 
 
 def check_unit(sm: StateMachine, unit: ast.TranslationUnit,
-               sink: Optional[ReportSink] = None) -> ReportSink:
-    """Run ``sm`` over every function in a translation unit."""
+               sink: Optional[ReportSink] = None, *,
+               budget: Optional[Budget] = None,
+               keep_going: bool = False,
+               naive_fallback: bool = True) -> ReportSink:
+    """Run ``sm`` over every function in a translation unit.
+
+    With ``keep_going``, a crash in one (checker, function) pair —
+    whether in CFG construction or in the machine itself — quarantines
+    that pair and moves on; the remaining functions still report.  A
+    quarantined pair is retried once with the naive path-enumeration
+    engine (``naive_fallback``), whose different exploration order can
+    dodge state-cache-dependent crashes — unless the ``budget`` is
+    already exhausted, in which case retries are skipped: partial
+    results now beat complete results never.
+    """
     sink = sink if sink is not None else ReportSink()
     for function in unit.functions():
-        run_machine(sm, build_cfg(function), sink)
+        try:
+            cfg = build_cfg(function)
+        except Exception as exc:
+            if not keep_going:
+                raise
+            sink.add_quarantine(Quarantine(
+                checker=sm.name, function=function.name, phase="cfg-build",
+                error_type=type(exc).__name__, message=str(exc),
+            ))
+            continue
+        before = len(sink.quarantines)
+        run_machine(sm, cfg, sink, budget=budget, isolate=keep_going)
+        crashed = len(sink.quarantines) > before
+        if (crashed and naive_fallback
+                and not (budget is not None and budget.exhausted)):
+            quarantine = sink.quarantines[-1]
+            try:
+                run_machine_naive(sm, cfg, sink, budget=budget)
+            except Exception:
+                # The fallback crashed too; the quarantine stands.
+                pass
+            else:
+                sink.drop_quarantine(quarantine)
+                sink.degradation_notes.append(
+                    f"[{sm.name}] {function.name}: cached engine crashed "
+                    f"({quarantine.error_type}); recovered via naive "
+                    f"enumeration (loops under-approximated)"
+                )
     return sink

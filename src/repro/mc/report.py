@@ -9,8 +9,13 @@ lane checker printed "precise textual back traces".
 from __future__ import annotations
 
 from ..metal.runtime import Report, ReportSink
+from .resilience import Budget, Quarantine
 
-__all__ = ["Report", "ReportSink", "format_reports", "summarize_by_severity"]
+__all__ = [
+    "Report", "ReportSink", "Budget", "Quarantine",
+    "format_reports", "format_quarantines", "format_sink",
+    "summarize_by_severity",
+]
 
 
 def format_reports(reports, heading: str = "") -> str:
@@ -27,6 +32,31 @@ def format_reports(reports, heading: str = "") -> str:
         lines.append(str(report))
     if not ordered:
         lines.append("(no diagnostics)")
+    return "\n".join(lines)
+
+
+def format_quarantines(quarantines) -> str:
+    """Render quarantine diagnostics, one line per isolated pair."""
+    return "\n".join(str(q) for q in quarantines)
+
+
+def format_sink(sink: ReportSink, heading: str = "") -> str:
+    """Render a sink's full state: reports, quarantines, degradation.
+
+    A degraded run prints everything it *did* find, then says what it
+    could not: which (checker, function) pairs were quarantined and
+    which explorations a budget cut short.  ``DEGRADED`` in the footer
+    is the machine-greppable marker that the result is partial.
+    """
+    lines = [format_reports(sink.reports, heading=heading)]
+    if sink.quarantines:
+        lines.append("")
+        lines.append(format_quarantines(sink.quarantines))
+    if sink.degraded:
+        lines.append("")
+        lines.append("DEGRADED: results are partial")
+        for note in sink.degradation_notes:
+            lines.append(f"  - {note}")
     return "\n".join(lines)
 
 

@@ -45,11 +45,25 @@ class ReportSink:
     in the same SM state via different paths; a diagnostic is identified
     by (checker, message, location) so each distinct problem is reported
     once, the way xg++ presented its output.
+
+    A sink also carries the run's resilience state: quarantined
+    (checker, function) pairs (crashes isolated by the engine's
+    ``keep_going`` mode) and a ``degraded`` flag set when an analysis
+    budget ran out before exploration finished — partial results are
+    still results, but they say so.
     """
 
     def __init__(self) -> None:
         self._reports: list[Report] = []
         self._seen: set[tuple] = set()
+        #: :class:`repro.mc.resilience.Quarantine` records, deduplicated
+        #: on (checker, function).
+        self.quarantines: list = []
+        self._quarantined: set[tuple] = set()
+        #: True when any exploration stopped early (budget, quarantine).
+        self.degraded: bool = False
+        #: Human-readable notes on what was cut short and why.
+        self.degradation_notes: list[str] = []
 
     def add(self, report: Report) -> bool:
         key = (report.checker, report.message, report.location)
@@ -58,6 +72,25 @@ class ReportSink:
         self._seen.add(key)
         self._reports.append(report)
         return True
+
+    def add_quarantine(self, quarantine) -> bool:
+        """Record a quarantined (checker, function) pair, once."""
+        key = (quarantine.checker, quarantine.function)
+        if key in self._quarantined:
+            return False
+        self._quarantined.add(key)
+        self.quarantines.append(quarantine)
+        self.degraded = True
+        return True
+
+    def drop_quarantine(self, quarantine) -> None:
+        """Forget a quarantine (its pair was successfully re-analyzed)."""
+        key = (quarantine.checker, quarantine.function)
+        self._quarantined.discard(key)
+        self.quarantines = [
+            q for q in self.quarantines
+            if (q.checker, q.function) != key
+        ]
 
     @property
     def reports(self) -> list[Report]:

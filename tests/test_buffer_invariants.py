@@ -1,0 +1,123 @@
+"""BufferPool invariant regressions: typed errors and accounting edges.
+
+The §6 bug classes must surface as *typed* errors so the sim loop (and
+callers embedding the pool) can tell a protocol bug from a pool-invariant
+breach: double frees raise :class:`DoubleFreeError` in strict mode, and
+a negative reference count — an invariant breach, not just a protocol
+bug — raises :class:`RefcountError` even in lenient mode.
+"""
+
+import pytest
+
+from repro.errors import (
+    BufferAccounting,
+    DoubleFreeError,
+    RefcountError,
+    ReproError,
+)
+from repro.faults import FaultInjector, FaultPlan, FaultRule
+from repro.flash.sim import BufferPool
+
+
+class TestTypedErrors:
+    def test_double_free_raises_typed_error(self):
+        pool = BufferPool(1)
+        buf = pool.hw_allocate()
+        pool.free(buf)
+        with pytest.raises(DoubleFreeError):
+            pool.free(buf)
+
+    def test_double_free_error_is_buffer_accounting(self):
+        # Existing except BufferAccounting handlers keep working.
+        assert issubclass(DoubleFreeError, BufferAccounting)
+        assert issubclass(RefcountError, BufferAccounting)
+        assert issubclass(DoubleFreeError, ReproError)
+
+    def test_free_of_none_counts_in_lenient_mode(self):
+        pool = BufferPool(1)
+        pool.strict = False
+        pool.free(None)
+        assert pool.double_frees == 1
+
+    def test_negative_refcount_fatal_even_in_lenient_mode(self):
+        pool = BufferPool(1)
+        pool.strict = False
+        buf = pool.hw_allocate()
+        pool.free(buf)
+        pool.free(buf)                       # counted, refcount stays 0
+        buf.refcount = -1                    # simulate unrecorded breach
+        with pytest.raises(RefcountError):
+            pool.free(buf)
+
+
+class TestIncRefcountEdges:
+    def test_inc_on_dead_buffer_strict_raises(self):
+        pool = BufferPool(1)
+        buf = pool.hw_allocate()
+        pool.free(buf)
+        with pytest.raises(RefcountError):
+            pool.inc_refcount(buf)
+
+    def test_inc_on_dead_buffer_lenient_counts_without_resurrecting(self):
+        pool = BufferPool(1)
+        pool.strict = False
+        buf = pool.hw_allocate()
+        pool.free(buf)
+        pool.inc_refcount(buf)
+        assert pool.refcount_errors == 1
+        assert not buf.live                  # not resurrected
+        assert pool.free_count == 1          # still allocatable
+
+    def test_inc_on_live_buffer_still_works(self):
+        pool = BufferPool(1)
+        buf = pool.hw_allocate()
+        pool.inc_refcount(buf)
+        assert buf.refcount == 2
+        pool.free(buf)
+        assert buf.live
+        pool.free(buf)
+        assert not buf.live
+
+
+class TestLeakCountEdges:
+    def test_leak_count_zero_on_fresh_pool(self):
+        assert BufferPool(4).leak_count() == 0
+
+    def test_leak_count_never_negative(self):
+        pool = BufferPool(4)
+        pool.hw_allocate()
+        assert pool.leak_count(outstanding_ok=3) == 0
+
+    def test_leak_count_tracks_extra_refcounts_as_live(self):
+        pool = BufferPool(4)
+        buf = pool.hw_allocate()
+        pool.inc_refcount(buf)
+        pool.free(buf)
+        # refcount 1 -> still live -> still a potential leak
+        assert pool.leak_count() == 1
+        pool.free(buf)
+        assert pool.leak_count() == 0
+
+
+class TestInjectedAllocFailures:
+    def test_injected_failure_is_accounted_separately(self):
+        plan = FaultPlan(rules=(FaultRule(site="alloc_fail", every=2),))
+        pool = BufferPool(4, injector=FaultInjector(plan))
+        results = [pool.allocate() for _ in range(4)]
+        # every=2 fires on the first eligible call, then every 2nd
+        assert [r is None for r in results] == [True, False, True, False]
+        assert pool.injected_alloc_failures == 2
+        assert pool.allocation_failures == 2
+
+    def test_genuine_exhaustion_not_counted_as_injected(self):
+        pool = BufferPool(1)
+        assert pool.hw_allocate() is not None
+        assert pool.hw_allocate() is None
+        assert pool.allocation_failures == 1
+        assert pool.injected_alloc_failures == 0
+
+    def test_hw_alloc_fail_site_hits_hardware_path_only(self):
+        plan = FaultPlan(rules=(FaultRule(site="hw_alloc_fail",),))
+        pool = BufferPool(4, injector=FaultInjector(plan))
+        assert pool.hw_allocate() is None
+        assert pool.injected_alloc_failures == 1

@@ -1,0 +1,234 @@
+"""CLI exit-code discipline, exercised through real subprocesses.
+
+The contract (``check``/``metal``/``simulate``): **0** the protocol is
+clean, **1** the protocol has bugs, **2** the *tool* failed (internal
+error or quarantined checker) — so CI can tell the two apart.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.checkers.metal_sources import FIGURE_2
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def run_cli(*argv, timeout=120):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True, text=True, env=env, timeout=timeout,
+    )
+
+
+def run_python(code, timeout=120):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, env=env, timeout=timeout,
+    )
+
+
+# Clean for the static checkers: a utility with no buffer traffic.
+CLEAN_UTIL = """
+void util(void) {
+    SUBROUTINE_PROLOGUE();
+    unsigned a;
+    a = 1 + 2;
+    return;
+}
+"""
+
+# Clean for the *simulator*: a handler doing the full correct dance.
+CLEAN_HANDLER = """
+void Handler(void) {
+    unsigned addr;
+    unsigned v;
+    addr = HANDLER_GLOBALS(header.nh.addr);
+    WAIT_FOR_DB_FULL(addr);
+    v = MISCBUS_READ_DB(addr, 0);
+    HANDLER_GLOBALS(dirEntry) = DIR_LOAD(addr);
+    DIR_WRITEBACK(addr, HANDLER_GLOBALS(dirEntry));
+    DB_FREE();
+    return;
+}
+"""
+
+RACY_HANDLER = """
+void Racy(void) {
+    SUBROUTINE_PROLOGUE();
+    unsigned v;
+    v = MISCBUS_READ_DB(0, 0);
+    DB_FREE();
+    return;
+}
+"""
+
+
+@pytest.fixture
+def clean_c(tmp_path):
+    path = tmp_path / "clean.c"
+    path.write_text(CLEAN_UTIL)
+    return str(path)
+
+
+@pytest.fixture
+def sim_clean_c(tmp_path):
+    path = tmp_path / "sim_clean.c"
+    path.write_text(CLEAN_HANDLER)
+    return str(path)
+
+
+@pytest.fixture
+def racy_c(tmp_path):
+    path = tmp_path / "racy.c"
+    path.write_text(RACY_HANDLER)
+    return str(path)
+
+
+class TestCheckExitCodes:
+    def test_clean_file_exits_zero(self, clean_c):
+        proc = run_cli("check", clean_c)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no errors found" in proc.stdout
+
+    def test_buggy_file_exits_one(self, racy_c):
+        proc = run_cli("check", racy_c)
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+
+    def test_unreadable_input_exits_two(self, tmp_path):
+        bad = tmp_path / "bad.c"
+        bad.write_text('void broken( { "unterminated\n')
+        proc = run_cli("check", str(bad))
+        assert proc.returncode == 2
+        assert "internal error" in proc.stderr
+
+    def test_quarantined_checker_exits_two(self, racy_c):
+        # A checker that crashes at run time: without --keep-going the
+        # interpreter dies (uncaught traceback); with it, the crash is
+        # a quarantine diagnostic and the tool reports exit 2.
+        code = f"""
+import sys
+from repro.checkers.base import Checker, register
+from repro.cli import main
+
+@register
+class Boom(Checker):
+    name = "boom"
+    metal_loc = 0
+    def check(self, program):
+        raise RuntimeError("deliberately broken")
+
+sys.exit(main(["check", {racy_c!r}, "--keep-going"]))
+"""
+        proc = run_python(code)
+        assert proc.returncode == 2, proc.stdout + proc.stderr
+        assert "quarantined [boom]" in proc.stdout
+        assert "DEGRADED" in proc.stdout
+        # the other checkers still reported the seeded race
+        assert "unsynchronized" in proc.stdout or "race" in proc.stdout
+
+    def test_crash_without_keep_going_is_a_traceback(self, racy_c):
+        code = f"""
+import sys
+from repro.checkers.base import Checker, register
+from repro.cli import main
+
+@register
+class Boom(Checker):
+    name = "boom"
+    metal_loc = 0
+    def check(self, program):
+        raise RuntimeError("deliberately broken")
+
+sys.exit(main(["check", {racy_c!r}]))
+"""
+        proc = run_python(code)
+        # an uncaught crash is a traceback, not a tidy diagnostic
+        assert "Traceback" in proc.stderr
+        assert "RuntimeError" in proc.stderr
+        assert "quarantined" not in proc.stdout
+
+
+class TestMetalExitCodes:
+    @pytest.fixture
+    def figure2_metal(self, tmp_path):
+        path = tmp_path / "wait.metal"
+        path.write_text(FIGURE_2)
+        return str(path)
+
+    def test_clean_exits_zero(self, figure2_metal, clean_c):
+        proc = run_cli("metal", figure2_metal, clean_c)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_diagnostics_exit_one(self, figure2_metal, racy_c):
+        proc = run_cli("metal", figure2_metal, racy_c)
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+
+    def test_budget_flag_marks_degraded(self, figure2_metal, racy_c):
+        proc = run_cli("metal", figure2_metal, racy_c,
+                       "--budget-steps", "1")
+        assert "DEGRADED" in proc.stdout
+
+    def test_missing_metal_file_exits_two(self, clean_c, tmp_path):
+        proc = run_cli("metal", str(tmp_path / "nope.metal"), clean_c)
+        assert proc.returncode != 0   # FileNotFoundError (traceback)
+
+
+class TestSimulateExitCodes:
+    def test_clean_run_exits_zero(self, sim_clean_c):
+        proc = run_cli("simulate", sim_clean_c, "--dispatch", "1=Handler",
+                       "--messages", "50")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_buggy_run_exits_one(self, racy_c):
+        proc = run_cli("simulate", racy_c, "--dispatch", "1=Racy",
+                       "--messages", "20")
+        assert proc.returncode == 1
+        assert "NOT CLEAN" in proc.stdout
+
+    def test_fault_plan_flips_clean_to_buggy(self, tmp_path):
+        src = tmp_path / "alloc.c"
+        src.write_text("""
+void AllocNoCheck(void) {
+    unsigned buf;
+    unsigned v;
+    DB_FREE();
+    buf = DB_ALLOC();
+    v = MISCBUS_READ_DB(0, 0);
+    DB_FREE();
+    return;
+}
+""")
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"seed": 42, "rules": [{"site": "alloc_fail", "every": 5}]}')
+        base = ("simulate", str(src), "--dispatch", "1=AllocNoCheck",
+                "--messages", "50")
+        without = run_cli(*base)
+        assert without.returncode == 0, without.stdout + without.stderr
+        with_plan = run_cli(*base, "--fault-plan", str(plan))
+        assert with_plan.returncode == 1
+        assert "alloc_fail" in with_plan.stdout
+        assert "NOT CLEAN" in with_plan.stdout
+
+    def test_bad_dispatch_exits_two(self, clean_c):
+        proc = run_cli("simulate", clean_c, "--dispatch", "1=NoSuch")
+        assert proc.returncode == 2
+        assert "internal error" in proc.stderr
+
+    def test_malformed_fault_plan_exits_two(self, sim_clean_c, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"rules": [{"site": "cosmic_ray"}]}')
+        proc = run_cli("simulate", sim_clean_c, "--dispatch", "1=Handler",
+                       "--fault-plan", str(plan))
+        assert proc.returncode == 2
+        assert "internal error" in proc.stderr

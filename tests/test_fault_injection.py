@@ -1,0 +1,265 @@
+"""Deterministic fault injection: plans, injector mechanics, manifestation.
+
+The acceptance criterion: with a seeded FaultPlan the §9 alloc-failure
+and §7 lane-overflow bug classes *manifest* (non-clean SimStats) on a
+workload that runs clean without the plan, and the whole thing is
+reproducible from the seed alone.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import FaultPlanError, InjectedFault
+from repro.faults import (
+    SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    load_fault_plan,
+)
+from repro.flash.sim import FlashMachine, WorkloadSpec
+from repro.project import program_from_source
+
+
+def machine_for(src, dispatch, **kwargs):
+    prog = program_from_source(src)
+    funcs = {f.name: f for f in prog.functions()}
+    return FlashMachine(funcs, dispatch, **kwargs)
+
+
+# A handler that allocates a fresh buffer but never checks for failure —
+# the §9 bug class.  Clean while allocation always succeeds.
+ALLOC_NOCHECK = """
+void AllocNoCheck(void) {
+    unsigned buf;
+    unsigned v;
+    DB_FREE();
+    buf = DB_ALLOC();
+    v = MISCBUS_READ_DB(0, 0);
+    DB_FREE();
+    return;
+}
+"""
+
+# The same handler with the correct DB_IS_ERROR guard.
+ALLOC_CHECKED = """
+void AllocChecked(void) {
+    unsigned buf;
+    unsigned v;
+    DB_FREE();
+    buf = DB_ALLOC();
+    if (DB_IS_ERROR(buf)) { return; }
+    v = MISCBUS_READ_DB(0, 0);
+    DB_FREE();
+    return;
+}
+"""
+
+# Two sends per handler: fine at normal capacity, overruns when the
+# injector forces a lane full.
+CHATTY = """
+void Chatty(void) {
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+    NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);
+    DB_FREE();
+    return;
+}
+"""
+
+ALLOC_PLAN = FaultPlan(
+    rules=(FaultRule(site="alloc_fail", every=5),), seed=42)
+OVERFLOW_PLAN = FaultPlan(
+    rules=(FaultRule(site="lane_overflow", after=10, every=7),), seed=7)
+WORKLOAD = WorkloadSpec(messages=50, opcode_weights=((1, 1),))
+
+
+class TestPlanValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault site"):
+            FaultRule(site="cosmic_ray")
+
+    def test_bad_every_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultRule(site="alloc_fail", every=0)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultRule(site="alloc_fail", probability=1.5)
+
+    def test_bad_cycle_window_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultRule(site="alloc_fail", from_cycle=10, until_cycle=5)
+
+    def test_sites_is_closed_set(self):
+        assert "alloc_fail" in SITES
+        assert "lane_overflow" in SITES
+        assert "handler_crash" in SITES
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            rules=(
+                FaultRule(site="alloc_fail", node=1, every=3, count=2),
+                FaultRule(site="msg_dup", lane=2, probability=0.5),
+            ),
+            seed=99,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_load_fault_plan_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(ALLOC_PLAN.to_json())
+        assert load_fault_plan(str(path)) == ALLOC_PLAN
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"rules": [{"site": "nope"}]}))
+        with pytest.raises(FaultPlanError):
+            load_fault_plan(str(path))
+
+
+class TestInjectorMechanics:
+    def test_after_and_every_gating(self):
+        plan = FaultPlan(rules=(FaultRule(site="alloc_fail",
+                                          after=2, every=3),))
+        inj = FaultInjector(plan)
+        fired = [inj.fires("alloc_fail") for _ in range(11)]
+        # occurrences 1,2 skipped; then every 3rd eligible one fires.
+        assert fired == [False, False, True, False, False, True,
+                         False, False, True, False, False]
+
+    def test_count_limits_firings(self):
+        plan = FaultPlan(rules=(FaultRule(site="alloc_fail", count=2),))
+        inj = FaultInjector(plan)
+        assert sum(inj.fires("alloc_fail") for _ in range(10)) == 2
+
+    def test_probability_is_seeded(self):
+        plan = FaultPlan(rules=(FaultRule(site="alloc_fail",
+                                          probability=0.3),), seed=5)
+        first = [FaultInjector(plan).fires("alloc_fail")
+                 for _ in range(1)]
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        assert ([a.fires("alloc_fail") for _ in range(64)]
+                == [b.fires("alloc_fail") for _ in range(64)])
+        assert first  # seeded draws, not time-dependent
+
+    def test_handler_filter(self):
+        plan = FaultPlan(rules=(FaultRule(site="alloc_fail",
+                                          handler="Target"),))
+        inj = FaultInjector(plan)
+        inj.begin_handler(0, "Other")
+        assert not inj.fires("alloc_fail")
+        inj.begin_handler(0, "Target")
+        assert inj.fires("alloc_fail")
+
+    def test_lane_filter(self):
+        plan = FaultPlan(rules=(FaultRule(site="msg_dup", lane=2),))
+        inj = FaultInjector(plan)
+        assert not inj.fires("msg_dup", lane=1)
+        assert inj.fires("msg_dup", lane=2)
+
+    def test_handler_crash_raises_on_tick(self):
+        plan = FaultPlan(rules=(FaultRule(site="handler_crash",
+                                          after=3),))
+        inj = FaultInjector(plan)
+        inj.begin_handler(0, "H")
+        for _ in range(3):
+            inj.tick(None)
+        with pytest.raises(InjectedFault):
+            inj.tick(None)
+
+    def test_events_are_recorded(self):
+        plan = FaultPlan(rules=(FaultRule(site="alloc_fail", every=2),))
+        inj = FaultInjector(plan)
+        inj.begin_handler(1, "H")
+        for _ in range(4):
+            inj.fires("alloc_fail")
+        assert len(inj.events) == 2
+        assert inj.counts_by_site() == {"alloc_fail": 2}
+        assert all(e.node == 1 and e.handler == "H" for e in inj.events)
+
+
+class TestManifestation:
+    """Acceptance criterion 3: bug classes manifest under a plan."""
+
+    def test_alloc_fail_clean_without_plan(self):
+        m = machine_for(ALLOC_NOCHECK, {1: "AllocNoCheck"})
+        stats = m.run(WORKLOAD)
+        assert stats.clean
+        assert stats.injected_faults == 0
+
+    def test_alloc_fail_manifests_with_plan(self):
+        m = machine_for(ALLOC_NOCHECK, {1: "AllocNoCheck"},
+                        fault_plan=ALLOC_PLAN)
+        stats = m.run(WORKLOAD)
+        assert not stats.clean
+        assert stats.use_after_free > 0
+        assert stats.double_frees > 0
+        assert stats.faults_by_site.get("alloc_fail", 0) > 0
+        assert stats.fault_events
+
+    def test_checked_handler_survives_the_same_plan(self):
+        # The §9 fix: DB_IS_ERROR guard makes injected failures benign.
+        m = machine_for(ALLOC_CHECKED, {1: "AllocChecked"},
+                        fault_plan=ALLOC_PLAN)
+        stats = m.run(WORKLOAD)
+        assert stats.use_after_free == 0
+        assert stats.double_frees == 0
+        assert stats.faults_by_site.get("alloc_fail", 0) > 0
+
+    def test_alloc_fail_deterministic_per_seed(self):
+        def once():
+            m = machine_for(ALLOC_NOCHECK, {1: "AllocNoCheck"},
+                            fault_plan=ALLOC_PLAN)
+            s = m.run(WORKLOAD)
+            return (s.use_after_free, s.double_frees,
+                    tuple(s.fault_events))
+        assert once() == once()
+
+    def test_lane_overflow_clean_without_plan(self):
+        m = machine_for(CHATTY, {1: "Chatty"})
+        stats = m.run(WORKLOAD)
+        assert stats.clean
+        assert stats.lane_overruns == 0
+
+    def test_lane_overflow_manifests_with_plan(self):
+        m = machine_for(CHATTY, {1: "Chatty"}, fault_plan=OVERFLOW_PLAN)
+        stats = m.run(WORKLOAD)
+        assert not stats.clean
+        assert stats.lane_overruns > 0
+        assert stats.lane_overflow_events > 0
+        assert stats.deadlock is None          # degraded, not dead
+        assert stats.faults_by_site.get("lane_overflow", 0) > 0
+
+    def test_lane_overflow_deterministic_per_seed(self):
+        def once():
+            m = machine_for(CHATTY, {1: "Chatty"},
+                            fault_plan=OVERFLOW_PLAN)
+            s = m.run(WORKLOAD)
+            return (s.lane_overruns, tuple(s.fault_events))
+        assert once() == once()
+
+    def test_msg_dup_and_delay_disturb_delivery(self):
+        plan = FaultPlan(rules=(
+            FaultRule(site="msg_dup", after=5, every=9),
+            FaultRule(site="msg_delay", after=3, every=11),
+        ), seed=13)
+        m = machine_for(ALLOC_CHECKED, {1: "AllocChecked"},
+                        fault_plan=plan)
+        stats = m.run(WORKLOAD)
+        assert stats.faults_by_site.get("msg_dup", 0) >= 0
+        counts = stats.faults_by_site
+        assert set(counts) <= SITES
+
+    def test_handler_crash_is_survived_and_counted(self):
+        plan = FaultPlan(rules=(FaultRule(site="handler_crash",
+                                          after=40, every=50),), seed=3)
+        m = machine_for(ALLOC_CHECKED, {1: "AllocChecked"},
+                        fault_plan=plan)
+        stats = m.run(WORKLOAD)
+        assert stats.deadlock is None
+        assert stats.injected_crashes > 0
+        # a crashed handler is aborted, not counted as run
+        assert stats.handlers_run + stats.injected_crashes == 50

@@ -103,8 +103,16 @@ void H(void) {
 
 
 class TestLaneOverrun:
-    def test_exceeding_lane_capacity_deadlocks(self):
+    def test_exceeding_lane_capacity_recorded(self):
         m = machine_for(BUGGY_LANES, {1: "H"}, lane_capacity=1)
+        stats = m.run(WorkloadSpec(messages=10, opcode_weights=((1, 1),)))
+        assert stats.deadlock is None
+        assert stats.lane_overruns == 10
+        assert stats.lane_overflow_events == 10
+        assert not stats.clean
+
+    def test_exceeding_lane_capacity_strict_deadlocks(self):
+        m = machine_for(BUGGY_LANES, {1: "H"}, lane_capacity=1, strict=True)
         stats = m.run(WorkloadSpec(messages=10, opcode_weights=((1, 1),)))
         assert stats.deadlock is not None
         assert "overran" in stats.deadlock

@@ -208,13 +208,27 @@ class TestMachine:
         stats = m.run(WorkloadSpec(messages=5, opcode_weights=((1, 1),)))
         assert stats.double_frees > 0
 
-    def test_lane_overrun_deadlocks(self):
+    def test_lane_overrun_recorded_per_event(self):
         sends = "\n".join(
             "HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;\n"
             "NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);" for _ in range(9)
         )
         src = f"void Chatty(void) {{ {sends} DB_FREE(); return; }}"
         m = machine_for(src, {1: "Chatty"}, lane_capacity=8)
+        stats = m.run(WorkloadSpec(messages=5, opcode_weights=((1, 1),)))
+        # One overrun aborts that handler, not the run.
+        assert stats.deadlock is None
+        assert stats.lane_overruns == 5
+        assert stats.lane_overflow_events == 5
+        assert not stats.clean
+
+    def test_lane_overrun_strict_mode_deadlocks(self):
+        sends = "\n".join(
+            "HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;\n"
+            "NI_SEND(NI_REQUEST, F_NODATA, 1, 0, 1, 0);" for _ in range(9)
+        )
+        src = f"void Chatty(void) {{ {sends} DB_FREE(); return; }}"
+        m = machine_for(src, {1: "Chatty"}, lane_capacity=8, strict=True)
         stats = m.run(WorkloadSpec(messages=5, opcode_weights=((1, 1),)))
         assert stats.deadlock is not None
         assert "overran" in stats.deadlock
