@@ -1,0 +1,125 @@
+"""Fleet and cache scaling: wall time at jobs x {cold, warm}.
+
+Measures the full five-protocol sweep (the paper's evaluation corpus)
+through ``check_files`` at ``jobs`` in {1, 2, 4}, cold (empty cache)
+and warm (immediately rerun against the cache the cold run filled),
+and writes ``BENCH_parallel_scaling.json`` next to the working
+directory.
+
+Two acceptance claims ride on these numbers:
+
+* warm reruns are >= 5x faster than cold — a pure cache property,
+  asserted unconditionally;
+* ``--jobs 4`` cold is >= 2x faster than ``--jobs 1`` cold — a
+  hardware property, asserted only when the runner actually has >= 4
+  usable cores (``cpus`` is recorded in the JSON so a one-core
+  container's numbers are not misread as a fleet regression).
+
+Also runnable standalone: ``python benchmarks/bench_parallel_scaling.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.flash.codegen import generate_protocol
+from repro.lang import clear_memo
+from repro.mc import ResultCache, check_files
+
+PROTOCOLS = ("bitvector", "dyn_ptr", "sci", "coma", "rac")
+JOB_COUNTS = (1, 2, 4)
+OUTPUT = "BENCH_parallel_scaling.json"
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def _materialize(workdir: Path) -> dict[str, list[str]]:
+    """Write every protocol's sources to disk; paths per protocol."""
+    paths: dict[str, list[str]] = {}
+    for name in PROTOCOLS:
+        pdir = workdir / name
+        pdir.mkdir(parents=True)
+        gp = generate_protocol(name)
+        for filename, text in gp.files.items():
+            (pdir / filename).write_text(text)
+        paths[name] = sorted(str(pdir / f) for f in gp.files)
+    return paths
+
+
+def _timed_sweep(paths: dict[str, list[str]], jobs: int,
+                 cache_root: Path | None) -> tuple[float, dict[str, float]]:
+    # The per-process parse memo outlives check_files calls (and fork
+    # workers inherit it); clear it so every sweep's "cold" is honest.
+    clear_memo()
+    per_protocol: dict[str, float] = {}
+    for name, files in paths.items():
+        cache = ResultCache(cache_root) if cache_root else None
+        start = time.perf_counter()
+        run = check_files(files, jobs=jobs, cache=cache, keep_going=True)
+        per_protocol[name] = time.perf_counter() - start
+        assert run.results, f"{name}: no checker results"
+    return sum(per_protocol.values()), per_protocol
+
+
+def run_benchmark(output: str = OUTPUT) -> dict:
+    cpus = _usable_cpus()
+    workdir = Path(tempfile.mkdtemp(prefix="bench-parallel-"))
+    results: dict = {
+        "benchmark": "parallel_scaling",
+        "cpus": cpus,
+        "protocols": list(PROTOCOLS),
+        "runs": [],
+    }
+    try:
+        paths = _materialize(workdir)
+        for jobs in JOB_COUNTS:
+            cache_root = workdir / f"cache-jobs{jobs}"
+            for phase in ("cold", "warm"):
+                total, per_protocol = _timed_sweep(paths, jobs, cache_root)
+                results["runs"].append({
+                    "jobs": jobs,
+                    "phase": phase,
+                    "wall_seconds": round(total, 4),
+                    "per_protocol_seconds": {
+                        k: round(v, 4) for k, v in per_protocol.items()
+                    },
+                })
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    by_key = {(r["jobs"], r["phase"]): r["wall_seconds"]
+              for r in results["runs"]}
+    results["warm_speedup_jobs1"] = round(
+        by_key[(1, "cold")] / max(by_key[(1, "warm")], 1e-9), 2)
+    results["parallel_speedup_cold_j4"] = round(
+        by_key[(1, "cold")] / max(by_key[(4, "cold")], 1e-9), 2)
+    Path(output).write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_parallel_scaling(show):
+    results = run_benchmark()
+    show(json.dumps(results, indent=2))
+
+    assert results["warm_speedup_jobs1"] >= 5.0, (
+        "warm rerun must be >= 5x faster than cold: "
+        f"{results['warm_speedup_jobs1']}x")
+    if results["cpus"] >= 4:
+        assert results["parallel_speedup_cold_j4"] >= 2.0, (
+            "jobs=4 cold must be >= 2x faster than jobs=1 cold on a "
+            f">=4-core machine: {results['parallel_speedup_cold_j4']}x")
+
+
+if __name__ == "__main__":
+    out = run_benchmark()
+    print(json.dumps(out, indent=2))

@@ -11,6 +11,7 @@ against the code generator's ground-truth manifest.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Optional, Type
@@ -36,6 +37,9 @@ class CheckerResult:
     quarantines: list = field(default_factory=list)
     #: True when the result is partial (quarantine or exhausted budget).
     degraded: bool = False
+    #: Human-readable notes on what was cut short and why (engine
+    #: degradation, skipped work past a run deadline, ...).
+    degradation_notes: list[str] = field(default_factory=list)
 
     @property
     def errors(self) -> list[Report]:
@@ -62,6 +66,12 @@ class Checker(ABC):
     name: str = ""
     #: Lines of metal the paper's version of this checker took (Table 7).
     metal_loc: int = 0
+    #: True when ``check`` over a single translation unit produces the
+    #: same diagnostics as over the whole program (per-function
+    #: analyses).  The parallel driver fans such checkers out one unit
+    #: at a time; inter-procedural checkers (lanes, exec-restrict) set
+    #: this False and run as one whole-program work item.
+    unit_parallel: bool = True
 
     @abstractmethod
     def check(self, program: Program) -> CheckerResult:
@@ -78,6 +88,7 @@ class Checker(ABC):
         result.reports = sink.reports
         result.quarantines = list(getattr(sink, "quarantines", []))
         result.degraded = bool(getattr(sink, "degraded", False))
+        result.degradation_notes = list(getattr(sink, "degradation_notes", []))
         return result
 
 
@@ -111,19 +122,32 @@ def all_checkers() -> list[Checker]:
 
 def run_all(program: Program,
             names: Optional[list[str]] = None, *,
-            keep_going: bool = False) -> dict[str, CheckerResult]:
+            keep_going: bool = False,
+            deadline: Optional[float] = None) -> dict[str, CheckerResult]:
     """Run the named checkers (default: all) over ``program``.
 
     With ``keep_going``, one checker blowing up costs only that checker:
     its crash becomes a quarantine diagnostic on an otherwise-empty
     (degraded) result, and every other checker still reports — the
     engine analog of the simulator surviving a single handler's fault.
+
+    ``deadline`` is an absolute ``time.time()`` instant bounding the
+    whole run: checkers not yet started when it passes are skipped with
+    a degraded, noted result (partial results now beat complete results
+    never).  The parallel driver (:mod:`repro.mc.parallel`) shares the
+    same deadline across every worker.
     """
     checkers = (
         [get_checker(n) for n in names] if names is not None else all_checkers()
     )
     results: dict[str, CheckerResult] = {}
     for checker in checkers:
+        if deadline is not None and time.time() >= deadline:
+            result = CheckerResult(checker=checker.name, degraded=True)
+            result.degradation_notes.append(
+                f"[{checker.name}] not run: run deadline exceeded")
+            results[checker.name] = result
+            continue
         try:
             results[checker.name] = checker.check(program)
         except Exception as exc:

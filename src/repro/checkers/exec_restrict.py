@@ -68,6 +68,8 @@ class ExecRestrictChecker(Checker):
 
     name = "exec-restrict"
     metal_loc = 84
+    #: The nostack rule follows calls into other files; one work item.
+    unit_parallel = False
 
     def check(self, program: Program) -> CheckerResult:
         result, sink = self._new_result()

@@ -205,6 +205,8 @@ class LaneChecker(Checker):
 
     name = "lanes"
     metal_loc = 220
+    #: The global pass links flow graphs across files; one work item.
+    unit_parallel = False
 
     def check(self, program: Program) -> CheckerResult:
         result, sink = self._new_result()

@@ -32,16 +32,24 @@ so CI can tell "the protocol is buggy" from "the tool is".
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from pathlib import Path
 
 from . import __version__
 from .checkers import all_checkers, checker_names, get_checker
-from .checkers.base import run_all
 from .errors import ReproError
 from .lang import annotate, parse
-from .mc import Budget, check_unit, format_quarantines, format_reports
-from .metal import parse_metal
+from .mc import (
+    ResultCache,
+    check_files,
+    default_cache_dir,
+    format_quarantines,
+    format_reports,
+    metal_files,
+    resolve_jobs,
+)
 from .project import Program
 
 #: Exit statuses: clean / bugs found / the tool itself misbehaved.
@@ -61,15 +69,37 @@ def _load_program(paths: list[str], spec_path: str | None = None) -> Program:
     return Program(files, info=info)
 
 
+def _cache_from_args(args, budgeted: bool):
+    """The run's :class:`ResultCache`, or ``None`` when disabled.
+
+    Budgeted runs bypass the cache: their results depend on the limits
+    in force, not just on content, so they are neither read nor stored.
+    """
+    no_cache = getattr(args, "no_cache", False) or bool(
+        os.environ.get("MC_CHECK_NO_CACHE"))
+    if no_cache or budgeted:
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    return ResultCache(Path(cache_dir) if cache_dir else default_cache_dir())
+
+
 def cmd_check(args) -> int:
-    program = _load_program(args.files, getattr(args, "spec", None))
     names = args.checker or None
     keep_going = getattr(args, "keep_going", False)
-    results = run_all(program, names, keep_going=keep_going)
+    jobs = resolve_jobs(args.jobs)
+    budget_seconds = getattr(args, "budget_seconds", None)
+    cache = _cache_from_args(args, budgeted=budget_seconds is not None)
+    deadline = (time.time() + budget_seconds
+                if budget_seconds is not None else None)
+    run = check_files(
+        args.files, names=names, spec_path=getattr(args, "spec", None),
+        jobs=jobs, cache=cache, keep_going=keep_going, deadline=deadline,
+    )
     failures = 0
     quarantines = []
     degraded = False
-    for result in results.values():
+    notes = []
+    for result in run.results.values():
         if result.reports:
             print(format_reports(result.reports,
                                  heading=f"checker: {result.checker}"))
@@ -77,38 +107,40 @@ def cmd_check(args) -> int:
             failures += len(result.errors)
         quarantines.extend(result.quarantines)
         degraded = degraded or result.degraded
+        notes.extend(result.degradation_notes)
     if quarantines:
         print(format_quarantines(quarantines))
         print()
     if degraded:
         print("DEGRADED: results are partial")
+        for note in notes:
+            print(f"  - {note}")
     if failures == 0 and not quarantines:
         print("no errors found")
+    print(run.summary_line())
     if quarantines:
         return EXIT_INTERNAL
     return EXIT_BUGS if failures else EXIT_CLEAN
 
 
-def _budget_from_args(args) -> Budget | None:
-    steps = getattr(args, "budget_steps", None)
-    paths = getattr(args, "budget_paths", None)
-    seconds = getattr(args, "budget_seconds", None)
-    if steps is None and paths is None and seconds is None:
-        return None
-    return Budget(max_steps=steps, max_paths=paths, max_seconds=seconds)
-
-
 def cmd_metal(args) -> int:
-    sm = parse_metal(Path(args.checker).read_text(), filename=args.checker)
-    budget = _budget_from_args(args)
     keep_going = getattr(args, "keep_going", False)
+    jobs = resolve_jobs(args.jobs)
+    budget_steps = getattr(args, "budget_steps", None)
+    budget_paths = getattr(args, "budget_paths", None)
+    budget_seconds = getattr(args, "budget_seconds", None)
+    budgeted = (budget_steps is not None or budget_paths is not None
+                or budget_seconds is not None)
+    cache = _cache_from_args(args, budgeted=budgeted)
+    run = metal_files(
+        args.checker, args.files, jobs=jobs, cache=cache,
+        keep_going=keep_going, budget_steps=budget_steps,
+        budget_paths=budget_paths, budget_seconds=budget_seconds,
+    )
     total = 0
     quarantined = 0
     degraded = False
-    for path in args.files:
-        unit = parse(Path(path).read_text(), path)
-        annotate(unit)
-        sink = check_unit(sm, unit, budget=budget, keep_going=keep_going)
+    for _path, sink in run.sinks:
         for report in sink.reports:
             print(report)
         if sink.quarantines:
@@ -116,10 +148,12 @@ def cmd_metal(args) -> int:
         total += len(sink)
         quarantined += len(sink.quarantines)
         degraded = degraded or sink.degraded
-    print(f"{total} diagnostic(s) from sm {sm.name}")
+    print(f"{total} diagnostic(s) from sm {run.sm_name}")
     if degraded:
+        budget = run.budget
         print("DEGRADED: results are partial"
               + (f" ({budget.note()})" if budget and budget.exhausted else ""))
+    print(run.summary_line())
     if quarantined:
         return EXIT_INTERNAL
     return EXIT_BUGS if total else EXIT_CLEAN
@@ -256,6 +290,21 @@ def cmd_list(args) -> int:
     return 0
 
 
+def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
+    """Worker-pool and result-cache flags shared by check/metal."""
+    parser.add_argument("--jobs", default=os.environ.get("MC_CHECK_JOBS", "1"),
+                        metavar="N|auto",
+                        help="fan (checker, file) work items across N worker "
+                             "processes; 'auto' uses every core "
+                             "(default: $MC_CHECK_JOBS or 1)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="incremental analysis cache location (default: "
+                             "$MC_CHECK_CACHE_DIR or ~/.cache/mc-check)")
+    parser.add_argument("--no-cache", action="store_true",
+                        default=bool(os.environ.get("MC_CHECK_NO_CACHE")),
+                        help="disable the content-hash result cache")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="mc-check",
@@ -276,6 +325,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--keep-going", action="store_true",
                          help="a crashing checker is quarantined (exit 2) "
                               "instead of aborting the whole run")
+    _add_fleet_flags(p_check)
+    p_check.add_argument("--budget-seconds", type=float, default=None,
+                         help="run-wide wall-clock deadline shared by all "
+                              "workers; work past it is skipped and the "
+                              "result marked DEGRADED (disables the cache)")
     p_check.set_defaults(func=cmd_check)
 
     p_metal = sub.add_parser("metal", help="run a textual metal checker")
@@ -290,7 +344,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_metal.add_argument("--budget-paths", type=int, default=None,
                          help="path cap for the naive engine fallback")
     p_metal.add_argument("--budget-seconds", type=float, default=None,
-                         help="wall-clock cap for the whole analysis")
+                         help="wall-clock cap for the whole analysis "
+                              "(a single run-wide deadline, shared by all "
+                              "workers under --jobs)")
+    _add_fleet_flags(p_metal)
     p_metal.set_defaults(func=cmd_metal)
 
     p_sim = sub.add_parser(

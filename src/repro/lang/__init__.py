@@ -7,6 +7,7 @@ layer and the metal pattern matcher consume.
 
 from . import ast, ctypes
 from .lexer import Lexer, Token, TokenKind, tokenize
+from .memo import clear_memo, memo_stats, parse_annotated, source_fingerprint
 from .parser import Parser, parse, parse_expression, parse_statement
 from .sema import SemaInfo, annotate
 from .source import Location, SourceFile, Span
@@ -18,6 +19,7 @@ __all__ = [
     "Lexer", "Token", "TokenKind", "tokenize",
     "Parser", "parse", "parse_expression", "parse_statement",
     "SemaInfo", "annotate",
+    "clear_memo", "memo_stats", "parse_annotated", "source_fingerprint",
     "Location", "SourceFile", "Span",
     "Scope", "Symbol", "SymbolKind",
     "unparse_decl", "unparse_expr", "unparse_stmt", "unparse_unit",

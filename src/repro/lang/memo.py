@@ -1,0 +1,77 @@
+"""Per-process parse/annotate memo keyed by source content hash.
+
+A run of the checker fleet analyses the same translation unit many
+times: the serial driver runs every checker over one shared
+:class:`repro.project.Program`, but the parallel driver
+(:mod:`repro.mc.parallel`) hands each (checker, unit) work item to a
+worker that builds its own ``Program`` — without a memo, a process
+hosting eight checkers over the same file would parse and annotate it
+eight times.  The memo keys on ``(filename, sha256(text), typedefs,
+prelude)`` so shared FLASH headers and common-code units are parsed
+once per process, and an *edited* file (different content hash) never
+reuses a stale AST.
+
+Memoized units are shared, mutable ASTs: callers that rewrite trees
+(:mod:`repro.mc.transform`) must parse privately via
+:func:`repro.lang.parser.parse` instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from .parser import parse
+from .sema import SemaInfo, annotate
+from . import ast
+
+
+def source_fingerprint(text: str) -> str:
+    """Stable content hash of one unit's source text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+_MEMO: dict[tuple, tuple] = {}
+_STATS = {"hits": 0, "misses": 0}
+
+
+def parse_annotated(
+    filename: str,
+    text: str,
+    *,
+    typedefs: Optional[set[str]] = None,
+    prelude: Optional[ast.TranslationUnit] = None,
+    prelude_key: str = "",
+) -> tuple[ast.TranslationUnit, SemaInfo]:
+    """Parse and annotate ``text``, memoized on its content hash.
+
+    ``prelude_key`` must name the prelude fed to sema (e.g. the FLASH
+    header's filename) so units parsed with different preludes never
+    share an entry; the prelude object itself is not hashed.
+    """
+    key = (
+        filename,
+        source_fingerprint(text),
+        frozenset(typedefs) if typedefs else frozenset(),
+        prelude_key,
+    )
+    cached = _MEMO.get(key)
+    if cached is not None:
+        _STATS["hits"] += 1
+        return cached
+    _STATS["misses"] += 1
+    unit = parse(text, filename, typedefs=set(typedefs) if typedefs else None)
+    sema = annotate(unit, prelude=prelude)
+    _MEMO[key] = (unit, sema)
+    return unit, sema
+
+
+def clear_memo() -> None:
+    """Drop every memoized unit (tests; long-lived embedding processes)."""
+    _MEMO.clear()
+    _STATS["hits"] = _STATS["misses"] = 0
+
+
+def memo_stats() -> dict[str, int]:
+    """``{"hits": ..., "misses": ...}`` for this process's memo."""
+    return dict(_STATS)

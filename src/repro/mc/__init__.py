@@ -1,8 +1,28 @@
 """The analysis engine: path-sensitive SM execution and global analysis."""
 
+from .cache import (
+    CacheStats,
+    ResultCache,
+    checker_fingerprint,
+    default_cache_dir,
+    engine_fingerprint,
+    result_from_payload,
+    result_to_payload,
+    sink_from_payload,
+    sink_to_payload,
+)
 from .engine import check_function, check_unit, run_machine, run_machine_naive
 from .flowcheck import find_unfollowed, find_unguarded, is_call_to, quarantining
 from .interproc import bottom_up, walk_paths
+from .parallel import (
+    CheckRun,
+    MetalRun,
+    WorkItem,
+    check_files,
+    merge_parts,
+    metal_files,
+    resolve_jobs,
+)
 from .resilience import Budget, Quarantine
 from .transform import RedundantWaitEliminator, TransformResult
 from .report import (
@@ -19,6 +39,11 @@ __all__ = [
     "find_unfollowed", "find_unguarded", "is_call_to", "quarantining",
     "bottom_up", "walk_paths",
     "Budget", "Quarantine",
+    "CacheStats", "ResultCache", "checker_fingerprint", "default_cache_dir",
+    "engine_fingerprint", "result_from_payload", "result_to_payload",
+    "sink_from_payload", "sink_to_payload",
+    "CheckRun", "MetalRun", "WorkItem", "check_files", "merge_parts",
+    "metal_files", "resolve_jobs",
     "RedundantWaitEliminator", "TransformResult",
     "Report", "ReportSink", "format_quarantines", "format_reports",
     "format_sink", "summarize_by_severity",

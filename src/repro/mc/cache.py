@@ -1,0 +1,338 @@
+"""Persistent content-hash result cache for the checker fleet.
+
+A checker's output over a translation unit is a pure function of three
+things: the unit's source text, the checker's own implementation, and
+the analysis engine under both.  The cache therefore keys every entry
+on ``sha256(engine fingerprint + checker fingerprint + protocol-spec
+text + the unit's (filename, content-hash) pairs)`` — unchanged files
+are skipped entirely on re-runs, and editing a file, bumping a
+checker's source, or upgrading the engine invalidates exactly the
+affected entries, with no mtime heuristics to go wrong.
+
+Entries store the *serialised* result payload (the same JSON shape the
+parallel workers ship back over the queue, :func:`result_to_payload`),
+including quarantine records and degradation notes.  Results that are
+degraded or quarantined are never stored: they depend on the run's
+budget and luck, not just on content, so replaying them would poison
+later unbudgeted runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from ..lang.source import Location
+from ..metal.runtime import Report, ReportSink
+from .resilience import Quarantine
+
+#: Bump when the payload shape changes; stale-schema entries are misses.
+SCHEMA_VERSION = 1
+
+
+# -- fingerprints ------------------------------------------------------------
+
+def _sha256(*chunks: bytes) -> str:
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(chunk)
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _module_digest(module) -> str:
+    try:
+        path = inspect.getsourcefile(module)
+    except TypeError:
+        path = None
+    if not path or not os.path.exists(path):
+        return f"<no-source:{getattr(module, '__name__', module)!r}>"
+    return _sha256(Path(path).read_bytes())
+
+
+_ENGINE_FILES_FP: Optional[str] = None
+
+
+def engine_fingerprint() -> str:
+    """Hash of every module whose behaviour feeds analysis results.
+
+    Covers the frontend (lexer/parser/sema), CFG construction, the metal
+    pattern matcher and state machines, the path-sensitive engine, and
+    the built-in FLASH knowledge (headers, machine vocabulary, spec
+    parsing).  Combined with ``repro.__version__`` on every call so a
+    version bump invalidates even without a source change.
+    """
+    global _ENGINE_FILES_FP
+    if _ENGINE_FILES_FP is None:
+        import repro.cfg
+        import repro.lang
+        import repro.metal
+        import repro.mc
+        import repro.project
+        from repro.flash import headers, machine, spec
+
+        digests = []
+        for package in (repro.lang, repro.cfg, repro.metal, repro.mc):
+            root = Path(inspect.getsourcefile(package)).parent
+            for path in sorted(root.glob("*.py")):
+                digests.append(_sha256(path.read_bytes()))
+        for module in (repro.project, headers, machine, spec):
+            digests.append(_module_digest(module))
+        _ENGINE_FILES_FP = _sha256(*(d.encode() for d in digests))
+    import repro
+    return _sha256(_ENGINE_FILES_FP.encode(), repro.__version__.encode(),
+                   str(SCHEMA_VERSION).encode())
+
+
+_CHECKER_FP: dict[str, Optional[str]] = {}
+
+
+def checker_fingerprint(name: str) -> Optional[str]:
+    """Hash of one registered checker's implementation, or ``None``.
+
+    ``None`` marks the checker *uncacheable* — its source cannot be
+    located (e.g. defined in a ``python -c`` script or a REPL), so there
+    is no way to notice when it changes.  The framework (``base.py``)
+    and the shared metal listings are folded in: they are part of every
+    checker's behaviour.
+    """
+    if name in _CHECKER_FP:
+        return _CHECKER_FP[name]
+    from ..checkers import base as checkers_base
+    from ..checkers import metal_sources
+    from ..checkers.base import _REGISTRY
+
+    cls = _REGISTRY.get(name)
+    fp: Optional[str] = None
+    if cls is not None:
+        try:
+            path = inspect.getsourcefile(cls)
+        except (OSError, TypeError):
+            # No source on disk (python -c, REPL): uncacheable.
+            path = None
+        if path and os.path.exists(path):
+            fp = _sha256(
+                name.encode(),
+                Path(path).read_bytes(),
+                _module_digest(checkers_base).encode(),
+                _module_digest(metal_sources).encode(),
+            )
+    _CHECKER_FP[name] = fp
+    return fp
+
+
+def metal_fingerprint(text: str) -> str:
+    """Fingerprint for a textual metal checker: its program text."""
+    return _sha256(b"metal", text.encode("utf-8"))
+
+
+def clear_fingerprint_memo() -> None:
+    """Tests: recompute fingerprints after monkeypatching sources."""
+    global _ENGINE_FILES_FP
+    _ENGINE_FILES_FP = None
+    _CHECKER_FP.clear()
+
+
+# -- payload (de)serialisation ----------------------------------------------
+
+def _location_to_obj(loc: Location) -> list:
+    return [loc.filename, loc.line, loc.column]
+
+
+def _location_from_obj(obj) -> Location:
+    return Location(obj[0], int(obj[1]), int(obj[2]))
+
+
+def report_to_obj(report: Report) -> dict:
+    return {
+        "checker": report.checker,
+        "message": report.message,
+        "location": _location_to_obj(report.location),
+        "function": report.function,
+        "severity": report.severity,
+        "backtrace": list(report.backtrace),
+    }
+
+
+def report_from_obj(obj: dict) -> Report:
+    return Report(
+        checker=obj["checker"],
+        message=obj["message"],
+        location=_location_from_obj(obj["location"]),
+        function=obj.get("function", ""),
+        severity=obj.get("severity", "error"),
+        backtrace=tuple(obj.get("backtrace", ())),
+    )
+
+
+def quarantine_to_obj(q: Quarantine) -> dict:
+    return {
+        "checker": q.checker, "function": q.function, "phase": q.phase,
+        "error_type": q.error_type, "message": q.message,
+    }
+
+
+def quarantine_from_obj(obj: dict) -> Quarantine:
+    return Quarantine(
+        checker=obj["checker"], function=obj["function"], phase=obj["phase"],
+        error_type=obj["error_type"], message=obj["message"],
+    )
+
+
+def result_to_payload(result) -> dict:
+    """Serialise a :class:`repro.checkers.base.CheckerResult` to JSON-able data."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "checker": result.checker,
+        "reports": [report_to_obj(r) for r in result.reports],
+        "applied": result.applied,
+        "annotations": [_location_to_obj(l) for l in result.annotations],
+        "extra": dict(result.extra),
+        "quarantines": [quarantine_to_obj(q) for q in result.quarantines],
+        "degraded": bool(result.degraded),
+        "degradation_notes": list(result.degradation_notes),
+    }
+
+
+def result_from_payload(payload: dict):
+    from ..checkers.base import CheckerResult
+
+    result = CheckerResult(checker=payload["checker"])
+    result.reports = [report_from_obj(o) for o in payload["reports"]]
+    result.applied = payload["applied"]
+    result.annotations = [_location_from_obj(o) for o in payload["annotations"]]
+    result.extra = dict(payload["extra"])
+    result.quarantines = [quarantine_from_obj(o) for o in payload["quarantines"]]
+    result.degraded = payload["degraded"]
+    result.degradation_notes = list(payload["degradation_notes"])
+    return result
+
+
+def sink_to_payload(sink: ReportSink) -> dict:
+    """Serialise a metal run's :class:`ReportSink` (quarantines and
+    degradation notes survive the worker round-trip)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "reports": [report_to_obj(r) for r in sink.reports],
+        "quarantines": [quarantine_to_obj(q) for q in sink.quarantines],
+        "degraded": bool(sink.degraded),
+        "degradation_notes": list(sink.degradation_notes),
+    }
+
+
+def sink_from_payload(payload: dict) -> ReportSink:
+    sink = ReportSink()
+    for obj in payload["reports"]:
+        sink.add(report_from_obj(obj))
+    for obj in payload["quarantines"]:
+        sink.add_quarantine(quarantine_from_obj(obj))
+    # add_quarantine sets degraded; restore the recorded flag exactly.
+    sink.degraded = payload["degraded"]
+    sink.degradation_notes = list(payload["degradation_notes"])
+    return sink
+
+
+def payload_cacheable(payload: dict) -> bool:
+    """Only complete results are content-pure; partial ones depend on
+    the run's budget/crash luck and must not be replayed."""
+    return not payload.get("degraded") and not payload.get("quarantines")
+
+
+# -- the on-disk store -------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one run, shown in the CLI summary line."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def line(self) -> str:
+        return f"cache: {self.hits} hit(s), {self.misses} miss(es)"
+
+
+def default_cache_dir() -> Path:
+    """``$MC_CHECK_CACHE_DIR``, else ``~/.cache/mc-check``."""
+    env = os.environ.get("MC_CHECK_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "mc-check"
+
+
+class ResultCache:
+    """Content-addressed store of serialised work-item results.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` — two-level fanout keeps
+    directories small at fleet scale.  Writes are atomic (temp file +
+    rename) so concurrent runs sharing a cache directory can only ever
+    observe whole entries.
+    """
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def key_for(self, *, checker_fp: str, units: list[tuple[str, str]],
+                spec_fp: str = "", engine_fp: Optional[str] = None) -> str:
+        """Cache key for one (checker, unit-set) work item.
+
+        ``units`` is a list of ``(filename, content-hash)`` pairs; global
+        checkers pass every file of the run, unit-parallel checkers pass
+        exactly one.
+        """
+        engine = engine_fp if engine_fp is not None else engine_fingerprint()
+        chunks = [engine.encode(), checker_fp.encode(), spec_fp.encode()]
+        for filename, digest in units:
+            chunks.append(filename.encode())
+            chunks.append(digest.encode())
+        return _sha256(*chunks)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if payload.get("schema") != SCHEMA_VERSION:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        if not payload_cacheable(payload):
+            return
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh, separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return  # a read-only or full cache never fails the run
+        self.stats.stores += 1

@@ -1,0 +1,500 @@
+"""Parallel checker fleet: fan (checker, translation-unit) work across cores.
+
+The paper's xg++ applies every checker down every path of every
+function — embarrassingly parallel work this module schedules as
+(checker, unit) **work items** over a :class:`multiprocessing` pool:
+
+* per-function checkers (``Checker.unit_parallel``) get one item per
+  translation unit; inter-procedural checkers (lanes, exec-restrict)
+  run as a single whole-program item;
+* items are scheduled **largest first** (by source size) so the long
+  poles start early and tail latency stays low;
+* the queue carries *paths and checker names*, never pickled ASTs —
+  each worker parses and annotates units locally, once per process,
+  through the content-hash memo of :mod:`repro.lang.memo`;
+* workers ship back serialised result payloads
+  (:func:`repro.mc.cache.result_to_payload`) — quarantine records and
+  degradation notes survive the round-trip — and the parent merges
+  them into one deterministic report, sorted by
+  ``(file, line, column, checker)`` so ``--jobs 4`` output is
+  byte-identical to ``--jobs 1``;
+* a :class:`repro.mc.cache.ResultCache` short-circuits items whose
+  key (content hash × checker fingerprint × engine fingerprint) was
+  seen before, so unchanged files are skipped entirely on re-runs;
+* a wall-clock budget is one run-wide absolute deadline shared by all
+  workers (items starting after it report themselves skipped and
+  degraded), not a fresh ``max_seconds`` per process.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..lang.memo import parse_annotated, source_fingerprint
+from ..metal.runtime import Report, ReportSink
+from .cache import (
+    CacheStats,
+    ResultCache,
+    checker_fingerprint,
+    engine_fingerprint,
+    metal_fingerprint,
+    result_from_payload,
+    result_to_payload,
+    sink_from_payload,
+    sink_to_payload,
+)
+from .engine import check_unit
+from .resilience import Budget, Quarantine
+
+
+def resolve_jobs(value) -> int:
+    """``N`` | ``"auto"`` | ``None`` → a concrete worker count (≥ 1)."""
+    if value is None:
+        return 1
+    if isinstance(value, int):
+        return max(1, value)
+    text = str(value).strip().lower()
+    if text in ("", "1"):
+        return 1
+    if text == "auto":
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-linux
+            return max(1, os.cpu_count() or 1)
+    return max(1, int(text))
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One (checker, unit-set) unit of schedulable work."""
+
+    kind: str                 # "checker" (registered) | "metal" (textual)
+    checker: str              # registered checker name; "" for metal
+    paths: tuple              # one unit, or every unit for global items
+    weight: int               # source bytes — schedule largest first
+    index: int                # deterministic merge position
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs, shipped once at pool start."""
+
+    spec_text: Optional[str] = None
+    spec_name: str = "<spec>"
+    keep_going: bool = False
+    #: Absolute ``time.time()`` deadline shared by the whole run.
+    deadline: Optional[float] = None
+    #: Per-item step/path caps (metal items; run-wide when serial).
+    budget_steps: Optional[int] = None
+    budget_paths: Optional[int] = None
+    metal_text: Optional[str] = None
+    metal_name: str = "<metal>"
+
+
+# -- worker side -------------------------------------------------------------
+
+_CONFIG: Optional[WorkerConfig] = None
+_SPEC_MEMO: dict[str, object] = {}
+_SM_MEMO: dict[str, object] = {}
+
+
+def _init_worker(config: WorkerConfig) -> None:
+    global _CONFIG
+    _CONFIG = config
+
+
+def _spec_info(config: WorkerConfig):
+    if not config.spec_text:
+        return None
+    info = _SPEC_MEMO.get(config.spec_text)
+    if info is None:
+        from ..flash.spec import parse_spec
+        info = parse_spec(config.spec_text, config.spec_name)
+        _SPEC_MEMO[config.spec_text] = info
+    return info
+
+
+def _metal_machine(config: WorkerConfig):
+    sm = _SM_MEMO.get(config.metal_text)
+    if sm is None:
+        from ..metal.parser import parse_metal
+        sm = parse_metal(config.metal_text, filename=config.metal_name)
+        _SM_MEMO[config.metal_text] = sm
+    return sm
+
+
+def _past_deadline(config: WorkerConfig) -> bool:
+    return config.deadline is not None and time.time() >= config.deadline
+
+
+def _run_checker_item(item: WorkItem, config: WorkerConfig) -> dict:
+    from ..checkers.base import CheckerResult, get_checker
+    from ..project import Program
+
+    name = item.checker
+    if _past_deadline(config):
+        result = CheckerResult(checker=name, degraded=True)
+        result.degradation_notes.append(
+            f"[{name}] {', '.join(item.paths)}: not analysed — "
+            "run deadline exceeded")
+        return result_to_payload(result)
+    # Input errors (unreadable file, parse error) propagate even under
+    # keep_going, exactly as the serial driver treats them: keep-going
+    # covers crashing *checkers*, not broken *inputs*.
+    files = {p: Path(p).read_text() for p in item.paths}
+    program = Program(files, info=_spec_info(config), unit_memo=True)
+    checker = get_checker(name)
+    try:
+        result = checker.check(program)
+    except Exception as exc:
+        if not config.keep_going:
+            raise
+        result = CheckerResult(checker=name, degraded=True)
+        result.quarantines.append(Quarantine(
+            checker=name, function="*", phase="checker",
+            error_type=type(exc).__name__, message=str(exc),
+        ))
+    return result_to_payload(result)
+
+
+def _item_budget(config: WorkerConfig) -> Optional[Budget]:
+    remaining = None
+    if config.deadline is not None:
+        remaining = max(0.001, config.deadline - time.time())
+    if (config.budget_steps is None and config.budget_paths is None
+            and remaining is None):
+        return None
+    return Budget(max_steps=config.budget_steps,
+                  max_paths=config.budget_paths,
+                  max_seconds=remaining)
+
+
+def _run_metal_item(item: WorkItem, config: WorkerConfig,
+                    shared_budget: Optional[Budget] = None) -> dict:
+    path = item.paths[0]
+    if _past_deadline(config):
+        sink = ReportSink()
+        sink.degraded = True
+        sink.degradation_notes.append(
+            f"[{config.metal_name}] {path}: not analysed — "
+            "run deadline exceeded")
+        return sink_to_payload(sink)
+    sm = _metal_machine(config)
+    unit, _sema = parse_annotated(path, Path(path).read_text())
+    budget = shared_budget if shared_budget is not None else _item_budget(config)
+    sink = ReportSink()
+    check_unit(sm, unit, sink, budget=budget, keep_going=config.keep_going)
+    return sink_to_payload(sink)
+
+
+def _execute_item(item: WorkItem, config: WorkerConfig,
+                  shared_budget: Optional[Budget] = None) -> dict:
+    if item.kind == "metal":
+        return _run_metal_item(item, config, shared_budget)
+    return _run_checker_item(item, config)
+
+
+def _worker_run(item: WorkItem) -> dict:
+    return _execute_item(item, _CONFIG)
+
+
+# -- parent side -------------------------------------------------------------
+
+def _mp_context():
+    import multiprocessing as mp
+    try:
+        return mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-posix platforms
+        return mp.get_context("spawn")
+
+
+def _shared_serial_budget(config: WorkerConfig) -> Optional[Budget]:
+    """Serial runs keep PR 1's semantics: one Budget across every item."""
+    seconds = None
+    if config.deadline is not None:
+        seconds = max(0.001, config.deadline - time.time())
+    if (config.budget_steps is None and config.budget_paths is None
+            and seconds is None):
+        return None
+    return Budget(max_steps=config.budget_steps,
+                  max_paths=config.budget_paths,
+                  max_seconds=seconds)
+
+
+def _run_items(items: list, config: WorkerConfig, jobs: int,
+               cache: Optional[ResultCache], keys: dict) -> tuple[dict, Optional[Budget]]:
+    """Execute items (cache first, then pool or inline).
+
+    Returns ``(payloads by item index, shared serial budget or None)``.
+    """
+    payloads: dict[int, dict] = {}
+    pending: list[WorkItem] = []
+    for item in items:
+        key = keys.get(item.index)
+        hit = cache.get(key) if (cache is not None and key is not None) else None
+        if hit is not None:
+            payloads[item.index] = hit
+        else:
+            pending.append(item)
+
+    def store(item: WorkItem, payload: dict) -> None:
+        key = keys.get(item.index)
+        if cache is not None and key is not None:
+            cache.put(key, payload)
+
+    shared_budget: Optional[Budget] = None
+    if not pending:
+        return payloads, shared_budget
+    # Largest units first: the long poles start immediately, the small
+    # ones backfill, and the pool drains with minimal tail latency.
+    pending.sort(key=lambda it: (-it.weight, it.index))
+    if jobs <= 1 or len(pending) == 1:
+        _init_worker(config)
+        shared_budget = _shared_serial_budget(config)
+        for item in pending:
+            payload = _execute_item(item, config, shared_budget)
+            payloads[item.index] = payload
+            store(item, payload)
+        return payloads, shared_budget
+    try:
+        executor = ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)),
+            mp_context=_mp_context(),
+            initializer=_init_worker, initargs=(config,),
+        )
+    except Exception:
+        # No usable multiprocessing here (restricted sandbox, missing
+        # semaphores): degrade to in-process execution, results intact.
+        _init_worker(config)
+        shared_budget = _shared_serial_budget(config)
+        for item in pending:
+            payload = _execute_item(item, config, shared_budget)
+            payloads[item.index] = payload
+            store(item, payload)
+        return payloads, shared_budget
+    with executor:
+        futures = {executor.submit(_worker_run, item): item for item in pending}
+        for future in as_completed(futures):
+            item = futures[future]
+            try:
+                payload = future.result()
+            except Exception:
+                executor.shutdown(wait=False, cancel_futures=True)
+                raise
+            payloads[item.index] = payload
+            store(item, payload)
+    return payloads, shared_budget
+
+
+def _report_sort_key(report: Report) -> tuple:
+    loc = report.location
+    return (loc.filename, loc.line, loc.column, report.checker,
+            report.message, report.function)
+
+
+def merge_parts(checker: str, parts: list):
+    """Merge per-unit :class:`CheckerResult` parts into one, deterministically.
+
+    Reports are de-duplicated on (checker, message, location) — the same
+    identity :class:`ReportSink` uses — and sorted by
+    ``(file, line, column, checker)``, so the merge of any partition of
+    the work equals the serial result.
+    """
+    from ..checkers.base import CheckerResult
+
+    merged = CheckerResult(checker=checker)
+    seen_reports: set[tuple] = set()
+    seen_quarantines: set[tuple] = set()
+    for part in parts:
+        for report in part.reports:
+            key = (report.checker, report.message, report.location)
+            if key in seen_reports:
+                continue
+            seen_reports.add(key)
+            merged.reports.append(report)
+        merged.applied += part.applied
+        merged.annotations.extend(part.annotations)
+        for name, value in part.extra.items():
+            if (isinstance(value, (int, float))
+                    and isinstance(merged.extra.get(name), (int, float))):
+                merged.extra[name] += value
+            elif name not in merged.extra:
+                merged.extra[name] = value
+        for quarantine in part.quarantines:
+            key = (quarantine.checker, quarantine.function)
+            if key in seen_quarantines:
+                continue
+            seen_quarantines.add(key)
+            merged.quarantines.append(quarantine)
+        merged.degraded = merged.degraded or part.degraded
+        merged.degradation_notes.extend(part.degradation_notes)
+    merged.reports.sort(key=_report_sort_key)
+    merged.annotations.sort(key=lambda l: (l.filename, l.line, l.column))
+    return merged
+
+
+@dataclass
+class CheckRun:
+    """A full checker-fleet run: merged results plus run metadata."""
+
+    results: dict                      # checker name -> CheckerResult
+    jobs: int = 1
+    stats: Optional[CacheStats] = None
+
+    def summary_line(self) -> str:
+        line = f"run: jobs={self.jobs}"
+        if self.stats is not None:
+            line += f", {self.stats.line()}, {self.stats.stores} stored"
+        return line
+
+
+def check_files(paths: list, *, names: Optional[list] = None,
+                spec_path: Optional[str] = None,
+                jobs: int = 1, cache: Optional[ResultCache] = None,
+                keep_going: bool = False,
+                deadline: Optional[float] = None) -> CheckRun:
+    """Run the registered checker fleet over source files, in parallel.
+
+    The parallel analog of :func:`repro.checkers.base.run_all`: same
+    results dict (one merged :class:`CheckerResult` per checker, in
+    registration order), computed as (checker, unit) work items over a
+    worker pool, short-circuited by ``cache`` where content allows.
+    """
+    from ..checkers.base import checker_names, get_checker
+
+    ordered_paths = list(dict.fromkeys(paths))
+    sources = {p: Path(p).read_text() for p in ordered_paths}
+    spec_text = Path(spec_path).read_text() if spec_path else None
+    selected = list(names) if names is not None else checker_names()
+
+    config = WorkerConfig(
+        spec_text=spec_text,
+        spec_name=spec_path or "<spec>",
+        keep_going=keep_going,
+        deadline=deadline,
+    )
+
+    items: list[WorkItem] = []
+    parts_of: dict[str, list[int]] = {}
+    for name in selected:
+        checker = get_checker(name)
+        parts_of[name] = []
+        if checker.unit_parallel:
+            for path in ordered_paths:
+                items.append(WorkItem(
+                    kind="checker", checker=name, paths=(path,),
+                    weight=len(sources[path]), index=len(items)))
+                parts_of[name].append(items[-1].index)
+        else:
+            items.append(WorkItem(
+                kind="checker", checker=name, paths=tuple(ordered_paths),
+                weight=sum(len(t) for t in sources.values()),
+                index=len(items)))
+            parts_of[name].append(items[-1].index)
+
+    keys: dict[int, str] = {}
+    if cache is not None:
+        engine_fp = engine_fingerprint()
+        digests = {p: source_fingerprint(t) for p, t in sources.items()}
+        spec_fp = source_fingerprint(spec_text) if spec_text else ""
+        for item in items:
+            checker_fp = checker_fingerprint(item.checker)
+            if checker_fp is None:
+                continue  # checker without locatable source: uncacheable
+            keys[item.index] = cache.key_for(
+                checker_fp=checker_fp,
+                units=[(p, digests[p]) for p in item.paths],
+                spec_fp=spec_fp, engine_fp=engine_fp,
+            )
+
+    payloads, _ = _run_items(items, config, jobs, cache, keys)
+
+    results = {}
+    for name in selected:
+        parts = [result_from_payload(payloads[i]) for i in parts_of[name]]
+        results[name] = merge_parts(name, parts)
+    return CheckRun(results=results, jobs=jobs,
+                    stats=cache.stats if cache is not None else None)
+
+
+@dataclass
+class MetalRun:
+    """A textual-metal run over many files."""
+
+    sm_name: str
+    sinks: list                        # [(path, ReportSink)] in input order
+    jobs: int = 1
+    stats: Optional[CacheStats] = None
+    #: The shared serial budget, when one was used (its ``note()``
+    #: explains a DEGRADED footer the way PR 1's CLI did).
+    budget: Optional[Budget] = None
+
+    def summary_line(self) -> str:
+        line = f"run: jobs={self.jobs}"
+        if self.stats is not None:
+            line += f", {self.stats.line()}, {self.stats.stores} stored"
+        return line
+
+
+def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
+                cache: Optional[ResultCache] = None,
+                keep_going: bool = False,
+                budget_steps: Optional[int] = None,
+                budget_paths: Optional[int] = None,
+                budget_seconds: Optional[float] = None) -> MetalRun:
+    """Run one textual metal checker over files as parallel work items.
+
+    Step/path budgets apply per work item when ``jobs > 1`` (each worker
+    explores independently) but stay shared across every file when
+    serial, preserving the original semantics; the wall-clock budget is
+    a single run-wide deadline either way.  Budgeted runs bypass the
+    cache: their results depend on the limits, not just on content.
+    """
+    from ..metal.parser import parse_metal
+
+    metal_text = Path(metal_path).read_text()
+    sm = parse_metal(metal_text, filename=metal_path)  # validate up front
+
+    budgeted = (budget_steps is not None or budget_paths is not None
+                or budget_seconds is not None)
+    if budgeted:
+        cache = None
+    deadline = (time.time() + budget_seconds
+                if budget_seconds is not None else None)
+
+    config = WorkerConfig(
+        keep_going=keep_going, deadline=deadline,
+        budget_steps=budget_steps, budget_paths=budget_paths,
+        metal_text=metal_text, metal_name=metal_path,
+    )
+
+    ordered_paths = list(dict.fromkeys(paths))
+    sources = {p: Path(p).read_text() for p in ordered_paths}
+    items = [
+        WorkItem(kind="metal", checker="", paths=(path,),
+                 weight=len(sources[path]), index=i)
+        for i, path in enumerate(ordered_paths)
+    ]
+
+    keys: dict[int, str] = {}
+    if cache is not None:
+        engine_fp = engine_fingerprint()
+        metal_fp = metal_fingerprint(metal_text)
+        for item in items:
+            keys[item.index] = cache.key_for(
+                checker_fp=metal_fp,
+                units=[(item.paths[0], source_fingerprint(sources[item.paths[0]]))],
+                engine_fp=engine_fp,
+            )
+
+    payloads, shared_budget = _run_items(items, config, jobs, cache, keys)
+    sinks = [(path, sink_from_payload(payloads[i]))
+             for i, path in enumerate(ordered_paths)]
+    return MetalRun(sm_name=sm.name, sinks=sinks, jobs=jobs,
+                    stats=cache.stats if cache is not None else None,
+                    budget=shared_budget)

@@ -19,14 +19,20 @@ __all__ = [
 
 
 def format_reports(reports, heading: str = "") -> str:
-    """Render reports sorted by file, line, then checker."""
+    """Render reports sorted by (file, line, column, checker).
+
+    A *total* deterministic order — column and message break line-level
+    ties — so parallel runs (``--jobs 4``) print byte-identically to
+    serial ones no matter how the work was partitioned.
+    """
     lines: list[str] = []
     if heading:
         lines.append(heading)
         lines.append("-" * len(heading))
     ordered = sorted(
         reports,
-        key=lambda r: (r.location.filename, r.location.line, r.checker, r.message),
+        key=lambda r: (r.location.filename, r.location.line,
+                       r.location.column, r.checker, r.message),
     )
     for report in ordered:
         lines.append(str(report))

@@ -17,7 +17,7 @@ from typing import Iterable, Optional
 
 from .cfg import CallGraph, Cfg, build_cfg
 from .flash.headers import FLASH_INCLUDES, FLASH_INCLUDES_NAME
-from .lang import annotate, ast, parse
+from .lang import annotate, ast, parse, parse_annotated
 from .flash.machine import LANE_COUNT
 
 
@@ -96,12 +96,13 @@ class Program:
     """
 
     def __init__(self, files: dict[str, str], info: Optional[ProtocolInfo] = None,
-                 include_flash_header: bool = True):
+                 include_flash_header: bool = True, unit_memo: bool = False):
         self.info = info if info is not None else ProtocolInfo()
         self.sources: dict[str, str] = dict(files)
         self.units: dict[str, ast.TranslationUnit] = {}
         self._cfgs: dict[str, Cfg] = {}
         self._callgraph: Optional[CallGraph] = None
+        self._unit_memo = unit_memo
         prelude = None
         typedefs: set[str] = set()
         if include_flash_header:
@@ -109,8 +110,18 @@ class Program:
             typedefs = set(header_typedefs)
         self.sema: dict[str, "object"] = {}
         for filename, text in files.items():
-            unit = parse(text, filename, typedefs=set(typedefs))
-            self.sema[filename] = annotate(unit, prelude=prelude)
+            if unit_memo:
+                # Content-hash memo: many Programs in one process (one
+                # per (checker, unit) work item) share a parse.  Callers
+                # must treat memoized ASTs as read-only.
+                unit, sema = parse_annotated(
+                    filename, text, typedefs=typedefs, prelude=prelude,
+                    prelude_key=FLASH_INCLUDES_NAME if prelude is not None else "",
+                )
+            else:
+                unit = parse(text, filename, typedefs=set(typedefs))
+                sema = annotate(unit, prelude=prelude)
+            self.sema[filename] = sema
             self.units[filename] = unit
 
     # -- access -------------------------------------------------------------
@@ -132,7 +143,17 @@ class Program:
         cached = self._cfgs.get(function.name)
         if cached is not None and cached.function is function:
             return cached
-        cfg = build_cfg(function)
+        if self._unit_memo:
+            # Memoized units share function ASTs across Programs (one
+            # per (checker, unit) work item); pinning the CFG on the
+            # node builds it once per process and can never go stale —
+            # an edited file re-parses into fresh nodes.
+            cfg = getattr(function, "_memo_cfg", None)
+            if cfg is None:
+                cfg = build_cfg(function)
+                function._memo_cfg = cfg
+        else:
+            cfg = build_cfg(function)
         self._cfgs[function.name] = cfg
         return cfg
 
