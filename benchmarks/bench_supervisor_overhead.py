@@ -1,0 +1,112 @@
+"""Supervision overhead: the supervised pool priced against itself.
+
+The supervisor (``repro.mc.supervisor``) adds machinery to every
+parallel run — per-item dispatch over private pipes, watchdog polling,
+and a fsynced journal append per completed item.  This benchmark
+measures what that costs on the *fault-free* path, where the
+machinery must be pure overhead: one protocol's sweep at ``jobs=2``
+with no supervision extras versus the same sweep with the extras on
+(run journal + an armed per-item watchdog).
+
+The acceptance budget is **<= 5% added wall time** (with slack for
+timer noise on small runs, asserted against the min-of-N timing).
+Results land in ``BENCH_supervisor_overhead.json``.
+
+Also runnable standalone:
+``python benchmarks/bench_supervisor_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.flash.codegen import generate_protocol
+from repro.lang import clear_memo
+from repro.mc import RunJournal, SupervisorPolicy, check_files
+
+PROTOCOL = "bitvector"
+JOBS = 2
+REPEATS = 3
+OUTPUT = "BENCH_supervisor_overhead.json"
+#: Allowed overhead of journal + watchdog on the fault-free path.
+BUDGET = 0.05
+#: Timer-noise floor: on sub-second sweeps a 5% band is smaller than
+#: scheduler jitter, so the assertion uses max(5%, this many seconds).
+NOISE_FLOOR_SECONDS = 0.25
+
+
+def _materialize(workdir: Path) -> list[str]:
+    gp = generate_protocol(PROTOCOL)
+    pdir = workdir / PROTOCOL
+    pdir.mkdir(parents=True)
+    for filename, text in gp.files.items():
+        (pdir / filename).write_text(text)
+    return sorted(str(pdir / f) for f in gp.files)
+
+
+def _timed(paths: list[str], *, journal_root: Path | None,
+           item_timeout: float | None) -> float:
+    """One sweep's wall time (min over REPEATS, cache disabled)."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        clear_memo()
+        journal = (RunJournal.create(journal_root)
+                   if journal_root is not None else None)
+        policy = (SupervisorPolicy(item_timeout=item_timeout)
+                  if item_timeout is not None else None)
+        start = time.perf_counter()
+        run = check_files(paths, jobs=JOBS, keep_going=True,
+                          journal=journal, policy=policy)
+        best = min(best, time.perf_counter() - start)
+        if journal is not None:
+            journal.close()
+        assert run.results, "no checker results"
+        assert not run.interrupted
+    return best
+
+
+def run_benchmark(output: str = OUTPUT) -> dict:
+    workdir = Path(tempfile.mkdtemp(prefix="bench-supervisor-"))
+    try:
+        paths = _materialize(workdir)
+        plain = _timed(paths, journal_root=None, item_timeout=None)
+        supervised = _timed(paths, journal_root=workdir / "runs",
+                            item_timeout=600.0)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    overhead = supervised - plain
+    results = {
+        "benchmark": "supervisor_overhead",
+        "protocol": PROTOCOL,
+        "jobs": JOBS,
+        "repeats": REPEATS,
+        "plain_seconds": round(plain, 4),
+        "supervised_seconds": round(supervised, 4),
+        "overhead_seconds": round(overhead, 4),
+        "overhead_fraction": round(overhead / max(plain, 1e-9), 4),
+        "budget_fraction": BUDGET,
+        "noise_floor_seconds": NOISE_FLOOR_SECONDS,
+    }
+    Path(output).write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_supervisor_overhead(show):
+    results = run_benchmark()
+    show(json.dumps(results, indent=2))
+    allowed = max(results["plain_seconds"] * BUDGET, NOISE_FLOOR_SECONDS)
+    assert results["overhead_seconds"] <= allowed, (
+        "journal + watchdog must cost <= 5% of the plain parallel run "
+        f"(or the {NOISE_FLOOR_SECONDS}s noise floor): "
+        f"{results['overhead_seconds']}s over {results['plain_seconds']}s")
+
+
+if __name__ == "__main__":
+    out = run_benchmark()
+    print(json.dumps(out, indent=2))

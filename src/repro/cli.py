@@ -26,7 +26,10 @@ Subcommands:
 
 Exit codes (``check``, ``metal``, ``simulate``): **0** clean, **1**
 bugs/diagnostics found, **2** internal error or quarantined checker —
-so CI can tell "the protocol is buggy" from "the tool is".
+so CI can tell "the protocol is buggy" from "the tool is" — and
+**130** when a run is interrupted (SIGINT/SIGTERM): the partial report
+is flushed, and the printed ``run: id=...`` can be fed back as
+``--resume RUN-ID`` to finish the run without redoing completed work.
 """
 
 from __future__ import annotations
@@ -43,19 +46,26 @@ from .errors import ReproError
 from .lang import annotate, parse
 from .mc import (
     ResultCache,
+    RunJournal,
+    StopFlag,
+    SupervisorPolicy,
     check_files,
     default_cache_dir,
+    default_runs_dir,
     format_quarantines,
     format_reports,
+    graceful_shutdown,
     metal_files,
     resolve_jobs,
 )
-from .project import Program
+from .project import Program, read_sources
 
-#: Exit statuses: clean / bugs found / the tool itself misbehaved.
+#: Exit statuses: clean / bugs found / the tool itself misbehaved /
+#: interrupted by SIGINT/SIGTERM (128 + SIGINT, the shell convention).
 EXIT_CLEAN = 0
 EXIT_BUGS = 1
 EXIT_INTERNAL = 2
+EXIT_INTERRUPTED = 130
 
 
 def _load_program(paths: list[str], spec_path: str | None = None) -> Program:
@@ -63,10 +73,7 @@ def _load_program(paths: list[str], spec_path: str | None = None) -> Program:
     if spec_path is not None:
         from .flash.spec import parse_spec
         info = parse_spec(Path(spec_path).read_text(), spec_path)
-    files = {}
-    for path in paths:
-        files[path] = Path(path).read_text()
-    return Program(files, info=info)
+    return Program(read_sources(paths), info=info)
 
 
 def _cache_from_args(args, budgeted: bool):
@@ -83,6 +90,48 @@ def _cache_from_args(args, budgeted: bool):
     return ResultCache(Path(cache_dir) if cache_dir else default_cache_dir())
 
 
+def _policy_from_args(args, stop_flag: StopFlag) -> SupervisorPolicy:
+    """Supervision policy for check/metal from their shared flags."""
+    fault_plan = None
+    plan_path = getattr(args, "fault_plan", None)
+    if plan_path:
+        from .faults import load_fault_plan
+        fault_plan = load_fault_plan(plan_path)
+    policy = SupervisorPolicy(stop_flag=stop_flag, fault_plan=fault_plan)
+    item_timeout = getattr(args, "item_timeout", None)
+    if item_timeout is not None:
+        policy.item_timeout = item_timeout
+    max_retries = getattr(args, "max_retries", None)
+    if max_retries is not None:
+        policy.max_retries = max_retries
+    return policy
+
+
+def _journal_from_args(args):
+    """The run's journal: resumed from ``--resume``, else freshly
+    created under ``<cache-dir>/runs``.  ``None`` (the run is simply
+    not resumable) when the directory is unwritable or ``--no-cache``
+    asked for no disk writes; an explicit ``--resume`` always wins."""
+    runs_dir = default_runs_dir(getattr(args, "cache_dir", None))
+    resume = getattr(args, "resume", None)
+    if resume:
+        return RunJournal.resume(runs_dir, resume)
+    no_cache = getattr(args, "no_cache", False) or bool(
+        os.environ.get("MC_CHECK_NO_CACHE"))
+    if no_cache:
+        return None
+    return RunJournal.create(runs_dir)
+
+
+def _interrupted(run, journal) -> int:
+    """Footer + exit status for a gracefully interrupted run."""
+    reason = run.supervision.stop_reason if run.supervision else ""
+    print(f"INTERRUPTED: {reason or 'stop requested'} — partial results above")
+    if journal is not None and not journal.disabled:
+        print(f"resume with: --resume {journal.run_id}")
+    return EXIT_INTERRUPTED
+
+
 def cmd_check(args) -> int:
     names = args.checker or None
     keep_going = getattr(args, "keep_going", False)
@@ -91,10 +140,21 @@ def cmd_check(args) -> int:
     cache = _cache_from_args(args, budgeted=budget_seconds is not None)
     deadline = (time.time() + budget_seconds
                 if budget_seconds is not None else None)
-    run = check_files(
-        args.files, names=names, spec_path=getattr(args, "spec", None),
-        jobs=jobs, cache=cache, keep_going=keep_going, deadline=deadline,
-    )
+    stop_flag = StopFlag()
+    policy = _policy_from_args(args, stop_flag)
+    journal = _journal_from_args(args)
+    if journal is not None:
+        print(f"run: id={journal.run_id}", flush=True)
+    try:
+        with graceful_shutdown(stop_flag):
+            run = check_files(
+                args.files, names=names, spec_path=getattr(args, "spec", None),
+                jobs=jobs, cache=cache, keep_going=keep_going,
+                deadline=deadline, journal=journal, policy=policy,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
     failures = 0
     quarantines = []
     degraded = False
@@ -118,6 +178,8 @@ def cmd_check(args) -> int:
     if failures == 0 and not quarantines:
         print("no errors found")
     print(run.summary_line())
+    if run.interrupted:
+        return _interrupted(run, journal)
     if quarantines:
         return EXIT_INTERNAL
     return EXIT_BUGS if failures else EXIT_CLEAN
@@ -132,11 +194,22 @@ def cmd_metal(args) -> int:
     budgeted = (budget_steps is not None or budget_paths is not None
                 or budget_seconds is not None)
     cache = _cache_from_args(args, budgeted=budgeted)
-    run = metal_files(
-        args.checker, args.files, jobs=jobs, cache=cache,
-        keep_going=keep_going, budget_steps=budget_steps,
-        budget_paths=budget_paths, budget_seconds=budget_seconds,
-    )
+    stop_flag = StopFlag()
+    policy = _policy_from_args(args, stop_flag)
+    journal = _journal_from_args(args)
+    if journal is not None:
+        print(f"run: id={journal.run_id}", flush=True)
+    try:
+        with graceful_shutdown(stop_flag):
+            run = metal_files(
+                args.checker, args.files, jobs=jobs, cache=cache,
+                keep_going=keep_going, budget_steps=budget_steps,
+                budget_paths=budget_paths, budget_seconds=budget_seconds,
+                journal=journal, policy=policy,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
     total = 0
     quarantined = 0
     degraded = False
@@ -154,6 +227,8 @@ def cmd_metal(args) -> int:
         print("DEGRADED: results are partial"
               + (f" ({budget.note()})" if budget and budget.exhausted else ""))
     print(run.summary_line())
+    if run.interrupted:
+        return _interrupted(run, journal)
     if quarantined:
         return EXIT_INTERNAL
     return EXIT_BUGS if total else EXIT_CLEAN
@@ -303,6 +378,26 @@ def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         default=bool(os.environ.get("MC_CHECK_NO_CACHE")),
                         help="disable the content-hash result cache")
+    parser.add_argument("--item-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="watchdog: kill and retry any single work item "
+                             "running longer than this (default: no per-item "
+                             "timeout; hung workers wait forever)")
+    parser.add_argument("--max-retries", type=int, default=None, metavar="N",
+                        help="re-dispatch an item whose worker crashed or "
+                             "hung up to N times before quarantining it "
+                             "(default: 2)")
+    parser.add_argument("--resume", default=None, metavar="RUN-ID",
+                        help="replay completed items from an interrupted "
+                             "run's journal (the id printed as 'run: id=...' "
+                             "and by the exit-130 footer) and run only the "
+                             "remainder; the merged report is identical to "
+                             "an uninterrupted run")
+    parser.add_argument("--fault-plan", default=None, metavar="PLAN.json",
+                        help="inject worker_crash/worker_hang/worker_slow "
+                             "faults into the fleet's own workers from a "
+                             "JSON fault plan (supervision testing; see "
+                             "docs/resilience.md)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -310,6 +405,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="mc-check",
         description="Meta-level compilation checkers for FLASH protocol "
                     "code (ASPLOS 2000 reproduction)",
+        epilog="exit codes: 0 clean; 1 bugs/diagnostics found; 2 internal "
+               "error or quarantined checker; 130 run interrupted by "
+               "SIGINT/SIGTERM (partial report flushed; finish it with "
+               "--resume RUN-ID)",
     )
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -407,6 +506,11 @@ def main(argv=None) -> int:
         except Exception:
             pass
         return 0
+    except KeyboardInterrupt:
+        # A second SIGINT/SIGTERM during the graceful drain: abort hard,
+        # but still with the conventional interrupted status.
+        print("mc-check: aborted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except ReproError as exc:
         # The tool (or its input plumbing) failed — distinct from "the
         # checked protocol has bugs" (exit 1).

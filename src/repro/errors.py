@@ -123,5 +123,27 @@ class FaultPlanError(ReproError):
     """A fault plan is malformed (unknown site, bad trigger, bad JSON)."""
 
 
+class SourceReadError(ReproError):
+    """A translation unit named on the command line cannot be read.
+
+    Carries the failing ``path`` so callers can turn the failure into a
+    per-item diagnostic instead of a stack trace (a file deleted between
+    work-item dispatch and worker execution must not kill the worker).
+    """
+
+    def __init__(self, message: str, path: str = ""):
+        super().__init__(message)
+        self.path = path
+
+
+class WorkerFailure(ReproError):
+    """A fleet worker reported an unexpected exception for a work item.
+
+    Deterministic failures (parse errors, checker crashes without
+    ``--keep-going``) are not retried — retrying would only reproduce
+    them — so the supervisor re-raises them in the parent as this type.
+    """
+
+
 class BudgetExhausted(EngineError):
     """An analysis budget (steps, paths, or wall time) ran out."""

@@ -1,16 +1,31 @@
-"""Deterministic fault injection for the FlashLite-lite simulator.
+"""Deterministic fault injection for the FlashLite-lite simulator and
+the checker fleet.
 
 The paper's checkers target failure paths that testing rarely reaches;
 this package forces those paths on demand.  Declare *what* to break in
-a :class:`FaultPlan` (pure data, JSON-loadable), and the simulator's
-:class:`FaultInjector` makes it happen deterministically: same plan,
-same seed, same run.
+a :class:`FaultPlan` (pure data, JSON-loadable), and the right injector
+makes it happen deterministically: same plan, same seed, same run.
+Simulator sites (:data:`SIM_SITES`) perturb the protocol under test via
+:class:`FaultInjector`; worker sites (:data:`WORKER_SITES`) perturb the
+analysis fleet's own processes via :class:`WorkerFaultInjector`, so the
+supervision layer is tested by the same machinery.
 """
 
 from .injector import FaultInjector
-from .plan import SITES, FaultEvent, FaultPlan, FaultRule, load_fault_plan
+from .plan import (
+    SIM_SITES,
+    SITES,
+    WORKER_SITES,
+    FaultEvent,
+    FaultPlan,
+    FaultRule,
+    load_fault_plan,
+)
+from .worker import CRASH_EXIT_CODE, WorkerFaultInjector
 
 __all__ = [
-    "SITES", "FaultEvent", "FaultPlan", "FaultRule", "FaultInjector",
+    "SIM_SITES", "SITES", "WORKER_SITES",
+    "FaultEvent", "FaultPlan", "FaultRule",
+    "FaultInjector", "WorkerFaultInjector", "CRASH_EXIT_CODE",
     "load_fault_plan",
 ]

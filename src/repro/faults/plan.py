@@ -32,7 +32,7 @@ from typing import Optional
 from ..errors import FaultPlanError
 
 #: Every site the simulator exposes for injection.
-SITES = frozenset({
+SIM_SITES = frozenset({
     "hw_alloc_fail",   # BufferPool.hw_allocate: arriving message finds no buffer
     "alloc_fail",      # BufferPool.allocate: DB_ALLOC returns the error value
     "lane_overflow",   # OutputQueues.send: backpressure — the lane has no slot
@@ -40,6 +40,21 @@ SITES = frozenset({
     "msg_dup",         # OutputQueues.send: message is duplicated in its lane
     "handler_crash",   # Interpreter tick: the running handler dies mid-path
 })
+
+#: Sites injected into the *checker fleet's* worker processes (see
+#: :mod:`repro.faults.worker`), so the supervisor's crash/hang/retry
+#: machinery is exercised by the same declarative plans as the
+#: simulator.  For these sites ``after``/``every``/``count`` select
+#: work-item *dispatch indexes* (an arithmetic progression) rather than
+#: runtime event counts, ``handler`` narrows by checker name, and
+#: ``attempts``/``seconds`` shape the fault itself.
+WORKER_SITES = frozenset({
+    "worker_crash",    # the worker process dies (os._exit) mid-item
+    "worker_hang",     # the worker stops responding (sleeps past any timeout)
+    "worker_slow",     # the worker stalls for `seconds` before proceeding
+})
+
+SITES = SIM_SITES | WORKER_SITES
 
 
 @dataclass(frozen=True)
@@ -56,6 +71,14 @@ class FaultRule:
     every: int = 1
     count: Optional[int] = None
     probability: Optional[float] = None
+    #: Worker sites only: fire on the first N attempts of a selected
+    #: item.  The default (1) crashes an item once and lets the
+    #: supervisor's retry succeed; a value above the retry limit forces
+    #: the item into quarantine.
+    attempts: int = 1
+    #: Worker sites only: how long ``worker_slow``/``worker_hang``
+    #: stalls (defaults: a short stall / longer than any sane timeout).
+    seconds: Optional[float] = None
 
     def __post_init__(self):
         if self.site not in SITES:
@@ -79,6 +102,10 @@ class FaultRule:
             raise FaultPlanError(
                 f"probability must be in (0, 1], got {self.probability}"
             )
+        if self.attempts < 1:
+            raise FaultPlanError(f"attempts must be >= 1, got {self.attempts}")
+        if self.seconds is not None and self.seconds < 0:
+            raise FaultPlanError(f"seconds must be >= 0, got {self.seconds}")
 
 
 @dataclass(frozen=True)

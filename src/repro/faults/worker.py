@@ -1,0 +1,99 @@
+"""Worker-level fault injection for the supervised checker fleet.
+
+The simulator's :class:`~repro.faults.injector.FaultInjector` perturbs
+the *system under test*; this module perturbs the *analysis
+infrastructure itself* — the fleet's worker processes — so the
+supervisor (:mod:`repro.mc.supervisor`) can be exercised by the same
+declarative, seeded :class:`~repro.faults.plan.FaultPlan` machinery:
+
+- ``worker_crash``: the worker process exits hard (``os._exit``), the
+  way an OOM kill or a segfaulting native extension would take it down;
+- ``worker_hang``: the worker stops responding, exercising per-item
+  timeouts and hung-worker kill/respawn;
+- ``worker_slow``: the worker stalls briefly, exercising scheduling
+  and backoff without losing the item.
+
+Unlike the simulator's injector, which counts runtime events, decisions
+here are a **pure function of (work-item dispatch index, attempt
+number)**: ``after``/``every``/``count`` select item indexes as an
+arithmetic progression, ``attempts`` says how many consecutive attempts
+of a selected item fire, ``handler`` narrows by checker name, and
+``probability`` is a per-(rule, item, attempt) seeded coin.  That keeps
+a plan's behaviour identical no matter how many workers exist or how
+the scheduler interleaves items across them — the property every
+retry-then-identical-report test in ``tests/test_supervisor.py`` leans
+on.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from random import Random
+from typing import Optional
+
+from .plan import FaultPlan, FaultRule, WORKER_SITES
+
+#: Exit status a worker dies with under ``worker_crash`` — distinctive
+#: enough to spot in process listings and supervisor logs (EX_SOFTWARE).
+CRASH_EXIT_CODE = 70
+
+#: ``worker_hang`` sleeps this long when the rule gives no ``seconds``:
+#: far past any sane ``--item-timeout``, so the hang is always detected
+#: as a hang, never mistaken for slowness.
+HANG_SECONDS = 3600.0
+
+#: Default stall for ``worker_slow``.
+SLOW_SECONDS = 0.2
+
+
+class WorkerFaultInjector:
+    """Evaluates a plan's worker-site rules inside a fleet worker."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rules: list[tuple[int, FaultRule]] = [
+            (index, rule) for index, rule in enumerate(plan.rules)
+            if rule.site in WORKER_SITES
+        ]
+
+    def rule_for(self, item_index: int, attempt: int,
+                 checker: str = "") -> Optional[FaultRule]:
+        """The first rule firing for this (item, attempt), or ``None``."""
+        for rule_index, rule in self.rules:
+            if rule.handler is not None and rule.handler != checker:
+                continue
+            if item_index < rule.after:
+                continue
+            if (item_index - rule.after) % rule.every != 0:
+                continue
+            ordinal = (item_index - rule.after) // rule.every
+            if rule.count is not None and ordinal >= rule.count:
+                continue
+            if attempt >= rule.attempts:
+                continue
+            if rule.probability is not None:
+                coin = Random(
+                    f"{self.plan.seed}:{rule_index}:{item_index}:{attempt}"
+                ).random()
+                if coin >= rule.probability:
+                    continue
+            return rule
+        return None
+
+    def perturb(self, item_index: int, attempt: int,
+                checker: str = "") -> None:
+        """Inject the matching fault, if any, into the calling worker."""
+        rule = self.rule_for(item_index, attempt, checker)
+        if rule is None:
+            return
+        if rule.site == "worker_slow":
+            time.sleep(rule.seconds if rule.seconds is not None
+                       else SLOW_SECONDS)
+        elif rule.site == "worker_hang":
+            time.sleep(rule.seconds if rule.seconds is not None
+                       else HANG_SECONDS)
+        elif rule.site == "worker_crash":
+            # A hard death, not an exception: the supervisor must see a
+            # vanished process, exactly like an OOM kill would leave.
+            os._exit(CRASH_EXIT_CODE)

@@ -10,6 +10,7 @@ from .cache import (
     result_to_payload,
     sink_from_payload,
     sink_to_payload,
+    work_item_key,
 )
 from .engine import check_function, check_unit, run_machine, run_machine_naive
 from .flowcheck import find_unfollowed, find_unguarded, is_call_to, quarantining
@@ -24,12 +25,22 @@ from .parallel import (
     resolve_jobs,
 )
 from .resilience import Budget, Quarantine
+from .supervisor import (
+    RunJournal,
+    RunStats,
+    StopFlag,
+    SupervisorPolicy,
+    default_runs_dir,
+    graceful_shutdown,
+    new_run_id,
+)
 from .transform import RedundantWaitEliminator, TransformResult
 from .report import (
     Report,
     ReportSink,
     format_quarantines,
     format_reports,
+    format_run_stats,
     format_sink,
     summarize_by_severity,
 )
@@ -42,9 +53,12 @@ __all__ = [
     "CacheStats", "ResultCache", "checker_fingerprint", "default_cache_dir",
     "engine_fingerprint", "result_from_payload", "result_to_payload",
     "sink_from_payload", "sink_to_payload",
+    "work_item_key",
     "CheckRun", "MetalRun", "WorkItem", "check_files", "merge_parts",
     "metal_files", "resolve_jobs",
+    "RunJournal", "RunStats", "StopFlag", "SupervisorPolicy",
+    "default_runs_dir", "graceful_shutdown", "new_run_id",
     "RedundantWaitEliminator", "TransformResult",
     "Report", "ReportSink", "format_quarantines", "format_reports",
-    "format_sink", "summarize_by_severity",
+    "format_run_stats", "format_sink", "summarize_by_severity",
 ]

@@ -244,6 +244,24 @@ def payload_cacheable(payload: dict) -> bool:
     return not payload.get("degraded") and not payload.get("quarantines")
 
 
+def work_item_key(*, checker_fp: str, units: list[tuple[str, str]],
+                  spec_fp: str = "", engine_fp: Optional[str] = None) -> str:
+    """Content-hash key for one (checker, unit-set) work item.
+
+    ``units`` is a list of ``(filename, content-hash)`` pairs; global
+    checkers pass every file of the run, unit-parallel checkers pass
+    exactly one.  The run journal keys its records the same way, so a
+    journal entry — like a cache entry — is automatically invalidated
+    by editing a file, changing a checker, or upgrading the engine.
+    """
+    engine = engine_fp if engine_fp is not None else engine_fingerprint()
+    chunks = [engine.encode(), checker_fp.encode(), spec_fp.encode()]
+    for filename, digest in units:
+        chunks.append(filename.encode())
+        chunks.append(digest.encode())
+    return _sha256(*chunks)
+
+
 # -- the on-disk store -------------------------------------------------------
 
 @dataclass
@@ -253,13 +271,22 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Entries that existed on disk but would not parse (truncated by a
+    #: crash or power loss mid-write on a non-atomic filesystem, bit
+    #: rot, manual tampering).  Each one is also a miss — the item is
+    #: recomputed — and the bad file is deleted so it cannot keep
+    #: tripping every future run.
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
 
     def line(self) -> str:
-        return f"cache: {self.hits} hit(s), {self.misses} miss(es)"
+        line = f"cache: {self.hits} hit(s), {self.misses} miss(es)"
+        if self.corrupt:
+            line += f", {self.corrupt} corrupt"
+        return line
 
 
 def default_cache_dir() -> Path:
@@ -287,18 +314,10 @@ class ResultCache:
 
     def key_for(self, *, checker_fp: str, units: list[tuple[str, str]],
                 spec_fp: str = "", engine_fp: Optional[str] = None) -> str:
-        """Cache key for one (checker, unit-set) work item.
-
-        ``units`` is a list of ``(filename, content-hash)`` pairs; global
-        checkers pass every file of the run, unit-parallel checkers pass
-        exactly one.
-        """
-        engine = engine_fp if engine_fp is not None else engine_fingerprint()
-        chunks = [engine.encode(), checker_fp.encode(), spec_fp.encode()]
-        for filename, digest in units:
-            chunks.append(filename.encode())
-            chunks.append(digest.encode())
-        return _sha256(*chunks)
+        """Cache key for one (checker, unit-set) work item
+        (see :func:`work_item_key`)."""
+        return work_item_key(checker_fp=checker_fp, units=units,
+                             spec_fp=spec_fp, engine_fp=engine_fp)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -306,9 +325,24 @@ class ResultCache:
     def get(self, key: str) -> Optional[dict]:
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
             self.stats.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not an object")
+        except ValueError:
+            # The entry exists but won't parse — a half-written file from
+            # a crash on a non-atomic filesystem, or plain corruption.
+            # Treat it as a miss, and delete it so it cannot keep biting.
+            self.stats.misses += 1
+            self.stats.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
         if payload.get("schema") != SCHEMA_VERSION:
             self.stats.misses += 1

@@ -30,11 +30,12 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
+from ..errors import SourceReadError
+from ..faults.plan import FaultPlan
 from ..lang.memo import parse_annotated, source_fingerprint
 from ..metal.runtime import Report, ReportSink
 from .cache import (
@@ -47,9 +48,11 @@ from .cache import (
     result_to_payload,
     sink_from_payload,
     sink_to_payload,
+    work_item_key,
 )
 from .engine import check_unit
 from .resilience import Budget, Quarantine
+from .supervisor import RunJournal, RunStats, SupervisorPolicy
 
 
 def resolve_jobs(value) -> int:
@@ -94,6 +97,9 @@ class WorkerConfig:
     budget_paths: Optional[int] = None
     metal_text: Optional[str] = None
     metal_name: str = "<metal>"
+    #: Worker-site fault rules (``worker_crash``/``worker_hang``/...)
+    #: armed only inside supervised worker processes, never inline.
+    fault_plan: Optional[FaultPlan] = None
 
 
 # -- worker side -------------------------------------------------------------
@@ -102,10 +108,30 @@ _CONFIG: Optional[WorkerConfig] = None
 _SPEC_MEMO: dict[str, object] = {}
 _SM_MEMO: dict[str, object] = {}
 
+#: Worker-level fault injection state.  Armed by the supervisor's
+#: worker entry point only, so inline/serial execution (where a
+#: ``worker_crash`` would take down the *parent*) never injects.
+_WORKER_FAULTS = None
+_WORKER_ATTEMPT = 0
+
 
 def _init_worker(config: WorkerConfig) -> None:
     global _CONFIG
     _CONFIG = config
+
+
+def _arm_worker_faults(config: WorkerConfig) -> None:
+    """Called in supervised worker processes to enable worker faults."""
+    global _WORKER_FAULTS
+    if config.fault_plan is not None:
+        from ..faults.worker import WorkerFaultInjector
+        _WORKER_FAULTS = WorkerFaultInjector(config.fault_plan)
+
+
+def _maybe_worker_fault(item: "WorkItem") -> None:
+    if _WORKER_FAULTS is not None:
+        _WORKER_FAULTS.perturb(item.index, _WORKER_ATTEMPT,
+                               checker=item.checker)
 
 
 def _spec_info(config: WorkerConfig):
@@ -132,9 +158,53 @@ def _past_deadline(config: WorkerConfig) -> bool:
     return config.deadline is not None and time.time() >= config.deadline
 
 
+def _item_label(item: WorkItem, config: WorkerConfig) -> str:
+    return item.checker if item.kind == "checker" else config.metal_name
+
+
+def _skipped_payload(item: WorkItem, config: WorkerConfig,
+                     note: str) -> dict:
+    """A degraded, kind-aware payload for an item that never ran
+    (deadline passed before dispatch, run interrupted)."""
+    label = _item_label(item, config)
+    where = ", ".join(item.paths)
+    if item.kind == "metal":
+        sink = ReportSink()
+        sink.degraded = True
+        sink.degradation_notes.append(f"[{label}] {where}: {note}")
+        return sink_to_payload(sink)
+    from ..checkers.base import CheckerResult
+    result = CheckerResult(checker=label, degraded=True)
+    result.degradation_notes.append(f"[{label}] {where}: {note}")
+    return result_to_payload(result)
+
+
+def _quarantine_payload(item: WorkItem, config: WorkerConfig,
+                        error_type: str, message: str,
+                        phase: str = "worker") -> dict:
+    """A kind-aware payload carrying a :class:`Quarantine` record —
+    poisoned items (``phase="worker"``) and unreadable inputs
+    (``phase="input"``) flow into the existing DEGRADED reporting."""
+    label = _item_label(item, config)
+    where = ", ".join(item.paths)
+    quarantine = Quarantine(
+        checker=label, function="*", phase=phase,
+        error_type=error_type, message=f"{where}: {message}")
+    if item.kind == "metal":
+        sink = ReportSink()
+        sink.add_quarantine(quarantine)
+        sink.degradation_notes.append(f"[{label}] {where}: {message}")
+        return sink_to_payload(sink)
+    from ..checkers.base import CheckerResult
+    result = CheckerResult(checker=label, degraded=True)
+    result.quarantines.append(quarantine)
+    result.degradation_notes.append(f"[{label}] {where}: {message}")
+    return result_to_payload(result)
+
+
 def _run_checker_item(item: WorkItem, config: WorkerConfig) -> dict:
     from ..checkers.base import CheckerResult, get_checker
-    from ..project import Program
+    from ..project import Program, read_sources
 
     name = item.checker
     if _past_deadline(config):
@@ -143,10 +213,17 @@ def _run_checker_item(item: WorkItem, config: WorkerConfig) -> dict:
             f"[{name}] {', '.join(item.paths)}: not analysed — "
             "run deadline exceeded")
         return result_to_payload(result)
-    # Input errors (unreadable file, parse error) propagate even under
-    # keep_going, exactly as the serial driver treats them: keep-going
-    # covers crashing *checkers*, not broken *inputs*.
-    files = {p: Path(p).read_text() for p in item.paths}
+    _maybe_worker_fault(item)
+    # A unit deleted between dispatch and execution must not kill the
+    # worker: it becomes a per-item input quarantine.  Parse errors
+    # still propagate even under keep_going, exactly as the serial
+    # driver treats them: keep-going covers crashing *checkers*, not
+    # broken *inputs*.
+    try:
+        files = read_sources(item.paths)
+    except SourceReadError as exc:
+        return _quarantine_payload(item, config, type(exc).__name__,
+                                   str(exc), phase="input")
     program = Program(files, info=_spec_info(config), unit_memo=True)
     checker = get_checker(name)
     try:
@@ -176,6 +253,8 @@ def _item_budget(config: WorkerConfig) -> Optional[Budget]:
 
 def _run_metal_item(item: WorkItem, config: WorkerConfig,
                     shared_budget: Optional[Budget] = None) -> dict:
+    from ..project import read_sources
+
     path = item.paths[0]
     if _past_deadline(config):
         sink = ReportSink()
@@ -184,8 +263,14 @@ def _run_metal_item(item: WorkItem, config: WorkerConfig,
             f"[{config.metal_name}] {path}: not analysed — "
             "run deadline exceeded")
         return sink_to_payload(sink)
+    _maybe_worker_fault(item)
     sm = _metal_machine(config)
-    unit, _sema = parse_annotated(path, Path(path).read_text())
+    try:
+        text = read_sources(item.paths)[path]
+    except SourceReadError as exc:
+        return _quarantine_payload(item, config, type(exc).__name__,
+                                   str(exc), phase="input")
+    unit, _sema = parse_annotated(path, text)
     budget = shared_budget if shared_budget is not None else _item_budget(config)
     sink = ReportSink()
     check_unit(sm, unit, sink, budget=budget, keep_going=config.keep_going)
@@ -197,10 +282,6 @@ def _execute_item(item: WorkItem, config: WorkerConfig,
     if item.kind == "metal":
         return _run_metal_item(item, config, shared_budget)
     return _run_checker_item(item, config)
-
-
-def _worker_run(item: WorkItem) -> dict:
-    return _execute_item(item, _CONFIG)
 
 
 # -- parent side -------------------------------------------------------------
@@ -227,68 +308,88 @@ def _shared_serial_budget(config: WorkerConfig) -> Optional[Budget]:
 
 
 def _run_items(items: list, config: WorkerConfig, jobs: int,
-               cache: Optional[ResultCache], keys: dict) -> tuple[dict, Optional[Budget]]:
-    """Execute items (cache first, then pool or inline).
+               cache: Optional[ResultCache], keys: dict,
+               journal: Optional[RunJournal] = None,
+               policy: Optional[SupervisorPolicy] = None,
+               ) -> tuple[dict, Optional[Budget], RunStats]:
+    """Execute items (journal replay and cache first, then supervised
+    pool or inline).
 
-    Returns ``(payloads by item index, shared serial budget or None)``.
+    Returns ``(payloads by item index, shared serial budget or None,
+    supervision stats)``.
     """
+    from .supervisor import SupervisorUnavailable, supervise_items
+
+    policy = policy if policy is not None else SupervisorPolicy()
+    stats = RunStats()
     payloads: dict[int, dict] = {}
     pending: list[WorkItem] = []
     for item in items:
         key = keys.get(item.index)
-        hit = cache.get(key) if (cache is not None and key is not None) else None
-        if hit is not None:
-            payloads[item.index] = hit
+        payload = None
+        if journal is not None and key is not None:
+            payload = journal.replay(key)
+            if payload is not None:
+                stats.replayed += 1
+        if payload is None and cache is not None and key is not None:
+            payload = cache.get(key)
+        if payload is not None:
+            payloads[item.index] = payload
         else:
             pending.append(item)
 
-    def store(item: WorkItem, payload: dict) -> None:
+    def record(item: WorkItem, payload: dict) -> None:
         key = keys.get(item.index)
-        if cache is not None and key is not None:
+        if key is None:
+            return
+        if cache is not None:
             cache.put(key, payload)
+        if journal is not None:
+            journal.record(key, payload)
 
     shared_budget: Optional[Budget] = None
     if not pending:
-        return payloads, shared_budget
+        return payloads, shared_budget, stats
     # Largest units first: the long poles start immediately, the small
     # ones backfill, and the pool drains with minimal tail latency.
     pending.sort(key=lambda it: (-it.weight, it.index))
-    if jobs <= 1 or len(pending) == 1:
+
+    def run_inline() -> None:
+        nonlocal shared_budget
         _init_worker(config)
         shared_budget = _shared_serial_budget(config)
         for item in pending:
+            if item.index in payloads:
+                continue
+            if policy.should_stop(stats.completed):
+                if not stats.interrupted:
+                    stats.interrupted = True
+                    stats.stop_reason = policy.stop_reason()
+                payloads[item.index] = _skipped_payload(
+                    item, config,
+                    f"not analysed — run interrupted ({stats.stop_reason})")
+                continue
             payload = _execute_item(item, config, shared_budget)
             payloads[item.index] = payload
-            store(item, payload)
-        return payloads, shared_budget
+            stats.completed += 1
+            record(item, payload)
+
+    if jobs <= 1 or len(pending) == 1:
+        run_inline()
+        return payloads, shared_budget, stats
     try:
-        executor = ProcessPoolExecutor(
-            max_workers=min(jobs, len(pending)),
-            mp_context=_mp_context(),
-            initializer=_init_worker, initargs=(config,),
+        supervise_items(
+            pending, config, jobs, policy, stats, payloads, record,
+            quarantine_payload=lambda item, error_type, message:
+                _quarantine_payload(item, config, error_type, message),
+            skipped_payload=lambda item, note:
+                _skipped_payload(item, config, note),
         )
-    except Exception:
+    except SupervisorUnavailable:
         # No usable multiprocessing here (restricted sandbox, missing
         # semaphores): degrade to in-process execution, results intact.
-        _init_worker(config)
-        shared_budget = _shared_serial_budget(config)
-        for item in pending:
-            payload = _execute_item(item, config, shared_budget)
-            payloads[item.index] = payload
-            store(item, payload)
-        return payloads, shared_budget
-    with executor:
-        futures = {executor.submit(_worker_run, item): item for item in pending}
-        for future in as_completed(futures):
-            item = futures[future]
-            try:
-                payload = future.result()
-            except Exception:
-                executor.shutdown(wait=False, cancel_futures=True)
-                raise
-            payloads[item.index] = payload
-            store(item, payload)
-    return payloads, shared_budget
+        run_inline()
+    return payloads, shared_budget, stats
 
 
 def _report_sort_key(report: Report) -> tuple:
@@ -345,11 +446,23 @@ class CheckRun:
     results: dict                      # checker name -> CheckerResult
     jobs: int = 1
     stats: Optional[CacheStats] = None
+    #: Journal identity of this run (``--resume`` takes it), if any.
+    run_id: Optional[str] = None
+    #: Supervision accounting: retries, crashes, replays, interruption.
+    supervision: Optional[RunStats] = None
+
+    @property
+    def interrupted(self) -> bool:
+        return bool(self.supervision is not None
+                    and self.supervision.interrupted)
 
     def summary_line(self) -> str:
         line = f"run: jobs={self.jobs}"
         if self.stats is not None:
             line += f", {self.stats.line()}, {self.stats.stores} stored"
+        if self.supervision is not None and self.supervision.noteworthy():
+            from .report import format_run_stats
+            line += f", {format_run_stats(self.supervision)}"
         return line
 
 
@@ -357,18 +470,24 @@ def check_files(paths: list, *, names: Optional[list] = None,
                 spec_path: Optional[str] = None,
                 jobs: int = 1, cache: Optional[ResultCache] = None,
                 keep_going: bool = False,
-                deadline: Optional[float] = None) -> CheckRun:
+                deadline: Optional[float] = None,
+                journal: Optional[RunJournal] = None,
+                policy: Optional[SupervisorPolicy] = None) -> CheckRun:
     """Run the registered checker fleet over source files, in parallel.
 
     The parallel analog of :func:`repro.checkers.base.run_all`: same
     results dict (one merged :class:`CheckerResult` per checker, in
     registration order), computed as (checker, unit) work items over a
-    worker pool, short-circuited by ``cache`` where content allows.
+    supervised worker pool, short-circuited by ``cache`` and by a
+    resumed ``journal`` where content allows.  ``policy`` tunes the
+    supervision (per-item timeout, retries, stop requests, injected
+    worker faults); the default supervises with no per-item timeout.
     """
     from ..checkers.base import checker_names, get_checker
+    from ..project import read_sources
 
     ordered_paths = list(dict.fromkeys(paths))
-    sources = {p: Path(p).read_text() for p in ordered_paths}
+    sources = read_sources(ordered_paths)
     spec_text = Path(spec_path).read_text() if spec_path else None
     selected = list(names) if names is not None else checker_names()
 
@@ -377,6 +496,7 @@ def check_files(paths: list, *, names: Optional[list] = None,
         spec_name=spec_path or "<spec>",
         keep_going=keep_going,
         deadline=deadline,
+        fault_plan=policy.fault_plan if policy is not None else None,
     )
 
     items: list[WorkItem] = []
@@ -398,7 +518,7 @@ def check_files(paths: list, *, names: Optional[list] = None,
             parts_of[name].append(items[-1].index)
 
     keys: dict[int, str] = {}
-    if cache is not None:
+    if cache is not None or journal is not None:
         engine_fp = engine_fingerprint()
         digests = {p: source_fingerprint(t) for p, t in sources.items()}
         spec_fp = source_fingerprint(spec_text) if spec_text else ""
@@ -406,20 +526,23 @@ def check_files(paths: list, *, names: Optional[list] = None,
             checker_fp = checker_fingerprint(item.checker)
             if checker_fp is None:
                 continue  # checker without locatable source: uncacheable
-            keys[item.index] = cache.key_for(
+            keys[item.index] = work_item_key(
                 checker_fp=checker_fp,
                 units=[(p, digests[p]) for p in item.paths],
                 spec_fp=spec_fp, engine_fp=engine_fp,
             )
 
-    payloads, _ = _run_items(items, config, jobs, cache, keys)
+    payloads, _, run_stats = _run_items(items, config, jobs, cache, keys,
+                                        journal=journal, policy=policy)
 
     results = {}
     for name in selected:
         parts = [result_from_payload(payloads[i]) for i in parts_of[name]]
         results[name] = merge_parts(name, parts)
     return CheckRun(results=results, jobs=jobs,
-                    stats=cache.stats if cache is not None else None)
+                    stats=cache.stats if cache is not None else None,
+                    run_id=journal.run_id if journal is not None else None,
+                    supervision=run_stats)
 
 
 @dataclass
@@ -433,11 +556,23 @@ class MetalRun:
     #: The shared serial budget, when one was used (its ``note()``
     #: explains a DEGRADED footer the way PR 1's CLI did).
     budget: Optional[Budget] = None
+    #: Journal identity of this run (``--resume`` takes it), if any.
+    run_id: Optional[str] = None
+    #: Supervision accounting: retries, crashes, replays, interruption.
+    supervision: Optional[RunStats] = None
+
+    @property
+    def interrupted(self) -> bool:
+        return bool(self.supervision is not None
+                    and self.supervision.interrupted)
 
     def summary_line(self) -> str:
         line = f"run: jobs={self.jobs}"
         if self.stats is not None:
             line += f", {self.stats.line()}, {self.stats.stores} stored"
+        if self.supervision is not None and self.supervision.noteworthy():
+            from .report import format_run_stats
+            line += f", {format_run_stats(self.supervision)}"
         return line
 
 
@@ -446,16 +581,22 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
                 keep_going: bool = False,
                 budget_steps: Optional[int] = None,
                 budget_paths: Optional[int] = None,
-                budget_seconds: Optional[float] = None) -> MetalRun:
+                budget_seconds: Optional[float] = None,
+                journal: Optional[RunJournal] = None,
+                policy: Optional[SupervisorPolicy] = None) -> MetalRun:
     """Run one textual metal checker over files as parallel work items.
 
     Step/path budgets apply per work item when ``jobs > 1`` (each worker
     explores independently) but stay shared across every file when
     serial, preserving the original semantics; the wall-clock budget is
     a single run-wide deadline either way.  Budgeted runs bypass the
-    cache: their results depend on the limits, not just on content.
+    cache — their results depend on the limits, not just on content —
+    and for the same reason a serial step/path-budgeted run disables the
+    journal: replaying some items against a journal would hand the live
+    items a budget the original run never gave them.
     """
     from ..metal.parser import parse_metal
+    from ..project import read_sources
 
     metal_text = Path(metal_path).read_text()
     sm = parse_metal(metal_text, filename=metal_path)  # validate up front
@@ -464,6 +605,9 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
                 or budget_seconds is not None)
     if budgeted:
         cache = None
+    if (jobs <= 1 and (budget_steps is not None
+                       or budget_paths is not None)):
+        journal = None
     deadline = (time.time() + budget_seconds
                 if budget_seconds is not None else None)
 
@@ -471,10 +615,11 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
         keep_going=keep_going, deadline=deadline,
         budget_steps=budget_steps, budget_paths=budget_paths,
         metal_text=metal_text, metal_name=metal_path,
+        fault_plan=policy.fault_plan if policy is not None else None,
     )
 
     ordered_paths = list(dict.fromkeys(paths))
-    sources = {p: Path(p).read_text() for p in ordered_paths}
+    sources = read_sources(ordered_paths)
     items = [
         WorkItem(kind="metal", checker="", paths=(path,),
                  weight=len(sources[path]), index=i)
@@ -482,19 +627,22 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
     ]
 
     keys: dict[int, str] = {}
-    if cache is not None:
+    if cache is not None or journal is not None:
         engine_fp = engine_fingerprint()
         metal_fp = metal_fingerprint(metal_text)
         for item in items:
-            keys[item.index] = cache.key_for(
+            keys[item.index] = work_item_key(
                 checker_fp=metal_fp,
                 units=[(item.paths[0], source_fingerprint(sources[item.paths[0]]))],
                 engine_fp=engine_fp,
             )
 
-    payloads, shared_budget = _run_items(items, config, jobs, cache, keys)
+    payloads, shared_budget, run_stats = _run_items(
+        items, config, jobs, cache, keys, journal=journal, policy=policy)
     sinks = [(path, sink_from_payload(payloads[i]))
              for i, path in enumerate(ordered_paths)]
     return MetalRun(sm_name=sm.name, sinks=sinks, jobs=jobs,
                     stats=cache.stats if cache is not None else None,
-                    budget=shared_budget)
+                    budget=shared_budget,
+                    run_id=journal.run_id if journal is not None else None,
+                    supervision=run_stats)

@@ -14,7 +14,7 @@ from .resilience import Budget, Quarantine
 __all__ = [
     "Report", "ReportSink", "Budget", "Quarantine",
     "format_reports", "format_quarantines", "format_sink",
-    "summarize_by_severity",
+    "format_run_stats", "summarize_by_severity",
 ]
 
 
@@ -64,6 +64,30 @@ def format_sink(sink: ReportSink, heading: str = "") -> str:
         for note in sink.degradation_notes:
             lines.append(f"  - {note}")
     return "\n".join(lines)
+
+
+def format_run_stats(stats) -> str:
+    """Render a run's supervision accounting, compactly.
+
+    Only *noteworthy* fields appear (replays, retries, crashes,
+    timeouts, quarantines, interruption), so a clean run's summary line
+    is byte-identical to one from before supervision existed — the
+    determinism pins in CI keep holding.
+    """
+    parts: list[str] = []
+    if stats.replayed:
+        parts.append(f"{stats.replayed} replayed")
+    if stats.retried:
+        parts.append(f"{stats.retried} retried")
+    if stats.crashes:
+        parts.append(f"{stats.crashes} crash(es)")
+    if stats.timeouts:
+        parts.append(f"{stats.timeouts} timeout(s)")
+    if stats.quarantined:
+        parts.append(f"{stats.quarantined} quarantined")
+    if stats.interrupted:
+        parts.append("interrupted")
+    return ", ".join(parts)
 
 
 def summarize_by_severity(reports) -> dict[str, int]:

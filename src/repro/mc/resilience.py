@@ -99,11 +99,19 @@ class Budget:
 
 @dataclass(frozen=True)
 class Quarantine:
-    """One (checker, function) pair removed from the run after a crash."""
+    """One (checker, function) pair removed from the run after a crash.
+
+    ``phase`` says *where* the failure happened: an analysis phase
+    (``"cfg-build"`` | ``"path-walk"`` | ``"flow-search"`` |
+    ``"checker"``), the fleet's own machinery (``"worker"`` — the item
+    was poison-quarantined after exhausting the supervisor's retries),
+    or the input itself (``"input"`` — a source file vanished or became
+    unreadable between dispatch and execution).
+    """
 
     checker: str
     function: str
-    phase: str          # "cfg-build" | "path-walk" | "flow-search" | "checker"
+    phase: str
     error_type: str
     message: str
 

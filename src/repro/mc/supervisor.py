@@ -1,0 +1,531 @@
+"""Supervision for the checker fleet: watchdog, retry, journal, resume.
+
+The paper's value proposition is a *whole-program* sweep — every
+checker down every path of every function — which at production scale
+means runs long enough for the infrastructure itself to fail: a worker
+process OOM-killed mid-item, a hung native extension, an operator's
+Ctrl-C, a pre-empted batch job.  PR 2's fleet handled none of that: a
+dead worker raised ``BrokenProcessPool`` up through the run, and a
+killed run lost everything not already cached.  This module wraps the
+fleet in a supervisor so the run survives its own machinery:
+
+- **watchdog**: every in-flight item has a wall-clock timeout; a hung
+  worker is killed and respawned, a crashed worker (process death, pipe
+  EOF) is detected and replaced — the pool never wedges;
+- **retry with backoff**: a crashed/hung item is re-dispatched with
+  exponential backoff plus seeded jitter; after ``max_retries``
+  failures it is poison-quarantined as a ``Quarantine(phase="worker")``
+  record flowing into the existing DEGRADED reporting, and the run
+  continues;
+- **graceful shutdown**: SIGINT/SIGTERM stop dispatch, drain in-flight
+  items, flush a partial report, and exit with a distinct code (130);
+  a second signal aborts hard;
+- **run journal**: an append-only JSONL file
+  (``<cache-dir>/runs/<run-id>.jsonl``, one atomic line per completed
+  item) makes every run resumable: ``mc-check check --resume RUN-ID``
+  replays completed items and re-dispatches only the remainder, with
+  the resumed report byte-identical to an uninterrupted run (the same
+  determinism contract as ``--jobs``).
+
+Failure taxonomy: worker *death* (crash/hang/timeout) is an
+infrastructure failure and is retried; an *exception* inside a worker
+(parse error, checker crash without ``--keep-going``) is deterministic
+— retrying would only reproduce it — and is re-raised in the parent as
+:class:`~repro.errors.WorkerFailure`; an unreadable input is
+quarantined per item by the worker itself (``phase="input"``).
+
+Deterministic testing comes from :mod:`repro.faults.worker`: a
+``FaultPlan`` with ``worker_crash``/``worker_hang``/``worker_slow``
+rules is shipped to the workers and perturbs them on schedule, so every
+supervisor behaviour has a seeded, repeatable trigger.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from random import Random
+from typing import Callable, Optional
+
+from ..errors import ReproError, WorkerFailure
+from ..faults.plan import FaultPlan
+from .cache import payload_cacheable
+
+#: Journal schema; bump when the record shape changes.
+JOURNAL_SCHEMA = 1
+
+
+class SupervisorUnavailable(Exception):
+    """No worker process could be spawned (restricted sandbox, missing
+    primitives); the caller degrades to inline execution."""
+
+
+# -- run control -------------------------------------------------------------
+
+class StopFlag:
+    """A cooperative stop request, set by signal handlers or tests."""
+
+    def __init__(self) -> None:
+        self.stop_requested = False
+        self.reason = ""
+
+    def request(self, reason: str = "stop requested") -> None:
+        self.stop_requested = True
+        self.reason = reason
+
+
+@contextmanager
+def graceful_shutdown(flag: StopFlag):
+    """Install SIGINT/SIGTERM handlers that set ``flag`` instead of
+    killing the process; a second signal aborts hard.
+
+    Restores the previous handlers on exit.  A no-op where handlers
+    cannot be installed (non-main thread).
+    """
+    previous: dict[int, object] = {}
+
+    def handler(signum, _frame):
+        if flag.stop_requested:
+            raise KeyboardInterrupt
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            name = str(signum)
+        flag.request(f"received {name}")
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        yield flag
+    finally:
+        for sig, old in previous.items():
+            try:
+                signal.signal(sig, old)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+
+@dataclass
+class SupervisorPolicy:
+    """Everything tunable about supervision, with safe defaults."""
+
+    #: Wall-clock seconds one attempt of one item may run; ``None``
+    #: disables the watchdog (workers are still replaced on death).
+    item_timeout: Optional[float] = None
+    #: Re-dispatches after the first attempt; past that, quarantine.
+    max_retries: int = 2
+    #: Exponential backoff: ``base * factor**attempt``, plus jitter.
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    #: Jitter fraction; seeded per (item, attempt) so runs repeat.
+    backoff_jitter: float = 0.25
+    seed: int = 0
+    #: Parent poll granularity (result wait, watchdog checks).
+    poll_interval: float = 0.05
+    #: Worker-site fault rules shipped to every worker (testing).
+    fault_plan: Optional[FaultPlan] = None
+    #: Signal-driven stop request (see :func:`graceful_shutdown`).
+    stop_flag: Optional[StopFlag] = None
+    #: Test hook: behave as if a signal arrived after N completions.
+    stop_after_items: Optional[int] = None
+
+    def should_stop(self, completed: int) -> bool:
+        if self.stop_flag is not None and self.stop_flag.stop_requested:
+            return True
+        return (self.stop_after_items is not None
+                and completed >= self.stop_after_items)
+
+    def stop_reason(self) -> str:
+        if self.stop_flag is not None and self.stop_flag.reason:
+            return self.stop_flag.reason
+        return "stop requested"
+
+    def backoff(self, item_index: int, attempt: int) -> float:
+        delay = self.backoff_base * (self.backoff_factor ** attempt)
+        jitter = Random(f"{self.seed}:{item_index}:{attempt}").random()
+        return delay * (1.0 + self.backoff_jitter * jitter)
+
+
+@dataclass
+class RunStats:
+    """Supervision accounting for one run (shown in the summary line)."""
+
+    completed: int = 0      # items executed to a payload this run
+    replayed: int = 0       # items served from the run journal (--resume)
+    retried: int = 0        # re-dispatches after a crash/hang
+    crashes: int = 0        # worker deaths observed
+    timeouts: int = 0       # hung workers killed by the watchdog
+    quarantined: int = 0    # items poisoned after max_retries failures
+    interrupted: bool = False
+    stop_reason: str = ""
+
+    def noteworthy(self) -> bool:
+        return bool(self.replayed or self.retried or self.crashes
+                    or self.timeouts or self.quarantined or self.interrupted)
+
+
+# -- the run journal ---------------------------------------------------------
+
+def new_run_id() -> str:
+    """Sortable-by-time, collision-resistant run identifier."""
+    return time.strftime("%Y%m%d-%H%M%S") + "-" + os.urandom(3).hex()
+
+
+class RunJournal:
+    """Append-only JSONL record of one run's completed work items.
+
+    Line 1 is a header (``{"run", "schema", "created"}``); every later
+    line is ``{"key", "payload"}`` where ``key`` is the item's
+    content-hash identity (the same SHA-256 the result cache uses, so
+    an edited file or upgraded engine silently invalidates its journal
+    entries) and ``payload`` is the serialised result.  Each record is
+    written as one ``write``+``flush``+``fsync`` of a single line, so a
+    run killed mid-append leaves at most one truncated tail line —
+    which :meth:`resume` skips.
+
+    Only *complete* payloads are recorded (the cache's purity rule):
+    degraded or quarantined results reflect budget/crash luck and must
+    be recomputed, never replayed.
+    """
+
+    def __init__(self, path: Path, run_id: str,
+                 entries: Optional[dict[str, dict]] = None):
+        self.path = Path(path)
+        self.run_id = run_id
+        self._entries: dict[str, dict] = dict(entries or {})
+        self._fh = None
+        self.disabled = False
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def create(cls, root: Path,
+               run_id: Optional[str] = None) -> Optional["RunJournal"]:
+        """Start a fresh journal under ``root``; ``None`` if the
+        directory is unwritable (a read-only cache never fails a run)."""
+        run_id = run_id or new_run_id()
+        root = Path(root)
+        journal = cls(root / f"{run_id}.jsonl", run_id)
+        try:
+            root.mkdir(parents=True, exist_ok=True)
+            journal._append({"run": run_id, "schema": JOURNAL_SCHEMA,
+                             "created": time.time()})
+        except OSError:
+            return None
+        return journal
+
+    @classmethod
+    def resume(cls, root: Path, run_id: str) -> "RunJournal":
+        """Reopen an interrupted run's journal for replay + append."""
+        path = Path(root) / f"{run_id}.jsonl"
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ReproError(
+                f"no journal for run {run_id!r} under {Path(root)}: {exc}"
+            ) from None
+        entries: dict[str, dict] = {}
+        header: Optional[dict] = None
+        for line in text.splitlines():
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                continue  # truncated tail from a mid-append kill
+            if not isinstance(obj, dict):
+                continue
+            if header is None and "run" in obj:
+                header = obj
+                continue
+            key = obj.get("key")
+            payload = obj.get("payload")
+            if (isinstance(key, str) and isinstance(payload, dict)
+                    and payload_cacheable(payload)):
+                entries[key] = payload
+        if header is None or header.get("schema") != JOURNAL_SCHEMA:
+            raise ReproError(
+                f"journal {path} is from an incompatible schema; "
+                f"rerun without --resume")
+        return cls(path, run_id, entries)
+
+    # -- replay + append -----------------------------------------------------
+
+    def replay(self, key: str) -> Optional[dict]:
+        return self._entries.get(key)
+
+    def record(self, key: str, payload: dict) -> None:
+        if self.disabled or not payload_cacheable(payload):
+            return
+        if key in self._entries:
+            return  # already journaled by the run we resumed
+        try:
+            self._append({"key": key, "payload": payload})
+        except OSError:
+            # Disk full / journal dir revoked: the run outlives its
+            # journal, it just stops being resumable past this point.
+            self.disabled = True
+            return
+        self._entries[key] = payload
+
+    def _append(self, obj: dict) -> None:
+        if self._fh is None:
+            self._fh = self.path.open("a")
+        self._fh.write(json.dumps(obj, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._fh = None
+
+
+def default_runs_dir(cache_dir: Optional[Path] = None) -> Path:
+    """Where journals live: ``<cache-dir>/runs``."""
+    from .cache import default_cache_dir
+    base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    return base / "runs"
+
+
+# -- the supervised pool -----------------------------------------------------
+
+class _Worker:
+    """One supervised worker process and its private pipe."""
+
+    __slots__ = ("process", "conn", "current", "started_at")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        self.current = None        # (item, attempt) while busy
+        self.started_at = 0.0
+
+
+def _worker_main(config, conn) -> None:
+    """Entry point of a supervised worker process.
+
+    Arms the per-process parse memo and (if the config carries a plan)
+    worker-level fault injection, then serves ``(index, attempt, item)``
+    requests until the sentinel or EOF.  Ignores SIGINT so a terminal
+    Ctrl-C (delivered to the whole process group) leaves workers alive
+    for the parent's graceful drain.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover
+        pass
+    from . import parallel
+    parallel._init_worker(config)
+    parallel._arm_worker_faults(config)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        index, attempt, item = message
+        parallel._WORKER_ATTEMPT = attempt
+        try:
+            response = (index, "ok", parallel._execute_item(item, config))
+        except Exception as exc:
+            response = (index, "error", {
+                "error_type": type(exc).__name__, "message": str(exc)})
+        try:
+            conn.send(response)
+        except (BrokenPipeError, OSError):
+            return
+
+
+def _spawn(ctx, config) -> _Worker:
+    parent_conn, child_conn = ctx.Pipe()
+    process = ctx.Process(target=_worker_main, args=(config, child_conn),
+                          daemon=True)
+    process.start()
+    child_conn.close()
+    return _Worker(process, parent_conn)
+
+
+def _reap(worker: _Worker, kill: bool = False) -> None:
+    """Shut one worker down; escalate terminate → kill as needed."""
+    try:
+        worker.conn.close()
+    except OSError:  # pragma: no cover
+        pass
+    process = worker.process
+    if process.is_alive() and kill:
+        process.terminate()
+    process.join(timeout=1.0)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=1.0)
+
+
+def _pop_ready(queue: list, now: float):
+    """First queue entry whose backoff delay has elapsed, or ``None``."""
+    for position, entry in enumerate(queue):
+        if entry[2] <= now:
+            return queue.pop(position)
+    return None
+
+
+def supervise_items(pending: list, config, jobs: int,
+                    policy: SupervisorPolicy, stats: RunStats,
+                    payloads: dict, record: Callable,
+                    quarantine_payload: Callable,
+                    skipped_payload: Callable) -> None:
+    """Run ``pending`` work items under supervision, filling ``payloads``.
+
+    ``record(item, payload)`` persists each fresh completion (cache +
+    journal); ``quarantine_payload(item, error_type, message)`` and
+    ``skipped_payload(item, note)`` build kind-aware degraded payloads
+    for poisoned and interrupted items.  Raises
+    :class:`SupervisorUnavailable` (before consuming any work) when no
+    worker can be spawned, and :class:`WorkerFailure` when a worker
+    reports a deterministic exception.
+    """
+    from .parallel import _mp_context
+
+    ctx = _mp_context()
+    workers: list[_Worker] = []
+    try:
+        for _ in range(min(jobs, len(pending))):
+            workers.append(_spawn(ctx, config))
+    except Exception as exc:
+        for worker in workers:
+            _reap(worker, kill=True)
+        raise SupervisorUnavailable(str(exc)) from None
+
+    import multiprocessing.connection as mp_connection
+
+    #: (item, attempt, not_before) — pending keeps largest-first order;
+    #: retries append with their backoff deadline.
+    queue: list = [(item, 0, 0.0) for item in pending]
+    unresolved = {item.index for item in pending}
+    stopping = False
+
+    def fail(worker: _Worker, kind: str) -> None:
+        """One attempt died (``crash``) or hung (``timeout``)."""
+        nonlocal stopping
+        item, attempt = worker.current
+        worker.current = None
+        if kind == "timeout":
+            stats.timeouts += 1
+        else:
+            stats.crashes += 1
+        _reap(worker, kill=True)
+        workers.remove(worker)
+        if not stopping and unresolved:
+            try:
+                workers.append(_spawn(ctx, config))
+            except Exception:
+                pass  # degraded pool; remaining workers carry on
+        if stopping:
+            return  # the skip sweep below marks it interrupted
+        if attempt >= policy.max_retries:
+            message = (f"worker {kind} on attempt {attempt + 1}; "
+                       f"quarantined after {policy.max_retries} retries")
+            payloads[item.index] = quarantine_payload(
+                item, "WorkerTimeout" if kind == "timeout" else "WorkerCrash",
+                message)
+            unresolved.discard(item.index)
+            stats.quarantined += 1
+        else:
+            stats.retried += 1
+            queue.append((item, attempt + 1,
+                          time.monotonic() + policy.backoff(item.index,
+                                                            attempt)))
+
+    try:
+        while unresolved:
+            now = time.monotonic()
+            if not stopping and policy.should_stop(stats.completed):
+                stopping = True
+                stats.interrupted = True
+                stats.stop_reason = policy.stop_reason()
+                queue.clear()
+            # Dispatch ready work to idle workers.
+            if not stopping:
+                for worker in list(workers):
+                    if worker.current is not None:
+                        continue
+                    entry = _pop_ready(queue, now)
+                    if entry is None:
+                        break
+                    item, attempt, _ = entry
+                    try:
+                        worker.conn.send((item.index, attempt, item))
+                    except (BrokenPipeError, OSError):
+                        # Died while idle: charge the attempt to the
+                        # item (fail() requeues or quarantines it) and
+                        # replace the worker.
+                        worker.current = (item, attempt)
+                        fail(worker, "crash")
+                        continue
+                    worker.current = (item, attempt)
+                    worker.started_at = now
+            busy = [worker for worker in workers
+                    if worker.current is not None]
+            if not busy:
+                if stopping or not unresolved:
+                    break
+                if not queue:  # pragma: no cover - defensive
+                    break
+                time.sleep(policy.poll_interval)  # everyone backing off
+                continue
+            try:
+                ready = mp_connection.wait(
+                    [worker.conn for worker in busy],
+                    timeout=policy.poll_interval)
+            except OSError:  # pragma: no cover - racing a dead pipe
+                ready = []
+            now = time.monotonic()
+            for worker in busy:
+                if worker.conn in ready:
+                    try:
+                        index, status, payload = worker.conn.recv()
+                    except (EOFError, OSError):
+                        fail(worker, "crash")
+                        continue
+                    item, _attempt = worker.current
+                    worker.current = None
+                    if status == "ok":
+                        payloads[index] = payload
+                        unresolved.discard(index)
+                        stats.completed += 1
+                        record(item, payload)
+                    else:
+                        raise WorkerFailure(
+                            f"work item failed with {payload['error_type']}: "
+                            f"{payload['message']}")
+                elif not worker.process.is_alive():
+                    fail(worker, "crash")
+                elif (policy.item_timeout is not None
+                        and now - worker.started_at > policy.item_timeout):
+                    fail(worker, "timeout")
+    finally:
+        for worker in list(workers):
+            if worker.current is None:
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+                _reap(worker)
+            else:
+                _reap(worker, kill=True)
+
+    if stopping:
+        note = f"not analysed — run interrupted ({stats.stop_reason})"
+        for item in pending:
+            if item.index in unresolved:
+                payloads[item.index] = skipped_payload(item, note)

@@ -13,12 +13,33 @@ with the parsed and type-annotated translation units and caches CFGs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Optional
 
 from .cfg import CallGraph, Cfg, build_cfg
+from .errors import SourceReadError
 from .flash.headers import FLASH_INCLUDES, FLASH_INCLUDES_NAME
 from .lang import annotate, ast, parse, parse_annotated
 from .flash.machine import LANE_COUNT
+
+
+def read_sources(paths: Iterable[str]) -> dict[str, str]:
+    """Read translation-unit sources, surfacing failures structurally.
+
+    An unreadable file raises :class:`SourceReadError` carrying the
+    path, so drivers can report *which* input broke (or, inside a fleet
+    worker, quarantine just that work item) instead of leaking a bare
+    ``OSError`` traceback.
+    """
+    sources: dict[str, str] = {}
+    for path in paths:
+        try:
+            sources[path] = Path(path).read_text()
+        except OSError as exc:
+            raise SourceReadError(
+                f"cannot read source file {path}: {exc}", path=path
+            ) from exc
+    return sources
 
 
 @dataclass(frozen=True)
