@@ -1,0 +1,80 @@
+"""Shared plumbing for the standalone benchmark scripts.
+
+Extracted from ``bench_parallel_scaling`` and
+``bench_supervisor_overhead``, which had grown identical copies of the
+CPU probe, the protocol materializer, and the memo-clearing stopwatch.
+
+Every ``BENCH_*.json`` written through :func:`write_results` also
+carries a ``"metrics"`` section — a :mod:`repro.obs` counter snapshot
+taken from one *untimed* observed sweep of the same workload — so a
+regression in the timing numbers can be read next to what the run
+actually did (functions executed, paths walked, reports emitted, cache
+traffic) instead of wall time alone.  The observed sweep runs outside
+every timed section; observation never prices the measurement.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.flash.codegen import generate_protocol
+from repro.lang import clear_memo
+from repro.obs import Observation
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def materialize_protocols(workdir: Path, protocols) -> dict[str, list[str]]:
+    """Write each protocol's generated sources to disk; paths per protocol."""
+    paths: dict[str, list[str]] = {}
+    for name in protocols:
+        pdir = workdir / name
+        pdir.mkdir(parents=True)
+        gp = generate_protocol(name)
+        for filename, text in gp.files.items():
+            (pdir / filename).write_text(text)
+        paths[name] = sorted(str(pdir / f) for f in gp.files)
+    return paths
+
+
+def timed(fn):
+    """``(wall_seconds, result)`` for one call, parse memo cleared first.
+
+    The per-process parse memo outlives ``check_files`` calls (and fork
+    workers inherit it); clearing it keeps every measured sweep's
+    "cold" honest.
+    """
+    clear_memo()
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def observed_snapshot(run_fn) -> dict:
+    """One untimed observed sweep's metrics snapshot.
+
+    ``run_fn(observation)`` must execute the sweep with the observation
+    threaded through ``check_files``/``metal_files`` and return the run.
+    """
+    clear_memo()
+    observation = Observation()
+    run = run_fn(observation)
+    return observation.finalize(run)["metrics"]
+
+
+def write_results(output: str | Path, results: dict,
+                  metrics: dict | None = None) -> dict:
+    """Write a ``BENCH_*.json``, folding in the metrics snapshot."""
+    if metrics is not None:
+        results["metrics"] = metrics
+    Path(output).write_text(json.dumps(results, indent=2) + "\n")
+    return results

@@ -4,7 +4,9 @@ Measures the full five-protocol sweep (the paper's evaluation corpus)
 through ``check_files`` at ``jobs`` in {1, 2, 4}, cold (empty cache)
 and warm (immediately rerun against the cache the cold run filled),
 and writes ``BENCH_parallel_scaling.json`` next to the working
-directory.
+directory.  The JSON also carries a ``metrics`` snapshot (one observed
+warm sweep: corpus size, reports emitted, cache traffic) so the timing
+numbers can be read next to the work the sweep performs.
 
 Two acceptance claims ride on these numbers:
 
@@ -21,14 +23,18 @@ Also runnable standalone: ``python benchmarks/bench_parallel_scaling.py``.
 from __future__ import annotations
 
 import json
-import os
 import shutil
 import tempfile
-import time
 from pathlib import Path
 
-from repro.flash.codegen import generate_protocol
-from repro.lang import clear_memo
+from _timing import (
+    materialize_protocols,
+    observed_snapshot,
+    timed,
+    usable_cpus,
+    write_results,
+)
+
 from repro.mc import ResultCache, check_files
 
 PROTOCOLS = ("bitvector", "dyn_ptr", "sci", "coma", "rac")
@@ -36,43 +42,35 @@ JOB_COUNTS = (1, 2, 4)
 OUTPUT = "BENCH_parallel_scaling.json"
 
 
-def _usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:
-        return os.cpu_count() or 1
-
-
-def _materialize(workdir: Path) -> dict[str, list[str]]:
-    """Write every protocol's sources to disk; paths per protocol."""
-    paths: dict[str, list[str]] = {}
-    for name in PROTOCOLS:
-        pdir = workdir / name
-        pdir.mkdir(parents=True)
-        gp = generate_protocol(name)
-        for filename, text in gp.files.items():
-            (pdir / filename).write_text(text)
-        paths[name] = sorted(str(pdir / f) for f in gp.files)
-    return paths
-
-
 def _timed_sweep(paths: dict[str, list[str]], jobs: int,
                  cache_root: Path | None) -> tuple[float, dict[str, float]]:
-    # The per-process parse memo outlives check_files calls (and fork
-    # workers inherit it); clear it so every sweep's "cold" is honest.
-    clear_memo()
     per_protocol: dict[str, float] = {}
     for name, files in paths.items():
         cache = ResultCache(cache_root) if cache_root else None
-        start = time.perf_counter()
-        run = check_files(files, jobs=jobs, cache=cache, keep_going=True)
-        per_protocol[name] = time.perf_counter() - start
+        per_protocol[name], run = timed(
+            lambda: check_files(files, jobs=jobs, cache=cache,
+                                keep_going=True))
         assert run.results, f"{name}: no checker results"
     return sum(per_protocol.values()), per_protocol
 
 
+def _observed_sweep(paths: dict[str, list[str]], cache_root: Path) -> dict:
+    """Metrics for the whole corpus, against the warm jobs=1 cache —
+    prices the workload (items, reports, cache hits) without re-running
+    the engine."""
+    merged: dict = {}
+    for name, files in paths.items():
+        snapshot = observed_snapshot(
+            lambda obs: check_files(files, jobs=1,
+                                    cache=ResultCache(cache_root),
+                                    keep_going=True, observation=obs))
+        for counter, value in snapshot["counters"].items():
+            merged[counter] = merged.get(counter, 0) + value
+    return {"schema": 1, "counters": dict(sorted(merged.items()))}
+
+
 def run_benchmark(output: str = OUTPUT) -> dict:
-    cpus = _usable_cpus()
+    cpus = usable_cpus()
     workdir = Path(tempfile.mkdtemp(prefix="bench-parallel-"))
     results: dict = {
         "benchmark": "parallel_scaling",
@@ -81,7 +79,7 @@ def run_benchmark(output: str = OUTPUT) -> dict:
         "runs": [],
     }
     try:
-        paths = _materialize(workdir)
+        paths = materialize_protocols(workdir, PROTOCOLS)
         for jobs in JOB_COUNTS:
             cache_root = workdir / f"cache-jobs{jobs}"
             for phase in ("cold", "warm"):
@@ -94,6 +92,7 @@ def run_benchmark(output: str = OUTPUT) -> dict:
                         k: round(v, 4) for k, v in per_protocol.items()
                     },
                 })
+        metrics = _observed_sweep(paths, workdir / "cache-jobs1")
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
@@ -103,8 +102,7 @@ def run_benchmark(output: str = OUTPUT) -> dict:
         by_key[(1, "cold")] / max(by_key[(1, "warm")], 1e-9), 2)
     results["parallel_speedup_cold_j4"] = round(
         by_key[(1, "cold")] / max(by_key[(4, "cold")], 1e-9), 2)
-    Path(output).write_text(json.dumps(results, indent=2) + "\n")
-    return results
+    return write_results(output, results, metrics=metrics)
 
 
 def test_parallel_scaling(show):
@@ -118,6 +116,10 @@ def test_parallel_scaling(show):
         assert results["parallel_speedup_cold_j4"] >= 2.0, (
             "jobs=4 cold must be >= 2x faster than jobs=1 cold on a "
             f">=4-core machine: {results['parallel_speedup_cold_j4']}x")
+    counters = results["metrics"]["counters"]
+    assert counters.get("fleet.items", 0) > 0
+    assert counters.get("cache.hits", 0) > 0, (
+        "observed sweep ran against the warm cache; hits expected")
 
 
 if __name__ == "__main__":

@@ -10,7 +10,9 @@ with no supervision extras versus the same sweep with the extras on
 
 The acceptance budget is **<= 5% added wall time** (with slack for
 timer noise on small runs, asserted against the min-of-N timing).
-Results land in ``BENCH_supervisor_overhead.json``.
+Results land in ``BENCH_supervisor_overhead.json`` together with a
+``metrics`` snapshot of one untimed observed sweep, so the overhead
+number can be read next to the workload (items, engine work, reports).
 
 Also runnable standalone:
 ``python benchmarks/bench_supervisor_overhead.py``.
@@ -19,14 +21,17 @@ Also runnable standalone:
 from __future__ import annotations
 
 import json
-import os
 import shutil
 import tempfile
-import time
 from pathlib import Path
 
-from repro.flash.codegen import generate_protocol
-from repro.lang import clear_memo
+from _timing import (
+    materialize_protocols,
+    observed_snapshot,
+    timed,
+    write_results,
+)
+
 from repro.mc import RunJournal, SupervisorPolicy, check_files
 
 PROTOCOL = "bitvector"
@@ -40,29 +45,19 @@ BUDGET = 0.05
 NOISE_FLOOR_SECONDS = 0.25
 
 
-def _materialize(workdir: Path) -> list[str]:
-    gp = generate_protocol(PROTOCOL)
-    pdir = workdir / PROTOCOL
-    pdir.mkdir(parents=True)
-    for filename, text in gp.files.items():
-        (pdir / filename).write_text(text)
-    return sorted(str(pdir / f) for f in gp.files)
-
-
-def _timed(paths: list[str], *, journal_root: Path | None,
-           item_timeout: float | None) -> float:
+def _timed_sweep(paths: list[str], *, journal_root: Path | None,
+                 item_timeout: float | None) -> float:
     """One sweep's wall time (min over REPEATS, cache disabled)."""
     best = float("inf")
     for _ in range(REPEATS):
-        clear_memo()
         journal = (RunJournal.create(journal_root)
                    if journal_root is not None else None)
         policy = (SupervisorPolicy(item_timeout=item_timeout)
                   if item_timeout is not None else None)
-        start = time.perf_counter()
-        run = check_files(paths, jobs=JOBS, keep_going=True,
-                          journal=journal, policy=policy)
-        best = min(best, time.perf_counter() - start)
+        elapsed, run = timed(
+            lambda: check_files(paths, jobs=JOBS, keep_going=True,
+                                journal=journal, policy=policy))
+        best = min(best, elapsed)
         if journal is not None:
             journal.close()
         assert run.results, "no checker results"
@@ -73,10 +68,13 @@ def _timed(paths: list[str], *, journal_root: Path | None,
 def run_benchmark(output: str = OUTPUT) -> dict:
     workdir = Path(tempfile.mkdtemp(prefix="bench-supervisor-"))
     try:
-        paths = _materialize(workdir)
-        plain = _timed(paths, journal_root=None, item_timeout=None)
-        supervised = _timed(paths, journal_root=workdir / "runs",
-                            item_timeout=600.0)
+        paths = materialize_protocols(workdir, (PROTOCOL,))[PROTOCOL]
+        plain = _timed_sweep(paths, journal_root=None, item_timeout=None)
+        supervised = _timed_sweep(paths, journal_root=workdir / "runs",
+                                  item_timeout=600.0)
+        metrics = observed_snapshot(
+            lambda obs: check_files(paths, jobs=JOBS, keep_going=True,
+                                    observation=obs))
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
@@ -93,8 +91,7 @@ def run_benchmark(output: str = OUTPUT) -> dict:
         "budget_fraction": BUDGET,
         "noise_floor_seconds": NOISE_FLOOR_SECONDS,
     }
-    Path(output).write_text(json.dumps(results, indent=2) + "\n")
-    return results
+    return write_results(output, results, metrics=metrics)
 
 
 def test_supervisor_overhead(show):
@@ -105,6 +102,11 @@ def test_supervisor_overhead(show):
         "journal + watchdog must cost <= 5% of the plain parallel run "
         f"(or the {NOISE_FLOOR_SECONDS}s noise floor): "
         f"{results['overhead_seconds']}s over {results['plain_seconds']}s")
+    counters = results["metrics"]["counters"]
+    assert counters.get("fleet.items", 0) > 0
+    assert counters.get("reports.emitted", 0) == (
+        counters.get("reports.errors", 0)
+        + counters.get("reports.warnings", 0))
 
 
 if __name__ == "__main__":

@@ -40,6 +40,9 @@ class CheckerResult:
     #: Human-readable notes on what was cut short and why (engine
     #: degradation, skipped work past a run deadline, ...).
     degradation_notes: list[str] = field(default_factory=list)
+    #: Per-report path provenance, keyed on (checker, message, location)
+    #: — the trail ``mc-check explain`` renders (repro.obs.provenance).
+    provenance: dict = field(default_factory=dict)
 
     @property
     def errors(self) -> list[Report]:
@@ -89,6 +92,7 @@ class Checker(ABC):
         result.quarantines = list(getattr(sink, "quarantines", []))
         result.degraded = bool(getattr(sink, "degraded", False))
         result.degradation_notes = list(getattr(sink, "degradation_notes", []))
+        result.provenance = dict(getattr(sink, "provenance", {}))
         return result
 
 

@@ -24,6 +24,17 @@ Subcommands:
 ``mc-check list``
     List registered checkers with their Table 7 metadata.
 
+``mc-check stats METRICS.json``
+    Render a ``--metrics-out`` document as a human-readable table.
+
+``mc-check explain REPORT.json ERROR-ID``
+    Show the source-line + state-transition path that produced one
+    diagnostic of a ``--format json`` report.
+
+Stream discipline: diagnostics and reports go to **stdout**; run
+chatter (``run: id=...``, resume hints, trace/metrics summaries) goes
+to **stderr**, so ``--format json`` output is parseable as-is.
+
 Exit codes (``check``, ``metal``, ``simulate``): **0** clean, **1**
 bugs/diagnostics found, **2** internal error or quarantined checker —
 so CI can tell "the protocol is buggy" from "the tool is" — and
@@ -123,18 +134,62 @@ def _journal_from_args(args):
     return RunJournal.create(runs_dir)
 
 
-def _interrupted(run, journal) -> int:
-    """Footer + exit status for a gracefully interrupted run."""
+def _interrupted(run, journal, json_mode: bool = False) -> int:
+    """Footer + exit status for a gracefully interrupted run.
+
+    The resume hint is operator chatter and goes to stderr (stdout must
+    stay parseable); the INTERRUPTED marker stays in the text report but
+    moves to stderr under ``--format json``.
+    """
     reason = run.supervision.stop_reason if run.supervision else ""
-    print(f"INTERRUPTED: {reason or 'stop requested'} — partial results above")
+    print(f"INTERRUPTED: {reason or 'stop requested'} — partial results above",
+          file=sys.stderr if json_mode else sys.stdout)
     if journal is not None and not journal.disabled:
-        print(f"resume with: --resume {journal.run_id}")
+        print(f"resume with: --resume {journal.run_id}", file=sys.stderr)
     return EXIT_INTERRUPTED
+
+
+def _observation_from_args(args):
+    """An :class:`repro.obs.Observation` when ``--trace`` or
+    ``--metrics-out`` asked for one, else ``None`` (no observability
+    code runs at all)."""
+    trace = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace and not metrics_out:
+        return None
+    from .obs import Observation
+    return Observation(trace_path=trace, metrics_path=metrics_out)
+
+
+def _finalize_observation(observation, run) -> None:
+    """Merge the trace, write metrics, and summarise on stderr."""
+    if observation is None:
+        return
+    out = observation.finalize(run)
+    stats = out.get("trace")
+    if stats is not None:
+        line = (f"trace: {stats['spans']} span(s), "
+                f"{stats['items_covered']} item(s) -> "
+                f"{observation.trace_path}")
+        if stats.get("orphan_spans"):
+            line += f", {stats['orphan_spans']} orphan"
+        if stats.get("superseded_spans"):
+            line += f", {stats['superseded_spans']} superseded"
+        print(line, file=sys.stderr)
+    if observation.metrics_path is not None:
+        print(f"metrics: wrote {observation.metrics_path}", file=sys.stderr)
+
+
+def _print_json_report(run) -> None:
+    import json
+    from .mc import run_to_json
+    print(json.dumps(run_to_json(run), indent=2))
 
 
 def cmd_check(args) -> int:
     names = args.checker or None
     keep_going = getattr(args, "keep_going", False)
+    json_mode = getattr(args, "format", "text") == "json"
     jobs = resolve_jobs(args.jobs)
     budget_seconds = getattr(args, "budget_seconds", None)
     cache = _cache_from_args(args, budgeted=budget_seconds is not None)
@@ -142,44 +197,52 @@ def cmd_check(args) -> int:
                 if budget_seconds is not None else None)
     stop_flag = StopFlag()
     policy = _policy_from_args(args, stop_flag)
+    observation = _observation_from_args(args)
     journal = _journal_from_args(args)
     if journal is not None:
-        print(f"run: id={journal.run_id}", flush=True)
+        print(f"run: id={journal.run_id}", file=sys.stderr, flush=True)
     try:
         with graceful_shutdown(stop_flag):
             run = check_files(
                 args.files, names=names, spec_path=getattr(args, "spec", None),
                 jobs=jobs, cache=cache, keep_going=keep_going,
                 deadline=deadline, journal=journal, policy=policy,
+                observation=observation,
             )
     finally:
         if journal is not None:
             journal.close()
+    _finalize_observation(observation, run)
     failures = 0
     quarantines = []
     degraded = False
     notes = []
     for result in run.results.values():
-        if result.reports:
-            print(format_reports(result.reports,
-                                 heading=f"checker: {result.checker}"))
-            print()
-            failures += len(result.errors)
+        failures += len(result.errors)
         quarantines.extend(result.quarantines)
         degraded = degraded or result.degraded
         notes.extend(result.degradation_notes)
-    if quarantines:
-        print(format_quarantines(quarantines))
-        print()
-    if degraded:
-        print("DEGRADED: results are partial")
-        for note in notes:
-            print(f"  - {note}")
-    if failures == 0 and not quarantines:
-        print("no errors found")
-    print(run.summary_line())
+    if json_mode:
+        _print_json_report(run)
+        print(run.summary_line(), file=sys.stderr)
+    else:
+        for result in run.results.values():
+            if result.reports:
+                print(format_reports(result.reports,
+                                     heading=f"checker: {result.checker}"))
+                print()
+        if quarantines:
+            print(format_quarantines(quarantines))
+            print()
+        if degraded:
+            print("DEGRADED: results are partial")
+            for note in notes:
+                print(f"  - {note}")
+        if failures == 0 and not quarantines:
+            print("no errors found")
+        print(run.summary_line())
     if run.interrupted:
-        return _interrupted(run, journal)
+        return _interrupted(run, journal, json_mode)
     if quarantines:
         return EXIT_INTERNAL
     return EXIT_BUGS if failures else EXIT_CLEAN
@@ -187,6 +250,7 @@ def cmd_check(args) -> int:
 
 def cmd_metal(args) -> int:
     keep_going = getattr(args, "keep_going", False)
+    json_mode = getattr(args, "format", "text") == "json"
     jobs = resolve_jobs(args.jobs)
     budget_steps = getattr(args, "budget_steps", None)
     budget_paths = getattr(args, "budget_paths", None)
@@ -196,39 +260,47 @@ def cmd_metal(args) -> int:
     cache = _cache_from_args(args, budgeted=budgeted)
     stop_flag = StopFlag()
     policy = _policy_from_args(args, stop_flag)
+    observation = _observation_from_args(args)
     journal = _journal_from_args(args)
     if journal is not None:
-        print(f"run: id={journal.run_id}", flush=True)
+        print(f"run: id={journal.run_id}", file=sys.stderr, flush=True)
     try:
         with graceful_shutdown(stop_flag):
             run = metal_files(
                 args.checker, args.files, jobs=jobs, cache=cache,
                 keep_going=keep_going, budget_steps=budget_steps,
                 budget_paths=budget_paths, budget_seconds=budget_seconds,
-                journal=journal, policy=policy,
+                journal=journal, policy=policy, observation=observation,
             )
     finally:
         if journal is not None:
             journal.close()
+    _finalize_observation(observation, run)
     total = 0
     quarantined = 0
     degraded = False
     for _path, sink in run.sinks:
-        for report in sink.reports:
-            print(report)
-        if sink.quarantines:
-            print(format_quarantines(sink.quarantines))
         total += len(sink)
         quarantined += len(sink.quarantines)
         degraded = degraded or sink.degraded
-    print(f"{total} diagnostic(s) from sm {run.sm_name}")
-    if degraded:
-        budget = run.budget
-        print("DEGRADED: results are partial"
-              + (f" ({budget.note()})" if budget and budget.exhausted else ""))
-    print(run.summary_line())
+    if json_mode:
+        _print_json_report(run)
+        print(run.summary_line(), file=sys.stderr)
+    else:
+        for _path, sink in run.sinks:
+            for report in sink.reports:
+                print(report)
+            if sink.quarantines:
+                print(format_quarantines(sink.quarantines))
+        print(f"{total} diagnostic(s) from sm {run.sm_name}")
+        if degraded:
+            budget = run.budget
+            print("DEGRADED: results are partial"
+                  + (f" ({budget.note()})"
+                     if budget and budget.exhausted else ""))
+        print(run.summary_line())
     if run.interrupted:
-        return _interrupted(run, journal)
+        return _interrupted(run, journal, json_mode)
     if quarantined:
         return EXIT_INTERNAL
     return EXIT_BUGS if total else EXIT_CLEAN
@@ -365,6 +437,45 @@ def cmd_list(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    import json
+    from .obs import format_metrics
+    try:
+        snapshot = json.loads(Path(args.metrics).read_text())
+    except OSError as exc:
+        raise ReproError(f"cannot read {args.metrics}: {exc}") from None
+    except ValueError as exc:
+        raise ReproError(f"{args.metrics} is not JSON: {exc}") from None
+    print(format_metrics(snapshot))
+    return 0
+
+
+def cmd_explain(args) -> int:
+    import json
+    from .obs import render_explain
+    try:
+        doc = json.loads(Path(args.report).read_text())
+    except OSError as exc:
+        raise ReproError(f"cannot read {args.report}: {exc}") from None
+    except ValueError as exc:
+        raise ReproError(f"{args.report} is not JSON: {exc}") from None
+    reports = doc.get("reports", []) if isinstance(doc, dict) else []
+    matches = [r for r in reports
+               if str(r.get("id", "")).startswith(args.error_id)]
+    if not matches:
+        known = ", ".join(str(r.get("id")) for r in reports[:20])
+        raise ReproError(
+            f"no report with id {args.error_id!r} in {args.report}"
+            + (f"; known ids: {known}" if known else " (report is empty)"))
+    if len(matches) > 1:
+        raise ReproError(
+            f"id prefix {args.error_id!r} is ambiguous: "
+            + ", ".join(str(r["id"]) for r in matches))
+    report = matches[0]
+    print(render_explain(report, report.get("provenance", [])))
+    return 0
+
+
 def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
     """Worker-pool and result-cache flags shared by check/metal."""
     parser.add_argument("--jobs", default=os.environ.get("MC_CHECK_JOBS", "1"),
@@ -398,6 +509,20 @@ def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
                              "faults into the fleet's own workers from a "
                              "JSON fault plan (supervision testing; see "
                              "docs/resilience.md)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a structured JSONL span trace of the "
+                             "run (run -> item -> unit/function -> path, "
+                             "with timings and engine counters; see "
+                             "docs/observability.md)")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write run metrics (counters, gauges, latency "
+                             "histograms) as JSON; render with "
+                             "'mc-check stats FILE'")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="report format: 'json' prints a machine-"
+                             "readable document (report ids + path "
+                             "provenance, consumed by 'mc-check explain') "
+                             "on stdout and routes all chatter to stderr")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -492,6 +617,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="list registered checkers")
     p_list.set_defaults(func=cmd_list)
+
+    p_stats = sub.add_parser(
+        "stats", help="render a --metrics-out document as a table")
+    p_stats.add_argument("metrics", metavar="METRICS.json",
+                         help="metrics document written by --metrics-out")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="show the path that produced one diagnostic")
+    p_explain.add_argument("report", metavar="REPORT.json",
+                           help="report written by 'check/metal "
+                                "--format json'")
+    p_explain.add_argument("error_id", metavar="ERROR-ID",
+                           help="the diagnostic's id from the JSON report "
+                                "(a unique prefix is enough)")
+    p_explain.set_defaults(func=cmd_explain)
     return parser
 
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 import hashlib
 from typing import Optional
 
+from ..obs.metrics import current_metrics
+from ..obs.trace import current_tracer
 from .parser import parse
 from .sema import SemaInfo, annotate
 from . import ast
@@ -55,15 +57,33 @@ def parse_annotated(
         frozenset(typedefs) if typedefs else frozenset(),
         prelude_key,
     )
+    metrics = current_metrics()
     cached = _MEMO.get(key)
     if cached is not None:
         _STATS["hits"] += 1
+        if metrics is not None:
+            metrics.inc("parse.memo_hits")
         return cached
     _STATS["misses"] += 1
-    unit = parse(text, filename, typedefs=set(typedefs) if typedefs else None)
-    sema = annotate(unit, prelude=prelude)
+    if metrics is not None:
+        metrics.inc("parse.units")
+    tracer = current_tracer()
+    with tracer.span("unit", filename) if tracer.enabled else _noop():
+        unit = parse(text, filename,
+                     typedefs=set(typedefs) if typedefs else None)
+        sema = annotate(unit, prelude=prelude)
     _MEMO[key] = (unit, sema)
     return unit, sema
+
+
+class _noop:
+    """Stand-in context manager when tracing is off."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
 
 
 def clear_memo() -> None:

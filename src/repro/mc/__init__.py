@@ -42,6 +42,8 @@ from .report import (
     format_reports,
     format_run_stats,
     format_sink,
+    report_to_json_obj,
+    run_to_json,
     summarize_by_severity,
 )
 
@@ -61,4 +63,5 @@ __all__ = [
     "RedundantWaitEliminator", "TransformResult",
     "Report", "ReportSink", "format_quarantines", "format_reports",
     "format_run_stats", "format_sink", "summarize_by_severity",
+    "report_to_json_obj", "run_to_json",
 ]

@@ -30,10 +30,12 @@ from typing import Optional
 
 from ..lang.source import Location
 from ..metal.runtime import Report, ReportSink
+from ..obs.provenance import provenance_from_obj, provenance_to_obj
 from .resilience import Quarantine
 
 #: Bump when the payload shape changes; stale-schema entries are misses.
-SCHEMA_VERSION = 1
+#: v2 added per-report path provenance to result/sink payloads.
+SCHEMA_VERSION = 2
 
 
 # -- fingerprints ------------------------------------------------------------
@@ -74,11 +76,15 @@ def engine_fingerprint() -> str:
         import repro.lang
         import repro.metal
         import repro.mc
+        import repro.obs
         import repro.project
         from repro.flash import headers, machine, spec
 
+        # repro.obs is included because provenance trails it builds are
+        # part of the cached payloads.
         digests = []
-        for package in (repro.lang, repro.cfg, repro.metal, repro.mc):
+        for package in (repro.lang, repro.cfg, repro.metal, repro.mc,
+                        repro.obs):
             root = Path(inspect.getsourcefile(package)).parent
             for path in sorted(root.glob("*.py")):
                 digests.append(_sha256(path.read_bytes()))
@@ -197,6 +203,7 @@ def result_to_payload(result) -> dict:
         "quarantines": [quarantine_to_obj(q) for q in result.quarantines],
         "degraded": bool(result.degraded),
         "degradation_notes": list(result.degradation_notes),
+        "provenance": provenance_to_obj(result.provenance),
     }
 
 
@@ -211,6 +218,7 @@ def result_from_payload(payload: dict):
     result.quarantines = [quarantine_from_obj(o) for o in payload["quarantines"]]
     result.degraded = payload["degraded"]
     result.degradation_notes = list(payload["degradation_notes"])
+    result.provenance = provenance_from_obj(payload.get("provenance", []))
     return result
 
 
@@ -223,6 +231,7 @@ def sink_to_payload(sink: ReportSink) -> dict:
         "quarantines": [quarantine_to_obj(q) for q in sink.quarantines],
         "degraded": bool(sink.degraded),
         "degradation_notes": list(sink.degradation_notes),
+        "provenance": provenance_to_obj(sink.provenance),
     }
 
 
@@ -235,6 +244,7 @@ def sink_from_payload(payload: dict) -> ReportSink:
     # add_quarantine sets degraded; restore the recorded flag exactly.
     sink.degraded = payload["degraded"]
     sink.degradation_notes = list(payload["degradation_notes"])
+    sink.provenance = provenance_from_obj(payload.get("provenance", []))
     return sink
 
 
@@ -353,6 +363,10 @@ class ResultCache:
     def put(self, key: str, payload: dict) -> None:
         if not payload_cacheable(payload):
             return
+        if "obs" in payload:
+            # Timings and counters are run observations, not content —
+            # storing them would make cache entries non-reproducible.
+            payload = {k: v for k, v in payload.items() if k != "obs"}
         path = self._path(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)

@@ -18,6 +18,9 @@ from ..lang import ast
 from ..lang.source import Location
 from ..metal.runtime import MatchContext, ReportSink
 from ..metal.sm import StateMachine
+from ..obs.metrics import current_metrics
+from ..obs.provenance import build_steps, report_key
+from ..obs.trace import MAX_PATH_SPANS_PER_FUNCTION, current_tracer
 from .resilience import Budget, Quarantine
 
 
@@ -31,7 +34,16 @@ class _OutOfBudget(Exception):
 
 
 class _Run:
-    """Shared pieces of one machine-over-one-function execution."""
+    """Shared pieces of one machine-over-one-function execution.
+
+    Also the accounting point for observability: every run counts its
+    machine steps, fired transitions, created (block, state) pairs, and
+    path ends (flushed to the active metrics registry and trace span by
+    :func:`run_machine`), and tracks enough position — the current
+    (block, state) key, event ordinal, and in-block transitions — for
+    :mod:`repro.obs.provenance` to reconstruct the trail behind each
+    new diagnostic.
+    """
 
     def __init__(self, sm: StateMachine, cfg: Cfg, sink: ReportSink,
                  budget: Optional[Budget] = None):
@@ -40,6 +52,18 @@ class _Run:
         self.sink = sink
         self.budget = budget
         self.function = cfg.function
+        # Work counters (see class docstring).
+        self.steps = 0
+        self.transitions = 0
+        self.states = 0
+        self.path_ends = 0
+        # Provenance position: where the machine is right now.
+        self.parents: dict[tuple, tuple] = {}
+        self.block_transitions_by_key: dict[tuple, list] = {}
+        self.current_key: Optional[tuple] = None
+        self.current_ordinal = 0
+        self._block_transitions: Optional[list] = None
+        self.tracer = current_tracer()
 
     def ctx_factory(self, node: ast.Node, bindings: dict, state: str) -> MatchContext:
         return MatchContext(
@@ -56,23 +80,49 @@ class _Run:
 
         Returns ``(state_after, stopped)``.
         """
-        for event in block.events:
+        for ordinal, event in enumerate(block.events):
+            self.current_ordinal = ordinal
             for node in _event_nodes(event):
                 if self.budget is not None and not self.budget.charge_step():
                     raise _OutOfBudget()
+                self.steps += 1
                 result = self.sm.step(state, node, self.ctx_factory)
+                if result.fired is not None:
+                    self.transitions += 1
+                    if (result.state != state
+                            and self._block_transitions is not None):
+                        loc = node.location
+                        self._block_transitions.append(
+                            (ordinal, loc.filename, loc.line, state,
+                             result.state, result.fired.name))
                 state = result.state
                 if result.stopped:
                     return state, True
         return state, False
 
     def at_path_end(self, state: str) -> None:
+        self.path_ends += 1
         if self.sm.path_end_action is None:
             return
+        # Past every event ordinal, so provenance keeps the whole block.
+        self.current_ordinal = 1 << 30
         marker = ast.Ident(name="<function-exit>",
                            location=self.function.location)
         ctx = self.ctx_factory(marker, {}, state)
         self.sm.path_end_action(state, ctx)
+
+    def attach_provenance(self, report) -> None:
+        """Record the trail behind a report the first time it fires."""
+        key = report_key(report)
+        if key in self.sink.provenance or self.current_key is None:
+            return
+        try:
+            self.sink.provenance[key] = build_steps(
+                self.cfg, self.parents, self.block_transitions_by_key,
+                self.current_key, self.current_ordinal, report)
+        except Exception:
+            # Provenance is best-effort; it must never break analysis.
+            pass
 
 
 def _edge_state(sm: StateMachine, block, state: str, edge) -> str:
@@ -90,6 +140,26 @@ def _edge_state(sm: StateMachine, block, state: str, edge) -> str:
     return override if override is not None else state
 
 
+def _flush_run(run: _Run, span, *, naive: bool = False) -> None:
+    """Fold one machine execution's counters into the active metrics
+    registry and close its trace span (both no-ops when observability
+    is off)."""
+    metrics = current_metrics()
+    if metrics is not None:
+        metrics.inc("engine.naive_functions" if naive
+                    else "engine.functions")
+        metrics.inc("engine.steps", run.steps)
+        metrics.inc("engine.transitions", run.transitions)
+        metrics.inc("engine.states", run.states)
+        metrics.inc("engine.paths", run.path_ends)
+    if span is not None:
+        span.counters["steps"] = run.steps
+        span.counters["transitions"] = run.transitions
+        span.counters["states"] = run.states
+        span.counters["paths"] = run.path_ends
+        span.__exit__(None, None, None)
+
+
 def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink, *,
                 budget: Optional[Budget] = None,
                 isolate: bool = False) -> None:
@@ -101,11 +171,20 @@ def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink, *,
     machine (a buggy checker action, a malformed pattern) quarantines
     this (checker, function) pair into ``sink.quarantines`` instead of
     propagating.
+
+    Every execution also records path provenance for each *new* report
+    (``sink.provenance``), counts its work into the active metrics
+    registry, and — when a tracer is active — emits a ``function`` span
+    with a sample of ``path`` spans.
     """
     initial = sm.initial_state(cfg.function)
     if initial is None:
         return
     run = _Run(sm, cfg, sink, budget)
+    span = (run.tracer.span("function", cfg.name, checker=sm.name)
+            if run.tracer.enabled else None)
+    previous_hook = sink.on_new_report
+    sink.on_new_report = run.attach_provenance
     if budget is not None:
         budget.start_clock()
     try:
@@ -115,36 +194,58 @@ def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink, *,
         sink.degradation_notes.append(
             f"[{sm.name}] {cfg.name}: exploration stopped — {budget.note()}"
         )
+        if span is not None:
+            span.status = "degraded"
     except Exception as exc:
+        if span is not None:
+            span.status = "error"
         if not isolate:
             raise
         sink.add_quarantine(Quarantine(
             checker=sm.name, function=cfg.name, phase="path-walk",
             error_type=type(exc).__name__, message=str(exc),
         ))
+    finally:
+        sink.on_new_report = previous_hook
+        _flush_run(run, span)
 
 
 def _walk_cached(run: _Run, cfg: Cfg) -> None:
     visited: set[tuple[int, str]] = set()
-    stack: list[tuple] = [(cfg.entry, run.sm.initial_state(cfg.function))]
+    stack: list[tuple] = [
+        (cfg.entry, run.sm.initial_state(cfg.function), None, None)
+    ]
+    path_spans = 0
     while stack:
-        block, state = stack.pop()
+        block, state, pred_key, edge_label = stack.pop()
         key = (block.index, state)
         if key in visited:
             continue
         visited.add(key)
+        run.states += 1
+        run.parents[key] = (pred_key, edge_label)
+        run.current_key = key
+        in_block: list = []
+        run._block_transitions = in_block
         state, stopped = run.run_block_events(block, state)
+        if in_block:
+            run.block_transitions_by_key[key] = in_block
         if stopped:
             continue
-        if block is cfg.exit:
+        if block is cfg.exit or not block.out_edges:
+            # The exit, or a dead end that is not the exit (e.g. an
+            # infinite loop body).
             run.at_path_end(state)
-            continue
-        if not block.out_edges:
-            # A dead end that is not the exit (e.g. infinite loop body).
-            run.at_path_end(state)
+            if (run.tracer.enabled
+                    and path_spans < MAX_PATH_SPANS_PER_FUNCTION):
+                path_spans += 1
+                with run.tracer.span("path", f"{cfg.name}#{run.path_ends}",
+                                     end_state=state):
+                    pass
             continue
         for edge in reversed(block.out_edges):
-            stack.append((edge.dst, _edge_state(run.sm, block, state, edge)))
+            stack.append((edge.dst, _edge_state(run.sm, block, state, edge),
+                          key, edge.label))
 
 
 def run_machine_naive(sm: StateMachine, cfg: Cfg, sink: ReportSink,
@@ -166,6 +267,9 @@ def run_machine_naive(sm: StateMachine, cfg: Cfg, sink: ReportSink,
     if initial is None:
         return 0
     run = _Run(sm, cfg, sink, budget)
+    span = (run.tracer.span("function", f"{cfg.name} (naive)",
+                            checker=sm.name)
+            if run.tracer.enabled else None)
     if budget is not None:
         budget.start_clock()
     back = cfg.back_edges()
@@ -199,6 +303,10 @@ def run_machine_naive(sm: StateMachine, cfg: Cfg, sink: ReportSink,
             f"[{sm.name}] {cfg.name}: naive enumeration stopped — "
             f"{budget.note()}"
         )
+        if span is not None:
+            span.status = "degraded"
+    finally:
+        _flush_run(run, span, naive=True)
     return paths_walked
 
 

@@ -100,6 +100,12 @@ class WorkerConfig:
     #: Worker-site fault rules (``worker_crash``/``worker_hang``/...)
     #: armed only inside supervised worker processes, never inline.
     fault_plan: Optional[FaultPlan] = None
+    #: Directory each worker appends its trace spans into
+    #: (``--trace``); ``None`` disables span tracing entirely.
+    trace_dir: Optional[str] = None
+    #: Collect per-item metrics into the payload's ``obs`` section
+    #: (``--trace``/``--metrics-out``); stripped before cache/journal.
+    collect_obs: bool = False
 
 
 # -- worker side -------------------------------------------------------------
@@ -277,11 +283,80 @@ def _run_metal_item(item: WorkItem, config: WorkerConfig,
     return sink_to_payload(sink)
 
 
-def _execute_item(item: WorkItem, config: WorkerConfig,
-                  shared_budget: Optional[Budget] = None) -> dict:
+def _execute_item_plain(item: WorkItem, config: WorkerConfig,
+                        shared_budget: Optional[Budget] = None) -> dict:
     if item.kind == "metal":
         return _run_metal_item(item, config, shared_budget)
     return _run_checker_item(item, config)
+
+
+#: This process's trace file handle, one per (pid, trace run).  Keyed by
+#: pid because forked workers inherit the parent's module state and must
+#: not share its file.
+_TRACER: Optional[tuple] = None
+
+
+def _obs_tracer(config: WorkerConfig):
+    from ..obs.trace import NULL_TRACER, Tracer
+
+    global _TRACER
+    if config.trace_dir is None:
+        return NULL_TRACER
+    pid = os.getpid()
+    if _TRACER is None or _TRACER[0] != pid:
+        _TRACER = (pid, Tracer(Path(config.trace_dir)
+                               / f"worker-{pid}.jsonl"))
+    return _TRACER[1]
+
+
+def _execute_item(item: WorkItem, config: WorkerConfig,
+                  shared_budget: Optional[Budget] = None) -> dict:
+    """Execute one work item, observed when the config asks for it.
+
+    Observation wraps — never alters — execution: a per-item metrics
+    registry and this process's tracer are activated around
+    :func:`_execute_item_plain`, the item's counters/timings ship back
+    in the payload's ``obs`` section, and an item span (id
+    ``i<index>a<attempt>``) closes into the worker's trace file.
+    """
+    if not config.collect_obs and config.trace_dir is None:
+        return _execute_item_plain(item, config, shared_budget)
+    from ..obs.metrics import MetricsRegistry, activate_metrics
+    from ..obs.trace import activate_tracer
+
+    tracer = _obs_tracer(config)
+    registry = MetricsRegistry()
+    previous_metrics = activate_metrics(registry)
+    previous_tracer = activate_tracer(tracer)
+    span = (tracer.item(item.index, _WORKER_ATTEMPT,
+                        _item_label(item, config), units=list(item.paths))
+            if tracer.enabled else None)
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    try:
+        payload = _execute_item_plain(item, config, shared_budget)
+    except BaseException as exc:
+        if span is not None:
+            span.status = "error"
+            span.set(error=type(exc).__name__)
+            span.__exit__(None, None, None)
+        raise
+    finally:
+        activate_tracer(previous_tracer)
+        activate_metrics(previous_metrics)
+    if config.collect_obs:
+        payload["obs"] = {
+            "counters": dict(registry.counters),
+            "wall": round(time.perf_counter() - wall0, 6),
+            "cpu": round(time.process_time() - cpu0, 6),
+        }
+    if span is not None:
+        if payload.get("quarantines"):
+            span.status = "quarantined"
+        elif payload.get("degraded"):
+            span.status = "degraded"
+        span.counters.update(registry.counters)
+        span.__exit__(None, None, None)
+    return payload
 
 
 # -- parent side -------------------------------------------------------------
@@ -311,9 +386,15 @@ def _run_items(items: list, config: WorkerConfig, jobs: int,
                cache: Optional[ResultCache], keys: dict,
                journal: Optional[RunJournal] = None,
                policy: Optional[SupervisorPolicy] = None,
+               observation=None,
                ) -> tuple[dict, Optional[Budget], RunStats]:
     """Execute items (journal replay and cache first, then supervised
     pool or inline).
+
+    ``observation`` (a :class:`repro.obs.Observation`, optional) sees
+    every item exactly once: fresh completions via ``absorb_payload``,
+    everything resolved parent-side — journal replays, cache hits,
+    poison quarantines, interruption skips — via ``item_resolved``.
 
     Returns ``(payloads by item index, shared serial budget or None,
     supervision stats)``.
@@ -324,6 +405,14 @@ def _run_items(items: list, config: WorkerConfig, jobs: int,
     stats = RunStats()
     payloads: dict[int, dict] = {}
     pending: list[WorkItem] = []
+
+    def resolved(item: WorkItem, status: str) -> None:
+        if observation is not None:
+            observation.item_resolved(item, _item_label(item, config),
+                                      status)
+
+    if observation is not None:
+        observation.set_item_total(len(items))
     for item in items:
         key = keys.get(item.index)
         payload = None
@@ -331,14 +420,20 @@ def _run_items(items: list, config: WorkerConfig, jobs: int,
             payload = journal.replay(key)
             if payload is not None:
                 stats.replayed += 1
+                resolved(item, "replayed")
         if payload is None and cache is not None and key is not None:
             payload = cache.get(key)
+            if payload is not None:
+                resolved(item, "cached")
         if payload is not None:
             payloads[item.index] = payload
         else:
             pending.append(item)
 
     def record(item: WorkItem, payload: dict) -> None:
+        if observation is not None:
+            observation.absorb_payload(item, _item_label(item, config),
+                                       payload)
         key = keys.get(item.index)
         if key is None:
             return
@@ -368,6 +463,7 @@ def _run_items(items: list, config: WorkerConfig, jobs: int,
                 payloads[item.index] = _skipped_payload(
                     item, config,
                     f"not analysed — run interrupted ({stats.stop_reason})")
+                resolved(item, "skipped")
                 continue
             payload = _execute_item(item, config, shared_budget)
             payloads[item.index] = payload
@@ -377,13 +473,19 @@ def _run_items(items: list, config: WorkerConfig, jobs: int,
     if jobs <= 1 or len(pending) == 1:
         run_inline()
         return payloads, shared_budget, stats
+    def quarantined(item: WorkItem, error_type: str, message: str) -> dict:
+        resolved(item, "quarantined")
+        return _quarantine_payload(item, config, error_type, message)
+
+    def skipped(item: WorkItem, note: str) -> dict:
+        resolved(item, "skipped")
+        return _skipped_payload(item, config, note)
+
     try:
         supervise_items(
             pending, config, jobs, policy, stats, payloads, record,
-            quarantine_payload=lambda item, error_type, message:
-                _quarantine_payload(item, config, error_type, message),
-            skipped_payload=lambda item, note:
-                _skipped_payload(item, config, note),
+            quarantine_payload=quarantined,
+            skipped_payload=skipped,
         )
     except SupervisorUnavailable:
         # No usable multiprocessing here (restricted sandbox, missing
@@ -434,6 +536,10 @@ def merge_parts(checker: str, parts: list):
             merged.quarantines.append(quarantine)
         merged.degraded = merged.degraded or part.degraded
         merged.degradation_notes.extend(part.degradation_notes)
+        for key, steps in getattr(part, "provenance", {}).items():
+            # First part wins: every part's trail for the same report
+            # reaches the same site, and dedup keeps one report anyway.
+            merged.provenance.setdefault(key, steps)
     merged.reports.sort(key=_report_sort_key)
     merged.annotations.sort(key=lambda l: (l.filename, l.line, l.column))
     return merged
@@ -472,7 +578,8 @@ def check_files(paths: list, *, names: Optional[list] = None,
                 keep_going: bool = False,
                 deadline: Optional[float] = None,
                 journal: Optional[RunJournal] = None,
-                policy: Optional[SupervisorPolicy] = None) -> CheckRun:
+                policy: Optional[SupervisorPolicy] = None,
+                observation=None) -> CheckRun:
     """Run the registered checker fleet over source files, in parallel.
 
     The parallel analog of :func:`repro.checkers.base.run_all`: same
@@ -482,6 +589,9 @@ def check_files(paths: list, *, names: Optional[list] = None,
     resumed ``journal`` where content allows.  ``policy`` tunes the
     supervision (per-item timeout, retries, stop requests, injected
     worker faults); the default supervises with no per-item timeout.
+    ``observation`` (a :class:`repro.obs.Observation`) turns on span
+    tracing and metrics collection; reports are identical with or
+    without it.
     """
     from ..checkers.base import checker_names, get_checker
     from ..project import read_sources
@@ -497,6 +607,9 @@ def check_files(paths: list, *, names: Optional[list] = None,
         keep_going=keep_going,
         deadline=deadline,
         fault_plan=policy.fault_plan if policy is not None else None,
+        trace_dir=(observation.worker_trace_dir
+                   if observation is not None else None),
+        collect_obs=observation is not None,
     )
 
     items: list[WorkItem] = []
@@ -533,7 +646,8 @@ def check_files(paths: list, *, names: Optional[list] = None,
             )
 
     payloads, _, run_stats = _run_items(items, config, jobs, cache, keys,
-                                        journal=journal, policy=policy)
+                                        journal=journal, policy=policy,
+                                        observation=observation)
 
     results = {}
     for name in selected:
@@ -583,7 +697,8 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
                 budget_paths: Optional[int] = None,
                 budget_seconds: Optional[float] = None,
                 journal: Optional[RunJournal] = None,
-                policy: Optional[SupervisorPolicy] = None) -> MetalRun:
+                policy: Optional[SupervisorPolicy] = None,
+                observation=None) -> MetalRun:
     """Run one textual metal checker over files as parallel work items.
 
     Step/path budgets apply per work item when ``jobs > 1`` (each worker
@@ -616,6 +731,9 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
         budget_steps=budget_steps, budget_paths=budget_paths,
         metal_text=metal_text, metal_name=metal_path,
         fault_plan=policy.fault_plan if policy is not None else None,
+        trace_dir=(observation.worker_trace_dir
+                   if observation is not None else None),
+        collect_obs=observation is not None,
     )
 
     ordered_paths = list(dict.fromkeys(paths))
@@ -638,7 +756,8 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
             )
 
     payloads, shared_budget, run_stats = _run_items(
-        items, config, jobs, cache, keys, journal=journal, policy=policy)
+        items, config, jobs, cache, keys, journal=journal, policy=policy,
+        observation=observation)
     sinks = [(path, sink_from_payload(payloads[i]))
              for i, path in enumerate(ordered_paths)]
     return MetalRun(sm_name=sm.name, sinks=sinks, jobs=jobs,

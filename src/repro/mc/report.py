@@ -15,7 +15,11 @@ __all__ = [
     "Report", "ReportSink", "Budget", "Quarantine",
     "format_reports", "format_quarantines", "format_sink",
     "format_run_stats", "summarize_by_severity",
+    "report_to_json_obj", "run_to_json", "REPORT_JSON_SCHEMA",
 ]
+
+#: ``--format json`` document schema; bump when the shape changes.
+REPORT_JSON_SCHEMA = 1
 
 
 def format_reports(reports, heading: str = "") -> str:
@@ -95,3 +99,81 @@ def summarize_by_severity(reports) -> dict[str, int]:
     for report in reports:
         counts[report.severity] = counts.get(report.severity, 0) + 1
     return counts
+
+
+# -- machine-readable reports (``--format json`` / ``mc-check explain``) ------
+
+def report_to_json_obj(report: Report, provenance=None) -> dict:
+    """One diagnostic as a JSON-able object.
+
+    ``id`` is the stable short hash ``mc-check explain`` takes; it is a
+    pure function of (checker, message, location), so it is identical
+    across runs, job counts, and cache states.  ``provenance`` is the
+    step trail recorded at first emission (may be empty: naive-engine
+    and non-engine diagnostics carry none).
+    """
+    from ..obs.provenance import report_id
+
+    loc = report.location
+    return {
+        "id": report_id(report.checker, report.message, loc.filename,
+                        loc.line, loc.column),
+        "checker": report.checker,
+        "message": report.message,
+        "file": loc.filename,
+        "line": loc.line,
+        "column": loc.column,
+        "function": report.function,
+        "severity": report.severity,
+        "backtrace": [str(frame) for frame in report.backtrace],
+        "provenance": list(provenance) if provenance else [],
+    }
+
+
+def run_to_json(run) -> dict:
+    """A :class:`~repro.mc.parallel.CheckRun` or ``MetalRun`` as the
+    ``--format json`` document.
+
+    Deterministic: reports carry the same total order as
+    :func:`format_reports`, and nothing in the document depends on
+    timing or scheduling — a traced run serialises byte-identically to
+    an untraced one.
+    """
+    from ..obs.provenance import report_key
+
+    results = getattr(run, "results", None)
+    parts = (list(results.values()) if results is not None
+             else [sink for _path, sink in run.sinks])
+    reports: list[dict] = []
+    quarantines: list[dict] = []
+    degraded = False
+    notes: list[str] = []
+    for part in parts:
+        provenance = getattr(part, "provenance", {})
+        for report in part.reports:
+            reports.append(report_to_json_obj(
+                report, provenance.get(report_key(report))))
+        for q in part.quarantines:
+            quarantines.append({
+                "checker": q.checker, "function": q.function,
+                "phase": q.phase, "error_type": q.error_type,
+                "message": q.message,
+            })
+        degraded = degraded or bool(part.degraded)
+        notes.extend(part.degradation_notes)
+    reports.sort(key=lambda o: (o["file"], o["line"], o["column"],
+                                o["checker"], o["message"]))
+    summary: dict[str, int] = {}
+    for obj in reports:
+        summary[obj["severity"]] = summary.get(obj["severity"], 0) + 1
+    return {
+        "schema": REPORT_JSON_SCHEMA,
+        "jobs": getattr(run, "jobs", 1),
+        "run_id": getattr(run, "run_id", None),
+        "interrupted": bool(getattr(run, "interrupted", False)),
+        "degraded": degraded,
+        "summary": summary,
+        "reports": reports,
+        "quarantines": quarantines,
+        "degradation_notes": notes,
+    }

@@ -265,6 +265,11 @@ class RunJournal:
             return
         if key in self._entries:
             return  # already journaled by the run we resumed
+        if "obs" in payload:
+            # Timings/counters are observations of *this* run; replaying
+            # them would make a resumed report depend on the first run's
+            # clock.  Strip before the line hits disk.
+            payload = {k: v for k, v in payload.items() if k != "obs"}
         try:
             self._append({"key": key, "payload": payload})
         except OSError:

@@ -64,6 +64,14 @@ class ReportSink:
         self.degraded: bool = False
         #: Human-readable notes on what was cut short and why.
         self.degradation_notes: list[str] = []
+        #: Path provenance per report key (checker, message, location):
+        #: the interleaved source-line/state-transition trail that first
+        #: reached the diagnostic (see :mod:`repro.obs.provenance`).
+        self.provenance: dict[tuple, list] = {}
+        #: Engine hook, invoked with each *new* (non-duplicate) report —
+        #: this is how the path-sensitive engine attaches provenance at
+        #: the moment a diagnostic first fires.
+        self.on_new_report = None
 
     def add(self, report: Report) -> bool:
         key = (report.checker, report.message, report.location)
@@ -71,6 +79,8 @@ class ReportSink:
             return False
         self._seen.add(key)
         self._reports.append(report)
+        if self.on_new_report is not None:
+            self.on_new_report(report)
         return True
 
     def add_quarantine(self, quarantine) -> bool:

@@ -1,0 +1,153 @@
+"""Run metrics: counters, gauges, and latency histograms.
+
+One :class:`MetricsRegistry` accumulates everything quantitative about
+a run — machine steps, states created, paths explored, cache hit/miss/
+corrupt, retries, quarantines, per-checker latency — and snapshots to
+a plain JSON document (``--metrics-out metrics.json``) rendered for
+humans by ``mc-check stats``.
+
+The registry is deliberately dependency-free and process-local: each
+worker process fills a fresh registry per work item, ships the snapshot
+back inside the result payload, and the parent merges.  Names follow a
+``component.measure`` convention; the glossary lives in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Metrics document schema; bump when the snapshot shape changes.
+METRICS_SCHEMA = 1
+
+
+class Histogram:
+    """Raw-sample histogram (run-scale cardinality: one value per item).
+
+    Stores every observation, so percentiles are exact; a run has at
+    most a few thousand work items, which keeps this honest and tiny.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (nearest-rank) of the samples."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1,
+                          round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        values = self.values
+        return {
+            "count": len(values),
+            "sum": round(sum(values), 6),
+            "min": round(min(values), 6) if values else 0.0,
+            "max": round(max(values), 6) if values else 0.0,
+            "p50": round(self.percentile(50), 6),
+            "p90": round(self.percentile(90), 6),
+            "p99": round(self.percentile(99), 6),
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms for one run (or one work item)."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    # -- merging -------------------------------------------------------------
+
+    def merge_counters(self, counters: Optional[dict]) -> None:
+        """Fold a worker item's counter snapshot into this registry."""
+        if not counters:
+            return
+        for name, value in counters.items():
+            if isinstance(value, (int, float)):
+                self.counters[name] = self.counters.get(name, 0) + value
+
+    # -- output --------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: round(self.gauges[k], 6)
+                       for k in sorted(self.gauges)},
+            "histograms": {k: self.histograms[k].snapshot()
+                           for k in sorted(self.histograms)},
+        }
+
+
+# -- the process-wide active registry ----------------------------------------
+
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def current_metrics() -> Optional[MetricsRegistry]:
+    """The process's active registry, or ``None`` when collection is off."""
+    return _ACTIVE
+
+
+def activate_metrics(registry: Optional[MetricsRegistry]):
+    """Install ``registry`` as active; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+# -- human rendering (``mc-check stats``) ------------------------------------
+
+def format_metrics(snapshot: dict) -> str:
+    """Render a metrics snapshot as the ``mc-check stats`` table."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    if counters or gauges:
+        width = max((len(n) for n in list(counters) + list(gauges)),
+                    default=6)
+        lines.append(f"{'metric':{width}s} {'value':>14s}")
+        lines.append("-" * (width + 15))
+        for name in sorted(counters):
+            lines.append(f"{name:{width}s} {counters[name]:14d}")
+        for name in sorted(gauges):
+            lines.append(f"{name:{width}s} {gauges[name]:14.4f}")
+    hists = snapshot.get("histograms", {})
+    if hists:
+        if lines:
+            lines.append("")
+        width = max(len(n) for n in hists)
+        lines.append(f"{'histogram':{width}s} {'count':>6s} {'p50':>9s} "
+                     f"{'p90':>9s} {'p99':>9s} {'max':>9s}")
+        lines.append("-" * (width + 46))
+        for name in sorted(hists):
+            h = hists[name]
+            lines.append(
+                f"{name:{width}s} {h['count']:6d} {h['p50']:9.4f} "
+                f"{h['p90']:9.4f} {h['p99']:9.4f} {h['max']:9.4f}")
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,226 @@
+"""Diagnostic provenance: the path that produced each report.
+
+The paper's authors triaged false positives by hand — re-deriving, for
+every suspicious diagnostic, the execution path that led the checker to
+it.  This module makes that path a first-class artifact: the engine
+records, for the *first* emission of every report, the interleaved
+source-line + state-machine-transition trail from function entry to the
+reporting site, and ``mc-check explain <report.json> <error-id>``
+renders it back.
+
+Recording is always on and cheap: the cached engine already tracks one
+``(block, state)`` visited set; provenance adds one parent pointer per
+visited key plus the (rare) in-block transitions, and reconstructs the
+step list only when a *new* report actually fires.
+
+A provenance trail is a list of plain-dict **steps**:
+
+``{"kind": "enter", "function", "file", "line"}``
+    path start: the function the machine entered.
+``{"kind": "line", "file", "line"}``
+    a source statement the path executed.
+``{"kind": "branch", "file", "line", "taken"}``
+    a conditional edge the path followed (``"true"``/``"false"``).
+``{"kind": "transition", "file", "line", "from", "to", "rule"}``
+    the state machine moved; ``rule`` names the metal rule when named.
+``{"kind": "report", "file", "line", "state"}``
+    the reporting site, with the machine state that triggered it.
+``{"kind": "elided", "count"}``
+    middle of an over-long trail (> :data:`MAX_STEPS`) cut for size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional
+
+#: Trails longer than this keep their head and tail and elide the middle.
+MAX_STEPS = 400
+
+
+# -- report identity ---------------------------------------------------------
+
+def report_id(checker: str, message: str, filename: str, line: int,
+              column: int) -> str:
+    """Stable short id for one diagnostic, used by ``explain``.
+
+    Derived from the same (checker, message, location) tuple the sink
+    dedups on, so the id is identical across runs, job counts, and
+    cache states.
+    """
+    text = f"{checker}\x00{message}\x00{filename}\x00{line}\x00{column}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
+
+
+def report_key(report) -> tuple:
+    """The provenance-map key for a :class:`repro.metal.runtime.Report`."""
+    return (report.checker, report.message, report.location)
+
+
+def key_to_obj(key: tuple) -> list:
+    checker, message, loc = key
+    return [checker, message, [loc.filename, loc.line, loc.column]]
+
+
+def key_from_obj(obj: list) -> tuple:
+    from ..lang.source import Location
+    checker, message, loc = obj
+    return (checker, message, Location(loc[0], int(loc[1]), int(loc[2])))
+
+
+def provenance_to_obj(provenance: dict) -> list:
+    """Serialise a ``{report key: steps}`` map for worker payloads."""
+    return [{"report": key_to_obj(key), "steps": steps}
+            for key, steps in provenance.items()]
+
+
+def provenance_from_obj(obj: list) -> dict:
+    return {key_from_obj(entry["report"]): list(entry["steps"])
+            for entry in obj or []}
+
+
+# -- trail construction (called by the engine on each new report) ------------
+
+def _loc_of(node) -> tuple[str, int]:
+    loc = node.location
+    return (loc.filename, loc.line)
+
+
+def build_steps(cfg, parents: dict, transitions: dict,
+                current_key: tuple, current_ordinal: int,
+                report) -> list[dict]:
+    """Reconstruct the trail from ``cfg``'s entry to ``report``.
+
+    ``parents`` maps each visited ``(block index, state)`` key to its
+    ``(predecessor key, edge label)``; ``transitions`` maps keys to the
+    in-block state changes recorded while executing them (``(event
+    ordinal, file, line, from, to, rule)`` tuples).  ``current_key`` /
+    ``current_ordinal`` locate the reporting site inside its block.
+    """
+    chain: list[tuple] = []
+    key: Optional[tuple] = current_key
+    seen: set[tuple] = set()
+    while key is not None and key not in seen:
+        seen.add(key)
+        chain.append(key)
+        key = parents.get(key, (None, None))[0]
+    chain.reverse()
+
+    steps: list[dict] = []
+    function = cfg.function
+    steps.append({
+        "kind": "enter", "function": cfg.name,
+        "file": function.location.filename, "line": function.location.line,
+        "state": chain[0][1] if chain else "",
+    })
+    for position, key in enumerate(chain):
+        block_index, _state = key
+        block = cfg.blocks[block_index]
+        edge_label = parents.get(key, (None, None))[1]
+        if edge_label in ("true", "false") and position > 0:
+            pred_block = cfg.blocks[chain[position - 1][0]]
+            if pred_block.events:
+                file, line = _loc_of(pred_block.events[-1])
+                steps.append({"kind": "branch", "file": file, "line": line,
+                              "taken": edge_label})
+        fired = {t[0]: t for t in transitions.get(key, ())}
+        last_line: Optional[tuple] = None
+        is_last = position == len(chain) - 1
+        for ordinal, event in enumerate(block.events):
+            if is_last and ordinal > current_ordinal:
+                break
+            file, line = _loc_of(event)
+            if (file, line) != last_line:
+                steps.append({"kind": "line", "file": file, "line": line})
+                last_line = (file, line)
+            if ordinal in fired:
+                _, tfile, tline, t_from, t_to, rule = fired[ordinal]
+                steps.append({"kind": "transition", "file": tfile,
+                              "line": tline, "from": t_from, "to": t_to,
+                              "rule": rule})
+    loc = report.location
+    steps.append({"kind": "report", "file": loc.filename, "line": loc.line,
+                  "state": current_key[1] if current_key else ""})
+    return _truncate(steps)
+
+
+def _truncate(steps: list[dict]) -> list[dict]:
+    if len(steps) <= MAX_STEPS:
+        return steps
+    head = MAX_STEPS // 2
+    tail = MAX_STEPS - head
+    elided = len(steps) - head - tail
+    return (steps[:head] + [{"kind": "elided", "count": elided}]
+            + steps[-tail:])
+
+
+# -- rendering (``mc-check explain``) ----------------------------------------
+
+class _SourceLookup:
+    """Best-effort source-line text for rendering (files may be gone)."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, Optional[list[str]]] = {}
+
+    def line(self, filename: str, line: int) -> str:
+        lines = self._files.get(filename, ())
+        if lines == ():
+            try:
+                lines = Path(filename).read_text().splitlines()
+            except OSError:
+                lines = None
+            self._files[filename] = lines
+        if lines is None or not 1 <= line <= len(lines):
+            return ""
+        return lines[line - 1].strip()
+
+
+def render_explain(report_obj: dict, steps: list[dict]) -> str:
+    """Render one diagnostic and its provenance trail as text."""
+    lines: list[str] = []
+    where = (f"{report_obj['file']}:{report_obj['line']}:"
+             f"{report_obj['column']}")
+    lines.append(f"error {report_obj['id']}: {where}: "
+                 f"[{report_obj['checker']}] {report_obj['message']}")
+    if report_obj.get("function"):
+        lines.append(f"  in function {report_obj['function']}")
+    for frame in report_obj.get("backtrace", ()):
+        lines.append(f"  called from {frame}")
+    if not steps:
+        lines.append("")
+        lines.append("(no path provenance recorded for this diagnostic — "
+                     "it was produced outside the path-sensitive engine)")
+        return "\n".join(lines)
+
+    lookup = _SourceLookup()
+    lines.append("")
+    lines.append("path (function entry -> error):")
+    for step in steps:
+        kind = step["kind"]
+        if kind == "elided":
+            lines.append(f"    ... {step['count']} step(s) elided ...")
+            continue
+        site = f"{step['file']}:{step['line']}"
+        if kind == "enter":
+            note = f"enter {step['function']}"
+            if step.get("state"):
+                note += f"  [state: {step['state']}]"
+        elif kind == "branch":
+            note = f"branch taken: {step['taken']}"
+        elif kind == "transition":
+            note = f"state {step['from']} -> {step['to']}"
+            if step.get("rule"):
+                note += f"  (rule {step['rule']})"
+        elif kind == "report":
+            note = f"ERROR here  [state: {step['state']}]"
+        else:
+            note = ""
+        text = lookup.line(step["file"], step["line"])
+        marker = {"enter": ">>", "branch": "?", "transition": "~",
+                  "report": "!!"}.get(kind, "|")
+        body = f"  {site:<28s} {marker:>2s} {text}"
+        if note:
+            body += f"{'  ' if text else ' '}// {note}"
+        lines.append(body.rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""A zero-dependency JSON Schema checker for the trace format.
+
+CI validates every ``--trace`` line against
+``trace_schema.json``; the container image does not ship the
+``jsonschema`` package, so this module implements the small subset of
+draft-07 the trace schema actually uses: ``type`` (with union lists),
+``enum``, ``required``, ``properties``, ``additionalProperties``
+(boolean or schema), ``minLength``, and ``items``.
+
+Also runnable as a program::
+
+    python -m repro.obs.schema trace.jsonl
+
+exits 0 when every line validates, 1 with per-line errors otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, type_name: str) -> bool:
+    expected = _TYPES[type_name]
+    if type_name in ("integer", "number") and isinstance(value, bool):
+        return False  # bool is an int subclass; JSON says it is not
+    return isinstance(value, expected)
+
+
+def validate(value, schema: dict, path: str = "$") -> list[str]:
+    """Validate ``value`` against ``schema``; returns error strings."""
+    errors: list[str] = []
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(_type_ok(value, name) for name in names):
+            errors.append(f"{path}: expected {'|'.join(names)}, "
+                          f"got {type(value).__name__}")
+            return errors  # deeper checks would only cascade
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "minLength" in schema and isinstance(value, str):
+        if len(value) < schema["minLength"]:
+            errors.append(f"{path}: shorter than {schema['minLength']}")
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for name, item in value.items():
+            sub = properties.get(name)
+            if sub is not None:
+                errors.extend(validate(item, sub, f"{path}.{name}"))
+            elif additional is False:
+                errors.append(f"{path}: unexpected property {name!r}")
+            elif isinstance(additional, dict):
+                errors.extend(validate(item, additional, f"{path}.{name}"))
+    if isinstance(value, list) and isinstance(schema.get("items"), dict):
+        for index, item in enumerate(value):
+            errors.extend(validate(item, schema["items"],
+                                   f"{path}[{index}]"))
+    return errors
+
+
+def trace_schema() -> dict:
+    """The checked-in span schema (``trace_schema.json``)."""
+    path = Path(__file__).with_name("trace_schema.json")
+    return json.loads(path.read_text())
+
+
+def validate_trace_file(path) -> list[str]:
+    """Validate every line of a trace JSONL file; returns error strings."""
+    schema = trace_schema()
+    errors: list[str] = []
+    text = Path(path).read_text()
+    seen_any = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        seen_any = True
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            errors.append(f"line {number}: invalid JSON: {exc}")
+            continue
+        for error in validate(record, schema):
+            errors.append(f"line {number}: {error}")
+    if not seen_any:
+        errors.append("trace file is empty")
+    return errors
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if not argv:
+        print("usage: python -m repro.obs.schema TRACE.jsonl...",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        errors = validate_trace_file(path)
+        if errors:
+            status = 1
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            count = sum(1 for l in Path(path).read_text().splitlines()
+                        if l.strip())
+            print(f"{path}: {count} span(s) valid")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

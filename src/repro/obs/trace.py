@@ -1,0 +1,362 @@
+"""Structured JSONL tracing for the MC engine and checker fleet.
+
+A *trace* is a flat JSONL file of **span** records forming a tree:
+
+``run`` (the whole invocation) → ``checker`` (one (checker, unit-set)
+work item) → ``unit`` (parsing one translation unit) / ``function``
+(one path-sensitive machine execution) → ``path`` (sampled path ends).
+
+Every record carries wall and CPU time plus a ``counters`` object
+(machine steps, transitions fired, states created, path ends) so the
+paper's quantitative claims — paths explored per checker, work per
+function — can be audited span by span instead of re-run under a
+debugger.
+
+Design constraints, in order:
+
+* **near-zero overhead when off** — the module-level active tracer is
+  a :data:`NULL_TRACER` singleton whose ``enabled`` flag lets hot code
+  skip span construction entirely;
+* **crash-tolerant** — each worker process appends to its own file and
+  flushes one complete JSON line per closed span, so a killed worker
+  loses at most the span it was inside; everything already written
+  survives and is flagged ``orphan`` at merge time;
+* **deterministic merge** — span ids encode ``(item index, attempt,
+  sequence number)``; :func:`merge_trace` orders the combined stream by
+  that key, so the merged tree's shape depends only on what ran, never
+  on scheduling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+#: Trace record schema; bump when the span shape changes.  The JSON
+#: Schema in ``trace_schema.json`` describes this version.
+TRACE_SCHEMA = 1
+
+#: Span kinds, outermost first (see the module docstring).
+SPAN_KINDS = ("run", "checker", "unit", "function", "path")
+
+#: The cached engine does not enumerate paths; it samples this many
+#: ``path`` spans per function (one per path *end* reached) and counts
+#: the rest in the function span's ``paths`` counter.
+MAX_PATH_SPANS_PER_FUNCTION = 8
+
+
+class Span:
+    """One open span; becomes a JSONL record when closed."""
+
+    __slots__ = ("tracer", "id", "parent", "kind", "name", "item",
+                 "attempt", "seq", "t0", "_w0", "_c0", "status",
+                 "counters", "attrs")
+
+    def __init__(self, tracer: "Tracer", span_id: str,
+                 parent: Optional[str], kind: str, name: str,
+                 item: Optional[int], attempt: Optional[int], seq: int,
+                 attrs: Optional[dict] = None):
+        self.tracer = tracer
+        self.id = span_id
+        self.parent = parent
+        self.kind = kind
+        self.name = name
+        self.item = item
+        self.attempt = attempt
+        self.seq = seq
+        self.t0 = time.time()
+        self._w0 = time.perf_counter()
+        self._c0 = time.process_time()
+        self.status = "ok"
+        self.counters: dict[str, int] = {}
+        self.attrs: dict = dict(attrs) if attrs else {}
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def set(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def record(self) -> dict:
+        return span_record(
+            span_id=self.id, parent=self.parent, kind=self.kind,
+            name=self.name, item=self.item, attempt=self.attempt,
+            seq=self.seq, t0=self.t0,
+            wall=time.perf_counter() - self._w0,
+            cpu=time.process_time() - self._c0,
+            status=self.status, counters=self.counters, attrs=self.attrs,
+        )
+
+    # -- context manager -----------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is not None and self.status == "ok":
+            self.status = "error"
+        self.tracer._close(self)
+
+
+def span_record(*, span_id: str, parent: Optional[str], kind: str,
+                name: str, item: Optional[int], attempt: Optional[int],
+                seq: int, t0: float, wall: float, cpu: float,
+                status: str, counters: dict, attrs: dict) -> dict:
+    """The canonical record shape (field order fixed for readability)."""
+    return {
+        "schema": TRACE_SCHEMA,
+        "id": span_id,
+        "parent": parent,
+        "kind": kind,
+        "name": name,
+        "item": item,
+        "attempt": attempt,
+        "seq": seq,
+        "t0": round(t0, 6),
+        "wall": round(wall, 6),
+        "cpu": round(cpu, 6),
+        "status": status,
+        "counters": counters,
+        "attrs": attrs,
+    }
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled tracer."""
+
+    __slots__ = ()
+    id = None
+
+    def inc(self, name: str, n: int = 1) -> None:
+        pass
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The inactive tracer: every operation is a no-op.
+
+    ``enabled`` is the cheap guard hot loops check before building span
+    names or attribute dicts.
+    """
+
+    enabled = False
+
+    def span(self, kind: str, name: str, **attrs):
+        return _NULL_SPAN
+
+    def item(self, index: int, attempt: int, name: str, **attrs):
+        return _NULL_SPAN
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Writes spans of one process to one append-only JSONL file.
+
+    Span ids are ``i<item>a<attempt>.<seq>`` (the item span itself is
+    ``i<item>a<attempt>``), assigned at *open* time so a parent always
+    sorts before its children.  Records are written at *close* time,
+    one flushed line each.
+    """
+
+    enabled = True
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._fh = None
+        self._stack: list[Span] = []
+        self._item: Optional[int] = None
+        self._attempt: Optional[int] = None
+        self._seq = 0
+
+    # -- span construction ---------------------------------------------------
+
+    def item(self, index: int, attempt: int, name: str, **attrs) -> Span:
+        """Open the work-item span (kind ``checker``): the per-item root."""
+        self._item = index
+        self._attempt = attempt
+        self._seq = 0
+        span = Span(self, f"i{index}a{attempt}", None, "checker", name,
+                    index, attempt, self._next_seq(), attrs)
+        self._stack.append(span)
+        return span
+
+    def span(self, kind: str, name: str, **attrs) -> Span:
+        parent = self._stack[-1].id if self._stack else None
+        prefix = (f"i{self._item}a{self._attempt}"
+                  if self._item is not None else "p")
+        seq = self._next_seq()
+        span = Span(self, f"{prefix}.{seq}", parent, kind, name,
+                    self._item, self._attempt, seq, attrs)
+        self._stack.append(span)
+        return span
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- record output -------------------------------------------------------
+
+    def _close(self, span: Span) -> None:
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()          # defensive: drop abandoned children
+        if self._stack:
+            self._stack.pop()
+        self._write(span.record())
+        if span.item is not None and not self._stack:
+            self._item = None
+            self._attempt = None
+
+    def _write(self, record: dict) -> None:
+        try:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = self.path.open("a")
+            self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._fh.flush()
+        except OSError:
+            # A full or revoked trace directory must never fail the
+            # analysis; the trace just goes quiet from here on.
+            self.enabled = False
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.flush()
+            except OSError:  # pragma: no cover
+                pass
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._fh = None
+
+
+# -- the process-wide active tracer ------------------------------------------
+
+_ACTIVE: object = NULL_TRACER
+
+
+def current_tracer():
+    """The process's active tracer (:data:`NULL_TRACER` when off)."""
+    return _ACTIVE
+
+
+def activate_tracer(tracer) -> object:
+    """Install ``tracer`` as active; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+# -- deterministic merge -----------------------------------------------------
+
+def _sort_key(record: dict) -> tuple:
+    item = record.get("item")
+    attempt = record.get("attempt")
+    return (
+        0 if record.get("kind") == "run" else 1,
+        item if item is not None else -1,
+        attempt if attempt is not None else -1,
+        record.get("seq", 0),
+    )
+
+
+def read_trace(path) -> list[dict]:
+    """Parse one trace JSONL file, skipping truncated tail lines."""
+    records: list[dict] = []
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return records
+    for line in text.splitlines():
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            continue  # a line cut short by a crashing worker
+        if isinstance(obj, dict) and obj.get("schema") == TRACE_SCHEMA:
+            records.append(obj)
+    return records
+
+
+def merge_trace(trace_dir: Optional[Path], parent_records: list[dict],
+                out_path: Path) -> dict:
+    """Merge per-worker span files and parent-side records into one trace.
+
+    Ordering is deterministic: the run span first, then spans keyed by
+    ``(item, attempt, seq)``.  Spans from a crashed attempt — children
+    whose item span never closed — are kept and flagged ``orphan``;
+    item spans from attempts that were retried over are flagged
+    ``superseded``.  Returns merge statistics (also stored on the run
+    span's attrs by the caller).
+    """
+    records: list[dict] = list(parent_records)
+    if trace_dir is not None:
+        for path in sorted(Path(trace_dir).glob("*.jsonl")):
+            records.extend(read_trace(path))
+
+    # Which (item, attempt) groups closed their item span?
+    closed: dict[int, list[int]] = {}
+    for record in records:
+        if record.get("kind") == "checker" and record.get("item") is not None:
+            if record.get("attempt") is not None:
+                closed.setdefault(record["item"], []).append(record["attempt"])
+
+    orphans = 0
+    superseded = 0
+    for record in records:
+        item, attempt = record.get("item"), record.get("attempt")
+        if item is None or attempt is None:
+            continue
+        attempts_closed = closed.get(item, [])
+        if attempt not in attempts_closed:
+            record["attrs"]["orphan"] = True
+            orphans += 1
+        elif attempt < max(attempts_closed):
+            record["attrs"]["superseded"] = True
+            superseded += 1
+
+    records.sort(key=_sort_key)
+    stats = {
+        "spans": len(records),
+        "orphan_spans": orphans,
+        "superseded_spans": superseded,
+        "items_covered": len({r["item"] for r in records
+                              if r.get("item") is not None}),
+    }
+    for record in records:
+        if record.get("kind") == "run":
+            record["attrs"].update(stats)
+            break
+    out_path = Path(out_path)
+    if out_path.parent != Path(""):
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+    with out_path.open("w") as fh:
+        for record in records:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+    return stats

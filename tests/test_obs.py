@@ -1,0 +1,396 @@
+"""Observability invariants: purity, span trees, metrics, provenance.
+
+The load-bearing property is **purity**: a traced/metered run must
+produce byte-identical reports to a plain one — observation is strictly
+read-only on the analysis.  The rest pins the trace format (schema
+validity, well-formed span trees, full item coverage even when workers
+crash), the metrics accounting (counters must equal report totals), and
+the ``stats``/``explain`` CLI surfaces end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultPlan, FaultRule
+from repro.mc import ResultCache, SupervisorPolicy, check_files, run_to_json
+from repro.obs import Observation, merge_trace, read_trace, span_record
+from repro.obs.schema import validate_trace_file
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+FILE_A = """
+void HandlerA(void) {
+    SUBROUTINE_PROLOGUE();
+    unsigned v;
+    v = MISCBUS_READ_DB(0, 0);
+    DB_FREE();
+    return;
+}
+"""
+
+FILE_B = """
+void HandlerB(void) {
+    SUBROUTINE_PROLOGUE();
+    unsigned addr;
+    addr = HANDLER_GLOBALS(header.nh.addr);
+    WAIT_FOR_DB_FULL(addr);
+    HANDLER_GLOBALS(dirEntry) = DIR_LOAD(addr);
+    return;
+}
+"""
+
+#: The Table 2 correlated-branch false positive: wait and read guarded
+#: by the same header field, so the unguarded-read path the engine
+#: explores is infeasible.  ``docs/observability.md`` walks through it.
+CORRELATED = """
+void NILocalGet(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    unsigned addr;
+    unsigned buf;
+    unsigned has_data;
+    addr = HANDLER_GLOBALS(header.nh.addr);
+    has_data = HANDLER_GLOBALS(header.nh.len);
+    if (has_data) {
+        WAIT_FOR_DB_FULL(addr);
+    }
+    if (has_data) {
+        MISCBUS_READ_DB(addr, buf);
+    }
+    DB_FREE();
+    return;
+}
+"""
+
+
+@pytest.fixture
+def two_files(tmp_path):
+    a = tmp_path / "a.c"
+    b = tmp_path / "b.c"
+    a.write_text(FILE_A)
+    b.write_text(FILE_B)
+    return [str(a), str(b)]
+
+
+def run_cli(*argv, timeout=120, cache_dir=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    if cache_dir is not None:
+        env["MC_CHECK_CACHE_DIR"] = str(cache_dir)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True, text=True, env=env, timeout=timeout,
+    )
+
+
+# -- purity: observation never changes the analysis ---------------------------
+
+#: Statement pool for generated handlers: buffer traffic, sends, and
+#: arithmetic, optionally under a branch — enough to drive every engine
+#: checker down multiple paths.
+_STMTS = st.sampled_from([
+    "WAIT_FOR_DB_FULL(addr);",
+    "v = MISCBUS_READ_DB(addr, 0);",
+    "HANDLER_GLOBALS(dirEntry) = DIR_LOAD(addr);",
+    "NI_SEND(NI_REPLY, F_NODATA, 1, 0, 1, 0);",
+    "DB_FREE();",
+    "v = v + 1;",
+])
+
+
+@st.composite
+def handler_source(draw):
+    body: list[str] = []
+    for _ in range(draw(st.integers(1, 5))):
+        stmt = draw(_STMTS)
+        if draw(st.booleans()):
+            body.append(f"    if (v & {draw(st.integers(1, 7))}) {{")
+            body.append(f"        {stmt}")
+            body.append("    }")
+        else:
+            body.append(f"    {stmt}")
+    return "\n".join([
+        "void Generated(void) {",
+        "    SUBROUTINE_PROLOGUE();",
+        "    unsigned addr;",
+        "    unsigned v;",
+        "    addr = HANDLER_GLOBALS(header.nh.addr);",
+        *body,
+        "    return;",
+        "}",
+    ])
+
+
+class TestPurity:
+    @given(source=handler_source())
+    @settings(max_examples=10, deadline=None)
+    def test_reports_byte_identical_with_tracing_on_and_off(self, source):
+        workdir = Path(tempfile.mkdtemp(prefix="obs-purity-"))
+        try:
+            unit = workdir / "gen.c"
+            unit.write_text(source)
+            plain = check_files([str(unit)], jobs=1, keep_going=True)
+            observation = Observation(
+                trace_path=str(workdir / "trace.jsonl"),
+                metrics_path=str(workdir / "metrics.json"))
+            observed = check_files([str(unit)], jobs=1, keep_going=True,
+                                   observation=observation)
+            observation.finalize(observed)
+            plain_doc = json.dumps(run_to_json(plain), indent=2)
+            observed_doc = json.dumps(run_to_json(observed), indent=2)
+            assert plain_doc == observed_doc
+        finally:
+            import shutil
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    def test_parallel_traced_matches_serial_plain(self, two_files, tmp_path):
+        plain = check_files(two_files, jobs=1, keep_going=True)
+        observation = Observation(trace_path=str(tmp_path / "t.jsonl"))
+        observed = check_files(two_files, jobs=2, keep_going=True,
+                               observation=observation)
+        observation.finalize(observed)
+        plain_doc, observed_doc = run_to_json(plain), run_to_json(observed)
+        assert plain_doc.pop("jobs") == 1 and observed_doc.pop("jobs") == 2
+        assert json.dumps(plain_doc) == json.dumps(observed_doc)
+
+    def test_cached_payloads_identical_with_tracing(self, two_files,
+                                                    tmp_path):
+        # The "obs" payload section must never reach the cache: a warm
+        # traced run and a warm plain run read the same entries.
+        cache_root = tmp_path / "cache"
+        observation = Observation(trace_path=str(tmp_path / "t.jsonl"))
+        check_files(two_files, jobs=1, keep_going=True,
+                    cache=ResultCache(cache_root), observation=observation)
+        for payload_file in cache_root.rglob("*.json"):
+            payload = json.loads(payload_file.read_text())
+            assert "obs" not in payload, payload_file
+
+
+# -- the trace itself ---------------------------------------------------------
+
+class TestTrace:
+    def _traced_run(self, files, tmp_path, *, jobs=2, policy=None):
+        observation = Observation(
+            trace_path=str(tmp_path / "trace.jsonl"),
+            metrics_path=str(tmp_path / "metrics.json"))
+        run = check_files(files, jobs=jobs, keep_going=True,
+                          policy=policy, observation=observation)
+        observation.finalize(run)
+        return run, observation, read_trace(tmp_path / "trace.jsonl")
+
+    def _assert_well_formed(self, records, expect_items):
+        ids = {r["id"] for r in records}
+        runs = [r for r in records if r["kind"] == "run"]
+        assert len(runs) == 1 and records[0] is runs[0]
+        for r in records:
+            if r["parent"] is not None:
+                assert r["parent"] in ids, f"dangling parent in {r['id']}"
+            else:
+                # Per-worker files root their item spans at null; only
+                # the run span and item spans may float.
+                assert r["kind"] in ("run", "checker")
+        covered = {r["item"] for r in records
+                   if r["kind"] == "checker" and r["item"] is not None
+                   and "orphan" not in r["attrs"]}
+        assert covered == set(range(expect_items))
+
+    def test_spans_cover_every_item_and_validate(self, two_files, tmp_path):
+        run, observation, records = self._traced_run(two_files, tmp_path)
+        assert validate_trace_file(tmp_path / "trace.jsonl") == []
+        items = observation.metrics.counters["fleet.items"]
+        assert items == run.supervision.completed
+        self._assert_well_formed(records, items)
+        # Engine work is attributed: function spans carry counters.
+        functions = [r for r in records if r["kind"] == "function"]
+        assert functions
+        assert all(r["counters"].get("steps", 0) > 0 for r in functions)
+
+    def test_crashing_workers_leave_a_valid_stitched_trace(
+            self, two_files, tmp_path):
+        plan = FaultPlan(rules=(
+            FaultRule(site="worker_crash", after=0, every=2, count=3),))
+        run, observation, records = self._traced_run(
+            two_files, tmp_path, policy=SupervisorPolicy(fault_plan=plan))
+        assert run.supervision.crashes == 3
+        assert validate_trace_file(tmp_path / "trace.jsonl") == []
+        self._assert_well_formed(
+            records, observation.metrics.counters["fleet.items"])
+        # Retried items close their final attempt; the run span records
+        # the stitch accounting.
+        assert (records[0]["attrs"]["items_covered"]
+                == observation.metrics.counters["fleet.items"])
+
+    def test_merge_flags_orphans_and_superseded(self, tmp_path):
+        # Synthetic per-worker file: attempt 0 crashed after closing one
+        # child (item span never closed), attempt 1 completed.
+        def rec(span_id, parent, kind, item, attempt, seq):
+            return span_record(
+                span_id=span_id, parent=parent, kind=kind, name="x",
+                item=item, attempt=attempt, seq=seq, t0=0.0, wall=0.0,
+                cpu=0.0, status="ok", counters={}, attrs={})
+
+        worker_dir = tmp_path / "workers"
+        worker_dir.mkdir()
+        lines = [
+            rec("i0a0.2", "i0a0", "function", 0, 0, 2),   # crashed attempt
+            rec("i0a1.2", "i0a1", "function", 0, 1, 2),
+            rec("i0a1", None, "checker", 0, 1, 1),
+            rec("i1a0", None, "checker", 1, 0, 1),
+        ]
+        (worker_dir / "worker-1.jsonl").write_text(
+            "\n".join(json.dumps(l) for l in lines) + "\n"
+            + '{"schema": 1, "truncated'            # torn tail line
+        )
+        run = rec("run", None, "run", None, None, 0)
+        out = tmp_path / "merged.jsonl"
+        stats = merge_trace(worker_dir, [run], out)
+        assert stats == {"spans": 5, "orphan_spans": 1,
+                         "superseded_spans": 0, "items_covered": 2}
+        merged = read_trace(out)
+        flags = {r["id"]: r["attrs"] for r in merged}
+        assert flags["i0a0.2"].get("orphan") is True
+        assert "orphan" not in flags["i0a1.2"]
+        assert merged[0]["kind"] == "run"
+        assert validate_trace_file(out) == []
+
+    def test_resumed_run_traces_replayed_items(self, two_files, tmp_path):
+        from repro.mc import RunJournal
+        journal = RunJournal.create(tmp_path / "runs")
+        check_files(two_files, jobs=1, keep_going=True, journal=journal)
+        run_id = journal.run_id
+        journal.close()
+        resumed = RunJournal.resume(tmp_path / "runs", run_id)
+        observation = Observation(trace_path=str(tmp_path / "t2.jsonl"))
+        run = check_files(two_files, jobs=1, keep_going=True,
+                          journal=resumed, observation=observation)
+        resumed.close()
+        observation.finalize(run)
+        records = read_trace(tmp_path / "t2.jsonl")
+        replayed = [r for r in records if r["status"] == "replayed"]
+        assert replayed, "second run must replay from the journal"
+        assert len(replayed) == observation.metrics.counters["fleet.items"]
+        assert (observation.metrics.counters["fleet.items_replayed"]
+                == len(replayed))
+        assert validate_trace_file(tmp_path / "t2.jsonl") == []
+
+
+# -- metrics ------------------------------------------------------------------
+
+class TestMetrics:
+    def test_counters_match_report_totals(self, two_files, tmp_path):
+        cache_root = tmp_path / "cache"
+        observation = Observation(
+            metrics_path=str(tmp_path / "metrics.json"))
+        run = check_files(two_files, jobs=2, keep_going=True,
+                          cache=ResultCache(cache_root),
+                          observation=observation)
+        observation.finalize(run)
+        snapshot = json.loads((tmp_path / "metrics.json").read_text())
+        counters = snapshot["counters"]
+        reports = [r for result in run.results.values()
+                   for r in result.reports]
+        assert counters["reports.emitted"] == len(reports)
+        assert counters["reports.errors"] == sum(
+            1 for r in reports if r.severity == "error")
+        assert (counters["reports.emitted"]
+                == counters["reports.errors"]
+                + counters.get("reports.warnings", 0))
+        assert counters["fleet.items"] == (counters["fleet.items_fresh"]
+                                           + counters.get("cache.hits", 0))
+        assert counters["cache.stores"] == counters["fleet.items_fresh"]
+        assert counters["engine.functions"] > 0
+        assert snapshot["gauges"]["run.jobs"] == 2
+        assert snapshot["histograms"]["item.wall_seconds"]["count"] == (
+            counters["fleet.items_fresh"])
+
+    def test_warm_run_counts_hits_not_engine_work(self, two_files,
+                                                  tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        check_files(two_files, jobs=1, keep_going=True, cache=cache)
+        observation = Observation()
+        run = check_files(two_files, jobs=1, keep_going=True,
+                          cache=ResultCache(tmp_path / "cache"),
+                          observation=observation)
+        snapshot = observation.finalize(run)["metrics"]
+        counters = snapshot["counters"]
+        assert counters["cache.hits"] == counters["fleet.items"]
+        assert counters["fleet.items_cached"] == counters["fleet.items"]
+        assert counters.get("engine.functions", 0) == 0
+        # Reports still counted: the totals come from the merged run,
+        # not from worker-side increments.
+        assert counters["reports.emitted"] > 0
+
+
+# -- CLI surfaces -------------------------------------------------------------
+
+class TestCLI:
+    def test_json_mode_keeps_stdout_pure(self, tmp_path):
+        unit = tmp_path / "corr.c"
+        unit.write_text(CORRELATED)
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        proc = run_cli("check", str(unit), "--format", "json",
+                       "--trace", str(trace), "--metrics-out", str(metrics),
+                       cache_dir=tmp_path / "cachedir")
+        assert proc.returncode == 1                 # the false positive
+        doc = json.loads(proc.stdout)               # pure JSON on stdout
+        assert doc["schema"] == 1
+        assert "run: id=" in proc.stderr            # chatter on stderr
+        assert "trace:" in proc.stderr
+        assert "metrics: wrote" in proc.stderr
+        assert validate_trace_file(trace) == []
+        assert metrics.exists()
+
+    def test_explain_renders_the_correlated_branch_path(self, tmp_path):
+        unit = tmp_path / "corr.c"
+        unit.write_text(CORRELATED)
+        report = tmp_path / "report.json"
+        proc = run_cli("check", str(unit), "--no-cache",
+                       "--checker", "buffer-race", "--format", "json")
+        report.write_text(proc.stdout)
+        doc = json.loads(proc.stdout)
+        [finding] = doc["reports"]
+        assert finding["provenance"], "engine diagnostics carry provenance"
+        explained = run_cli("explain", str(report), finding["id"])
+        assert explained.returncode == 0
+        out = explained.stdout
+        assert "Buffer not synchronized" in out
+        assert "enter NILocalGet" in out
+        assert "branch taken: false" in out      # skipped the wait...
+        assert "branch taken: true" in out       # ...but took the read
+        assert "ERROR here" in out
+        # Prefix match works too.
+        assert run_cli("explain", str(report),
+                       finding["id"][:6]).returncode == 0
+
+    def test_explain_unknown_id_lists_candidates(self, tmp_path):
+        unit = tmp_path / "corr.c"
+        unit.write_text(CORRELATED)
+        report = tmp_path / "report.json"
+        proc = run_cli("check", str(unit), "--no-cache", "--format", "json")
+        report.write_text(proc.stdout)
+        missing = run_cli("explain", str(report), "ffffffffffff")
+        assert missing.returncode != 0
+        assert "known ids" in missing.stderr
+
+    def test_stats_renders_the_metrics_table(self, tmp_path):
+        unit = tmp_path / "corr.c"
+        unit.write_text(CORRELATED)
+        metrics = tmp_path / "m.json"
+        run_cli("check", str(unit), "--no-cache",
+                "--metrics-out", str(metrics))
+        proc = run_cli("stats", str(metrics))
+        assert proc.returncode == 0
+        assert "reports.emitted" in proc.stdout
+        assert "engine.functions" in proc.stdout
+        assert "item.wall_seconds" in proc.stdout

@@ -402,17 +402,18 @@ class TestCLIContract:
              "--jobs", "2", "--fault-plan", str(plan)],
             stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
             env=env)
-        # wait for the run id (the run has started), then interrupt it
-        first_line = proc.stdout.readline()
+        # wait for the run id on *stderr* (the run has started; stdout
+        # stays reserved for the report), then interrupt it
+        first_line = proc.stderr.readline()
         assert first_line.startswith("run: id="), first_line
         run_id = first_line.strip().split("=", 1)[1]
         time.sleep(2.0)
         proc.send_signal(signal.SIGTERM)
         out, err = proc.communicate(timeout=120)
-        out = first_line + out
+        err = first_line + err
         assert proc.returncode == 130, (proc.returncode, out, err)
         assert "INTERRUPTED" in out
-        assert f"--resume {run_id}" in out
+        assert f"--resume {run_id}" in err
 
         resumed = _run_cli("check", *clean_files, "--jobs", "2", "--no-cache",
                            "--resume", run_id, env_extra=env_extra)
