@@ -7,25 +7,37 @@ Without this addition, the more naive extension marked the buffer as
 freed (or not freed) on both paths, giving a small cascade of errors."
 
 The benchmark runs the refined and the naive checker over a corpus of
-handlers built around frees-if-true helpers and DB_IS_ERROR checks, and
-reports the diagnostic cascade the refinement removes.
+handlers built around the paper's *four* frees-if-true helpers (each
+handler tests one of them, plus a DB_IS_ERROR allocation check) and
+asserts the cascade the refinement removes clears §6's "over twenty"
+bar — both numbers via ``repro.bench.paper_data`` constants.
 """
 
+from repro.bench import paper_data
 from repro.checkers import BufferMgmtChecker
 from repro.project import HandlerInfo, ProtocolInfo, program_from_source
 
+#: The four §6 routines "that returned a 0 or 1 depending on whether or
+#: not they freed a buffer" (names ours; the paper does not print them).
+FREES_IF_TRUE_HELPERS = (
+    "try_forward", "try_reply", "try_nack", "try_writeback",
+)
 
-def _corpus(handlers: int = 24):
+assert len(FREES_IF_TRUE_HELPERS) == paper_data.SECTION6_FREES_IF_TRUE_ROUTINES
+
+
+def _corpus(handlers: int = 24, helpers=FREES_IF_TRUE_HELPERS):
     info = ProtocolInfo(name="ablation", handlers={
         f"H{i}": HandlerInfo(f"H{i}", "hw") for i in range(handlers)
     })
-    info.frees_if_true.add("try_forward")
+    info.frees_if_true.update(helpers)
     pieces = []
     for i in range(handlers):
+        helper = helpers[i % len(helpers)]
         pieces.append(f"""
         void H{i}(void) {{
             unsigned b;
-            if (try_forward()) {{
+            if ({helper}()) {{
                 return;
             }}
             DB_FREE();
@@ -60,9 +72,12 @@ def test_naive_checker_cascades(benchmark, show):
 
     result = benchmark(naive)
     refined = BufferMgmtChecker(use_branch_refinement=True).check(program)
-    show(f"\nvalue-sensitivity ablation over 24 handlers: refined checker "
+    helpers = len(FREES_IF_TRUE_HELPERS)
+    show(f"\nvalue-sensitivity ablation over 24 handlers x {helpers} "
+         f"frees-if-true helpers: refined checker "
          f"{len(refined.reports)} diagnostics, naive checker "
          f"{len(result.reports)} (the paper's 'small cascade of errors')")
-    # The cascade the paper describes: >20 spurious diagnostics appear.
-    assert len(result.reports) > 20
+    # The cascade the paper describes: "over twenty" spurious
+    # diagnostics appear without the twelve-line refinement.
+    assert len(result.reports) > paper_data.SECTION6_USELESS_ANNOTATIONS
     assert refined.reports == []

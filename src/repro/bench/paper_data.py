@@ -98,3 +98,12 @@ TABLE7 = {
 }
 
 TABLE7_TOTALS = (553, 34, 69)
+
+#: §6's value-sensitivity refinement: "We eliminated over twenty
+#: useless annotations by adding twelve lines to the SM to make it
+#: sensitive to the value of four routines that ... returned a 0 or 1
+#: depending on whether or not they freed a buffer."
+SECTION6_FREES_IF_TRUE_ROUTINES = 4
+SECTION6_REFINEMENT_LOC = 12
+#: "over twenty": the naive cascade must exceed this lower bound.
+SECTION6_USELESS_ANNOTATIONS = 20

@@ -16,6 +16,7 @@ from typing import Optional
 from ..cfg import path_stats
 from ..checkers import CheckerResult, run_all
 from ..flash.codegen import GeneratedProtocol, generate_all
+from ..mc import feasibility as _feasibility
 from . import paper_data
 
 #: Checker execution order for Table 7 (the paper's row order).
@@ -82,8 +83,14 @@ class ClassifiedReports:
 class Experiment:
     """One full run of the reproduction pipeline."""
 
-    def __init__(self, seed: int = 0xF1A5):
+    def __init__(self, seed: int = 0xF1A5, feasibility: bool = False):
         self.seed = seed
+        # The tables reproduce the *paper's* engine, which had no
+        # infeasible-path pruning — its FP rows (the coma idiom, the
+        # Table 2 correlated branches) exist precisely because every
+        # syntactic path was walked.  ``feasibility=True`` measures the
+        # same corpus with pruning on (bench_feasibility_fp.py).
+        self.feasibility = feasibility
         self.protocols: Optional[dict[str, GeneratedProtocol]] = None
         self.results: dict[str, dict[str, CheckerResult]] = {}
         self._classified: dict[tuple, ClassifiedReports] = {}
@@ -97,12 +104,16 @@ class Experiment:
 
     def check(self) -> None:
         """Run every checker over every protocol and classify reports."""
-        for name, gp in self.generate().items():
-            if name in self.results:
-                continue
-            results = run_all(gp.program())
-            self.results[name] = results
-            self._classify(name, gp, results)
+        previous = _feasibility.set_default_enabled(self.feasibility)
+        try:
+            for name, gp in self.generate().items():
+                if name in self.results:
+                    continue
+                results = run_all(gp.program())
+                self.results[name] = results
+                self._classify(name, gp, results)
+        finally:
+            _feasibility.set_default_enabled(previous)
 
     def _classify(self, proto: str, gp: GeneratedProtocol,
                   results: dict[str, CheckerResult]) -> None:

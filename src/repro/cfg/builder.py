@@ -96,21 +96,52 @@ class CfgBuilder:
     def _lower_empty(self, stmt, block: BasicBlock):
         return block
 
+    def _lower_cond(self, cond: ast.Expr, block: BasicBlock):
+        """Lower a branch condition, decomposing short-circuit ``&&``/``||``.
+
+        Each conjunct becomes its own branch event in its own block, so
+        edge labels carry per-conjunct truth — what both the pattern
+        matcher and the feasibility layer need — instead of one opaque
+        compound event.  Returns ``(true_sources, false_sources)``: the
+        blocks whose pending ``true``/``false`` out-edges the caller
+        must connect.  An atomic condition adds one event to ``block``
+        and returns ``([block], [block])``, reproducing the historical
+        lowering exactly (same blocks, same edge order).  Negations are
+        not decomposed: ``!(a && b)`` stays one atomic event.
+        """
+        if isinstance(cond, ast.BinaryOp) and cond.op in ("&&", "||"):
+            left_true, left_false = self._lower_cond(cond.left, block)
+            rest = self.cfg.new_block(note="cond")
+            if cond.op == "&&":
+                for src in left_true:
+                    self.cfg.connect(src, rest, label="true")
+                right_true, right_false = self._lower_cond(cond.right, rest)
+                return right_true, left_false + right_false
+            for src in left_false:
+                self.cfg.connect(src, rest, label="false")
+            right_true, right_false = self._lower_cond(cond.right, rest)
+            return left_true + right_true, right_false
+        block.add_event(cond)
+        return [block], [block]
+
     def _lower_if(self, stmt: ast.If, block: BasicBlock):
         cfg = self.cfg
-        block.add_event(stmt.cond)
+        true_srcs, false_srcs = self._lower_cond(stmt.cond, block)
         then_block = cfg.new_block(note="then")
-        cfg.connect(block, then_block, label="true")
+        for src in true_srcs:
+            cfg.connect(src, then_block, label="true")
         then_end = self._lower_stmt(stmt.then, then_block)
         join = cfg.new_block(note="join")
         if stmt.otherwise is not None:
             else_block = cfg.new_block(note="else")
-            cfg.connect(block, else_block, label="false")
+            for src in false_srcs:
+                cfg.connect(src, else_block, label="false")
             else_end = self._lower_stmt(stmt.otherwise, else_block)
             if else_end is not None:
                 cfg.connect(else_end, join)
         else:
-            cfg.connect(block, join, label="false")
+            for src in false_srcs:
+                cfg.connect(src, join, label="false")
         if then_end is not None:
             cfg.connect(then_end, join)
         if not join.in_edges:
@@ -121,11 +152,13 @@ class CfgBuilder:
         cfg = self.cfg
         head = cfg.new_block(note="loop-head")
         cfg.connect(block, head)
-        head.add_event(stmt.cond)
+        true_srcs, false_srcs = self._lower_cond(stmt.cond, head)
         body = cfg.new_block(note="loop-body")
         after = cfg.new_block(note="loop-exit")
-        cfg.connect(head, body, label="true")
-        cfg.connect(head, after, label="false")
+        for src in true_srcs:
+            cfg.connect(src, body, label="true")
+        for src in false_srcs:
+            cfg.connect(src, after, label="false")
         self._loops.append(_LoopContext(after, head))
         body_end = self._lower_stmt(stmt.body, body)
         self._loops.pop()
@@ -144,9 +177,14 @@ class CfgBuilder:
         self._loops.pop()
         if body_end is not None:
             cfg.connect(body_end, cond_block)
-        cond_block.add_event(stmt.cond)
-        cfg.connect(cond_block, body, label="back")
-        cfg.connect(cond_block, after, label="false")
+        true_srcs, false_srcs = self._lower_cond(stmt.cond, cond_block)
+        # The repeat edge keeps its historical "back" label, so the
+        # branch/feasibility hooks (which fire on true/false only) stay
+        # conservative across loop repeats.
+        for src in true_srcs:
+            cfg.connect(src, body, label="back")
+        for src in false_srcs:
+            cfg.connect(src, after, label="false")
         return after
 
     def _lower_for(self, stmt: ast.For, block: BasicBlock):
@@ -157,13 +195,16 @@ class CfgBuilder:
             block.add_event(stmt.init)
         head = cfg.new_block(note="loop-head")
         cfg.connect(block, head)
+        true_srcs = false_srcs = [head]
         if stmt.cond is not None:
-            head.add_event(stmt.cond)
+            true_srcs, false_srcs = self._lower_cond(stmt.cond, head)
         body = cfg.new_block(note="loop-body")
         after = cfg.new_block(note="loop-exit")
-        cfg.connect(head, body, label="true")
+        for src in true_srcs:
+            cfg.connect(src, body, label="true")
         if stmt.cond is not None:
-            cfg.connect(head, after, label="false")
+            for src in false_srcs:
+                cfg.connect(src, after, label="false")
         step_block = cfg.new_block(note="loop-step")
         if stmt.step is not None:
             step_block.add_event(stmt.step)

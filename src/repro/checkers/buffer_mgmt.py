@@ -32,6 +32,7 @@ from typing import Optional
 from ..flash import machine
 from ..lang import ast
 from ..mc.engine import run_machine
+from ..mc.feasibility import call_branch_transfer, direct_call
 from ..metal.runtime import MatchContext, ReportSink
 from ..metal.sm import StateMachine
 from ..project import Program, ProtocolInfo
@@ -57,16 +58,9 @@ def _expected_states(info: ProtocolInfo, name: str) -> tuple[str, str]:
     return NO_BUFFER, NO_BUFFER
 
 
-def _direct_call(cond: ast.Node) -> tuple[Optional[str], bool]:
-    """If ``cond`` is ``fn(...)`` or ``!fn(...)``, return (fn, negated)."""
-    negated = False
-    node = cond
-    while isinstance(node, ast.UnaryOp) and node.op == "!":
-        negated = not negated
-        node = node.operand
-    if isinstance(node, ast.Call) and node.callee_name is not None:
-        return node.callee_name, negated
-    return None, False
+#: Back-compat alias: the negation-peeling call matcher moved to
+#: :mod:`repro.mc.feasibility`, where branch-edge reasoning now lives.
+_direct_call = direct_call
 
 
 @register
@@ -206,18 +200,20 @@ class BufferMgmtChecker(Checker):
         return key
 
     def _make_branch_fn(self, info: ProtocolInfo):
-        def branch(state: str, cond: ast.Node, label: Optional[str]):
-            callee, negated = _direct_call(cond)
-            if callee is None:
-                return None
-            taken = (label == "true") != negated
-            if callee in info.frees_if_true and state == HAS_BUFFER:
-                return NO_BUFFER if taken else HAS_BUFFER
-            if callee == machine.DB_IS_ERROR and state == HAS_BUFFER:
-                # Failed allocation: the error path holds no buffer.
-                return NO_BUFFER if taken else HAS_BUFFER
-            return None
-        return branch
+        """The §6.1 refinement as a declarative transfer table.
+
+        Each ``frees_if_true`` routine "returned a 0 or 1 depending on
+        whether or not they freed a buffer": holding a buffer, the true
+        edge of a direct test transfers to "no buffer", the false edge
+        keeps it.  ``DB_IS_ERROR`` gets the same shape — a failed
+        allocation's error path holds no buffer.
+        """
+        transfers = {
+            name: {HAS_BUFFER: (NO_BUFFER, HAS_BUFFER)}
+            for name in sorted(info.frees_if_true)
+        }
+        transfers[machine.DB_IS_ERROR] = {HAS_BUFFER: (NO_BUFFER, HAS_BUFFER)}
+        return call_branch_transfer(transfers)
 
     def _check_exit(self, info: ProtocolInfo, ctx: MatchContext) -> None:
         expected = _expected_states(info, ctx.function_name)[1]

@@ -34,12 +34,20 @@ class BufferRaceChecker(Checker):
         result, sink = self._new_result()
         sm = parse_metal(BUFFER_RACE_FULL)
         applied: set[tuple] = set()
+        by_function: dict[str, int] = {}
         for function in program.functions():
             run_machine(sm, program.cfg(function), sink)
             for node in function.walk():
                 if (isinstance(node, ast.Call)
                         and node.callee_name in _READ_MACROS):
-                    applied.add((node.location.filename, node.location.line,
-                                 node.location.column))
+                    site = (node.location.filename, node.location.line,
+                            node.location.column)
+                    if site not in applied:
+                        applied.add(site)
+                        by_function[function.name] = (
+                            by_function.get(function.name, 0) + 1)
         result.applied = len(applied)
+        # Per-function application counts: the granularity at which the
+        # ranking cascade discounts pile-ups (docs/analysis.md).
+        result.extra["applied_by_function"] = by_function
         return self._finish(result, sink)

@@ -110,3 +110,12 @@ sm msglen_check {
         { err("nodata send, nonzero len"); } ;
 }
 """
+
+#: Every shipped textual listing, for ``mc-check lint`` (no arguments)
+#: and the CI checker-of-checkers pass.  Name -> metal source.
+BUILTIN_LISTINGS = {
+    "figure-2": FIGURE_2,
+    "buffer-race-full": BUFFER_RACE_FULL,
+    "no-float-decls": NO_FLOAT_DECLS,
+    "figure-3": FIGURE_3,
+}

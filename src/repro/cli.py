@@ -180,16 +180,19 @@ def _finalize_observation(observation, run) -> None:
         print(f"metrics: wrote {observation.metrics_path}", file=sys.stderr)
 
 
-def _print_json_report(run) -> None:
+def _print_json_report(run, min_confidence=None) -> None:
     import json
     from .mc import run_to_json
-    print(json.dumps(run_to_json(run), indent=2))
+    print(json.dumps(run_to_json(run, min_confidence=min_confidence),
+                     indent=2))
 
 
 def cmd_check(args) -> int:
     names = args.checker or None
     keep_going = getattr(args, "keep_going", False)
     json_mode = getattr(args, "format", "text") == "json"
+    feasibility = getattr(args, "feasibility", "on") == "on"
+    min_confidence = getattr(args, "min_confidence", None)
     jobs = resolve_jobs(args.jobs)
     budget_seconds = getattr(args, "budget_seconds", None)
     cache = _cache_from_args(args, budgeted=budget_seconds is not None)
@@ -207,28 +210,33 @@ def cmd_check(args) -> int:
                 args.files, names=names, spec_path=getattr(args, "spec", None),
                 jobs=jobs, cache=cache, keep_going=keep_going,
                 deadline=deadline, journal=journal, policy=policy,
-                observation=observation,
+                observation=observation, feasibility=feasibility,
             )
     finally:
         if journal is not None:
             journal.close()
     _finalize_observation(observation, run)
+    from .mc import filter_by_confidence, score_run
+    scores = score_run(run)
     failures = 0
     quarantines = []
     degraded = False
     notes = []
     for result in run.results.values():
-        failures += len(result.errors)
+        kept = filter_by_confidence(result.errors, scores, min_confidence)
+        failures += len(kept)
         quarantines.extend(result.quarantines)
         degraded = degraded or result.degraded
         notes.extend(result.degradation_notes)
     if json_mode:
-        _print_json_report(run)
+        _print_json_report(run, min_confidence=min_confidence)
         print(run.summary_line(), file=sys.stderr)
     else:
         for result in run.results.values():
-            if result.reports:
-                print(format_reports(result.reports,
+            reports = filter_by_confidence(result.reports, scores,
+                                           min_confidence)
+            if reports:
+                print(format_reports(reports, scores=scores,
                                      heading=f"checker: {result.checker}"))
                 print()
         if quarantines:
@@ -251,6 +259,8 @@ def cmd_check(args) -> int:
 def cmd_metal(args) -> int:
     keep_going = getattr(args, "keep_going", False)
     json_mode = getattr(args, "format", "text") == "json"
+    feasibility = getattr(args, "feasibility", "on") == "on"
+    min_confidence = getattr(args, "min_confidence", None)
     jobs = resolve_jobs(args.jobs)
     budget_steps = getattr(args, "budget_steps", None)
     budget_paths = getattr(args, "budget_paths", None)
@@ -271,6 +281,7 @@ def cmd_metal(args) -> int:
                 keep_going=keep_going, budget_steps=budget_steps,
                 budget_paths=budget_paths, budget_seconds=budget_seconds,
                 journal=journal, policy=policy, observation=observation,
+                feasibility=feasibility,
             )
     finally:
         if journal is not None:
@@ -284,7 +295,7 @@ def cmd_metal(args) -> int:
         quarantined += len(sink.quarantines)
         degraded = degraded or sink.degraded
     if json_mode:
-        _print_json_report(run)
+        _print_json_report(run, min_confidence=min_confidence)
         print(run.summary_line(), file=sys.stderr)
     else:
         for _path, sink in run.sinks:
@@ -450,6 +461,39 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Checker-of-checkers: lint metal state machines themselves."""
+    from .errors import MetalError
+    from .metal import lint_source
+
+    sources: list[tuple[str, str]] = []
+    if args.checkers:
+        for path in args.checkers:
+            try:
+                sources.append((path, Path(path).read_text()))
+            except OSError as exc:
+                raise ReproError(f"cannot read {path}: {exc}") from None
+    else:
+        from .checkers.metal_sources import BUILTIN_LISTINGS
+        sources.extend(BUILTIN_LISTINGS.items())
+    total = 0
+    for name, text in sources:
+        try:
+            findings = lint_source(text, name)
+        except MetalError as exc:
+            raise ReproError(f"{name}: {exc}") from None
+        for finding in findings:
+            print(f"{name}: {finding}")
+        total += len(findings)
+    label = ("1 checker" if len(sources) == 1
+             else f"{len(sources)} checkers")
+    if total == 0:
+        print(f"lint: {label} clean")
+        return EXIT_CLEAN
+    print(f"lint: {total} finding(s) in {label}")
+    return EXIT_BUGS
+
+
 def cmd_explain(args) -> int:
     import json
     from .obs import render_explain
@@ -523,6 +567,17 @@ def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
                              "readable document (report ids + path "
                              "provenance, consumed by 'mc-check explain') "
                              "on stdout and routes all chatter to stderr")
+    parser.add_argument("--feasibility", choices=["on", "off"], default="on",
+                        help="path-feasibility analysis: prune branch edges "
+                             "whose conditions contradict facts already "
+                             "established on the path (suppresses "
+                             "correlated-branch false positives; 'off' "
+                             "walks every syntactic path like the paper's "
+                             "engine; default: on)")
+    parser.add_argument("--min-confidence", type=float, default=None,
+                        metavar="SCORE",
+                        help="drop reports whose z-ranking confidence is "
+                             "below SCORE (0..1); see docs/analysis.md")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -617,6 +672,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="list registered checkers")
     p_list.set_defaults(func=cmd_list)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="lint metal state machines (checker-of-checkers): "
+             "undeclared transition targets, unreachable states, "
+             "patterns that can never fire")
+    p_lint.add_argument("checkers", nargs="*", metavar="CHECKER.metal",
+                        help="textual metal programs to lint (default: "
+                             "the built-in paper listings)")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_stats = sub.add_parser(
         "stats", help="render a --metrics-out document as a table")

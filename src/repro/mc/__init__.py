@@ -13,6 +13,14 @@ from .cache import (
     work_item_key,
 )
 from .engine import check_function, check_unit, run_machine, run_machine_naive
+from .feasibility import (
+    Contradiction,
+    FactsView,
+    FunctionFeasibility,
+    call_branch_transfer,
+    default_enabled,
+    set_default_enabled,
+)
 from .flowcheck import find_unfollowed, find_unguarded, is_call_to, quarantining
 from .interproc import bottom_up, walk_paths
 from .parallel import (
@@ -34,10 +42,12 @@ from .supervisor import (
     graceful_shutdown,
     new_run_id,
 )
+from .ranking import base_score, cascade_factor, confidence_of, score_run
 from .transform import RedundantWaitEliminator, TransformResult
 from .report import (
     Report,
     ReportSink,
+    filter_by_confidence,
     format_quarantines,
     format_reports,
     format_run_stats,
@@ -60,8 +70,11 @@ __all__ = [
     "metal_files", "resolve_jobs",
     "RunJournal", "RunStats", "StopFlag", "SupervisorPolicy",
     "default_runs_dir", "graceful_shutdown", "new_run_id",
+    "Contradiction", "FactsView", "FunctionFeasibility",
+    "call_branch_transfer", "default_enabled", "set_default_enabled",
+    "base_score", "cascade_factor", "confidence_of", "score_run",
     "RedundantWaitEliminator", "TransformResult",
-    "Report", "ReportSink", "format_quarantines", "format_reports",
-    "format_run_stats", "format_sink", "summarize_by_severity",
-    "report_to_json_obj", "run_to_json",
+    "Report", "ReportSink", "filter_by_confidence", "format_quarantines",
+    "format_reports", "format_run_stats", "format_sink",
+    "summarize_by_severity", "report_to_json_obj", "run_to_json",
 ]

@@ -35,7 +35,9 @@ from .resilience import Quarantine
 
 #: Bump when the payload shape changes; stale-schema entries are misses.
 #: v2 added per-report path provenance to result/sink payloads.
-SCHEMA_VERSION = 2
+#: v3: feasibility pruning changed provenance steps (fact/pruned) and
+#: keys fold in the analysis configuration (``config_fp``).
+SCHEMA_VERSION = 3
 
 
 # -- fingerprints ------------------------------------------------------------
@@ -255,7 +257,8 @@ def payload_cacheable(payload: dict) -> bool:
 
 
 def work_item_key(*, checker_fp: str, units: list[tuple[str, str]],
-                  spec_fp: str = "", engine_fp: Optional[str] = None) -> str:
+                  spec_fp: str = "", engine_fp: Optional[str] = None,
+                  config_fp: str = "") -> str:
     """Content-hash key for one (checker, unit-set) work item.
 
     ``units`` is a list of ``(filename, content-hash)`` pairs; global
@@ -263,9 +266,13 @@ def work_item_key(*, checker_fp: str, units: list[tuple[str, str]],
     exactly one.  The run journal keys its records the same way, so a
     journal entry — like a cache entry — is automatically invalidated
     by editing a file, changing a checker, or upgrading the engine.
+    ``config_fp`` folds in analysis configuration that changes results
+    (``feasibility=on|off``), so runs with different settings never
+    share entries.
     """
     engine = engine_fp if engine_fp is not None else engine_fingerprint()
-    chunks = [engine.encode(), checker_fp.encode(), spec_fp.encode()]
+    chunks = [engine.encode(), checker_fp.encode(), spec_fp.encode(),
+              config_fp.encode()]
     for filename, digest in units:
         chunks.append(filename.encode())
         chunks.append(digest.encode())
@@ -323,11 +330,13 @@ class ResultCache:
         self.stats = CacheStats()
 
     def key_for(self, *, checker_fp: str, units: list[tuple[str, str]],
-                spec_fp: str = "", engine_fp: Optional[str] = None) -> str:
+                spec_fp: str = "", engine_fp: Optional[str] = None,
+                config_fp: str = "") -> str:
         """Cache key for one (checker, unit-set) work item
         (see :func:`work_item_key`)."""
         return work_item_key(checker_fp=checker_fp, units=units,
-                             spec_fp=spec_fp, engine_fp=engine_fp)
+                             spec_fp=spec_fp, engine_fp=engine_fp,
+                             config_fp=config_fp)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"

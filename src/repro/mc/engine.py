@@ -21,6 +21,7 @@ from ..metal.sm import StateMachine
 from ..obs.metrics import current_metrics
 from ..obs.provenance import build_steps, report_key
 from ..obs.trace import MAX_PATH_SPANS_PER_FUNCTION, current_tracer
+from . import feasibility as _feas
 from .resilience import Budget, Quarantine
 
 
@@ -46,26 +47,35 @@ class _Run:
     """
 
     def __init__(self, sm: StateMachine, cfg: Cfg, sink: ReportSink,
-                 budget: Optional[Budget] = None):
+                 budget: Optional[Budget] = None,
+                 feas: Optional["_feas.FunctionFeasibility"] = None):
         self.sm = sm
         self.cfg = cfg
         self.sink = sink
         self.budget = budget
         self.function = cfg.function
+        # Feasibility: None when pruning is off for this run.
+        self.feas = feas
+        self.current_store: Optional[_feas.Store] = None
         # Work counters (see class docstring).
         self.steps = 0
         self.transitions = 0
         self.states = 0
         self.path_ends = 0
+        self.pruned_edges = 0
         # Provenance position: where the machine is right now.
         self.parents: dict[tuple, tuple] = {}
         self.block_transitions_by_key: dict[tuple, list] = {}
+        self.pruned_by_key: dict[tuple, list] = {}
         self.current_key: Optional[tuple] = None
         self.current_ordinal = 0
         self._block_transitions: Optional[list] = None
         self.tracer = current_tracer()
 
     def ctx_factory(self, node: ast.Node, bindings: dict, state: str) -> MatchContext:
+        facts = None
+        if self.feas is not None and self.current_store is not None:
+            facts = _feas.FactsView(self.feas, self.current_store)
         return MatchContext(
             checker=self.sm.name,
             node=node,
@@ -73,12 +83,16 @@ class _Run:
             function=self.function,
             sink=self.sink,
             state=state,
+            facts=facts,
         )
 
     def run_block_events(self, block, state: str) -> tuple[str, bool]:
         """Feed one block's events through the machine.
 
-        Returns ``(state_after, stopped)``.
+        Returns ``(state_after, stopped)``.  With feasibility on, the
+        abstract store is advanced across each event *after* the machine
+        has seen it, so checker actions observe the facts established by
+        prior events on the path.
         """
         for ordinal, event in enumerate(block.events):
             self.current_ordinal = ordinal
@@ -98,6 +112,9 @@ class _Run:
                 state = result.state
                 if result.stopped:
                     return state, True
+            if self.feas is not None and self.current_store is not None:
+                self.current_store = self.feas.transfer_event(
+                    self.current_store, event)
         return state, False
 
     def at_path_end(self, state: str) -> None:
@@ -119,7 +136,8 @@ class _Run:
         try:
             self.sink.provenance[key] = build_steps(
                 self.cfg, self.parents, self.block_transitions_by_key,
-                self.current_key, self.current_ordinal, report)
+                self.current_key, self.current_ordinal, report,
+                pruned=self.pruned_by_key)
         except Exception:
             # Provenance is best-effort; it must never break analysis.
             pass
@@ -152,17 +170,22 @@ def _flush_run(run: _Run, span, *, naive: bool = False) -> None:
         metrics.inc("engine.transitions", run.transitions)
         metrics.inc("engine.states", run.states)
         metrics.inc("engine.paths", run.path_ends)
+        if run.pruned_edges:
+            metrics.inc("engine.pruned_edges", run.pruned_edges)
     if span is not None:
         span.counters["steps"] = run.steps
         span.counters["transitions"] = run.transitions
         span.counters["states"] = run.states
         span.counters["paths"] = run.path_ends
+        if run.pruned_edges:
+            span.counters["pruned"] = run.pruned_edges
         span.__exit__(None, None, None)
 
 
 def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink, *,
                 budget: Optional[Budget] = None,
-                isolate: bool = False) -> None:
+                isolate: bool = False,
+                feasibility: Optional[bool] = None) -> None:
     """Run ``sm`` over every path of ``cfg`` with (block, state) caching.
 
     With a ``budget``, exploration stops gracefully when it runs out:
@@ -172,6 +195,14 @@ def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink, *,
     this (checker, function) pair into ``sink.quarantines`` instead of
     propagating.
 
+    ``feasibility`` controls correlated-branch pruning
+    (:mod:`repro.mc.feasibility`): ``None`` defers to the process-wide
+    ``--feasibility`` default.  When on, the visited set is keyed on
+    ``(block, state, store)`` — stores are restricted to still-relevant
+    facts at every edge, so the extra key component stays small — and
+    edges whose condition contradicts the path's facts are pruned and
+    counted (``engine.pruned_edges``).
+
     Every execution also records path provenance for each *new* report
     (``sink.provenance``), counts its work into the active metrics
     registry, and — when a tracer is active — emits a ``function`` span
@@ -180,7 +211,10 @@ def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink, *,
     initial = sm.initial_state(cfg.function)
     if initial is None:
         return
-    run = _Run(sm, cfg, sink, budget)
+    if feasibility is None:
+        feasibility = _feas.default_enabled()
+    feas = _feas.for_cfg(cfg) if feasibility else None
+    run = _Run(sm, cfg, sink, budget, feas)
     span = (run.tracer.span("function", cfg.name, checker=sm.name)
             if run.tracer.enabled else None)
     previous_hook = sink.on_new_report
@@ -211,23 +245,31 @@ def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink, *,
 
 
 def _walk_cached(run: _Run, cfg: Cfg) -> None:
-    visited: set[tuple[int, str]] = set()
+    feas = run.feas
+    initial_store = feas.initial_store() if feas is not None else None
+    visited: set[tuple] = set()
     stack: list[tuple] = [
-        (cfg.entry, run.sm.initial_state(cfg.function), None, None)
+        (cfg.entry, run.sm.initial_state(cfg.function), None, None,
+         initial_store, None)
     ]
     path_spans = 0
     while stack:
-        block, state, pred_key, edge_label = stack.pop()
-        key = (block.index, state)
+        block, state, pred_key, edge_label, store, fact = stack.pop()
+        if feas is not None:
+            key = (block.index, state, store.key())
+        else:
+            key = (block.index, state)
         if key in visited:
             continue
         visited.add(key)
         run.states += 1
-        run.parents[key] = (pred_key, edge_label)
+        run.parents[key] = (pred_key, edge_label, fact)
         run.current_key = key
+        run.current_store = store
         in_block: list = []
         run._block_transitions = in_block
         state, stopped = run.run_block_events(block, state)
+        store = run.current_store
         if in_block:
             run.block_transitions_by_key[key] = in_block
         if stopped:
@@ -244,18 +286,58 @@ def _walk_cached(run: _Run, cfg: Cfg) -> None:
                     pass
             continue
         for edge in reversed(block.out_edges):
+            next_store, next_fact = _edge_store(run, block, store, edge, key)
+            if next_store is _PRUNED:
+                continue
             stack.append((edge.dst, _edge_state(run.sm, block, state, edge),
-                          key, edge.label))
+                          key, edge.label, next_store, next_fact))
+
+
+#: Sentinel: the edge's condition contradicts the path's facts.
+_PRUNED = object()
+
+
+def _edge_store(run: _Run, block, store, edge, key):
+    """The store carried across ``edge``, or ``(_PRUNED, None)``.
+
+    Branch conditions (``true``/``false`` edges out of a block whose
+    last event is the condition) are assumed into the store; a
+    contradiction prunes the edge and records why, for both the metrics
+    counter and provenance.  Every survivor is restricted to the facts
+    still relevant at the destination, which is what keeps the
+    ``(block, state, store)`` visited set from outgrowing the plain
+    ``(block, state)`` one.
+    """
+    feas = run.feas
+    if feas is None:
+        return None, None
+    fact = None
+    if edge.label in ("true", "false") and block.events:
+        cond = block.events[-1]
+        outcome = feas.assume_edge(store, cond, edge.label)
+        if isinstance(outcome, _feas.Contradiction):
+            run.pruned_edges += 1
+            loc = cond.location
+            run.pruned_by_key.setdefault(key, []).append({
+                "kind": "pruned", "file": loc.filename, "line": loc.line,
+                "taken": edge.label, "reason": outcome.reason,
+            })
+            return _PRUNED, None
+        store, fact = outcome
+    return feas.restrict(store, edge.dst), fact
 
 
 def run_machine_naive(sm: StateMachine, cfg: Cfg, sink: ReportSink,
                       max_paths: int = 100000,
-                      budget: Optional[Budget] = None) -> int:
+                      budget: Optional[Budget] = None,
+                      feasibility: Optional[bool] = None) -> int:
     """Run ``sm`` by explicit path enumeration (no state cache).
 
     Back edges are skipped, as in :mod:`repro.cfg.paths`.  Returns the
     number of paths walked.  Exists to quantify what the state cache buys
-    (ablation 1 in DESIGN.md).
+    (ablation 1 in DESIGN.md).  Feasibility pruning applies here too
+    (same semantics as :func:`run_machine`; pruned paths are simply not
+    enumerated), though no provenance is recorded.
 
     Note: on loop-free CFGs this produces exactly the diagnostics of
     :func:`run_machine`; with loops it can under-approximate, because
@@ -266,7 +348,10 @@ def run_machine_naive(sm: StateMachine, cfg: Cfg, sink: ReportSink,
     initial = sm.initial_state(cfg.function)
     if initial is None:
         return 0
-    run = _Run(sm, cfg, sink, budget)
+    if feasibility is None:
+        feasibility = _feas.default_enabled()
+    feas = _feas.for_cfg(cfg) if feasibility else None
+    run = _Run(sm, cfg, sink, budget, feas)
     span = (run.tracer.span("function", f"{cfg.name} (naive)",
                             checker=sm.name)
             if run.tracer.enabled else None)
@@ -274,11 +359,14 @@ def run_machine_naive(sm: StateMachine, cfg: Cfg, sink: ReportSink,
         budget.start_clock()
     back = cfg.back_edges()
     paths_walked = 0
-    stack: list[tuple] = [(cfg.entry, initial)]
+    initial_store = feas.initial_store() if feas is not None else None
+    stack: list[tuple] = [(cfg.entry, initial, initial_store)]
     try:
         while stack:
-            block, state = stack.pop()
+            block, state, store = stack.pop()
+            run.current_store = store
             state, stopped = run.run_block_events(block, state)
+            store = run.current_store
             if stopped:
                 paths_walked += 1
                 continue
@@ -296,7 +384,13 @@ def run_machine_naive(sm: StateMachine, cfg: Cfg, sink: ReportSink,
                         f"{cfg.name}: more than {max_paths} paths")
                 continue
             for edge in reversed(edges):
-                stack.append((edge.dst, _edge_state(sm, block, state, edge)))
+                next_store, _fact = _edge_store(run, block, store, edge,
+                                                None)
+                if next_store is _PRUNED:
+                    continue
+                stack.append((edge.dst,
+                              _edge_state(sm, block, state, edge),
+                              next_store))
     except _OutOfBudget:
         sink.degraded = True
         sink.degradation_notes.append(
@@ -313,11 +407,12 @@ def run_machine_naive(sm: StateMachine, cfg: Cfg, sink: ReportSink,
 def check_function(sm: StateMachine, function: ast.FunctionDef,
                    sink: Optional[ReportSink] = None, *,
                    budget: Optional[Budget] = None,
-                   keep_going: bool = False) -> ReportSink:
+                   keep_going: bool = False,
+                   feasibility: Optional[bool] = None) -> ReportSink:
     """Convenience: build the CFG of ``function`` and run ``sm`` over it."""
     sink = sink if sink is not None else ReportSink()
     run_machine(sm, build_cfg(function), sink, budget=budget,
-                isolate=keep_going)
+                isolate=keep_going, feasibility=feasibility)
     return sink
 
 
@@ -325,7 +420,8 @@ def check_unit(sm: StateMachine, unit: ast.TranslationUnit,
                sink: Optional[ReportSink] = None, *,
                budget: Optional[Budget] = None,
                keep_going: bool = False,
-               naive_fallback: bool = True) -> ReportSink:
+               naive_fallback: bool = True,
+               feasibility: Optional[bool] = None) -> ReportSink:
     """Run ``sm`` over every function in a translation unit.
 
     With ``keep_going``, a crash in one (checker, function) pair —
@@ -350,13 +446,15 @@ def check_unit(sm: StateMachine, unit: ast.TranslationUnit,
             ))
             continue
         before = len(sink.quarantines)
-        run_machine(sm, cfg, sink, budget=budget, isolate=keep_going)
+        run_machine(sm, cfg, sink, budget=budget, isolate=keep_going,
+                    feasibility=feasibility)
         crashed = len(sink.quarantines) > before
         if (crashed and naive_fallback
                 and not (budget is not None and budget.exhausted)):
             quarantine = sink.quarantines[-1]
             try:
-                run_machine_naive(sm, cfg, sink, budget=budget)
+                run_machine_naive(sm, cfg, sink, budget=budget,
+                                  feasibility=feasibility)
             except Exception:
                 # The fallback crashed too; the quarantine stands.
                 pass

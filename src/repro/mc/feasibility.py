@@ -1,0 +1,880 @@
+"""Path-feasibility analysis: correlated-branch pruning for the engine.
+
+The paper attributes a large share of its false positives to paths that
+no execution can take — most famously the Table 2 buffer-race shape,
+where ``WAIT_FOR_DB_FULL`` and ``MISCBUS_READ_DB`` are guarded by the
+*same* header field, so the path that skips the wait but performs the
+read is syntactic fiction.  The engine in :mod:`repro.mc.engine`
+historically walked every syntactic CFG path; this module gives it a
+small per-path abstract store so contradictory branch combinations are
+pruned instead of reported.
+
+The store tracks two kinds of fact along each path:
+
+``conds``
+    the established truth of *call-free* branch conditions, keyed by
+    their canonical source text (``has_data``, ``v & 8``, ...).  Taking
+    the ``false`` edge of ``if (has_data)`` records ``has_data -> False``;
+    a later ``true`` edge of the same condition contradicts it and the
+    edge is pruned.  Conditions containing calls are never recorded —
+    two calls to the same routine may answer differently.
+
+``vals``
+    a small abstract value per trackable *term* (a local, a member
+    chain, or a ``HANDLER_GLOBALS(...)`` read): integer bounds, an
+    equality/exclusion set over integer and symbolic constants, and a
+    zero/nonzero bit.  This catches cross-text contradictions such as
+    ``x = 5; if (x != 5)`` or ``if (x == LEN_NODATA) ... else if (x ==
+    LEN_NODATA)``.
+
+Everything else is conservative ``top``: an assignment kills the facts
+that mention its target, any call kills the facts that read global
+state, and locals whose address is taken are never tracked at all.
+Pruning is therefore *sound for false paths only* — a fact is recorded
+only when the branch genuinely established it, so a pruned edge is one
+no execution of the function could take.
+
+To keep the engine's ``(block, state, store)`` memoization from
+exploding on long chains of independent branches, stores are restricted
+at every edge to the facts that can still influence a *downstream*
+condition (:meth:`FunctionFeasibility.restrict`): once the last read of
+``has_data`` is behind the path, the fact about it is dropped and paths
+that differ only in dead facts re-merge in the visited set.
+
+The module also hosts the process-wide enable default (set from
+``--feasibility on|off`` through :class:`repro.mc.parallel.WorkerConfig`)
+and :func:`call_branch_transfer`, the general mechanism behind §6's
+frees-if-true refinement in :mod:`repro.checkers.buffer_mgmt`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from ..lang import ast
+from ..lang.unparse import unparse_expr
+
+#: The one callee whose "call" is really a read of handler-global state
+#: (a field access behind a macro), and therefore a trackable term.
+HANDLER_GLOBALS = "HANDLER_GLOBALS"
+
+#: Dependency sentinel for facts that read global/heap state: any call
+#: or store through a pointer kills them.
+GLOBAL_DEP = "<globals>"
+
+#: Identifiers matching the C constant convention (``LEN_NODATA``,
+#: ``F_DATA``) are treated as symbolic constants, not variables.
+_CONST_RE = re.compile(r"^[A-Z][A-Z0-9_]*$")
+
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+_NEGATED_CMP = {"==": "!=", "!=": "==", "<": ">=", "<=": ">",
+                ">": "<=", ">=": "<"}
+
+
+# -- process-wide enable default ---------------------------------------------
+
+_DEFAULT_ENABLED = True
+
+
+def default_enabled() -> bool:
+    """The process-wide feasibility default (``--feasibility``)."""
+    return _DEFAULT_ENABLED
+
+
+def set_default_enabled(enabled: bool) -> bool:
+    """Set the process-wide default; returns the previous value.
+
+    Worker processes call this from ``parallel._init_worker`` so the
+    flag reaches every execution mode (inline, pooled, supervised).
+    """
+    global _DEFAULT_ENABLED
+    previous = _DEFAULT_ENABLED
+    _DEFAULT_ENABLED = bool(enabled)
+    return previous
+
+
+# -- the abstract value domain ------------------------------------------------
+
+@dataclass(frozen=True)
+class AbsVal:
+    """What one path knows about one term.  All-None is ``top``."""
+
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+    #: Equal to this symbolic constant (``LEN_NODATA``), when known.
+    eq_sym: Optional[str] = None
+    #: Excluded constants: ints and symbolic-constant names.
+    not_in: tuple = ()
+
+    def is_top(self) -> bool:
+        return (self.lo is None and self.hi is None
+                and self.eq_sym is None and not self.not_in)
+
+    def describe(self, term: str) -> str:
+        if self.lo is not None and self.lo == self.hi:
+            return f"{term} == {self.lo}"
+        if self.eq_sym is not None:
+            return f"{term} == {self.eq_sym}"
+        parts = []
+        if self.lo is not None:
+            parts.append(f"{term} >= {self.lo}")
+        if self.hi is not None:
+            parts.append(f"{term} <= {self.hi}")
+        for excluded in self.not_in:
+            parts.append(f"{term} != {excluded}")
+        return " and ".join(parts) if parts else f"{term} is unknown"
+
+
+_TOP = AbsVal()
+
+
+def _exclude(val: AbsVal, const) -> AbsVal:
+    if const in val.not_in:
+        return val
+    return replace(val, not_in=tuple(sorted(
+        set(val.not_in) | {const}, key=lambda c: (isinstance(c, str), str(c)))))
+
+
+def _assume_cmp(val: AbsVal, op: str, const) -> Optional[AbsVal]:
+    """Refine ``val`` by ``term <op> const``; None means contradiction."""
+    symbolic = isinstance(const, str)
+    if symbolic:
+        if op == "==":
+            if const in val.not_in:
+                return None
+            if val.eq_sym is None:
+                return replace(val, eq_sym=const)
+            # Two different symbolic constants *could* alias; stay top-ish.
+            return val
+        if op == "!=":
+            if val.eq_sym == const:
+                return None
+            return _exclude(val, const)
+        return val  # relational over symbols: unknown
+    c = const
+    if op == "==":
+        if c in val.not_in:
+            return None
+        if val.lo is not None and c < val.lo:
+            return None
+        if val.hi is not None and c > val.hi:
+            return None
+        return replace(val, lo=c, hi=c)
+    if op == "!=":
+        if val.lo is not None and val.lo == val.hi == c:
+            return None
+        return _exclude(val, c)
+    if op == "<":
+        return _assume_cmp(val, "<=", c - 1)
+    if op == ">":
+        return _assume_cmp(val, ">=", c + 1)
+    if op == "<=":
+        if val.lo is not None and val.lo > c:
+            return None
+        new_hi = c if val.hi is None else min(val.hi, c)
+        return _check_range(replace(val, hi=new_hi))
+    if op == ">=":
+        if val.hi is not None and val.hi < c:
+            return None
+        new_lo = c if val.lo is None else max(val.lo, c)
+        return _check_range(replace(val, lo=new_lo))
+    return val
+
+
+def _check_range(val: AbsVal) -> Optional[AbsVal]:
+    if val.lo is not None and val.hi is not None and val.lo > val.hi:
+        return None
+    if (val.lo is not None and val.lo == val.hi
+            and val.lo in val.not_in):
+        return None
+    return val
+
+
+def _eval_cmp(val: AbsVal, op: str, const) -> Optional[bool]:
+    """Decide ``term <op> const`` from ``val`` alone, if possible."""
+    symbolic = isinstance(const, str)
+    if symbolic:
+        if op == "==":
+            if val.eq_sym == const:
+                return True
+            if const in val.not_in:
+                return False
+            return None
+        if op == "!=":
+            answer = _eval_cmp(val, "==", const)
+            return None if answer is None else not answer
+        return None
+    c = const
+    exact = val.lo if (val.lo is not None and val.lo == val.hi) else None
+    if op == "==":
+        if exact is not None:
+            return exact == c
+        if c in val.not_in:
+            return False
+        if val.lo is not None and c < val.lo:
+            return False
+        if val.hi is not None and c > val.hi:
+            return False
+        return None
+    if op == "!=":
+        answer = _eval_cmp(val, "==", c)
+        return None if answer is None else not answer
+    if op == "<":
+        if val.hi is not None and val.hi < c:
+            return True
+        if val.lo is not None and val.lo >= c:
+            return False
+        return None
+    if op == "<=":
+        return _eval_cmp(val, "<", c + 1)
+    if op == ">":
+        answer = _eval_cmp(val, "<=", c)
+        return None if answer is None else not answer
+    if op == ">=":
+        answer = _eval_cmp(val, "<", c)
+        return None if answer is None else not answer
+    return None
+
+
+# -- the per-path store --------------------------------------------------------
+
+class Store:
+    """An immutable-by-convention map of path facts, hashable via :meth:`key`.
+
+    ``conds`` maps canonical condition text to its established truth;
+    ``vals`` maps term text to an :class:`AbsVal`.  Updates go through
+    :meth:`updated`, which copies; the engine hashes stores into its
+    visited set, so mutating one in place would corrupt memoization.
+    """
+
+    __slots__ = ("conds", "vals", "_key")
+
+    def __init__(self, conds: Optional[dict] = None,
+                 vals: Optional[dict] = None):
+        self.conds: dict[str, bool] = conds if conds is not None else {}
+        self.vals: dict[str, AbsVal] = vals if vals is not None else {}
+        self._key = None
+
+    def key(self) -> tuple:
+        if self._key is None:
+            self._key = (
+                tuple(sorted(self.conds.items())),
+                tuple(sorted(self.vals.items(), key=lambda kv: kv[0])),
+            )
+        return self._key
+
+    def updated(self, conds: Optional[dict] = None,
+                vals: Optional[dict] = None) -> "Store":
+        return Store(conds if conds is not None else dict(self.conds),
+                     vals if vals is not None else dict(self.vals))
+
+    def is_empty(self) -> bool:
+        return not self.conds and not self.vals
+
+    def notes(self) -> list[str]:
+        """Human-readable facts, sorted — what `explain` and checkers see."""
+        notes = [f"{text} is {'true' if truth else 'false'}"
+                 for text, truth in self.conds.items()]
+        notes.extend(val.describe(term) for term, val in self.vals.items()
+                     if not val.is_top())
+        return sorted(notes)
+
+    def __repr__(self) -> str:
+        return f"<Store {self.notes()!r}>"
+
+
+EMPTY_STORE = Store()
+
+
+class Contradiction:
+    """An edge whose condition contradicts facts already on the path."""
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str):
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"<Contradiction {self.reason!r}>"
+
+
+# -- condition structure -------------------------------------------------------
+
+def peel_negations(cond: ast.Node) -> tuple[ast.Node, bool]:
+    """Strip leading ``!`` operators; returns (core, negated)."""
+    negated = False
+    node = cond
+    while isinstance(node, ast.UnaryOp) and node.op == "!":
+        negated = not negated
+        node = node.operand
+    return node, negated
+
+
+def direct_call(cond: ast.Node) -> tuple[Optional[str], bool]:
+    """If ``cond`` is ``fn(...)`` or ``!fn(...)``, return (fn, negated)."""
+    node, negated = peel_negations(cond)
+    if isinstance(node, ast.Call) and node.callee_name is not None:
+        return node.callee_name, negated
+    return None, False
+
+
+def call_branch_transfer(transfers: dict) -> "ast.Node":
+    """Build a :attr:`StateMachine.branch_fn` from a transfer table.
+
+    ``transfers`` maps callee name to ``{state: (state_if_call_true,
+    state_if_call_false)}``.  The returned hook fires when a branch
+    condition is a direct (possibly negated) call to a listed routine
+    and the machine is in a listed state — the general form of the §6
+    frees-if-true refinement, usable by any checker whose protocol
+    tables say "this routine's return value reports what it did".
+    """
+    def branch(state: str, cond: ast.Node, label: Optional[str]):
+        callee, negated = direct_call(cond)
+        if callee is None:
+            return None
+        by_state = transfers.get(callee)
+        if by_state is None:
+            return None
+        pair = by_state.get(state)
+        if pair is None:
+            return None
+        taken = (label == "true") != negated
+        return pair[0] if taken else pair[1]
+    return branch
+
+
+# -- per-function analysis ------------------------------------------------------
+
+class FunctionFeasibility:
+    """Derived, run-independent feasibility info for one CFG.
+
+    Holds the declared-locals and address-taken sets, per-node caches of
+    canonical text / purity / dependency sets, and the per-block
+    relevance fixpoint used to garbage-collect dead facts.  One instance
+    is shared by every machine run over the same CFG
+    (:func:`for_cfg`); all per-path state lives in :class:`Store`.
+    """
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        function = cfg.function
+        self.locals: set[str] = set()
+        self.addr_taken: set[str] = set()
+        if function is not None:
+            self.locals = {p.name for p in function.params}
+            for node in function.body.walk():
+                if isinstance(node, ast.VarDecl):
+                    self.locals.add(node.name)
+                elif (isinstance(node, ast.UnaryOp) and node.op == "&"
+                        and isinstance(node.operand, ast.Ident)):
+                    self.addr_taken.add(node.operand.name)
+        self._text_cache: dict[int, str] = {}
+        self._pure_cache: dict[int, bool] = {}
+        self._deps_cache: dict[int, frozenset] = {}
+        self._transfer_cache: dict[int, tuple[frozenset, tuple]] = {}
+        # (node/block id, store key) memos: every store operation is
+        # pure, and the engine revisits the same (condition, store)
+        # pairs once per machine state, so these turn the steady-state
+        # cost of feasibility into dict lookups.
+        self._transfer_memo: dict[tuple, Store] = {}
+        self._assume_memo: dict[tuple, object] = {}
+        self._restrict_memo: dict[tuple, Store] = {}
+        self._fact_deps: dict[str, frozenset] = {}
+        self._relevant = self._relevance_fixpoint()
+
+    # -- expression classification ------------------------------------------
+
+    def _text(self, expr: ast.Expr) -> str:
+        text = self._text_cache.get(id(expr))
+        if text is None:
+            text = unparse_expr(expr)
+            self._text_cache[id(expr)] = text
+        return text
+
+    def _pure(self, expr: ast.Node) -> bool:
+        """Call-free (modulo HANDLER_GLOBALS) and side-effect-free,
+        reading no address-taken locals: safe to memoize as a repeatable
+        truth."""
+        cached = self._pure_cache.get(id(expr))
+        if cached is not None:
+            return cached
+        pure = True
+        for node in expr.walk():
+            if isinstance(node, ast.Call):
+                if node.callee_name != HANDLER_GLOBALS:
+                    pure = False
+                    break
+            elif isinstance(node, (ast.Assign, ast.PostfixOp)):
+                pure = False
+                break
+            elif isinstance(node, ast.UnaryOp) and node.op in ("++", "--"):
+                pure = False
+                break
+            elif (isinstance(node, ast.Ident)
+                    and node.name in self.addr_taken):
+                pure = False
+                break
+        self._pure_cache[id(expr)] = pure
+        return pure
+
+    def _deps(self, expr: ast.Node) -> frozenset:
+        """The kill-set names this expression's value depends on."""
+        cached = self._deps_cache.get(id(expr))
+        if cached is not None:
+            return cached
+        deps: set[str] = set()
+        for node in expr.walk():
+            if isinstance(node, ast.Ident):
+                deps.add(node.name)
+                # A non-local, non-constant identifier names a global:
+                # its value can change under any call or pointer store.
+                if (node.name not in self.locals
+                        and not _CONST_RE.match(node.name)):
+                    deps.add(GLOBAL_DEP)
+            elif isinstance(node, ast.Call):
+                deps.add(GLOBAL_DEP)
+            elif isinstance(node, ast.Member) and node.arrow:
+                deps.add(GLOBAL_DEP)
+            elif isinstance(node, ast.Index):
+                deps.add(GLOBAL_DEP)
+            elif isinstance(node, ast.UnaryOp) and node.op == "*":
+                deps.add(GLOBAL_DEP)
+        frozen = frozenset(deps)
+        self._deps_cache[id(expr)] = frozen
+        return frozen
+
+    def _term_text(self, expr: ast.Expr) -> Optional[str]:
+        """Canonical text of a trackable term, else None.
+
+        Trackable: a non-address-taken, non-constant identifier; a
+        member chain over one; or a ``HANDLER_GLOBALS(...)`` read.
+        """
+        if isinstance(expr, ast.Ident):
+            name = expr.name
+            if name in self.addr_taken:
+                return None
+            if _CONST_RE.match(name) and name not in self.locals:
+                return None  # that's a constant, not a variable
+            return name
+        if isinstance(expr, ast.Member):
+            base = expr.base
+            while isinstance(base, ast.Member):
+                base = base.base
+            if (isinstance(base, ast.Ident)
+                    and base.name not in self.addr_taken):
+                return self._text(expr)
+            return None
+        if (isinstance(expr, ast.Call)
+                and expr.callee_name == HANDLER_GLOBALS
+                and all(self._pure(a) for a in expr.args)):
+            return self._text(expr)
+        return None
+
+    def _const_of(self, expr: ast.Expr):
+        """An integer or symbolic-constant operand, else None."""
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.UnaryOp) and expr.op == "-" \
+                and isinstance(expr.operand, ast.IntLit):
+            return -expr.operand.value
+        if (isinstance(expr, ast.Ident) and _CONST_RE.match(expr.name)
+                and expr.name not in self.locals):
+            return expr.name
+        return None
+
+    def _atom(self, cond: ast.Node):
+        """Decompose a (peeled) condition into a trackable atom.
+
+        Returns ``("cmp", term, op, const)`` for ``term <op> const``
+        comparisons (flipped as needed), ``("truth", term)`` when the
+        condition is a bare trackable term, or None.
+        """
+        if isinstance(cond, ast.BinaryOp) and cond.op in _CMP_OPS:
+            left_term = self._term_text(cond.left)
+            right_const = self._const_of(cond.right)
+            if left_term is not None and right_const is not None:
+                return ("cmp", left_term, cond.op, right_const, cond.left)
+            right_term = self._term_text(cond.right)
+            left_const = self._const_of(cond.left)
+            if right_term is not None and left_const is not None:
+                flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+                op = flipped.get(cond.op, cond.op)
+                return ("cmp", right_term, op, left_const, cond.right)
+            return None
+        term = self._term_text(cond)
+        if term is not None:
+            return ("truth", term, cond)
+        return None
+
+    def _record_fact_deps(self, fact_key: str, expr: ast.Node) -> None:
+        if fact_key not in self._fact_deps:
+            self._fact_deps[fact_key] = self._deps(expr)
+
+    # -- relevance (store GC) ------------------------------------------------
+
+    def _block_cond(self, block):
+        if not block.events:
+            return None
+        if any(e.label in ("true", "false") for e in block.out_edges):
+            return block.events[-1]
+        return None
+
+    def _relevance_fixpoint(self) -> dict[int, frozenset]:
+        """``relevant[b]``: kill-set names read by any branch condition
+        in ``b`` or any block reachable from it.  A fact none of whose
+        dependencies appear here can never influence a future pruning
+        decision, so :meth:`restrict` drops it — which is what keeps the
+        ``(block, state, store)`` visited set from exploding on chains
+        of unrelated branches."""
+        own: dict[int, frozenset] = {}
+        for block in self.cfg.blocks:
+            cond = self._block_cond(block)
+            own[block.index] = self._deps(cond) if cond is not None \
+                else frozenset()
+        relevant = dict(own)
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(self.cfg.blocks):
+                merged = set(own[block.index])
+                for edge in block.out_edges:
+                    merged |= relevant[edge.dst.index]
+                frozen = frozenset(merged)
+                if frozen != relevant[block.index]:
+                    relevant[block.index] = frozen
+                    changed = True
+        return relevant
+
+    def restrict(self, store: Store, block) -> Store:
+        """Drop facts irrelevant to every condition reachable from ``block``."""
+        if store.is_empty():
+            return store
+        memo_key = (block.index, store.key())
+        cached = self._restrict_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        rel = self._relevant[block.index]
+        conds = {t: v for t, v in store.conds.items()
+                 if self._fact_deps.get(t, frozenset()) & rel}
+        vals = {t: v for t, v in store.vals.items()
+                if self._fact_deps.get(t, frozenset()) & rel}
+        if len(conds) == len(store.conds) and len(vals) == len(store.vals):
+            result = store
+        else:
+            result = Store(conds, vals)
+        self._restrict_memo[memo_key] = result
+        return result
+
+    # -- store transfer ------------------------------------------------------
+
+    def initial_store(self) -> Store:
+        return EMPTY_STORE
+
+    def _transfer_ops(self, event: ast.Node) -> tuple[frozenset, tuple]:
+        """The (kill set, generated facts) of one event, memoized.
+
+        Events are shared AST statement nodes, so the walk runs once per
+        distinct statement instead of once per visited engine state —
+        this is what keeps the no-prune overhead of feasibility small.
+        """
+        cached = self._transfer_cache.get(id(event))
+        if cached is not None:
+            return cached
+        kills: set[str] = set()
+        gen: list[tuple[str, AbsVal]] = []
+        for node in event.walk():
+            if isinstance(node, ast.Assign):
+                self._kill_lvalue(node.target, kills)
+                if node is event and node.op == "=":
+                    self._gen_assign(node.target, node.value, gen)
+            elif isinstance(node, ast.PostfixOp):
+                self._kill_lvalue(node.operand, kills)
+            elif isinstance(node, ast.UnaryOp) and node.op in ("++", "--"):
+                self._kill_lvalue(node.operand, kills)
+            elif isinstance(node, ast.Call):
+                if node.callee_name != HANDLER_GLOBALS:
+                    kills.add(GLOBAL_DEP)
+            elif isinstance(node, ast.VarDecl):
+                kills.add(node.name)
+                if node.init is not None:
+                    self._gen_assign(
+                        ast.Ident(location=node.location, name=node.name),
+                        node.init, gen)
+        cached = (frozenset(kills), tuple(gen))
+        self._transfer_cache[id(event)] = cached
+        return cached
+
+    def transfer_event(self, store: Store, event: ast.Node) -> Store:
+        """Update ``store`` across one block event (statement)."""
+        kills, gen = self._transfer_ops(event)
+        if not kills and not gen:
+            return store
+        if store.is_empty() and not gen:
+            return store
+        memo_key = (id(event), store.key())
+        cached = self._transfer_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        conds = {t: v for t, v in store.conds.items()
+                 if not self._fact_deps.get(t, frozenset()) & kills}
+        vals = {t: v for t, v in store.vals.items()
+                if not self._fact_deps.get(t, frozenset()) & kills}
+        for term, val in gen:
+            vals[term] = val
+        if not conds and not vals:
+            result = EMPTY_STORE
+        else:
+            result = Store(conds, vals)
+        self._transfer_memo[memo_key] = result
+        return result
+
+    def _kill_lvalue(self, target: ast.Expr, kills: set) -> None:
+        if isinstance(target, ast.Ident):
+            kills.add(target.name)
+            return
+        if isinstance(target, ast.Member):
+            base = target.base
+            while isinstance(base, ast.Member):
+                base = base.base
+            if isinstance(base, ast.Ident):
+                kills.add(base.name)
+            kills.add(GLOBAL_DEP)
+            return
+        # Stores through pointers/indices may alias anything global.
+        for node in target.walk():
+            if isinstance(node, ast.Ident):
+                kills.add(node.name)
+        kills.add(GLOBAL_DEP)
+
+    def _gen_assign(self, target: ast.Expr, value: ast.Expr, gen: list) -> None:
+        term = self._term_text(target)
+        if term is None:
+            return
+        const = self._const_of(value)
+        if const is None:
+            return
+        if isinstance(const, str):
+            val = AbsVal(eq_sym=const)
+        else:
+            val = AbsVal(lo=const, hi=const)
+        self._record_fact_deps(term, target)
+        gen.append((term, val))
+
+    # -- evaluation and assumption ------------------------------------------
+
+    def evaluate(self, store: Store, cond: ast.Node) -> Optional[bool]:
+        """Truth of ``cond`` under ``store``, or None when unknown."""
+        cond, negated = peel_negations(cond)
+        answer = self._evaluate_core(store, cond)
+        if answer is None:
+            return None
+        return (not answer) if negated else answer
+
+    def _evaluate_core(self, store: Store, cond: ast.Node) -> Optional[bool]:
+        if isinstance(cond, ast.BinaryOp) and cond.op in ("&&", "||"):
+            left = self.evaluate(store, cond.left)
+            right = self.evaluate(store, cond.right)
+            if cond.op == "&&":
+                if left is False or right is False:
+                    return False
+                if left is True and right is True:
+                    return True
+                return None
+            if left is True or right is True:
+                return True
+            if left is False and right is False:
+                return False
+            return None
+        if self._pure(cond):
+            known = store.conds.get(self._text(cond))
+            if known is not None:
+                return known
+        atom = self._atom(cond)
+        if atom is None:
+            return None
+        if atom[0] == "cmp":
+            _, term, op, const, _node = atom
+            val = store.vals.get(term)
+            if val is not None:
+                return _eval_cmp(val, op, const)
+            return None
+        _, term, _node = atom
+        val = store.vals.get(term)
+        if val is not None:
+            return _eval_cmp(val, "!=", 0)
+        return None
+
+    def assume_edge(self, store: Store, cond: ast.Node,
+                    label: str) -> Union[tuple[Store, Optional[str]],
+                                         Contradiction]:
+        """Assume the branch took ``label``; prune on contradiction.
+
+        Returns ``(refined store, fact note)`` — the note (for
+        provenance) is set when prior path facts already *verified* the
+        branch — or a :class:`Contradiction` naming the clashing fact.
+        """
+        memo_key = (id(cond), label, store.key())
+        cached = self._assume_memo.get(memo_key)
+        if cached is None:
+            cached = self._assume(store, cond, label == "true")
+            self._assume_memo[memo_key] = cached
+        return cached
+
+    def _assume(self, store: Store, cond: ast.Node,
+                desired: bool) -> Union[tuple[Store, Optional[str]],
+                                        Contradiction]:
+        cond, negated = peel_negations(cond)
+        if negated:
+            desired = not desired
+        verified: list[str] = []
+
+        # 1. The whole-condition text fact (correlated branches).
+        if self._pure(cond):
+            text = self._text(cond)
+            known = store.conds.get(text)
+            if known is not None:
+                if known != desired:
+                    return Contradiction(
+                        f"'{text}' is already "
+                        f"{'true' if known else 'false'} on this path")
+                verified.append(f"'{text}' already "
+                                f"{'true' if known else 'false'}")
+            else:
+                self._record_fact_deps(text, cond)
+                store = store.updated(
+                    conds={**store.conds, text: desired})
+
+        # 2. Short-circuit structure (residual: the CFG builder
+        #    decomposes top-level &&/||, but conditions reaching us via
+        #    other routes may still be compound).
+        if isinstance(cond, ast.BinaryOp) and cond.op in ("&&", "||"):
+            return self._assume_compound(store, cond, desired, verified)
+
+        # 3. The abstract-value atom (cross-text contradictions).
+        atom = self._atom(cond)
+        if atom is not None:
+            outcome = self._assume_atom(store, atom, desired)
+            if isinstance(outcome, Contradiction):
+                return outcome
+            store, atom_verified = outcome
+            if atom_verified:
+                verified.append(atom_verified)
+        return store, ("; ".join(verified) if verified else None)
+
+    def _assume_compound(self, store: Store, cond: ast.BinaryOp,
+                         desired: bool, verified: list):
+        conjunctive = (cond.op == "&&") == desired
+        if conjunctive:
+            # Both sides take the desired truth.
+            for side in (cond.left, cond.right):
+                outcome = self._assume(store, side, desired)
+                if isinstance(outcome, Contradiction):
+                    return outcome
+                store, note = outcome
+                if note:
+                    verified.append(note)
+            return store, ("; ".join(verified) if verified else None)
+        # `a && b` false / `a || b` true: only a one-sided conclusion
+        # when the other side's truth is already known.
+        left = self.evaluate(store, cond.left)
+        right = self.evaluate(store, cond.right)
+        if left is not None and right is not None and left == right == (
+                not desired if cond.op == "&&" else desired):
+            # both sides already contradict the desired outcome?
+            pass
+        if cond.op == "&&":
+            if left is True and right is True:
+                return Contradiction(
+                    f"both sides of '{self._text(cond)}' hold on this path")
+            if left is True:
+                return self._chain_assume(store, cond.right, False, verified)
+            if right is True:
+                return self._chain_assume(store, cond.left, False, verified)
+        else:
+            if left is False and right is False:
+                return Contradiction(
+                    f"neither side of '{self._text(cond)}' holds "
+                    f"on this path")
+            if left is False:
+                return self._chain_assume(store, cond.right, True, verified)
+            if right is False:
+                return self._chain_assume(store, cond.left, True, verified)
+        return store, ("; ".join(verified) if verified else None)
+
+    def _chain_assume(self, store: Store, cond: ast.Node, desired: bool,
+                      verified: list):
+        outcome = self._assume(store, cond, desired)
+        if isinstance(outcome, Contradiction):
+            return outcome
+        store, note = outcome
+        if note:
+            verified.append(note)
+        return store, ("; ".join(verified) if verified else None)
+
+    def _assume_atom(self, store: Store, atom, desired: bool):
+        if atom[0] == "cmp":
+            _, term, op, const, node = atom
+            if not desired:
+                op = _NEGATED_CMP[op]
+        else:
+            _, term, node = atom
+            op, const = ("!=", 0) if desired else ("==", 0)
+        val = store.vals.get(term, _TOP)
+        known = _eval_cmp(val, op, const)
+        if known is False:
+            return Contradiction(
+                f"'{val.describe(term)}' already holds on this path")
+        refined = _assume_cmp(val, op, const)
+        if refined is None:
+            return Contradiction(
+                f"'{val.describe(term)}' already holds on this path")
+        note = f"'{val.describe(term)}' already holds" if known is True \
+            else None
+        if refined == val:
+            return (store, note)
+        self._record_fact_deps(term, node)
+        return (store.updated(vals={**store.vals, term: refined}), note)
+
+
+def for_cfg(cfg) -> FunctionFeasibility:
+    """The (cached) :class:`FunctionFeasibility` for one CFG."""
+    feas = getattr(cfg, "_feasibility", None)
+    if feas is None:
+        feas = FunctionFeasibility(cfg)
+        cfg._feasibility = feas
+    return feas
+
+
+# -- checker-facing view -------------------------------------------------------
+
+class FactsView:
+    """Read-only window onto the current path's facts for checker actions.
+
+    Handed to actions as ``ctx.facts`` when feasibility is on; ``None``
+    when it is off, so checkers must treat it as optional.  This is the
+    general mechanism that subsumes checker-local value hacks: an action
+    can ask whether a condition is already known true/false on the path
+    it is being run down.
+    """
+
+    __slots__ = ("_feas", "_store")
+
+    def __init__(self, feas: FunctionFeasibility, store: Store):
+        self._feas = feas
+        self._store = store
+
+    def truth(self, cond: ast.Node) -> Optional[bool]:
+        """True/False when the path's facts decide ``cond``, else None."""
+        return self._feas.evaluate(self._store, cond)
+
+    def is_true(self, cond: ast.Node) -> bool:
+        return self.truth(cond) is True
+
+    def is_false(self, cond: ast.Node) -> bool:
+        return self.truth(cond) is False
+
+    def notes(self) -> list[str]:
+        """The path's facts as sorted human-readable strings."""
+        return self._store.notes()

@@ -106,6 +106,10 @@ class WorkerConfig:
     #: Collect per-item metrics into the payload's ``obs`` section
     #: (``--trace``/``--metrics-out``); stripped before cache/journal.
     collect_obs: bool = False
+    #: Infeasible-path pruning (``--feasibility``, repro.mc.feasibility).
+    #: Shipped in the config so every execution mode — inline, pooled,
+    #: supervised — runs the engine with the same setting.
+    feasibility: bool = True
 
 
 # -- worker side -------------------------------------------------------------
@@ -124,6 +128,11 @@ _WORKER_ATTEMPT = 0
 def _init_worker(config: WorkerConfig) -> None:
     global _CONFIG
     _CONFIG = config
+    # The engine reads the process-wide default; set it here so the flag
+    # reaches inline runs, pool workers, and supervised workers alike
+    # (the supervisor's _worker_main calls _init_worker too).
+    from . import feasibility
+    feasibility.set_default_enabled(config.feasibility)
 
 
 def _arm_worker_faults(config: WorkerConfig) -> None:
@@ -451,24 +460,33 @@ def _run_items(items: list, config: WorkerConfig, jobs: int,
 
     def run_inline() -> None:
         nonlocal shared_budget
+        from . import feasibility
+        # Inline execution runs in the caller's process: restore the
+        # caller's feasibility default afterwards so a library user
+        # mixing on/off runs is not left with a flipped global.
+        previous_feasibility = feasibility.default_enabled()
         _init_worker(config)
         shared_budget = _shared_serial_budget(config)
-        for item in pending:
-            if item.index in payloads:
-                continue
-            if policy.should_stop(stats.completed):
-                if not stats.interrupted:
-                    stats.interrupted = True
-                    stats.stop_reason = policy.stop_reason()
-                payloads[item.index] = _skipped_payload(
-                    item, config,
-                    f"not analysed — run interrupted ({stats.stop_reason})")
-                resolved(item, "skipped")
-                continue
-            payload = _execute_item(item, config, shared_budget)
-            payloads[item.index] = payload
-            stats.completed += 1
-            record(item, payload)
+        try:
+            for item in pending:
+                if item.index in payloads:
+                    continue
+                if policy.should_stop(stats.completed):
+                    if not stats.interrupted:
+                        stats.interrupted = True
+                        stats.stop_reason = policy.stop_reason()
+                    payloads[item.index] = _skipped_payload(
+                        item, config,
+                        f"not analysed — run interrupted "
+                        f"({stats.stop_reason})")
+                    resolved(item, "skipped")
+                    continue
+                payload = _execute_item(item, config, shared_budget)
+                payloads[item.index] = payload
+                stats.completed += 1
+                record(item, payload)
+        finally:
+            feasibility.set_default_enabled(previous_feasibility)
 
     if jobs <= 1 or len(pending) == 1:
         run_inline()
@@ -526,8 +544,20 @@ def merge_parts(checker: str, parts: list):
             if (isinstance(value, (int, float))
                     and isinstance(merged.extra.get(name), (int, float))):
                 merged.extra[name] += value
+            elif (isinstance(value, dict)
+                    and isinstance(merged.extra.get(name), dict)):
+                # Count maps (e.g. applied_by_function) sum key-wise.
+                target = merged.extra[name]
+                for k, v in value.items():
+                    if isinstance(v, (int, float)):
+                        target[k] = target.get(k, 0) + v
+                    else:
+                        target.setdefault(k, v)
             elif name not in merged.extra:
-                merged.extra[name] = value
+                # Copy dicts so later parts merge without mutating the
+                # part (which may be a cached payload's object).
+                merged.extra[name] = dict(value) if isinstance(value, dict) \
+                    else value
         for quarantine in part.quarantines:
             key = (quarantine.checker, quarantine.function)
             if key in seen_quarantines:
@@ -579,7 +609,7 @@ def check_files(paths: list, *, names: Optional[list] = None,
                 deadline: Optional[float] = None,
                 journal: Optional[RunJournal] = None,
                 policy: Optional[SupervisorPolicy] = None,
-                observation=None) -> CheckRun:
+                observation=None, feasibility: bool = True) -> CheckRun:
     """Run the registered checker fleet over source files, in parallel.
 
     The parallel analog of :func:`repro.checkers.base.run_all`: same
@@ -591,7 +621,9 @@ def check_files(paths: list, *, names: Optional[list] = None,
     worker faults); the default supervises with no per-item timeout.
     ``observation`` (a :class:`repro.obs.Observation`) turns on span
     tracing and metrics collection; reports are identical with or
-    without it.
+    without it.  ``feasibility`` toggles infeasible-path pruning
+    (``--feasibility``); it is part of every cache/journal key, so
+    on- and off-runs never share entries.
     """
     from ..checkers.base import checker_names, get_checker
     from ..project import read_sources
@@ -610,6 +642,7 @@ def check_files(paths: list, *, names: Optional[list] = None,
         trace_dir=(observation.worker_trace_dir
                    if observation is not None else None),
         collect_obs=observation is not None,
+        feasibility=feasibility,
     )
 
     items: list[WorkItem] = []
@@ -643,6 +676,7 @@ def check_files(paths: list, *, names: Optional[list] = None,
                 checker_fp=checker_fp,
                 units=[(p, digests[p]) for p in item.paths],
                 spec_fp=spec_fp, engine_fp=engine_fp,
+                config_fp=f"feasibility={'on' if feasibility else 'off'}",
             )
 
     payloads, _, run_stats = _run_items(items, config, jobs, cache, keys,
@@ -698,7 +732,7 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
                 budget_seconds: Optional[float] = None,
                 journal: Optional[RunJournal] = None,
                 policy: Optional[SupervisorPolicy] = None,
-                observation=None) -> MetalRun:
+                observation=None, feasibility: bool = True) -> MetalRun:
     """Run one textual metal checker over files as parallel work items.
 
     Step/path budgets apply per work item when ``jobs > 1`` (each worker
@@ -734,6 +768,7 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
         trace_dir=(observation.worker_trace_dir
                    if observation is not None else None),
         collect_obs=observation is not None,
+        feasibility=feasibility,
     )
 
     ordered_paths = list(dict.fromkeys(paths))
@@ -753,6 +788,7 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
                 checker_fp=metal_fp,
                 units=[(item.paths[0], source_fingerprint(sources[item.paths[0]]))],
                 engine_fp=engine_fp,
+                config_fp=f"feasibility={'on' if feasibility else 'off'}",
             )
 
     payloads, shared_budget, run_stats = _run_items(

@@ -1,0 +1,122 @@
+"""Statistical report ranking (z-ranking) for checker output.
+
+Kremenek & Engler's z-ranking observation: a check that *succeeds* many
+times and *fails* rarely is usually telling the truth when it fails,
+while a check that fails at a large fraction of its application sites is
+usually misapplied.  This module assigns every surviving report a
+deterministic confidence in ``(0, 1)`` built from three multiplicative
+factors:
+
+``base``
+    the checker's hit/miss statistics this run: with ``s`` successful
+    applications and ``f`` failures (reports), the z-statistic
+    ``z = (s - f) / sqrt(s + f)`` is squashed into ``(0, 1)`` via
+    ``0.5 + 0.5 * z / (1 + |z|)``.  A checker whose "Applied" count is
+    unknown (textual metal runs) scores a neutral ``0.5``.
+
+``cascade``
+    ``1 / (1 + 0.25 * (k - 1))`` where ``k`` is the number of reports
+    sharing this report's (checker, function).  The paper's §6 cascade
+    — one wrong assumption about a helper producing "over twenty"
+    useless diagnostics in a row — is the motivating case: the more a
+    single function's reports pile up, the more likely one root cause
+    explains them all.
+
+``strength``
+    path-feasibility strength from provenance: on a trail with ``b``
+    branch decisions of which ``v`` were verified by facts already on
+    the path (or had their infeasible sibling pruned),
+    ``min(1, (1 + v) / (1 + b))``.  A report reached through many
+    unconstrained branch guesses ranks below one on a path feasibility
+    actually vetted.  Reports without provenance score ``1.0`` here
+    (no evidence against them).
+
+Scores are computed parent-side from the merged run — never inside
+workers — so cached and journaled payloads stay score-free and
+byte-stable across cache states; ``confidence`` is attached at render
+time by :mod:`repro.mc.report` and filtered by ``--min-confidence``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..obs.provenance import report_key
+
+
+def base_score(applied: Optional[int], failures: int) -> float:
+    """The z-ranking factor for one checker's run-wide statistics."""
+    if applied is None:
+        return 0.5
+    successes = max(applied - failures, 0)
+    total = successes + failures
+    if total <= 0:
+        return 0.5
+    z = (successes - failures) / math.sqrt(total)
+    return 0.5 + 0.5 * z / (1.0 + abs(z))
+
+
+def cascade_factor(shared: int) -> float:
+    """Discount for ``shared`` reports on one (checker, function)."""
+    return 1.0 / (1.0 + 0.25 * (max(shared, 1) - 1))
+
+
+def strength_factor(steps: Optional[list]) -> float:
+    """Feasibility strength of one provenance trail."""
+    if not steps:
+        return 1.0
+    branches = 0
+    verified = 0
+    for step in steps:
+        kind = step.get("kind")
+        if kind == "branch":
+            branches += 1
+            if step.get("fact"):
+                verified += 1
+        elif kind == "pruned":
+            verified += 1
+    return min(1.0, (1 + verified) / (1 + branches))
+
+
+def _score_group(reports: list, applied: Optional[int],
+                 provenance: dict, scores: dict) -> None:
+    """Score one checker's reports into ``scores`` (keyed by report key)."""
+    base = base_score(applied, len(reports))
+    by_function: dict[tuple, int] = {}
+    for report in reports:
+        fn = (report.checker, report.function)
+        by_function[fn] = by_function.get(fn, 0) + 1
+    for report in reports:
+        key = report_key(report)
+        cascade = cascade_factor(by_function[(report.checker,
+                                              report.function)])
+        strength = strength_factor(provenance.get(key))
+        scores[key] = round(base * cascade * strength, 4)
+
+
+def score_run(run) -> dict:
+    """Confidence per report key for a merged run.
+
+    Accepts both fleet run shapes: a ``CheckRun`` (``results`` maps
+    checker name to :class:`repro.checkers.base.CheckerResult`, whose
+    ``applied`` feeds the z-statistic) and a ``MetalRun`` (``sinks`` is
+    ``[(path, ReportSink)]``; no applied counts, neutral base).
+    """
+    scores: dict = {}
+    results = getattr(run, "results", None)
+    if results is not None:
+        for result in results.values():
+            _score_group(result.reports, result.applied,
+                         result.provenance, scores)
+        return scores
+    for _path, sink in getattr(run, "sinks", ()):
+        _score_group(sink.reports, None, sink.provenance, scores)
+    return scores
+
+
+def confidence_of(report, scores: dict) -> Optional[float]:
+    """The score for one report, or None when the run wasn't scored."""
+    if not scores:
+        return None
+    return scores.get(report_key(report))

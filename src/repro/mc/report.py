@@ -14,32 +14,66 @@ from .resilience import Budget, Quarantine
 __all__ = [
     "Report", "ReportSink", "Budget", "Quarantine",
     "format_reports", "format_quarantines", "format_sink",
-    "format_run_stats", "summarize_by_severity",
+    "format_run_stats", "summarize_by_severity", "filter_by_confidence",
     "report_to_json_obj", "run_to_json", "REPORT_JSON_SCHEMA",
 ]
 
 #: ``--format json`` document schema; bump when the shape changes.
-REPORT_JSON_SCHEMA = 1
+#: v2 added per-report ``confidence`` scores and feasibility provenance
+#: steps (``fact`` on branches, ``pruned`` siblings).
+REPORT_JSON_SCHEMA = 2
 
 
-def format_reports(reports, heading: str = "") -> str:
+def _stable_key(report: Report) -> tuple:
+    return (report.location.filename, report.location.line,
+            report.location.column, report.checker, report.message)
+
+
+def filter_by_confidence(reports, scores, min_confidence):
+    """Drop reports scoring below ``min_confidence`` (None = keep all)."""
+    if min_confidence is None or not scores:
+        return list(reports)
+    from ..obs.provenance import report_key
+    return [r for r in reports
+            if (scores.get(report_key(r)) is None
+                or scores[report_key(r)] >= min_confidence)]
+
+
+def format_reports(reports, heading: str = "", scores=None) -> str:
     """Render reports sorted by (file, line, column, checker).
 
     A *total* deterministic order — column and message break line-level
     ties — so parallel runs (``--jobs 4``) print byte-identically to
-    serial ones no matter how the work was partitioned.
+    serial ones no matter how the work was partitioned.  With
+    ``scores`` (a :func:`repro.mc.ranking.score_run` map), reports are
+    ranked by descending confidence first — the z-ranking presentation
+    — with the stable key breaking ties, and each line is annotated
+    with its score.
     """
     lines: list[str] = []
     if heading:
         lines.append(heading)
         lines.append("-" * len(heading))
-    ordered = sorted(
-        reports,
-        key=lambda r: (r.location.filename, r.location.line,
-                       r.location.column, r.checker, r.message),
-    )
+    if scores:
+        from ..obs.provenance import report_key
+
+        def key(r):
+            confidence = scores.get(report_key(r))
+            return (-(confidence if confidence is not None else 0.5),
+                    *_stable_key(r))
+
+        ordered = sorted(reports, key=key)
+    else:
+        ordered = sorted(reports, key=_stable_key)
     for report in ordered:
-        lines.append(str(report))
+        text = str(report)
+        if scores:
+            from ..obs.provenance import report_key
+            confidence = scores.get(report_key(report))
+            if confidence is not None:
+                head, sep, tail = text.partition("\n")
+                text = f"{head}  [confidence {confidence:.2f}]{sep}{tail}"
+        lines.append(text)
     if not ordered:
         lines.append("(no diagnostics)")
     return "\n".join(lines)
@@ -103,19 +137,22 @@ def summarize_by_severity(reports) -> dict[str, int]:
 
 # -- machine-readable reports (``--format json`` / ``mc-check explain``) ------
 
-def report_to_json_obj(report: Report, provenance=None) -> dict:
+def report_to_json_obj(report: Report, provenance=None,
+                       confidence=None) -> dict:
     """One diagnostic as a JSON-able object.
 
     ``id`` is the stable short hash ``mc-check explain`` takes; it is a
     pure function of (checker, message, location), so it is identical
     across runs, job counts, and cache states.  ``provenance`` is the
     step trail recorded at first emission (may be empty: naive-engine
-    and non-engine diagnostics carry none).
+    and non-engine diagnostics carry none).  ``confidence`` is the
+    z-ranking score (:mod:`repro.mc.ranking`), computed from the merged
+    run — never cached — so it too is cache-state independent.
     """
     from ..obs.provenance import report_id
 
     loc = report.location
-    return {
+    obj = {
         "id": report_id(report.checker, report.message, loc.filename,
                         loc.line, loc.column),
         "checker": report.checker,
@@ -128,19 +165,26 @@ def report_to_json_obj(report: Report, provenance=None) -> dict:
         "backtrace": [str(frame) for frame in report.backtrace],
         "provenance": list(provenance) if provenance else [],
     }
+    if confidence is not None:
+        obj["confidence"] = confidence
+    return obj
 
 
-def run_to_json(run) -> dict:
+def run_to_json(run, min_confidence=None) -> dict:
     """A :class:`~repro.mc.parallel.CheckRun` or ``MetalRun`` as the
     ``--format json`` document.
 
     Deterministic: reports carry the same total order as
     :func:`format_reports`, and nothing in the document depends on
     timing or scheduling — a traced run serialises byte-identically to
-    an untraced one.
+    an untraced one.  Every report carries its ranking ``confidence``;
+    ``min_confidence`` drops lower-scoring reports from the document
+    (summary counts follow).
     """
     from ..obs.provenance import report_key
+    from .ranking import score_run
 
+    scores = score_run(run)
     results = getattr(run, "results", None)
     parts = (list(results.values()) if results is not None
              else [sink for _path, sink in run.sinks])
@@ -150,9 +194,11 @@ def run_to_json(run) -> dict:
     notes: list[str] = []
     for part in parts:
         provenance = getattr(part, "provenance", {})
-        for report in part.reports:
+        for report in filter_by_confidence(part.reports, scores,
+                                           min_confidence):
             reports.append(report_to_json_obj(
-                report, provenance.get(report_key(report))))
+                report, provenance.get(report_key(report)),
+                confidence=scores.get(report_key(report))))
         for q in part.quarantines:
             quarantines.append({
                 "checker": q.checker, "function": q.function,

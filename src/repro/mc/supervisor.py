@@ -319,11 +319,14 @@ class _Worker:
 def _worker_main(config, conn) -> None:
     """Entry point of a supervised worker process.
 
-    Arms the per-process parse memo and (if the config carries a plan)
-    worker-level fault injection, then serves ``(index, attempt, item)``
-    requests until the sentinel or EOF.  Ignores SIGINT so a terminal
-    Ctrl-C (delivered to the whole process group) leaves workers alive
-    for the parent's graceful drain.
+    Arms the per-process parse memo, the engine's feasibility default
+    (``WorkerConfig.feasibility``, applied by ``_init_worker`` so every
+    execution mode — inline, pool, supervised — analyses identically),
+    and (if the config carries a plan) worker-level fault injection,
+    then serves ``(index, attempt, item)`` requests until the sentinel
+    or EOF.  Ignores SIGINT so a terminal Ctrl-C (delivered to the
+    whole process group) leaves workers alive for the parent's graceful
+    drain.
     """
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)

@@ -1,5 +1,6 @@
 """The metal language: patterns, state machines, and the textual parser."""
 
+from .lint import LintFinding, lint_machine, lint_source
 from .parser import MetalParser, parse_metal
 from .patterns import MetaVar, Pattern, compile_pattern
 from .runtime import MatchContext, Report, ReportSink
@@ -10,4 +11,5 @@ __all__ = [
     "MetaVar", "Pattern", "compile_pattern",
     "MatchContext", "Report", "ReportSink",
     "ALL", "STOP", "Action", "Rule", "State", "StateMachine", "StepResult",
+    "LintFinding", "lint_machine", "lint_source",
 ]

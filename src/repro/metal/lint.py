@@ -1,0 +1,178 @@
+"""A checker-of-checkers: static lint for metal state machines.
+
+The paper's §5 observation — "the main danger in writing extensions is
+that they can be wrong" — applies to our own checkers too.  This module
+replays metal's *semantics* (first declared state starts, ``all`` rules
+are tried everywhere, the first matching rule wins, actions may pick
+any target) over a :class:`~repro.metal.sm.StateMachine` and reports
+three classes of authoring bugs:
+
+``undeclared-target``
+    A rule transitions to a state that has no rules anywhere in the
+    machine — usually a typo'd state name.  The machine would silently
+    enter a state where only ``all`` rules fire.
+
+``unreachable-state``
+    A declared state no transition can ever enter.  Its rules are dead
+    weight (or the transition meant to reach them is missing).
+    Machines with a per-function ``initial_state_fn`` skip this rule:
+    any state may be an entry point.  Rules carrying an action are
+    conservatively assumed able to reach every state, since an action's
+    return value overrides the static target at run time.
+
+``dead-rule``
+    A pattern that can never fire because an earlier-tried pattern in
+    the same state subsumes it (metal stops at the first match; ``all``
+    rules are tried before the state's own).  Subsumption is decided by
+    unifying the earlier pattern against the later pattern's template —
+    wildcards absorb anything, concrete syntax must agree — so it is
+    structural and has no false positives from type information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .sm import ALL, STOP, StateMachine
+
+__all__ = ["LintFinding", "lint_machine", "lint_source"]
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One authoring problem in a state machine."""
+
+    machine: str
+    kind: str       # undeclared-target | unreachable-state | dead-rule
+    subject: str    # the state or pattern at fault
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.machine}: {self.kind}: {self.message}"
+
+
+def _declared_states(sm: StateMachine) -> list[str]:
+    return list(sm._state_order)
+
+
+def _undeclared_targets(sm: StateMachine) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    seen: set[tuple[str, str]] = set()
+    for state_name in _declared_states(sm):
+        for rule in sm.states[state_name].rules:
+            target = rule.target
+            if target in (None, STOP) or target in sm.states:
+                continue
+            if (state_name, target) in seen:
+                continue
+            seen.add((state_name, target))
+            findings.append(LintFinding(
+                sm.name, "undeclared-target", target,
+                f"state {state_name!r} transitions to undeclared state "
+                f"{target!r}"))
+    return findings
+
+
+def _reachable_states(sm: StateMachine) -> set[str]:
+    """States the machine can enter, under metal's execution rules."""
+    reached = {sm.start_state}
+    if ALL in sm.states:
+        reached.add(ALL)
+    changed = True
+    while changed:
+        changed = False
+        for state_name in tuple(reached):
+            for rule in sm.rules_for(state_name):
+                if (rule.action is not None
+                        and getattr(rule.action, "overrides_target", True)):
+                    # The action's return value can name any state.
+                    # Parsed err()/warn() actions declare that they
+                    # never do (``overrides_target = False``).
+                    extra = set(sm.states) - reached
+                    if extra:
+                        reached |= extra
+                        changed = True
+                    continue
+                target = rule.target
+                if target in sm.states and target not in reached:
+                    reached.add(target)
+                    changed = True
+    return reached
+
+
+def _unreachable_states(sm: StateMachine) -> list[LintFinding]:
+    if sm.initial_state_fn is not None:
+        # Per-function initial states: any state may be an entry point.
+        return []
+    reached = _reachable_states(sm)
+    findings: list[LintFinding] = []
+    for state_name in _declared_states(sm):
+        if state_name == ALL or state_name in reached:
+            continue
+        findings.append(LintFinding(
+            sm.name, "unreachable-state", state_name,
+            f"state {state_name!r} is declared but no transition "
+            f"reaches it"))
+    return findings
+
+
+def _subsumes(earlier, later) -> bool:
+    """Does ``earlier`` match everything ``later`` matches?
+
+    Unify the earlier pattern against the later pattern's *template*:
+    the earlier pattern's wildcards absorb the later one's wildcards
+    (they are plain identifiers in the template), while any concrete
+    syntax must agree exactly.  Sound for shadowing: if this unification
+    succeeds, any AST the later pattern accepts is accepted by the
+    earlier one first.
+    """
+    try:
+        return earlier.match(later.template) is not None
+    except Exception:
+        return False
+
+
+def _shadowed_in(patterns, prelude, sm, state_name) -> list[LintFinding]:
+    """Findings for ``patterns`` tried after ``prelude`` in ``state_name``."""
+    findings: list[LintFinding] = []
+    tried = list(prelude)
+    for pattern in patterns:
+        shadow = next((q for q in tried if _subsumes(q, pattern)), None)
+        if shadow is not None:
+            findings.append(LintFinding(
+                sm.name, "dead-rule", pattern.text,
+                f"pattern {pattern.text!r} in state {state_name!r} can "
+                f"never fire: shadowed by earlier pattern "
+                f"{shadow.text!r}"))
+        tried.append(pattern)
+    return findings
+
+
+def _dead_rules(sm: StateMachine) -> list[LintFinding]:
+    all_state = sm.states.get(ALL)
+    all_patterns = ([p for rule in all_state.rules for p in rule.patterns]
+                    if all_state is not None else [])
+    # ``all``-internal shadowing is reported once, against state 'all';
+    # each concrete state's own patterns are then checked against the
+    # full try order (``all`` rules first, then its own).
+    findings = _shadowed_in(all_patterns, [], sm, ALL) if all_patterns else []
+    for state_name in _declared_states(sm):
+        if state_name == ALL:
+            continue
+        own = [p for rule in sm.states[state_name].rules
+               for p in rule.patterns]
+        findings.extend(_shadowed_in(own, all_patterns, sm, state_name))
+    return findings
+
+
+def lint_machine(sm: StateMachine) -> list[LintFinding]:
+    """All lint findings for one machine, deterministically ordered."""
+    findings = (_undeclared_targets(sm) + _unreachable_states(sm)
+                + _dead_rules(sm))
+    return findings
+
+
+def lint_source(text: str, filename: str = "<metal>") -> list[LintFinding]:
+    """Lint a textual metal program."""
+    from .parser import parse_metal
+    return lint_machine(parse_metal(text, filename))

@@ -139,6 +139,10 @@ def _parse_action(tokens: list[Token], location):
                 ctx.warn(message)
         return None
 
+    # err()/warn() actions never pick a transition target; the lint
+    # reachability pass relies on this to avoid treating every textual
+    # rule as a potential jump to any state.
+    action.overrides_target = False
     return action
 
 

@@ -114,7 +114,14 @@ class ReportSink:
 
 
 class MatchContext:
-    """What an action sees when its rule fires."""
+    """What an action sees when its rule fires.
+
+    ``facts`` is the path-feasibility window
+    (:class:`repro.mc.feasibility.FactsView`) when the engine runs with
+    pruning on, ``None`` otherwise — actions must treat it as optional.
+    It lets a checker ask whether a condition is already known
+    true/false on the path the rule fired down.
+    """
 
     def __init__(
         self,
@@ -124,6 +131,7 @@ class MatchContext:
         function: Optional[ast.FunctionDef],
         sink: ReportSink,
         state: str = "",
+        facts=None,
     ):
         self.checker = checker
         self.node = node
@@ -131,6 +139,7 @@ class MatchContext:
         self.function = function
         self.sink = sink
         self.state = state
+        self.facts = facts
 
     @property
     def location(self) -> Location:

@@ -20,7 +20,12 @@ A provenance trail is a list of plain-dict **steps**:
 ``{"kind": "line", "file", "line"}``
     a source statement the path executed.
 ``{"kind": "branch", "file", "line", "taken"}``
-    a conditional edge the path followed (``"true"``/``"false"``).
+    a conditional edge the path followed (``"true"``/``"false"``); with
+    feasibility on, an optional ``"fact"`` notes when the branch was
+    already verified by facts earlier on the path.
+``{"kind": "pruned", "file", "line", "taken", "reason"}``
+    a sibling edge the feasibility layer cut at this point because its
+    condition contradicts the path's facts — why this path *survived*.
 ``{"kind": "transition", "file", "line", "from", "to", "rule"}``
     the state machine moved; ``rule`` names the metal rule when named.
 ``{"kind": "report", "file", "line", "state"}``
@@ -89,13 +94,16 @@ def _loc_of(node) -> tuple[str, int]:
 
 def build_steps(cfg, parents: dict, transitions: dict,
                 current_key: tuple, current_ordinal: int,
-                report) -> list[dict]:
+                report, pruned: Optional[dict] = None) -> list[dict]:
     """Reconstruct the trail from ``cfg``'s entry to ``report``.
 
-    ``parents`` maps each visited ``(block index, state)`` key to its
-    ``(predecessor key, edge label)``; ``transitions`` maps keys to the
+    ``parents`` maps each visited ``(block index, state[, store])`` key
+    to its ``(predecessor key, edge label, fact)`` — ``fact`` is the
+    feasibility layer's "already known on this path" note for verified
+    branches, ``None`` otherwise.  ``transitions`` maps keys to the
     in-block state changes recorded while executing them (``(event
-    ordinal, file, line, from, to, rule)`` tuples).  ``current_key`` /
+    ordinal, file, line, from, to, rule)`` tuples); ``pruned`` maps keys
+    to the sibling edges feasibility cut there.  ``current_key`` /
     ``current_ordinal`` locate the reporting site inside its block.
     """
     chain: list[tuple] = []
@@ -104,7 +112,8 @@ def build_steps(cfg, parents: dict, transitions: dict,
     while key is not None and key not in seen:
         seen.add(key)
         chain.append(key)
-        key = parents.get(key, (None, None))[0]
+        parent = parents.get(key)
+        key = parent[0] if parent else None
     chain.reverse()
 
     steps: list[dict] = []
@@ -115,15 +124,20 @@ def build_steps(cfg, parents: dict, transitions: dict,
         "state": chain[0][1] if chain else "",
     })
     for position, key in enumerate(chain):
-        block_index, _state = key
+        block_index = key[0]
         block = cfg.blocks[block_index]
-        edge_label = parents.get(key, (None, None))[1]
+        parent = parents.get(key) or (None, None, None)
+        edge_label = parent[1]
+        fact = parent[2] if len(parent) > 2 else None
         if edge_label in ("true", "false") and position > 0:
             pred_block = cfg.blocks[chain[position - 1][0]]
             if pred_block.events:
                 file, line = _loc_of(pred_block.events[-1])
-                steps.append({"kind": "branch", "file": file, "line": line,
-                              "taken": edge_label})
+                step = {"kind": "branch", "file": file, "line": line,
+                        "taken": edge_label}
+                if fact:
+                    step["fact"] = fact
+                steps.append(step)
         fired = {t[0]: t for t in transitions.get(key, ())}
         last_line: Optional[tuple] = None
         is_last = position == len(chain) - 1
@@ -139,6 +153,9 @@ def build_steps(cfg, parents: dict, transitions: dict,
                 steps.append({"kind": "transition", "file": tfile,
                               "line": tline, "from": t_from, "to": t_to,
                               "rule": rule})
+        if pruned and not is_last:
+            for cut in pruned.get(key, ()):
+                steps.append(dict(cut))
     loc = report.location
     steps.append({"kind": "report", "file": loc.filename, "line": loc.line,
                   "state": current_key[1] if current_key else ""})
@@ -208,6 +225,11 @@ def render_explain(report_obj: dict, steps: list[dict]) -> str:
                 note += f"  [state: {step['state']}]"
         elif kind == "branch":
             note = f"branch taken: {step['taken']}"
+            if step.get("fact"):
+                note += f"  ({step['fact']})"
+        elif kind == "pruned":
+            note = (f"infeasible {step['taken']} edge pruned: "
+                    f"{step['reason']}")
         elif kind == "transition":
             note = f"state {step['from']} -> {step['to']}"
             if step.get("rule"):
@@ -217,8 +239,8 @@ def render_explain(report_obj: dict, steps: list[dict]) -> str:
         else:
             note = ""
         text = lookup.line(step["file"], step["line"])
-        marker = {"enter": ">>", "branch": "?", "transition": "~",
-                  "report": "!!"}.get(kind, "|")
+        marker = {"enter": ">>", "branch": "?", "pruned": "x",
+                  "transition": "~", "report": "!!"}.get(kind, "|")
         body = f"  {site:<28s} {marker:>2s} {text}"
         if note:
             body += f"{'  ' if text else ' '}// {note}"

@@ -340,11 +340,12 @@ class TestCLI:
         trace = tmp_path / "t.jsonl"
         metrics = tmp_path / "m.json"
         proc = run_cli("check", str(unit), "--format", "json",
+                       "--feasibility", "off",
                        "--trace", str(trace), "--metrics-out", str(metrics),
                        cache_dir=tmp_path / "cachedir")
         assert proc.returncode == 1                 # the false positive
         doc = json.loads(proc.stdout)               # pure JSON on stdout
-        assert doc["schema"] == 1
+        assert doc["schema"] == 2
         assert "run: id=" in proc.stderr            # chatter on stderr
         assert "trace:" in proc.stderr
         assert "metrics: wrote" in proc.stderr
@@ -355,7 +356,10 @@ class TestCLI:
         unit = tmp_path / "corr.c"
         unit.write_text(CORRELATED)
         report = tmp_path / "report.json"
+        # The FP path only exists with feasibility pruning off — the
+        # default engine prunes it (see tests/test_feasibility.py).
         proc = run_cli("check", str(unit), "--no-cache",
+                       "--feasibility", "off",
                        "--checker", "buffer-race", "--format", "json")
         report.write_text(proc.stdout)
         doc = json.loads(proc.stdout)
@@ -377,7 +381,8 @@ class TestCLI:
         unit = tmp_path / "corr.c"
         unit.write_text(CORRELATED)
         report = tmp_path / "report.json"
-        proc = run_cli("check", str(unit), "--no-cache", "--format", "json")
+        proc = run_cli("check", str(unit), "--no-cache",
+                       "--feasibility", "off", "--format", "json")
         report.write_text(proc.stdout)
         missing = run_cli("explain", str(report), "ffffffffffff")
         assert missing.returncode != 0
@@ -387,7 +392,7 @@ class TestCLI:
         unit = tmp_path / "corr.c"
         unit.write_text(CORRELATED)
         metrics = tmp_path / "m.json"
-        run_cli("check", str(unit), "--no-cache",
+        run_cli("check", str(unit), "--no-cache", "--feasibility", "off",
                 "--metrics-out", str(metrics))
         proc = run_cli("stats", str(metrics))
         assert proc.returncode == 0

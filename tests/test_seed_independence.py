@@ -12,6 +12,7 @@ import pytest
 
 from repro.checkers import run_all
 from repro.flash.codegen import generate_protocol
+from repro.mc import feasibility
 
 ALT_SEED = 0xBEEF
 
@@ -34,7 +35,14 @@ def test_alternate_seed_hits_structural_targets(alt_rac):
 
 def test_alternate_seed_reproduces_checker_counts(alt_rac):
     program = alt_rac.program()
-    results = run_all(program)
+    # The paper's counts come from the no-pruning engine: its FP rows
+    # (and the §6 useless-annotation cascade) exist precisely because
+    # every syntactic path was walked.
+    previous = feasibility.set_default_enabled(False)
+    try:
+        results = run_all(program)
+    finally:
+        feasibility.set_default_enabled(previous)
     bykey = alt_rac.manifest_by_key()
 
     # Every report joins the manifest; every expected site fires.
