@@ -1,0 +1,138 @@
+"""Tolerant frontend over the real-world and adversarial corpora.
+
+The paper's checkers only earned their keep because xg++ could be
+pointed at a whole, messy codebase; this benchmark holds the
+reproduction to the same bar.  It sweeps ``examples/realworld/``
+(hand-written systems C mixing subset-clean code with GNU extensions,
+K&R definitions, and C++ leakage) and ``examples/realworld/garbage/``
+(byte soup, truncated source, raw binary) through the full fleet under
+``--frontend tolerant`` and writes ``BENCH_tolerant_corpus.json``:
+
+* ``functions_parsed`` — function definitions the tolerant parser
+  produced real ASTs for, corpus-wide;
+* ``functions_quarantined`` — unrecoverable regions turned into
+  per-function ``phase="input"`` quarantines;
+* ``reports_emitted`` — diagnostics the checkers still produced;
+* ``crash_count`` — sweeps that escaped as exceptions.  **The gate:
+  this must be 0.**  Tolerant mode's whole contract is that no input,
+  however hostile, crashes the run.
+
+Two sanity gates ride along: the clean real-world code must actually
+parse (``functions_parsed > 0`` with reports emitted), and the
+garbage must actually exercise recovery (``functions_quarantined >
+0``), so a frontend that "never crashes" by parsing nothing cannot
+pass.  Also runnable standalone:
+``python benchmarks/bench_tolerant_corpus.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import traceback
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _timing import write_results  # noqa: E402
+
+from repro.lang import clear_memo, parse, set_default_mode
+
+OUTPUT = "BENCH_tolerant_corpus.json"
+CORPUS = Path(__file__).resolve().parent.parent / "examples" / "realworld"
+
+
+def _corpus_files() -> list[Path]:
+    files = sorted(CORPUS.glob("*.c")) + sorted((CORPUS / "garbage").glob("*.c"))
+    assert files, f"corpus missing under {CORPUS}"
+    return files
+
+
+def _parse_stats(path: Path) -> dict:
+    """Tolerant-parse one file; every exception is a counted crash."""
+    from repro.project import read_sources
+
+    stats = {"file": path.name, "functions_parsed": 0,
+             "functions_quarantined": 0, "recovered_statements": 0,
+             "opaque_expressions": 0, "crashes": 0}
+    try:
+        text = read_sources([str(path)])[str(path)]
+        unit = parse(text, str(path), mode="tolerant")
+        stats["functions_parsed"] = len(unit.functions())
+        stats["functions_quarantined"] = len(unit.quarantined)
+        frontend = getattr(unit, "frontend_stats", {})
+        stats["recovered_statements"] = frontend.get("recovered_statements", 0)
+        stats["opaque_expressions"] = frontend.get("opaque_expressions", 0)
+    except Exception:
+        traceback.print_exc()
+        stats["crashes"] = 1
+    return stats
+
+
+def _fleet_stats(paths: list[Path]) -> dict:
+    """One tolerant fleet sweep over the whole corpus at once."""
+    from repro.mc import check_files
+
+    stats = {"reports_emitted": 0, "quarantined_regions": 0, "crashes": 0}
+    try:
+        run = check_files([str(p) for p in paths], keep_going=True,
+                          cache=None, frontend="tolerant")
+        for result in run.results.values():
+            stats["reports_emitted"] += len(result.reports)
+            stats["quarantined_regions"] += sum(
+                1 for q in result.quarantines if q.phase == "input")
+    except Exception:
+        traceback.print_exc()
+        stats["crashes"] = 1
+    return stats
+
+
+def run_benchmark() -> dict:
+    clear_memo()
+    previous = set_default_mode("strict")
+    try:
+        files = _corpus_files()
+        per_file = [_parse_stats(p) for p in files]
+        fleet = _fleet_stats(files)
+    finally:
+        set_default_mode(previous)
+    results = {
+        "corpus_files": len(per_file),
+        "functions_parsed": sum(s["functions_parsed"] for s in per_file),
+        "functions_quarantined": sum(s["functions_quarantined"]
+                                     for s in per_file),
+        "recovered_statements": sum(s["recovered_statements"]
+                                    for s in per_file),
+        "opaque_expressions": sum(s["opaque_expressions"] for s in per_file),
+        "reports_emitted": fleet["reports_emitted"],
+        "crash_count": (sum(s["crashes"] for s in per_file)
+                        + fleet["crashes"]),
+        "per_file": per_file,
+        "fleet": fleet,
+    }
+    return write_results(OUTPUT, results)
+
+
+def _assert_gates(results: dict) -> None:
+    assert results["crash_count"] == 0, (
+        f"tolerant frontend crashed {results['crash_count']} time(s) "
+        "over the corpus — it must survive every input")
+    assert results["functions_parsed"] > 0, (
+        "nothing parsed: the real-world corpus should yield ASTs")
+    assert results["functions_quarantined"] > 0, (
+        "nothing quarantined: the adversarial corpus should exercise "
+        "recovery")
+    assert results["reports_emitted"] > 0, (
+        "no diagnostics: the parsed half of the corpus should still "
+        "be analysed")
+
+
+def test_tolerant_corpus(show):
+    results = run_benchmark()
+    show(json.dumps(results, indent=2))
+    _assert_gates(results)
+
+
+if __name__ == "__main__":
+    out = run_benchmark()
+    print(json.dumps(out, indent=2))
+    _assert_gates(out)

@@ -1,0 +1,12 @@
+}}}} )))) ;;;; {{{{
+int int int = = = @@@ $$$ ??? ```
+"unterminated on purpose
+#pragma whatever this is
+<<<<<<< HEAD
+int maybe(void) { return 0x
+=======
+float maybe(void) { return 1.0
+>>>>>>> other
+\x01\x02 not really escapes just text \
+'''
+struct { { { [ [ ( ( 42 ~~~!!!

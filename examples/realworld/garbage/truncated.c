@@ -1,0 +1,12 @@
+/* A file cut off mid-transfer: unterminated comment, unterminated
+   string, and a function that stops mid-expression. */
+
+int whole(int a)
+{
+    return a + 7;
+}
+
+int cut_off(int b)
+{
+    char *msg = "never closed;
+    int c = b *

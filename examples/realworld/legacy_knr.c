@@ -1,0 +1,38 @@
+/* Pre-ANSI (K&R) definitions next to modern ones, the way decades-old
+ * trees accrete.  The K&R parameter-declaration style is outside the
+ * subset grammar; tolerant mode quarantines those functions and still
+ * analyses the ANSI ones. */
+
+int clamp(int v, int lo, int hi)
+{
+    if (v < lo)
+        return lo;
+    if (v > hi)
+        return hi;
+    return v;
+}
+
+/* K&R definition: parameters declared between ')' and '{'. */
+int legacy_sum(a, b)
+int a;
+int b;
+{
+    return a + b;
+}
+
+/* K&R with an implicit-int return. */
+legacy_scale(x, factor)
+int x;
+int factor;
+{
+    return x * factor;
+}
+
+int modern_entry(int n)
+{
+    int acc = 0;
+    int i;
+    for (i = 0; i < n; i++)
+        acc = clamp(acc + i, 0, 1000);
+    return acc;
+}

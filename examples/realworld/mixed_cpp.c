@@ -1,0 +1,34 @@
+/* A ".c" file that drifted into C++ over the years — template
+ * helpers and a class between plain C functions.  Tolerant mode
+ * quarantines each C++ region by itself; the C survives. */
+
+int plain_before(int x)
+{
+    return x * 2 + 1;
+}
+
+template <typename T>
+static T max_of(T a, T b)
+{
+    return a > b ? a : b;
+}
+
+class Tracker {
+public:
+    Tracker() : count_(0) {}
+    void bump() { count_++; }
+private:
+    int count_;
+};
+
+namespace util {
+int helper(int v) { return v - 1; }
+}
+
+int plain_after(int y)
+{
+    int z = y;
+    if (z < 0)
+        z = -z;
+    return z;
+}

@@ -1,0 +1,60 @@
+/* Network-driver-style code with GNU extensions the subset grammar
+ * does not know: __attribute__ annotations and an inline asm block.
+ * Tolerant mode quarantines those regions and analyses the rest. */
+
+typedef struct pkt {
+    int len;
+    int csum;
+    char payload[1500];
+} pkt_t;
+
+/* GNU-ism: attribute on a declaration.  Not in the subset grammar;
+ * in tolerant mode this region quarantines instead of failing the
+ * whole translation unit. */
+struct dma_desc {
+    unsigned long addr;
+    unsigned short flags;
+} __attribute__((packed, aligned(8)));
+
+int csum_ok(pkt_t *p)
+{
+    int sum = 0;
+    int i;
+    for (i = 0; i < p->len; i++)
+        sum += p->payload[i];
+    return sum == p->csum;
+}
+
+static void mmio_flush(void)
+{
+    /* Inline asm is outside the subset: recovered as opaque. */
+    asm volatile("mfence" ::: "memory");
+}
+
+static int ring_mask(void)
+{
+    /* GNU statement-expression: the ({ ... }) initializer is outside
+     * the subset's expression grammar and recovers as opaque. */
+    int mask = ({ int order = 6; (1 << order) - 1; });
+    return mask;
+}
+
+int drv_rx(pkt_t *p)
+{
+    if (p->len < 0 || p->len > 1500)
+        return -1;
+    if (!csum_ok(p))
+        return -2;
+    mmio_flush();
+    return p->len;
+}
+
+int drv_stats(pkt_t *p, int *good, int *bad)
+{
+    int rc = drv_rx(p);
+    if (rc >= 0)
+        *good = *good + 1;
+    else
+        *bad = *bad + 1;
+    return rc;
+}

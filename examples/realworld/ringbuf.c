@@ -1,0 +1,52 @@
+/* Fixed-capacity ring buffer, in the style of driver queue code.
+ * Fully inside the repro.lang C subset: parses byte-identically in
+ * strict and tolerant modes. */
+
+typedef struct RingBuf {
+    int head;
+    int tail;
+    int capacity;
+    int dropped;
+    long slots[64];
+} RingBuf;
+
+static int rb_count(RingBuf *rb)
+{
+    int n = rb->head - rb->tail;
+    if (n < 0)
+        n += rb->capacity;
+    return n;
+}
+
+int rb_push(RingBuf *rb, long value)
+{
+    int next = (rb->head + 1) % rb->capacity;
+    if (next == rb->tail) {
+        rb->dropped++;
+        return -1;
+    }
+    rb->slots[rb->head] = value;
+    rb->head = next;
+    return 0;
+}
+
+int rb_pop(RingBuf *rb, long *out)
+{
+    if (rb->head == rb->tail)
+        return -1;
+    *out = rb->slots[rb->tail];
+    rb->tail = (rb->tail + 1) % rb->capacity;
+    return 0;
+}
+
+int rb_drain(RingBuf *rb)
+{
+    long scratch;
+    int drained = 0;
+    while (rb_count(rb) > 0) {
+        if (rb_pop(rb, &scratch) != 0)
+            break;
+        drained++;
+    }
+    return drained;
+}

@@ -75,6 +75,10 @@ class CfgBuilder:
             ast.Label: self._lower_label,
             ast.Case: self._lower_empty,
             ast.Default: self._lower_empty,
+            # Tolerant frontend: an unparseable region becomes one
+            # ordinary event, which the feasibility layer havocs over
+            # and the engine treats as path-poisoning.
+            ast.OpaqueStmt: self._lower_simple,
         }.get(type(stmt))
         if handler is None:
             raise CfgError(f"cannot lower statement {type(stmt).__name__}")

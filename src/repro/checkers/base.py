@@ -43,6 +43,10 @@ class CheckerResult:
     #: Per-report path provenance, keyed on (checker, message, location)
     #: — the trail ``mc-check explain`` renders (repro.obs.provenance).
     provenance: dict = field(default_factory=dict)
+    #: (report, reason) pairs held back by the engine's report gate —
+    #: e.g. reports whose path crossed a tolerant-frontend opaque
+    #: region (``suppressed_by="opaque"``).
+    suppressed: list = field(default_factory=list)
 
     @property
     def errors(self) -> list[Report]:
@@ -93,6 +97,7 @@ class Checker(ABC):
         result.degraded = bool(getattr(sink, "degraded", False))
         result.degradation_notes = list(getattr(sink, "degradation_notes", []))
         result.provenance = dict(getattr(sink, "provenance", {}))
+        result.suppressed = list(getattr(sink, "suppressed", []))
         return result
 
 

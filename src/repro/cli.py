@@ -41,6 +41,10 @@ so CI can tell "the protocol is buggy" from "the tool is" — and
 **130** when a run is interrupted (SIGINT/SIGTERM): the partial report
 is flushed, and the printed ``run: id=...`` can be fed back as
 ``--resume RUN-ID`` to finish the run without redoing completed work.
+Under ``--frontend tolerant``, unparseable input regions are expected
+degradation, not tool failure: their ``phase="input"`` quarantines are
+listed in the DEGRADED section but do not force exit 2, so a messy
+codebase exits 0/1 (see docs/frontend-tolerance.md).
 """
 
 from __future__ import annotations
@@ -192,6 +196,7 @@ def cmd_check(args) -> int:
     keep_going = getattr(args, "keep_going", False)
     json_mode = getattr(args, "format", "text") == "json"
     feasibility = getattr(args, "feasibility", "on") == "on"
+    frontend = getattr(args, "frontend", "strict")
     min_confidence = getattr(args, "min_confidence", None)
     jobs = resolve_jobs(args.jobs)
     budget_seconds = getattr(args, "budget_seconds", None)
@@ -211,6 +216,7 @@ def cmd_check(args) -> int:
                 jobs=jobs, cache=cache, keep_going=keep_going,
                 deadline=deadline, journal=journal, policy=policy,
                 observation=observation, feasibility=feasibility,
+                frontend=frontend,
             )
     finally:
         if journal is not None:
@@ -251,15 +257,28 @@ def cmd_check(args) -> int:
         print(run.summary_line())
     if run.interrupted:
         return _interrupted(run, journal, json_mode)
-    if quarantines:
+    if _hard_quarantines(quarantines, frontend):
         return EXIT_INTERNAL
     return EXIT_BUGS if failures else EXIT_CLEAN
+
+
+def _hard_quarantines(quarantines, frontend: str) -> list:
+    """Quarantines that make the run a tool failure (exit 2).
+
+    In tolerant mode, ``phase="input"`` quarantines are the *expected*
+    outcome for unparseable regions — degradation, not malfunction —
+    so they report in the DEGRADED section without failing the run.
+    Strict mode keeps every quarantine hard."""
+    if frontend != "tolerant":
+        return list(quarantines)
+    return [q for q in quarantines if getattr(q, "phase", "") != "input"]
 
 
 def cmd_metal(args) -> int:
     keep_going = getattr(args, "keep_going", False)
     json_mode = getattr(args, "format", "text") == "json"
     feasibility = getattr(args, "feasibility", "on") == "on"
+    frontend = getattr(args, "frontend", "strict")
     min_confidence = getattr(args, "min_confidence", None)
     jobs = resolve_jobs(args.jobs)
     budget_steps = getattr(args, "budget_steps", None)
@@ -281,18 +300,18 @@ def cmd_metal(args) -> int:
                 keep_going=keep_going, budget_steps=budget_steps,
                 budget_paths=budget_paths, budget_seconds=budget_seconds,
                 journal=journal, policy=policy, observation=observation,
-                feasibility=feasibility,
+                feasibility=feasibility, frontend=frontend,
             )
     finally:
         if journal is not None:
             journal.close()
     _finalize_observation(observation, run)
     total = 0
-    quarantined = 0
+    quarantines = []
     degraded = False
     for _path, sink in run.sinks:
         total += len(sink)
-        quarantined += len(sink.quarantines)
+        quarantines.extend(sink.quarantines)
         degraded = degraded or sink.degraded
     if json_mode:
         _print_json_report(run, min_confidence=min_confidence)
@@ -312,7 +331,7 @@ def cmd_metal(args) -> int:
         print(run.summary_line())
     if run.interrupted:
         return _interrupted(run, journal, json_mode)
-    if quarantined:
+    if _hard_quarantines(quarantines, frontend):
         return EXIT_INTERNAL
     return EXIT_BUGS if total else EXIT_CLEAN
 
@@ -578,6 +597,15 @@ def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
                         metavar="SCORE",
                         help="drop reports whose z-ranking confidence is "
                              "below SCORE (0..1); see docs/analysis.md")
+    parser.add_argument("--frontend", choices=["strict", "tolerant"],
+                        default="strict",
+                        help="parse mode: 'strict' fails the run on the "
+                             "first unsupported construct; 'tolerant' "
+                             "recovers (opaque statements/expressions, "
+                             "per-function input quarantines) and analyses "
+                             "everything that did parse — exit stays 0/1 "
+                             "on messy codebases (see "
+                             "docs/frontend-tolerance.md)")
 
 
 def build_parser() -> argparse.ArgumentParser:

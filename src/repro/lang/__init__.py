@@ -8,7 +8,8 @@ layer and the metal pattern matcher consume.
 from . import ast, ctypes
 from .lexer import Lexer, Token, TokenKind, tokenize
 from .memo import clear_memo, memo_stats, parse_annotated, source_fingerprint
-from .parser import Parser, parse, parse_expression, parse_statement
+from .parser import (FRONTEND_MODES, Parser, default_mode, parse,
+                     parse_expression, parse_statement, set_default_mode)
 from .sema import SemaInfo, annotate
 from .source import Location, SourceFile, Span
 from .symtab import Scope, Symbol, SymbolKind
@@ -18,6 +19,7 @@ __all__ = [
     "ast", "ctypes",
     "Lexer", "Token", "TokenKind", "tokenize",
     "Parser", "parse", "parse_expression", "parse_statement",
+    "FRONTEND_MODES", "default_mode", "set_default_mode",
     "SemaInfo", "annotate",
     "clear_memo", "memo_stats", "parse_annotated", "source_fingerprint",
     "Location", "SourceFile", "Span",

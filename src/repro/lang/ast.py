@@ -193,6 +193,16 @@ class Comma(Expr):
     parts: list[Expr] = field(default_factory=list)
 
 
+@dataclass
+class OpaqueExpr(Expr):
+    """Tolerant-mode fallback: an expression region the parser could not
+    understand.  ``text`` carries the raw token span.  Analyses must
+    treat it as havoc — it may read or write anything — and never match
+    through it.  Produced only by the tolerant frontend."""
+
+    text: str = ""
+
+
 # ---------------------------------------------------------------------------
 # Types as written in source (resolved to repro.lang.ctypes by sema)
 # ---------------------------------------------------------------------------
@@ -320,6 +330,19 @@ class Label(Stmt):
 
 
 @dataclass
+class OpaqueStmt(Stmt):
+    """Tolerant-mode fallback: a statement region the parser resynced
+    over (panic-mode recovery to ``;`` / ``}``).  ``text`` carries the
+    raw token span and ``reason`` the parse error that triggered
+    recovery.  The CFG builder lowers it as an ordinary event; the
+    feasibility layer havocs every tracked fact across it; the engine
+    suppresses reports on paths that cross one."""
+
+    text: str = ""
+    reason: str = ""
+
+
+@dataclass
 class DeclStmt(Stmt):
     decls: list["VarDecl"] = field(default_factory=list)
 
@@ -404,10 +427,18 @@ class FunctionDef(Decl):
 
 @dataclass
 class TranslationUnit(Node):
-    """One parsed source file."""
+    """One parsed source file.
+
+    ``quarantined`` is filled by the tolerant frontend only: one
+    ``(function-or-region name, message)`` pair per region that could
+    not be recovered into the AST at all.  The fleet turns each entry
+    into a :class:`repro.mc.resilience.Quarantine` with
+    ``phase="input"``.
+    """
 
     filename: str = ""
     decls: list[Decl] = field(default_factory=list)
+    quarantined: list = field(default_factory=list)
 
     def functions(self) -> list[FunctionDef]:
         return [d for d in self.decls if isinstance(d, FunctionDef)]

@@ -4,6 +4,12 @@ The lexer produces a flat list of :class:`Token` objects.  It understands
 the full C operator set, character/string/number literals, and both comment
 styles.  FLASH macros (``WAIT_FOR_DB_FULL`` and friends) arrive here as
 ordinary identifiers — exactly how xg++ saw them after preprocessing.
+
+In **tolerant** mode (``Lexer(source, tolerant=True)``) the lexer never
+raises: byte sequences it cannot tokenize become ``UNKNOWN`` tokens and
+unterminated literals/comments are closed at end of line or end of file,
+so the recovering parser (:mod:`repro.lang.parser`) always receives a
+complete token stream for arbitrary input.
 """
 
 from __future__ import annotations
@@ -23,6 +29,9 @@ class TokenKind(Enum):
     CHAR_LIT = auto()
     STRING_LIT = auto()
     PUNCT = auto()
+    #: Tolerant-mode lane: input the lexer cannot classify.  Never
+    #: produced in strict mode (strict raises :class:`LexError` instead).
+    UNKNOWN = auto()
     EOF = auto()
 
 
@@ -72,10 +81,11 @@ class Token:
 class Lexer:
     """Single-pass tokenizer over a :class:`SourceFile`."""
 
-    def __init__(self, source: SourceFile):
+    def __init__(self, source: SourceFile, tolerant: bool = False):
         self.source = source
         self.text = source.text
         self.pos = 0
+        self.tolerant = tolerant
 
     def tokenize(self) -> list[Token]:
         """Tokenize the whole file, appending a single EOF token."""
@@ -106,6 +116,11 @@ class Lexer:
             elif text.startswith("/*", self.pos):
                 end = text.find("*/", self.pos + 2)
                 if end == -1:
+                    if self.tolerant:
+                        # Close the comment at EOF; the rest of the file
+                        # is comment-like anyway.
+                        self.pos = n
+                        return
                     raise LexError("unterminated block comment", self._loc(self.pos))
                 self.pos = end + 2
             else:
@@ -214,6 +229,10 @@ class Lexer:
             if ch == "\n":
                 break
             self.pos += 1
+        if self.tolerant:
+            # Close the literal at end of line / end of file.
+            return Token(TokenKind.STRING_LIT,
+                         self.text[start:self.pos] + '"', self._loc(start))
         raise LexError("unterminated string literal", self._loc(start))
 
     def _lex_char(self) -> Token:
@@ -231,6 +250,9 @@ class Lexer:
             if ch == "\n":
                 break
             self.pos += 1
+        if self.tolerant:
+            return Token(TokenKind.CHAR_LIT,
+                         self.text[start:self.pos] + "'", self._loc(start))
         raise LexError("unterminated character literal", self._loc(start))
 
     def _lex_punct(self) -> Token:
@@ -239,11 +261,30 @@ class Lexer:
                 tok = Token(TokenKind.PUNCT, punct, self._loc(self.pos))
                 self.pos += len(punct)
                 return tok
+        if self.tolerant:
+            # Group a maximal run of unclassifiable bytes into a single
+            # UNKNOWN token, so byte soup does not produce one token per
+            # byte.
+            start = self.pos
+            while (self.pos < len(self.text)
+                   and not self._classifiable(self.text[self.pos])):
+                self.pos += 1
+            return Token(TokenKind.UNKNOWN, self.text[start:self.pos],
+                         self._loc(start))
         raise LexError(
             f"unexpected character {self.text[self.pos]!r}", self._loc(self.pos)
         )
 
+    def _classifiable(self, ch: str) -> bool:
+        """Could ``ch`` start an ordinary token (or whitespace)?"""
+        if ch in " \t\r\n\f\v#":
+            return True
+        if ch in _IDENT_START or ch in _DIGITS or ch in "\"'.":
+            return True
+        return any(p.startswith(ch) for p in PUNCTUATION)
 
-def tokenize(text: str, filename: str = "<input>") -> list[Token]:
+
+def tokenize(text: str, filename: str = "<input>",
+             tolerant: bool = False) -> list[Token]:
     """Convenience wrapper: tokenize ``text`` into a token list (with EOF)."""
-    return Lexer(SourceFile(filename, text)).tokenize()
+    return Lexer(SourceFile(filename, text), tolerant=tolerant).tokenize()

@@ -23,7 +23,7 @@ from typing import Optional
 
 from ..obs.metrics import current_metrics
 from ..obs.trace import current_tracer
-from .parser import parse
+from .parser import default_mode, parse
 from .sema import SemaInfo, annotate
 from . import ast
 
@@ -51,11 +51,15 @@ def parse_annotated(
     header's filename) so units parsed with different preludes never
     share an entry; the prelude object itself is not hashed.
     """
+    mode = default_mode()
     key = (
         filename,
         source_fingerprint(text),
         frozenset(typedefs) if typedefs else frozenset(),
         prelude_key,
+        # Frontend mode changes what a given byte string parses to, so
+        # strict and tolerant ASTs never share an entry.
+        mode,
     )
     metrics = current_metrics()
     cached = _MEMO.get(key)
@@ -72,6 +76,16 @@ def parse_annotated(
         unit = parse(text, filename,
                      typedefs=set(typedefs) if typedefs else None)
         sema = annotate(unit, prelude=prelude)
+    if metrics is not None:
+        # Degradation observability: how much of this unit the tolerant
+        # frontend had to recover or give up on (all zero in strict
+        # mode).  Counted once per distinct parse, at memo-miss time.
+        stats = getattr(unit, "frontend_stats", None)
+        if stats:
+            for name in ("recovered_statements", "opaque_expressions",
+                         "quarantined_functions"):
+                if stats.get(name):
+                    metrics.inc(f"frontend.{name}", stats[name])
     _MEMO[key] = (unit, sema)
     return unit, sema
 

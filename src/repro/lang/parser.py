@@ -9,6 +9,24 @@ standard precedence.
 Typedef names are tracked in a growing set so that ``MyType x;`` parses as
 a declaration.  Function-pointer declarators and K&R-style definitions are
 out of scope (FLASH handlers do not use them; see DESIGN.md §6).
+
+Two frontend modes (``--frontend strict|tolerant``):
+
+``strict`` (default)
+    one unsupported construct raises :class:`ParseError` — right for the
+    paper corpus, whose generated C the grammar covers exactly.
+
+``tolerant``
+    never raises.  Panic-mode recovery resyncs to ``;`` / ``}`` / the
+    next top-level declaration: an unparseable statement becomes an
+    :class:`repro.lang.ast.OpaqueStmt` carrying the raw token span, an
+    unparseable primary expression becomes an ``OpaqueExpr``, and a
+    top-level region that cannot be recovered at all is recorded in
+    ``TranslationUnit.quarantined`` for the fleet to surface as a
+    ``Quarantine(phase="input")``.  On input the strict grammar accepts,
+    tolerant mode takes byte-identical parse decisions (recovery never
+    fires), so reports are identical across modes (docs/frontend-
+    tolerance.md).
 """
 
 from __future__ import annotations
@@ -44,16 +62,49 @@ _BINOP_LEVELS = (
 
 _UNARY_OPS = frozenset("+ - ! ~ * & ++ --".split())
 
+#: Valid values for the frontend ``mode`` flag (``--frontend``).
+FRONTEND_MODES = ("strict", "tolerant")
+
+_DEFAULT_MODE = "strict"
+
+
+def default_mode() -> str:
+    """The process-wide frontend mode used when :func:`parse` gets no mode."""
+    return _DEFAULT_MODE
+
+
+def set_default_mode(mode: str) -> str:
+    """Set the process-wide frontend mode; returns the previous value.
+
+    Mirrors :func:`repro.mc.feasibility.set_default_enabled`: fleet
+    workers call this from their initializer so every parse in the
+    process honours ``--frontend`` without threading a flag through
+    each call site.
+    """
+    global _DEFAULT_MODE
+    if mode not in FRONTEND_MODES:
+        raise ValueError(f"unknown frontend mode {mode!r}")
+    previous = _DEFAULT_MODE
+    _DEFAULT_MODE = mode
+    return previous
+
 
 class Parser:
     """Parses one token stream into a :class:`repro.lang.ast.TranslationUnit`."""
 
     def __init__(self, tokens: list[Token], filename: str = "<input>",
-                 typedefs: Optional[set[str]] = None):
+                 typedefs: Optional[set[str]] = None, mode: str = "strict"):
+        if mode not in FRONTEND_MODES:
+            raise ValueError(f"unknown frontend mode {mode!r}")
         self.tokens = tokens
         self.pos = 0
         self.filename = filename
         self.typedefs: set[str] = set(typedefs or ())
+        self.mode = mode
+        self.tolerant = mode == "tolerant"
+        #: Recovery counters, surfaced as ``frontend.*`` metrics.
+        self.recovered_statements = 0
+        self.opaque_expressions = 0
 
     # -- token helpers -----------------------------------------------------
 
@@ -102,13 +153,22 @@ class Parser:
 
     def parse_translation_unit(self) -> ast.TranslationUnit:
         decls: list[ast.Decl] = []
+        quarantined: list[tuple[str, str]] = []
         while self.tok.kind is not TokenKind.EOF:
-            decl = self.parse_external_declaration()
+            start = self.pos
+            try:
+                decl = self.parse_external_declaration()
+            except (ParseError, RecursionError) as error:
+                if not self.tolerant:
+                    raise
+                quarantined.append(self._recover_toplevel(start, error))
+                continue
             if isinstance(decl, list):
                 decls.extend(decl)
             elif decl is not None:
                 decls.append(decl)
-        return ast.TranslationUnit(filename=self.filename, decls=decls)
+        return ast.TranslationUnit(filename=self.filename, decls=decls,
+                                   quarantined=quarantined)
 
     def parse_external_declaration(self):
         start = self.tok
@@ -368,10 +428,98 @@ class Parser:
         stmts: list[ast.Stmt] = []
         while not self.tok.is_punct("}"):
             if self.tok.kind is TokenKind.EOF:
+                if self.tolerant:
+                    # Unterminated block: close it at EOF so the function
+                    # still reaches the CFG, leaving an opaque marker so
+                    # the engine treats the tail conservatively.
+                    self.recovered_statements += 1
+                    stmts.append(ast.OpaqueStmt(
+                        text="", reason="unterminated block",
+                        location=open_tok.location))
+                    return ast.Block(stmts=stmts, location=open_tok.location)
                 raise ParseError("unterminated block", open_tok.location)
-            stmts.append(self.parse_statement())
+            if not self.tolerant:
+                stmts.append(self.parse_statement())
+                continue
+            start = self.pos
+            try:
+                stmts.append(self.parse_statement())
+            except (ParseError, RecursionError) as error:
+                stmts.append(self._recover_statement(start, error))
         self.expect_punct("}")
         return ast.Block(stmts=stmts, location=open_tok.location)
+
+    # -- panic-mode recovery (tolerant frontend) ---------------------------
+
+    def _span_text(self, start: int, end: int) -> str:
+        return " ".join(str(t) for t in self.tokens[start:end])
+
+    def _recover_statement(self, start: int, error: Exception) -> ast.OpaqueStmt:
+        """Resync after a failed statement parse.
+
+        Skips forward to the next ``;`` at brace depth zero (consumed)
+        or to the ``}`` closing the enclosing block (left for the block
+        loop), tracking nested braces so a broken statement inside a
+        compound body does not eat the rest of the function.
+        """
+        depth = 0
+        while self.tok.kind is not TokenKind.EOF:
+            if self.tok.is_punct("}") and depth == 0:
+                break  # the enclosing block's close brace — leave it
+            tok = self.advance()
+            if tok.is_punct("{"):
+                depth += 1
+            elif tok.is_punct("}"):
+                depth -= 1
+            elif tok.is_punct(";") and depth == 0:
+                break
+        if self.pos == start and self.tok.kind is not TokenKind.EOF:
+            self.advance()  # guarantee progress
+        span = self.tokens[start:self.pos]
+        loc = span[0].location if span else self.tok.location
+        reason = ("nesting too deep for the parser"
+                  if isinstance(error, RecursionError) else str(error))
+        self.recovered_statements += 1
+        return ast.OpaqueStmt(text=self._span_text(start, self.pos),
+                              reason=reason, location=loc)
+
+    def _recover_toplevel(self, start: int, error: Exception) -> tuple[str, str]:
+        """Resync after a failed external declaration.
+
+        Skips to the next plausible top-level boundary — past a ``;`` at
+        brace depth zero or past the ``}`` closing the region's
+        outermost brace — and returns the ``(name, message)`` quarantine
+        entry recorded on the translation unit.  The name is the best
+        guess at the region's function (first IDENT followed by ``(`` in
+        the skipped span), so per-function quarantines from different
+        regions stay distinct through fleet-level dedup.
+        """
+        depth = 0
+        while self.tok.kind is not TokenKind.EOF:
+            tok = self.advance()
+            if tok.is_punct("{"):
+                depth += 1
+            elif tok.is_punct("}"):
+                depth -= 1
+                if depth <= 0:
+                    break
+            elif tok.is_punct(";") and depth == 0:
+                break
+        if self.pos == start and self.tok.kind is not TokenKind.EOF:
+            self.advance()  # guarantee progress
+        span = self.tokens[start:self.pos]
+        name = ""
+        for i, tok in enumerate(span):
+            if (tok.kind is TokenKind.IDENT and i + 1 < len(span)
+                    and span[i + 1].is_punct("(")):
+                name = tok.text
+                break
+        if not name:
+            loc = span[0].location if span else self.tok.location
+            name = f"<top-level@{loc.line}>"
+        message = ("nesting too deep for the parser"
+                   if isinstance(error, RecursionError) else str(error))
+        return name, message
 
     def parse_statement(self) -> ast.Stmt:
         tok = self.tok
@@ -634,21 +782,56 @@ class Parser:
             expr = self.parse_expr()
             self.expect_punct(")")
             return expr
+        if self.tolerant and tok.kind is not TokenKind.EOF:
+            # UNKNOWN tokens (and any stray punctuation) become opaque
+            # leaves; at EOF we fall through to ParseError so statement
+            # recovery can close the enclosing region instead.
+            bad = self.advance()
+            self.opaque_expressions += 1
+            return ast.OpaqueExpr(text=str(bad), location=bad.location)
         raise ParseError(f"unexpected token {str(tok)!r}", tok.location)
 
 
 def parse(text: str, filename: str = "<input>",
-          typedefs: Optional[set[str]] = None) -> ast.TranslationUnit:
-    """Parse C source text into a :class:`TranslationUnit`."""
-    tokens = Lexer(SourceFile(filename, text)).tokenize()
-    return Parser(tokens, filename, typedefs=typedefs).parse_translation_unit()
+          typedefs: Optional[set[str]] = None,
+          mode: Optional[str] = None) -> ast.TranslationUnit:
+    """Parse C source text into a :class:`TranslationUnit`.
+
+    ``mode=None`` defers to the process-wide default
+    (:func:`default_mode`, normally ``"strict"``).  The returned unit
+    carries a ``frontend_stats`` dict with the recovery counters for
+    this parse (all zero in strict mode and on clean tolerant parses).
+    """
+    mode = default_mode() if mode is None else mode
+    if mode not in FRONTEND_MODES:
+        raise ValueError(f"unknown frontend mode {mode!r}")
+    tolerant = mode == "tolerant"
+    tokens = Lexer(SourceFile(filename, text), tolerant=tolerant).tokenize()
+    parser = Parser(tokens, filename, typedefs=typedefs, mode=mode)
+    try:
+        unit = parser.parse_translation_unit()
+    except RecursionError:
+        # Deep nesting is an input problem, not an internal crash:
+        # surface it as a ParseError like any other rejected construct.
+        raise ParseError("nesting too deep for the parser",
+                         tokens[0].location) from None
+    unit.frontend_stats = {
+        "recovered_statements": parser.recovered_statements,
+        "opaque_expressions": parser.opaque_expressions,
+        "quarantined_functions": len(unit.quarantined),
+    }
+    return unit
 
 
 def parse_expression(text: str, typedefs: Optional[set[str]] = None) -> ast.Expr:
     """Parse a single C expression (used by metal patterns and tests)."""
     tokens = Lexer(SourceFile("<expr>", text)).tokenize()
     parser = Parser(tokens, "<expr>", typedefs=typedefs)
-    expr = parser.parse_expr()
+    try:
+        expr = parser.parse_expr()
+    except RecursionError:
+        raise ParseError("nesting too deep for the parser",
+                         tokens[0].location) from None
     if parser.tok.kind is not TokenKind.EOF:
         raise ParseError(f"trailing input {str(parser.tok)!r}", parser.tok.location)
     return expr
@@ -658,7 +841,11 @@ def parse_statement(text: str, typedefs: Optional[set[str]] = None) -> ast.Stmt:
     """Parse a single C statement (used by metal patterns and tests)."""
     tokens = Lexer(SourceFile("<stmt>", text)).tokenize()
     parser = Parser(tokens, "<stmt>", typedefs=typedefs)
-    stmt = parser.parse_statement()
+    try:
+        stmt = parser.parse_statement()
+    except RecursionError:
+        raise ParseError("nesting too deep for the parser",
+                         tokens[0].location) from None
     if parser.tok.kind is not TokenKind.EOF:
         raise ParseError(f"trailing input {str(parser.tok)!r}", parser.tok.location)
     return stmt

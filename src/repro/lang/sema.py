@@ -232,6 +232,8 @@ class _Annotator:
             if stmt.value is not None:
                 self._annotate_expr(stmt.value)
         # Break/Continue/Goto/Label/Default/Empty have nothing to annotate.
+        # OpaqueStmt (tolerant frontend) deliberately falls through too:
+        # its raw token span has no symbols to resolve.
 
     def _annotate_expr(self, expr: Optional[ast.Expr]) -> ctypes.CType:
         if expr is None:
@@ -318,6 +320,7 @@ class _Annotator:
             for part in expr.parts:
                 last = self._annotate_expr(part)
             return last
+        # OpaqueExpr (tolerant frontend) and anything else: unknown type.
         return ctypes.UNKNOWN
 
     @staticmethod

@@ -85,6 +85,9 @@ def _expr_with_prec(expr: ast.Expr) -> tuple[str, int]:
         return f"{cond} ? {then} : {otherwise}", 3
     if isinstance(expr, ast.Comma):
         return ", ".join(unparse_expr(p, 2) for p in expr.parts), 1
+    if isinstance(expr, ast.OpaqueExpr):
+        # Diagnostics quote the raw span the tolerant parser skipped.
+        return f"/* opaque: {expr.text} */", _POSTFIX_PREC
     raise TypeError(f"cannot unparse {type(expr).__name__}")
 
 
@@ -149,6 +152,8 @@ def unparse_stmt(stmt: ast.Stmt, indent: int = 0) -> str:
         return f"{pad}goto {stmt.label};\n"
     if isinstance(stmt, ast.Label):
         return f"{_INDENT * max(indent - 1, 0)}{stmt.name}:\n"
+    if isinstance(stmt, ast.OpaqueStmt):
+        return f"{pad}/* opaque: {stmt.text} */;\n"
     raise TypeError(f"cannot unparse {type(stmt).__name__}")
 
 

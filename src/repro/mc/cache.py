@@ -37,7 +37,10 @@ from .resilience import Quarantine
 #: v2 added per-report path provenance to result/sink payloads.
 #: v3: feasibility pruning changed provenance steps (fact/pruned) and
 #: keys fold in the analysis configuration (``config_fp``).
-SCHEMA_VERSION = 3
+#: v4: tolerant frontend — payloads gained ``suppressed`` reports, and
+#: ``config_fp`` carries ``frontend=`` plus this schema version so
+#: switching ``--frontend`` can never replay the other mode's entries.
+SCHEMA_VERSION = 4
 
 
 # -- fingerprints ------------------------------------------------------------
@@ -206,6 +209,8 @@ def result_to_payload(result) -> dict:
         "degraded": bool(result.degraded),
         "degradation_notes": list(result.degradation_notes),
         "provenance": provenance_to_obj(result.provenance),
+        "suppressed": [[report_to_obj(r), why]
+                       for r, why in getattr(result, "suppressed", [])],
     }
 
 
@@ -221,6 +226,8 @@ def result_from_payload(payload: dict):
     result.degraded = payload["degraded"]
     result.degradation_notes = list(payload["degradation_notes"])
     result.provenance = provenance_from_obj(payload.get("provenance", []))
+    result.suppressed = [(report_from_obj(o), why)
+                         for o, why in payload.get("suppressed", [])]
     return result
 
 
@@ -234,6 +241,8 @@ def sink_to_payload(sink: ReportSink) -> dict:
         "degraded": bool(sink.degraded),
         "degradation_notes": list(sink.degradation_notes),
         "provenance": provenance_to_obj(sink.provenance),
+        "suppressed": [[report_to_obj(r), why]
+                       for r, why in getattr(sink, "suppressed", [])],
     }
 
 
@@ -246,7 +255,13 @@ def sink_from_payload(payload: dict) -> ReportSink:
     # add_quarantine sets degraded; restore the recorded flag exactly.
     sink.degraded = payload["degraded"]
     sink.degradation_notes = list(payload["degradation_notes"])
-    sink.provenance = provenance_from_obj(payload.get("provenance", []))
+    prov = provenance_from_obj(payload.get("provenance", []))
+    for obj, why in payload.get("suppressed", []):
+        report = report_from_obj(obj)
+        key = (report.checker, report.message, report.location)
+        sink._suppressed_seen.add(key)
+        sink.suppressed.append((report, why))
+    sink.provenance = prov
     return sink
 
 
@@ -267,8 +282,9 @@ def work_item_key(*, checker_fp: str, units: list[tuple[str, str]],
     journal entry — like a cache entry — is automatically invalidated
     by editing a file, changing a checker, or upgrading the engine.
     ``config_fp`` folds in analysis configuration that changes results
-    (``feasibility=on|off``), so runs with different settings never
-    share entries.
+    (``feasibility=on|off``, ``frontend=strict|tolerant``, and the
+    payload ``SCHEMA_VERSION``), so runs with different settings — in
+    particular a ``--frontend`` switch — never share entries.
     """
     engine = engine_fp if engine_fp is not None else engine_fingerprint()
     chunks = [engine.encode(), checker_fp.encode(), spec_fp.encode(),

@@ -71,6 +71,25 @@ class _Run:
         self.current_ordinal = 0
         self._block_transitions: Optional[list] = None
         self.tracer = current_tracer()
+        # Tolerant frontend: True while the current path has crossed an
+        # opaque (unparsed) region — reports fired past that point are
+        # held back by :meth:`opaque_gate`.
+        self.path_opaque = False
+        self._opaque_cache: dict[int, bool] = {}
+        self._suppressed_before = len(sink.suppressed)
+
+    def event_has_opaque(self, event: ast.Node) -> bool:
+        """Does this (shared) event contain an opaque node?  Memoized."""
+        cached = self._opaque_cache.get(id(event))
+        if cached is None:
+            cached = any(isinstance(n, (ast.OpaqueStmt, ast.OpaqueExpr))
+                         for n in event.walk())
+            self._opaque_cache[id(event)] = cached
+        return cached
+
+    def opaque_gate(self, report) -> Optional[str]:
+        """``ReportSink.report_gate`` hook: suppress on opaque paths."""
+        return "opaque" if self.path_opaque else None
 
     def ctx_factory(self, node: ast.Node, bindings: dict, state: str) -> MatchContext:
         facts = None
@@ -96,6 +115,11 @@ class _Run:
         """
         for ordinal, event in enumerate(block.events):
             self.current_ordinal = ordinal
+            if not self.path_opaque and self.event_has_opaque(event):
+                # Poison the path *before* stepping the machine over the
+                # event, so a rule firing on the opaque region itself is
+                # already held back.
+                self.path_opaque = True
             for node in _event_nodes(event):
                 if self.budget is not None and not self.budget.charge_step():
                     raise _OutOfBudget()
@@ -172,6 +196,9 @@ def _flush_run(run: _Run, span, *, naive: bool = False) -> None:
         metrics.inc("engine.paths", run.path_ends)
         if run.pruned_edges:
             metrics.inc("engine.pruned_edges", run.pruned_edges)
+        suppressed = len(run.sink.suppressed) - run._suppressed_before
+        if suppressed > 0:
+            metrics.inc("engine.suppressed_reports", suppressed)
     if span is not None:
         span.counters["steps"] = run.steps
         span.counters["transitions"] = run.transitions
@@ -218,7 +245,9 @@ def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink, *,
     span = (run.tracer.span("function", cfg.name, checker=sm.name)
             if run.tracer.enabled else None)
     previous_hook = sink.on_new_report
+    previous_gate = sink.report_gate
     sink.on_new_report = run.attach_provenance
+    sink.report_gate = run.opaque_gate
     if budget is not None:
         budget.start_clock()
     try:
@@ -241,6 +270,7 @@ def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink, *,
         ))
     finally:
         sink.on_new_report = previous_hook
+        sink.report_gate = previous_gate
         _flush_run(run, span)
 
 
@@ -250,15 +280,19 @@ def _walk_cached(run: _Run, cfg: Cfg) -> None:
     visited: set[tuple] = set()
     stack: list[tuple] = [
         (cfg.entry, run.sm.initial_state(cfg.function), None, None,
-         initial_store, None)
+         initial_store, None, False)
     ]
     path_spans = 0
     while stack:
-        block, state, pred_key, edge_label, store, fact = stack.pop()
+        block, state, pred_key, edge_label, store, fact, opaque = stack.pop()
+        # The opaque flag is part of the visited key: a block reached on
+        # both a clean and a poisoned path must be explored under both,
+        # or clean-path reports past the join would be lost.  Strict
+        # parses carry a constant False here, so caching is unchanged.
         if feas is not None:
-            key = (block.index, state, store.key())
+            key = (block.index, state, store.key(), opaque)
         else:
-            key = (block.index, state)
+            key = (block.index, state, opaque)
         if key in visited:
             continue
         visited.add(key)
@@ -266,10 +300,12 @@ def _walk_cached(run: _Run, cfg: Cfg) -> None:
         run.parents[key] = (pred_key, edge_label, fact)
         run.current_key = key
         run.current_store = store
+        run.path_opaque = opaque
         in_block: list = []
         run._block_transitions = in_block
         state, stopped = run.run_block_events(block, state)
         store = run.current_store
+        opaque = run.path_opaque
         if in_block:
             run.block_transitions_by_key[key] = in_block
         if stopped:
@@ -290,7 +326,7 @@ def _walk_cached(run: _Run, cfg: Cfg) -> None:
             if next_store is _PRUNED:
                 continue
             stack.append((edge.dst, _edge_state(run.sm, block, state, edge),
-                          key, edge.label, next_store, next_fact))
+                          key, edge.label, next_store, next_fact, opaque))
 
 
 #: Sentinel: the edge's condition contradicts the path's facts.
@@ -360,13 +396,17 @@ def run_machine_naive(sm: StateMachine, cfg: Cfg, sink: ReportSink,
     back = cfg.back_edges()
     paths_walked = 0
     initial_store = feas.initial_store() if feas is not None else None
-    stack: list[tuple] = [(cfg.entry, initial, initial_store)]
+    previous_gate = sink.report_gate
+    sink.report_gate = run.opaque_gate
+    stack: list[tuple] = [(cfg.entry, initial, initial_store, False)]
     try:
         while stack:
-            block, state, store = stack.pop()
+            block, state, store, opaque = stack.pop()
             run.current_store = store
+            run.path_opaque = opaque
             state, stopped = run.run_block_events(block, state)
             store = run.current_store
+            opaque = run.path_opaque
             if stopped:
                 paths_walked += 1
                 continue
@@ -390,7 +430,7 @@ def run_machine_naive(sm: StateMachine, cfg: Cfg, sink: ReportSink,
                     continue
                 stack.append((edge.dst,
                               _edge_state(sm, block, state, edge),
-                              next_store))
+                              next_store, opaque))
     except _OutOfBudget:
         sink.degraded = True
         sink.degradation_notes.append(
@@ -400,6 +440,7 @@ def run_machine_naive(sm: StateMachine, cfg: Cfg, sink: ReportSink,
         if span is not None:
             span.status = "degraded"
     finally:
+        sink.report_gate = previous_gate
         _flush_run(run, span, naive=True)
     return paths_walked
 

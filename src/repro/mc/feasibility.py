@@ -402,6 +402,10 @@ class FunctionFeasibility:
             return cached
         pure = True
         for node in expr.walk():
+            if isinstance(node, (ast.OpaqueExpr, ast.OpaqueStmt)):
+                # Tolerant-frontend opaque region: may do anything.
+                pure = False
+                break
             if isinstance(node, ast.Call):
                 if node.callee_name != HANDLER_GLOBALS:
                     pure = False
@@ -440,6 +444,8 @@ class FunctionFeasibility:
             elif isinstance(node, ast.Index):
                 deps.add(GLOBAL_DEP)
             elif isinstance(node, ast.UnaryOp) and node.op == "*":
+                deps.add(GLOBAL_DEP)
+            elif isinstance(node, (ast.OpaqueExpr, ast.OpaqueStmt)):
                 deps.add(GLOBAL_DEP)
         frozen = frozenset(deps)
         self._deps_cache[id(expr)] = frozen
@@ -572,20 +578,27 @@ class FunctionFeasibility:
     def initial_store(self) -> Store:
         return EMPTY_STORE
 
-    def _transfer_ops(self, event: ast.Node) -> tuple[frozenset, tuple]:
-        """The (kill set, generated facts) of one event, memoized.
+    def _transfer_ops(self, event: ast.Node) -> tuple[frozenset, tuple, bool]:
+        """The (kill set, generated facts, havoc flag) of one event, memoized.
 
         Events are shared AST statement nodes, so the walk runs once per
         distinct statement instead of once per visited engine state —
         this is what keeps the no-prune overhead of feasibility small.
+
+        ``havoc`` is True when the event contains an opaque node from
+        the tolerant frontend: the skipped region may read or write
+        anything, so every tracked fact dies across it.
         """
         cached = self._transfer_cache.get(id(event))
         if cached is not None:
             return cached
         kills: set[str] = set()
         gen: list[tuple[str, AbsVal]] = []
+        havoc = False
         for node in event.walk():
-            if isinstance(node, ast.Assign):
+            if isinstance(node, (ast.OpaqueStmt, ast.OpaqueExpr)):
+                havoc = True
+            elif isinstance(node, ast.Assign):
                 self._kill_lvalue(node.target, kills)
                 if node is event and node.op == "=":
                     self._gen_assign(node.target, node.value, gen)
@@ -602,13 +615,15 @@ class FunctionFeasibility:
                     self._gen_assign(
                         ast.Ident(location=node.location, name=node.name),
                         node.init, gen)
-        cached = (frozenset(kills), tuple(gen))
+        cached = (frozenset(kills), tuple(gen), havoc)
         self._transfer_cache[id(event)] = cached
         return cached
 
     def transfer_event(self, store: Store, event: ast.Node) -> Store:
         """Update ``store`` across one block event (statement)."""
-        kills, gen = self._transfer_ops(event)
+        kills, gen, havoc = self._transfer_ops(event)
+        if havoc:
+            return EMPTY_STORE
         if not kills and not gen:
             return store
         if store.is_empty() and not gen:

@@ -34,11 +34,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
-from ..errors import SourceReadError
+from ..errors import SourceError, SourceReadError
 from ..faults.plan import FaultPlan
+from ..lang import parser as lang_parser
 from ..lang.memo import parse_annotated, source_fingerprint
 from ..metal.runtime import Report, ReportSink
 from .cache import (
+    SCHEMA_VERSION,
     CacheStats,
     ResultCache,
     checker_fingerprint,
@@ -110,6 +112,11 @@ class WorkerConfig:
     #: Shipped in the config so every execution mode — inline, pooled,
     #: supervised — runs the engine with the same setting.
     feasibility: bool = True
+    #: Frontend mode (``--frontend strict|tolerant``): strict parses
+    #: raise on the first unsupported construct; tolerant parses recover
+    #: (repro.lang.parser) and unrecoverable regions become per-function
+    #: ``Quarantine(phase="input")`` entries instead of run failures.
+    frontend: str = "strict"
 
 
 # -- worker side -------------------------------------------------------------
@@ -130,9 +137,12 @@ def _init_worker(config: WorkerConfig) -> None:
     _CONFIG = config
     # The engine reads the process-wide default; set it here so the flag
     # reaches inline runs, pool workers, and supervised workers alike
-    # (the supervisor's _worker_main calls _init_worker too).
+    # (the supervisor's _worker_main calls _init_worker too).  The
+    # frontend mode travels the same way: every parse in the worker —
+    # including the memoized ones — honours ``--frontend``.
     from . import feasibility
     feasibility.set_default_enabled(config.feasibility)
+    lang_parser.set_default_mode(config.frontend)
 
 
 def _arm_worker_faults(config: WorkerConfig) -> None:
@@ -217,6 +227,23 @@ def _quarantine_payload(item: WorkItem, config: WorkerConfig,
     return result_to_payload(result)
 
 
+def _input_quarantines(label: str, units) -> list[Quarantine]:
+    """Per-function ``phase="input"`` records for every region the
+    tolerant frontend gave up on (``TranslationUnit.quarantined``).
+
+    Each unrecoverable top-level region becomes its own record, named
+    after the function the parser guessed it belonged to, so the
+    fleet's dedup-on-(checker, function) keeps distinct broken regions
+    distinct in the DEGRADED section."""
+    records = []
+    for unit in units:
+        for func, message in getattr(unit, "quarantined", ()):
+            records.append(Quarantine(
+                checker=label, function=func, phase="input",
+                error_type="ParseError", message=message))
+    return records
+
+
 def _run_checker_item(item: WorkItem, config: WorkerConfig) -> dict:
     from ..checkers.base import CheckerResult, get_checker
     from ..project import Program, read_sources
@@ -230,16 +257,24 @@ def _run_checker_item(item: WorkItem, config: WorkerConfig) -> dict:
         return result_to_payload(result)
     _maybe_worker_fault(item)
     # A unit deleted between dispatch and execution must not kill the
-    # worker: it becomes a per-item input quarantine.  Parse errors
-    # still propagate even under keep_going, exactly as the serial
-    # driver treats them: keep-going covers crashing *checkers*, not
-    # broken *inputs*.
+    # worker: it becomes a per-item input quarantine.  In strict mode,
+    # parse errors still propagate even under keep_going, exactly as
+    # the serial driver treats them: keep-going covers crashing
+    # *checkers*, not broken *inputs*.  In tolerant mode the parser is
+    # designed never to raise — this net exists so a frontend bug
+    # degrades to an input quarantine rather than a crashed run.
     try:
         files = read_sources(item.paths)
     except SourceReadError as exc:
         return _quarantine_payload(item, config, type(exc).__name__,
                                    str(exc), phase="input")
-    program = Program(files, info=_spec_info(config), unit_memo=True)
+    try:
+        program = Program(files, info=_spec_info(config), unit_memo=True)
+    except SourceError as exc:
+        if config.frontend != "tolerant":
+            raise
+        return _quarantine_payload(item, config, type(exc).__name__,
+                                   str(exc), phase="input")
     checker = get_checker(name)
     try:
         result = checker.check(program)
@@ -251,6 +286,12 @@ def _run_checker_item(item: WorkItem, config: WorkerConfig) -> dict:
             checker=name, function="*", phase="checker",
             error_type=type(exc).__name__, message=str(exc),
         ))
+    for quarantine in _input_quarantines(name, program.units.values()):
+        result.quarantines.append(quarantine)
+        result.degraded = True
+        result.degradation_notes.append(
+            f"[{name}] {quarantine.function}: unparseable region "
+            f"quarantined — {quarantine.message}")
     return result_to_payload(result)
 
 
@@ -285,10 +326,22 @@ def _run_metal_item(item: WorkItem, config: WorkerConfig,
     except SourceReadError as exc:
         return _quarantine_payload(item, config, type(exc).__name__,
                                    str(exc), phase="input")
-    unit, _sema = parse_annotated(path, text)
+    try:
+        unit, _sema = parse_annotated(path, text)
+    except SourceError as exc:
+        if config.frontend != "tolerant":
+            raise
+        return _quarantine_payload(item, config, type(exc).__name__,
+                                   str(exc), phase="input")
     budget = shared_budget if shared_budget is not None else _item_budget(config)
     sink = ReportSink()
     check_unit(sm, unit, sink, budget=budget, keep_going=config.keep_going)
+    label = _item_label(item, config)
+    for quarantine in _input_quarantines(label, [unit]):
+        if sink.add_quarantine(quarantine):
+            sink.degradation_notes.append(
+                f"[{label}] {quarantine.function}: unparseable region "
+                f"quarantined — {quarantine.message}")
     return sink_to_payload(sink)
 
 
@@ -462,9 +515,10 @@ def _run_items(items: list, config: WorkerConfig, jobs: int,
         nonlocal shared_budget
         from . import feasibility
         # Inline execution runs in the caller's process: restore the
-        # caller's feasibility default afterwards so a library user
-        # mixing on/off runs is not left with a flipped global.
+        # caller's feasibility/frontend defaults afterwards so a library
+        # user mixing runs is not left with flipped globals.
         previous_feasibility = feasibility.default_enabled()
+        previous_mode = lang_parser.default_mode()
         _init_worker(config)
         shared_budget = _shared_serial_budget(config)
         try:
@@ -487,6 +541,7 @@ def _run_items(items: list, config: WorkerConfig, jobs: int,
                 record(item, payload)
         finally:
             feasibility.set_default_enabled(previous_feasibility)
+            lang_parser.set_default_mode(previous_mode)
 
     if jobs <= 1 or len(pending) == 1:
         run_inline()
@@ -609,7 +664,8 @@ def check_files(paths: list, *, names: Optional[list] = None,
                 deadline: Optional[float] = None,
                 journal: Optional[RunJournal] = None,
                 policy: Optional[SupervisorPolicy] = None,
-                observation=None, feasibility: bool = True) -> CheckRun:
+                observation=None, feasibility: bool = True,
+                frontend: str = "strict") -> CheckRun:
     """Run the registered checker fleet over source files, in parallel.
 
     The parallel analog of :func:`repro.checkers.base.run_all`: same
@@ -622,8 +678,10 @@ def check_files(paths: list, *, names: Optional[list] = None,
     ``observation`` (a :class:`repro.obs.Observation`) turns on span
     tracing and metrics collection; reports are identical with or
     without it.  ``feasibility`` toggles infeasible-path pruning
-    (``--feasibility``); it is part of every cache/journal key, so
-    on- and off-runs never share entries.
+    (``--feasibility``); ``frontend`` picks the parse mode
+    (``--frontend strict|tolerant``).  Both are part of every
+    cache/journal key, so runs with different settings never share
+    entries.
     """
     from ..checkers.base import checker_names, get_checker
     from ..project import read_sources
@@ -643,6 +701,7 @@ def check_files(paths: list, *, names: Optional[list] = None,
                    if observation is not None else None),
         collect_obs=observation is not None,
         feasibility=feasibility,
+        frontend=frontend,
     )
 
     items: list[WorkItem] = []
@@ -676,7 +735,8 @@ def check_files(paths: list, *, names: Optional[list] = None,
                 checker_fp=checker_fp,
                 units=[(p, digests[p]) for p in item.paths],
                 spec_fp=spec_fp, engine_fp=engine_fp,
-                config_fp=f"feasibility={'on' if feasibility else 'off'}",
+                config_fp=(f"feasibility={'on' if feasibility else 'off'},"
+                           f"frontend={frontend},schema={SCHEMA_VERSION}"),
             )
 
     payloads, _, run_stats = _run_items(items, config, jobs, cache, keys,
@@ -732,7 +792,8 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
                 budget_seconds: Optional[float] = None,
                 journal: Optional[RunJournal] = None,
                 policy: Optional[SupervisorPolicy] = None,
-                observation=None, feasibility: bool = True) -> MetalRun:
+                observation=None, feasibility: bool = True,
+                frontend: str = "strict") -> MetalRun:
     """Run one textual metal checker over files as parallel work items.
 
     Step/path budgets apply per work item when ``jobs > 1`` (each worker
@@ -769,6 +830,7 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
                    if observation is not None else None),
         collect_obs=observation is not None,
         feasibility=feasibility,
+        frontend=frontend,
     )
 
     ordered_paths = list(dict.fromkeys(paths))
@@ -788,7 +850,8 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
                 checker_fp=metal_fp,
                 units=[(item.paths[0], source_fingerprint(sources[item.paths[0]]))],
                 engine_fp=engine_fp,
-                config_fp=f"feasibility={'on' if feasibility else 'off'}",
+                config_fp=(f"feasibility={'on' if feasibility else 'off'},"
+                           f"frontend={frontend},schema={SCHEMA_VERSION}"),
             )
 
     payloads, shared_budget, run_stats = _run_items(

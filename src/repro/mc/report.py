@@ -21,7 +21,10 @@ __all__ = [
 #: ``--format json`` document schema; bump when the shape changes.
 #: v2 added per-report ``confidence`` scores and feasibility provenance
 #: steps (``fact`` on branches, ``pruned`` siblings).
-REPORT_JSON_SCHEMA = 2
+#: v3 added the ``suppressed`` section: reports withheld because every
+#: path reaching them crossed an opaque (unparsed) region, each tagged
+#: with its ``suppressed_by`` reason.
+REPORT_JSON_SCHEMA = 3
 
 
 def _stable_key(report: Report) -> tuple:
@@ -93,6 +96,11 @@ def format_sink(sink: ReportSink, heading: str = "") -> str:
     is the machine-greppable marker that the result is partial.
     """
     lines = [format_reports(sink.reports, heading=heading)]
+    suppressed = getattr(sink, "suppressed", [])
+    if suppressed:
+        lines.append("")
+        lines.append(f"({len(suppressed)} report(s) suppressed: every "
+                     "path to them crossed an unparsed region)")
     if sink.quarantines:
         lines.append("")
         lines.append(format_quarantines(sink.quarantines))
@@ -190,6 +198,7 @@ def run_to_json(run, min_confidence=None) -> dict:
              else [sink for _path, sink in run.sinks])
     reports: list[dict] = []
     quarantines: list[dict] = []
+    suppressed: list[dict] = []
     degraded = False
     notes: list[str] = []
     for part in parts:
@@ -199,6 +208,10 @@ def run_to_json(run, min_confidence=None) -> dict:
             reports.append(report_to_json_obj(
                 report, provenance.get(report_key(report)),
                 confidence=scores.get(report_key(report))))
+        for report, why in getattr(part, "suppressed", []):
+            obj = report_to_json_obj(report)
+            obj["suppressed_by"] = why
+            suppressed.append(obj)
         for q in part.quarantines:
             quarantines.append({
                 "checker": q.checker, "function": q.function,
@@ -209,6 +222,8 @@ def run_to_json(run, min_confidence=None) -> dict:
         notes.extend(part.degradation_notes)
     reports.sort(key=lambda o: (o["file"], o["line"], o["column"],
                                 o["checker"], o["message"]))
+    suppressed.sort(key=lambda o: (o["file"], o["line"], o["column"],
+                                   o["checker"], o["message"]))
     summary: dict[str, int] = {}
     for obj in reports:
         summary[obj["severity"]] = summary.get(obj["severity"], 0) + 1
@@ -221,5 +236,6 @@ def run_to_json(run, min_confidence=None) -> dict:
         "summary": summary,
         "reports": reports,
         "quarantines": quarantines,
+        "suppressed": suppressed,
         "degradation_notes": notes,
     }

@@ -72,12 +72,40 @@ class ReportSink:
         #: this is how the path-sensitive engine attaches provenance at
         #: the moment a diagnostic first fires.
         self.on_new_report = None
+        #: Engine hook consulted *before* a report is recorded.  Returns
+        #: a reason string to suppress it (e.g. ``"opaque"`` when the
+        #: path crossed a tolerant-frontend opaque region) or None to
+        #: let it through.  Suppressed reports land in ``suppressed``
+        #: with ``suppressed_by=<reason>`` provenance instead.
+        self.report_gate = None
+        #: (report, reason) pairs held back by ``report_gate``,
+        #: deduplicated like ordinary reports.
+        self.suppressed: list[tuple[Report, str]] = []
+        self._suppressed_seen: set[tuple] = set()
 
     def add(self, report: Report) -> bool:
         key = (report.checker, report.message, report.location)
+        if self.report_gate is not None:
+            reason = self.report_gate(report)
+            if reason is not None:
+                if key not in self._suppressed_seen:
+                    self._suppressed_seen.add(key)
+                    self.suppressed.append((report, reason))
+                    self.provenance.setdefault(
+                        key, [{"kind": "suppressed", "suppressed_by": reason}])
+                return False
         if key in self._seen:
             return False
         self._seen.add(key)
+        if key in self._suppressed_seen:
+            # A clean path reached a diagnostic earlier held back on an
+            # opaque path: the report stands, the suppression does not.
+            self._suppressed_seen.discard(key)
+            self.suppressed = [
+                (r, why) for r, why in self.suppressed
+                if (r.checker, r.message, r.location) != key
+            ]
+            self.provenance.pop(key, None)
         self._reports.append(report)
         if self.on_new_report is not None:
             self.on_new_report(report)

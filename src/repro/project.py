@@ -35,6 +35,18 @@ def read_sources(paths: Iterable[str]) -> dict[str, str]:
     for path in paths:
         try:
             sources[path] = Path(path).read_text()
+        except UnicodeDecodeError:
+            # Binary / non-UTF-8 input.  Decode permissively so the
+            # tolerant frontend can still run over it (strict mode will
+            # reject the resulting byte soup with an ordinary LexError
+            # rather than an internal traceback).
+            try:
+                sources[path] = Path(path).read_bytes().decode(
+                    "utf-8", errors="replace")
+            except OSError as exc:
+                raise SourceReadError(
+                    f"cannot read source file {path}: {exc}", path=path
+                ) from exc
         except OSError as exc:
             raise SourceReadError(
                 f"cannot read source file {path}: {exc}", path=path
