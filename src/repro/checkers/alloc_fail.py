@@ -15,7 +15,6 @@ from __future__ import annotations
 from typing import Optional
 
 from ..flash import machine
-from ..lang import ast
 from ..mc.engine import run_machine
 from ..metal.runtime import MatchContext
 from ..metal.sm import StateMachine
@@ -65,9 +64,8 @@ class AllocFailChecker(Checker):
         applied: set[tuple] = set()
         for function in program.functions():
             run_machine(sm, program.cfg(function), sink)
-            for node in function.walk():
-                if (isinstance(node, ast.Call)
-                        and node.callee_name == machine.DB_ALLOC):
+            for node in program.calls(function):
+                if node.callee_name == machine.DB_ALLOC:
                     applied.add((node.location.filename, node.location.line,
                                  node.location.column))
         result.applied = len(applied)

@@ -12,7 +12,6 @@ frontend — the published listing, plus the legacy read macro §4 mentions.
 from __future__ import annotations
 
 from ..flash import machine
-from ..lang import ast
 from ..mc.engine import run_machine
 from ..metal.parser import parse_metal
 from ..metal.runtime import ReportSink
@@ -37,9 +36,8 @@ class BufferRaceChecker(Checker):
         by_function: dict[str, int] = {}
         for function in program.functions():
             run_machine(sm, program.cfg(function), sink)
-            for node in function.walk():
-                if (isinstance(node, ast.Call)
-                        and node.callee_name in _READ_MACROS):
+            for node in program.calls(function):
+                if node.callee_name in _READ_MACROS:
                     site = (node.location.filename, node.location.line,
                             node.location.column)
                     if site not in applied:

@@ -115,7 +115,7 @@ class DirectoryChecker(Checker):
         applied: set[tuple] = set()
         for function in program.functions():
             run_machine(sm, program.cfg(function), sink)
-            for node in function.walk():
+            for node in program.calls(function):
                 if self._is_dir_operation(node):
                     applied.add((node.location.filename, node.location.line))
         result.applied = len(applied)

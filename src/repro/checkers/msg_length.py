@@ -13,7 +13,6 @@ frontend verbatim.
 from __future__ import annotations
 
 from ..flash import machine
-from ..lang import ast
 from ..mc.engine import run_machine
 from ..metal.parser import parse_metal
 from ..metal.runtime import ReportSink
@@ -35,9 +34,8 @@ class MsgLengthChecker(Checker):
         applied: set[tuple] = set()
         for function in program.functions():
             run_machine(sm, program.cfg(function), sink)
-            for node in function.walk():
-                if (isinstance(node, ast.Call)
-                        and node.callee_name in machine.SEND_MACROS):
+            for node in program.calls(function):
+                if node.callee_name in machine.SEND_MACROS:
                     applied.add((node.location.filename, node.location.line,
                                  node.location.column))
         result.applied = len(applied)

@@ -106,7 +106,7 @@ class SendWaitChecker(Checker):
         applied: set[tuple] = set()
         for function in program.functions():
             run_machine(sm, program.cfg(function), sink)
-            for node in function.walk():
+            for node in program.calls(function):
                 if self._is_wait_related(node):
                     applied.add((node.location.filename, node.location.line,
                                  node.location.column))

@@ -122,20 +122,32 @@ def _policy_from_args(args, stop_flag: StopFlag) -> SupervisorPolicy:
     return policy
 
 
+def _journal_config(args) -> dict:
+    """The analysis settings recorded in (and checked against) a run
+    journal's header: resuming under a different engine, feasibility,
+    or frontend would mix payloads from two configurations."""
+    return {
+        "engine": getattr(args, "engine", "summary"),
+        "feasibility": getattr(args, "feasibility", "on"),
+        "frontend": getattr(args, "frontend", "strict"),
+    }
+
+
 def _journal_from_args(args):
     """The run's journal: resumed from ``--resume``, else freshly
     created under ``<cache-dir>/runs``.  ``None`` (the run is simply
     not resumable) when the directory is unwritable or ``--no-cache``
     asked for no disk writes; an explicit ``--resume`` always wins."""
     runs_dir = default_runs_dir(getattr(args, "cache_dir", None))
+    config = _journal_config(args)
     resume = getattr(args, "resume", None)
     if resume:
-        return RunJournal.resume(runs_dir, resume)
+        return RunJournal.resume(runs_dir, resume, config)
     no_cache = getattr(args, "no_cache", False) or bool(
         os.environ.get("MC_CHECK_NO_CACHE"))
     if no_cache:
         return None
-    return RunJournal.create(runs_dir)
+    return RunJournal.create(runs_dir, config=config)
 
 
 def _interrupted(run, journal, json_mode: bool = False) -> int:
@@ -197,6 +209,7 @@ def cmd_check(args) -> int:
     json_mode = getattr(args, "format", "text") == "json"
     feasibility = getattr(args, "feasibility", "on") == "on"
     frontend = getattr(args, "frontend", "strict")
+    engine = getattr(args, "engine", "summary")
     min_confidence = getattr(args, "min_confidence", None)
     jobs = resolve_jobs(args.jobs)
     budget_seconds = getattr(args, "budget_seconds", None)
@@ -216,7 +229,7 @@ def cmd_check(args) -> int:
                 jobs=jobs, cache=cache, keep_going=keep_going,
                 deadline=deadline, journal=journal, policy=policy,
                 observation=observation, feasibility=feasibility,
-                frontend=frontend,
+                frontend=frontend, engine=engine,
             )
     finally:
         if journal is not None:
@@ -279,6 +292,7 @@ def cmd_metal(args) -> int:
     json_mode = getattr(args, "format", "text") == "json"
     feasibility = getattr(args, "feasibility", "on") == "on"
     frontend = getattr(args, "frontend", "strict")
+    engine = getattr(args, "engine", "summary")
     min_confidence = getattr(args, "min_confidence", None)
     jobs = resolve_jobs(args.jobs)
     budget_steps = getattr(args, "budget_steps", None)
@@ -300,7 +314,7 @@ def cmd_metal(args) -> int:
                 keep_going=keep_going, budget_steps=budget_steps,
                 budget_paths=budget_paths, budget_seconds=budget_seconds,
                 journal=journal, policy=policy, observation=observation,
-                feasibility=feasibility, frontend=frontend,
+                feasibility=feasibility, frontend=frontend, engine=engine,
             )
     finally:
         if journal is not None:
@@ -586,6 +600,15 @@ def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
                              "readable document (report ids + path "
                              "provenance, consumed by 'mc-check explain') "
                              "on stdout and routes all chatter to stderr")
+    parser.add_argument("--engine", choices=["paths", "summary"],
+                        default="summary",
+                        help="path exploration engine: 'summary' slices "
+                             "each CFG to checker-relevant blocks, merges "
+                             "states at join points, and replays cached "
+                             "per-function summaries; 'paths' is the "
+                             "original exhaustive per-path walk (the "
+                             "equivalence oracle; see docs/engine.md; "
+                             "default: summary)")
     parser.add_argument("--feasibility", choices=["on", "off"], default="on",
                         help="path-feasibility analysis: prune branch edges "
                              "whose conditions contradict facts already "

@@ -17,6 +17,22 @@ from typing import Iterator, Optional
 from .source import Location, unknown_location
 
 
+# Per-class tuple of field names that can hold child nodes.  The
+# traversal methods below are the hottest code in the engine (pattern
+# matching visits "every tree node"), and ``dataclasses.fields`` is far
+# too slow to call once per visit.
+_CHILD_FIELDS: dict = {}
+
+
+def _child_fields(cls) -> tuple:
+    names = _CHILD_FIELDS.get(cls)
+    if names is None:
+        names = tuple(
+            f.name for f in fields(cls) if f.name != "location")
+        _CHILD_FIELDS[cls] = names
+    return names
+
+
 @dataclass
 class Node:
     """Base class for all AST nodes."""
@@ -27,10 +43,8 @@ class Node:
 
     def children(self) -> Iterator["Node"]:
         """Yield direct child nodes, in source order."""
-        for f in fields(self):
-            if f.name == "location":
-                continue
-            value = getattr(self, f.name)
+        for name in _child_fields(type(self)):
+            value = getattr(self, name)
             if isinstance(value, Node):
                 yield value
             elif isinstance(value, (list, tuple)):
@@ -39,10 +53,20 @@ class Node:
                         yield item
 
     def walk(self) -> Iterator["Node"]:
-        """Yield this node and every descendant, pre-order."""
-        yield self
-        for child in self.children():
-            yield from child.walk()
+        """Yield this node and every descendant, pre-order.
+
+        Iterative: the recursive ``yield from`` formulation costs
+        O(depth) per yielded node, which dominates on real handler
+        bodies.
+        """
+        stack = [self]
+        pop = stack.pop
+        while stack:
+            node = pop()
+            yield node
+            children = list(node.children())
+            children.reverse()
+            stack.extend(children)
 
     @property
     def kind(self) -> str:

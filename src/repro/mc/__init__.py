@@ -1,11 +1,17 @@
 """The analysis engine: path-sensitive SM execution and global analysis."""
 
 from .cache import (
+    AnalysisMemo,
     CacheStats,
+    FunctionSummary,
+    FunctionSummaryStore,
     ResultCache,
     checker_fingerprint,
+    clear_function_summaries,
     default_cache_dir,
     engine_fingerprint,
+    function_fingerprint,
+    function_summaries,
     result_from_payload,
     result_to_payload,
     sink_from_payload,
@@ -13,6 +19,13 @@ from .cache import (
     work_item_key,
 )
 from .engine import check_function, check_unit, run_machine, run_machine_naive
+from .summary import (
+    CfgSlice,
+    MachineFilter,
+    default_engine,
+    set_default_engine,
+    slice_for,
+)
 from .feasibility import (
     Contradiction,
     FactsView,
@@ -62,6 +75,10 @@ __all__ = [
     "find_unfollowed", "find_unguarded", "is_call_to", "quarantining",
     "bottom_up", "walk_paths",
     "Budget", "Quarantine",
+    "AnalysisMemo", "FunctionSummary", "FunctionSummaryStore",
+    "CfgSlice", "MachineFilter", "default_engine", "set_default_engine",
+    "slice_for", "clear_function_summaries", "function_fingerprint",
+    "function_summaries",
     "CacheStats", "ResultCache", "checker_fingerprint", "default_cache_dir",
     "engine_fingerprint", "result_from_payload", "result_to_payload",
     "sink_from_payload", "sink_to_payload",

@@ -7,6 +7,17 @@ in the same state cannot produce new behaviour, so whole families of
 exponentially many paths are covered in linear work.  The
 :func:`run_machine_naive` variant enumerates paths explicitly and exists
 for the state-cache ablation benchmark (DESIGN.md §5).
+
+Two engine modes share this walker (``--engine``, docs/engine.md):
+
+* ``paths`` — the walk exactly as described above; the oracle.
+* ``summary`` (default) — the same walk over a checker-aware slice
+  (:mod:`repro.mc.summary`): per-event candidate nodes, dead-tail
+  merging, whole-function skipping, and reusable per-function summaries
+  (:class:`repro.mc.cache.FunctionSummaryStore`).  Reports, suppressed
+  reports, provenance, and confidence are byte-identical to ``paths``;
+  work counters and budget charging are not (a budgeted run charges
+  only the steps it actually performs).
 """
 
 from __future__ import annotations
@@ -22,6 +33,8 @@ from ..obs.metrics import current_metrics
 from ..obs.provenance import build_steps, report_key
 from ..obs.trace import MAX_PATH_SPANS_PER_FUNCTION, current_tracer
 from . import feasibility as _feas
+from . import summary as _summary
+from .cache import FunctionSummary, function_summaries
 from .resilience import Budget, Quarantine
 
 
@@ -48,7 +61,8 @@ class _Run:
 
     def __init__(self, sm: StateMachine, cfg: Cfg, sink: ReportSink,
                  budget: Optional[Budget] = None,
-                 feas: Optional["_feas.FunctionFeasibility"] = None):
+                 feas: Optional["_feas.FunctionFeasibility"] = None,
+                 cfg_slice: Optional["_summary.CfgSlice"] = None):
         self.sm = sm
         self.cfg = cfg
         self.sink = sink
@@ -57,12 +71,20 @@ class _Run:
         # Feasibility: None when pruning is off for this run.
         self.feas = feas
         self.current_store: Optional[_feas.Store] = None
+        # Summary engine: the checker-aware slice, None in paths mode.
+        self.cfg_slice = cfg_slice
         # Work counters (see class docstring).
         self.steps = 0
         self.transitions = 0
         self.states = 0
         self.path_ends = 0
         self.pruned_edges = 0
+        # Join points: (block, state, store, opaque) points reached again
+        # and folded into the first visit instead of being re-explored.
+        self.merged = 0
+        # Machine states observed at function exits (path ends) — the
+        # "entry-state → exit-states" face of a function summary.
+        self.exit_states: set[str] = set()
         # Provenance position: where the machine is right now.
         self.parents: dict[tuple, tuple] = {}
         self.block_transitions_by_key: dict[tuple, list] = {}
@@ -113,14 +135,54 @@ class _Run:
         has seen it, so checker actions observe the facts established by
         prior events on the path.
         """
+        cfg_slice = self.cfg_slice
+        if cfg_slice is None:
+            for ordinal, event in enumerate(block.events):
+                self.current_ordinal = ordinal
+                if not self.path_opaque and self.event_has_opaque(event):
+                    # Poison the path *before* stepping the machine over
+                    # the event, so a rule firing on the opaque region
+                    # itself is already held back.
+                    self.path_opaque = True
+                for node in _event_nodes(event):
+                    if (self.budget is not None
+                            and not self.budget.charge_step()):
+                        raise _OutOfBudget()
+                    self.steps += 1
+                    result = self.sm.step(state, node, self.ctx_factory)
+                    if result.fired is not None:
+                        self.transitions += 1
+                        if (result.state != state
+                                and self._block_transitions is not None):
+                            loc = node.location
+                            self._block_transitions.append(
+                                (ordinal, loc.filename, loc.line, state,
+                                 result.state, result.fired.name))
+                    state = result.state
+                    if result.stopped:
+                        return state, True
+                if self.feas is not None and self.current_store is not None:
+                    self.current_store = self.feas.transfer_event(
+                        self.current_store, event)
+            return state, False
+
+        # Summary mode feeds the machine only the nodes its patterns
+        # could match — stepping any other node is a proven no-op (see
+        # repro.mc.summary).  Events are still iterated in full order so
+        # ordinals, opaque poisoning, and the feasibility transfer below
+        # are identical to paths mode.
         for ordinal, event in enumerate(block.events):
             self.current_ordinal = ordinal
-            if not self.path_opaque and self.event_has_opaque(event):
-                # Poison the path *before* stepping the machine over the
-                # event, so a rule firing on the opaque region itself is
-                # already held back.
+            if not self.path_opaque and cfg_slice.event_opaque(event):
                 self.path_opaque = True
-            for node in _event_nodes(event):
+            if self.budget is not None:
+                # Sliced-out nodes are charged but not stepped, so a
+                # budgeted run exhausts at the same work level as the
+                # paths engine would.
+                for _ in range(cfg_slice.skipped_nodes(event)):
+                    if not self.budget.charge_step():
+                        raise _OutOfBudget()
+            for node in cfg_slice.candidates(event):
                 if self.budget is not None and not self.budget.charge_step():
                     raise _OutOfBudget()
                 self.steps += 1
@@ -143,6 +205,7 @@ class _Run:
 
     def at_path_end(self, state: str) -> None:
         self.path_ends += 1
+        self.exit_states.add(state)
         if self.sm.path_end_action is None:
             return
         # Past every event ordinal, so provenance keeps the whole block.
@@ -196,6 +259,8 @@ def _flush_run(run: _Run, span, *, naive: bool = False) -> None:
         metrics.inc("engine.paths", run.path_ends)
         if run.pruned_edges:
             metrics.inc("engine.pruned_edges", run.pruned_edges)
+        if run.merged:
+            metrics.inc("engine.merged_states", run.merged)
         suppressed = len(run.sink.suppressed) - run._suppressed_before
         if suppressed > 0:
             metrics.inc("engine.suppressed_reports", suppressed)
@@ -206,13 +271,16 @@ def _flush_run(run: _Run, span, *, naive: bool = False) -> None:
         span.counters["paths"] = run.path_ends
         if run.pruned_edges:
             span.counters["pruned"] = run.pruned_edges
+        if run.merged:
+            span.counters["merged"] = run.merged
         span.__exit__(None, None, None)
 
 
 def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink, *,
                 budget: Optional[Budget] = None,
                 isolate: bool = False,
-                feasibility: Optional[bool] = None) -> None:
+                feasibility: Optional[bool] = None,
+                engine: Optional[str] = None) -> None:
     """Run ``sm`` over every path of ``cfg`` with (block, state) caching.
 
     With a ``budget``, exploration stops gracefully when it runs out:
@@ -230,6 +298,15 @@ def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink, *,
     edges whose condition contradicts the path's facts are pruned and
     counted (``engine.pruned_edges``).
 
+    ``engine`` selects ``"paths"`` or ``"summary"`` (``None`` defers to
+    the process-wide ``--engine`` default).  Summary mode walks a
+    checker-aware slice of the CFG, merges away dead tails, skips
+    functions the machine cannot observe, and serves repeat analyses of
+    an unchanged function from the process-wide summary store — with
+    reports, suppressions, provenance, and confidence byte-identical to
+    paths mode (docs/engine.md).  Budgeted runs bypass the store: their
+    outcome depends on the budget, not just on content.
+
     Every execution also records path provenance for each *new* report
     (``sink.provenance``), counts its work into the active metrics
     registry, and — when a tracer is active — emits a ``function`` span
@@ -238,23 +315,59 @@ def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink, *,
     initial = sm.initial_state(cfg.function)
     if initial is None:
         return
+    if engine is None:
+        engine = _summary.default_engine()
     if feasibility is None:
         feasibility = _feas.default_enabled()
+    cfg_slice = None
+    walk_sink = sink
+    store = store_key = None
+    if engine == "summary":
+        cfg_slice = _summary.slice_for(sm, cfg)
+        metrics = current_metrics()
+        if cfg_slice.full_skip:
+            # No pattern of this machine can match anything reachable
+            # from the entry, and there is no path-end action: the
+            # machine cannot observe this function at all.
+            if metrics is not None:
+                metrics.inc("engine.functions")
+                metrics.inc("engine.skipped_functions")
+            return
+        if budget is None:
+            store = function_summaries()
+            store_key = store.key(cfg, entry_state=initial,
+                                  feasibility=bool(feasibility))
+            cached = store.get(sm, store_key)
+            if cached is not None:
+                _summary.merge_into(sink, cached)
+                if metrics is not None:
+                    metrics.inc("engine.functions")
+                    metrics.inc("engine.summary_hits")
+                return
+            if metrics is not None:
+                metrics.inc("engine.summary_misses")
+            # Walk into a private sink so the summary records this
+            # function's *full* emissions, not the delta left after
+            # unit-wide de-duplication — a replay into any sink must
+            # compose the way a live walk would.
+            walk_sink = ReportSink()
     feas = _feas.for_cfg(cfg) if feasibility else None
-    run = _Run(sm, cfg, sink, budget, feas)
+    run = _Run(sm, cfg, walk_sink, budget, feas, cfg_slice)
     span = (run.tracer.span("function", cfg.name, checker=sm.name)
             if run.tracer.enabled else None)
-    previous_hook = sink.on_new_report
-    previous_gate = sink.report_gate
-    sink.on_new_report = run.attach_provenance
-    sink.report_gate = run.opaque_gate
+    previous_hook = walk_sink.on_new_report
+    previous_gate = walk_sink.report_gate
+    walk_sink.on_new_report = run.attach_provenance
+    walk_sink.report_gate = run.opaque_gate
     if budget is not None:
         budget.start_clock()
+    completed = False
     try:
         _walk_cached(run, cfg)
+        completed = True
     except _OutOfBudget:
-        sink.degraded = True
-        sink.degradation_notes.append(
+        walk_sink.degraded = True
+        walk_sink.degradation_notes.append(
             f"[{sm.name}] {cfg.name}: exploration stopped — {budget.note()}"
         )
         if span is not None:
@@ -264,18 +377,30 @@ def run_machine(sm: StateMachine, cfg: Cfg, sink: ReportSink, *,
             span.status = "error"
         if not isolate:
             raise
-        sink.add_quarantine(Quarantine(
+        walk_sink.add_quarantine(Quarantine(
             checker=sm.name, function=cfg.name, phase="path-walk",
             error_type=type(exc).__name__, message=str(exc),
         ))
     finally:
-        sink.on_new_report = previous_hook
-        sink.report_gate = previous_gate
+        walk_sink.on_new_report = previous_hook
+        walk_sink.report_gate = previous_gate
         _flush_run(run, span)
+        if walk_sink is not sink:
+            _summary.merge_into(sink, walk_sink)
+            if (completed and store is not None and not walk_sink.degraded
+                    and not walk_sink.quarantines):
+                store.put(sm, store_key, FunctionSummary(
+                    entry_state=initial,
+                    exit_states=tuple(sorted(run.exit_states)),
+                    reports=tuple(walk_sink.reports),
+                    suppressed=tuple(walk_sink.suppressed),
+                    provenance=dict(walk_sink.provenance),
+                ))
 
 
 def _walk_cached(run: _Run, cfg: Cfg) -> None:
     feas = run.feas
+    cfg_slice = run.cfg_slice
     initial_store = feas.initial_store() if feas is not None else None
     visited: set[tuple] = set()
     stack: list[tuple] = [
@@ -294,6 +419,9 @@ def _walk_cached(run: _Run, cfg: Cfg) -> None:
         else:
             key = (block.index, state, opaque)
         if key in visited:
+            # A join point: this path reached an abstract state already
+            # explored and is merged into the earlier visit.
+            run.merged += 1
             continue
         visited.add(key)
         run.states += 1
@@ -322,6 +450,16 @@ def _walk_cached(run: _Run, cfg: Cfg) -> None:
                     pass
             continue
         for edge in reversed(block.out_edges):
+            if cfg_slice is not None and cfg_slice.skip_edge(edge):
+                # Dead-tail merge: no candidate node is reachable past
+                # this edge and the machine has no path-end action, so
+                # every path through the region is equivalent — don't
+                # explore it.  The branch assumption is still evaluated
+                # so pruned-edge provenance on this (live) block matches
+                # the path engine byte for byte.
+                if _edge_assume(run, block, store, edge, key)[0] is not _PRUNED:
+                    run.merged += 1
+                continue
             next_store, next_fact = _edge_store(run, block, store, edge, key)
             if next_store is _PRUNED:
                 continue
@@ -333,16 +471,12 @@ def _walk_cached(run: _Run, cfg: Cfg) -> None:
 _PRUNED = object()
 
 
-def _edge_store(run: _Run, block, store, edge, key):
-    """The store carried across ``edge``, or ``(_PRUNED, None)``.
+def _edge_assume(run: _Run, block, store, edge, key):
+    """Assume ``edge``'s branch outcome into ``store``.
 
-    Branch conditions (``true``/``false`` edges out of a block whose
-    last event is the condition) are assumed into the store; a
-    contradiction prunes the edge and records why, for both the metrics
-    counter and provenance.  Every survivor is restricted to the facts
-    still relevant at the destination, which is what keeps the
-    ``(block, state, store)`` visited set from outgrowing the plain
-    ``(block, state)`` one.
+    Returns ``(store, fact)``, or ``(_PRUNED, None)`` after recording
+    the contradiction (metrics counter and provenance) when the edge's
+    condition contradicts the path's facts.
     """
     feas = run.feas
     if feas is None:
@@ -360,7 +494,25 @@ def _edge_store(run: _Run, block, store, edge, key):
             })
             return _PRUNED, None
         store, fact = outcome
-    return feas.restrict(store, edge.dst), fact
+    return store, fact
+
+
+def _edge_store(run: _Run, block, store, edge, key):
+    """The store carried across ``edge``, or ``(_PRUNED, None)``.
+
+    Branch conditions (``true``/``false`` edges out of a block whose
+    last event is the condition) are assumed into the store
+    (:func:`_edge_assume`).  Every survivor is restricted to the facts
+    still relevant at the destination, which is what keeps the
+    ``(block, state, store)`` visited set from outgrowing the plain
+    ``(block, state)`` one.
+    """
+    if run.feas is None:
+        return None, None
+    store, fact = _edge_assume(run, block, store, edge, key)
+    if store is _PRUNED:
+        return _PRUNED, None
+    return run.feas.restrict(store, edge.dst), fact
 
 
 def run_machine_naive(sm: StateMachine, cfg: Cfg, sink: ReportSink,

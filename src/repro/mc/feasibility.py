@@ -55,6 +55,7 @@ from typing import Optional, Union
 
 from ..lang import ast
 from ..lang.unparse import unparse_expr
+from .summary import event_index
 
 #: The one callee whose "call" is really a read of handler-global state
 #: (a field access behind a macro), and therefore a trackable term.
@@ -362,14 +363,19 @@ class FunctionFeasibility:
         function = cfg.function
         self.locals: set[str] = set()
         self.addr_taken: set[str] = set()
+        # The flat per-event node tuples, shared with the slicing layer
+        # (every statement node appears in some block event, so scanning
+        # them covers the function body without another AST walk).
+        self._event_nodes = event_index(cfg)
         if function is not None:
             self.locals = {p.name for p in function.params}
-            for node in function.body.walk():
-                if isinstance(node, ast.VarDecl):
-                    self.locals.add(node.name)
-                elif (isinstance(node, ast.UnaryOp) and node.op == "&"
-                        and isinstance(node.operand, ast.Ident)):
-                    self.addr_taken.add(node.operand.name)
+            for entry in self._event_nodes.values():
+                for node in entry[0]:
+                    if isinstance(node, ast.VarDecl):
+                        self.locals.add(node.name)
+                    elif (isinstance(node, ast.UnaryOp) and node.op == "&"
+                            and isinstance(node.operand, ast.Ident)):
+                        self.addr_taken.add(node.operand.name)
         self._text_cache: dict[int, str] = {}
         self._pure_cache: dict[int, bool] = {}
         self._deps_cache: dict[int, frozenset] = {}
@@ -589,13 +595,16 @@ class FunctionFeasibility:
         the tolerant frontend: the skipped region may read or write
         anything, so every tracked fact dies across it.
         """
-        cached = self._transfer_cache.get(id(event))
+        eid = id(event)
+        cached = self._transfer_cache.get(eid)
         if cached is not None:
             return cached
         kills: set[str] = set()
         gen: list[tuple[str, AbsVal]] = []
         havoc = False
-        for node in event.walk():
+        entry = self._event_nodes.get(eid)
+        nodes = entry[0] if entry is not None else tuple(event.walk())
+        for node in nodes:
             if isinstance(node, (ast.OpaqueStmt, ast.OpaqueExpr)):
                 havoc = True
             elif isinstance(node, ast.Assign):
@@ -616,7 +625,7 @@ class FunctionFeasibility:
                         ast.Ident(location=node.location, name=node.name),
                         node.init, gen)
         cached = (frozenset(kills), tuple(gen), havoc)
-        self._transfer_cache[id(event)] = cached
+        self._transfer_cache[eid] = cached
         return cached
 
     def transfer_event(self, store: Store, event: ast.Node) -> Store:

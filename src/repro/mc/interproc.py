@@ -29,6 +29,12 @@ def bottom_up(
     SCC, plus the names of functions in the same SCC (``cycle_peers``),
     which the client must treat as fixed points (paper §7: cycles that do
     not send can be ignored; cycles that send are flagged).
+
+    A ``summarize`` whose result is pure in those three inputs can be
+    memoized across runs with :class:`repro.mc.cache.AnalysisMemo` —
+    key on flow-graph content plus the callee summaries it can consult
+    (see the lanes checker) and keep any report emission *outside* the
+    memoized computation, since reports are per-run state.
     """
     condensation = nx.condensation(callgraph.nx)
     summaries: dict[str, Summary] = {}

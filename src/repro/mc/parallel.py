@@ -117,6 +117,10 @@ class WorkerConfig:
     #: (repro.lang.parser) and unrecoverable regions become per-function
     #: ``Quarantine(phase="input")`` entries instead of run failures.
     frontend: str = "strict"
+    #: Engine mode (``--engine paths|summary``, repro.mc.summary):
+    #: summary walks checker-aware slices with dead-tail merging and
+    #: function summaries; paths is the exhaustive oracle.
+    engine: str = "summary"
 
 
 # -- worker side -------------------------------------------------------------
@@ -140,9 +144,10 @@ def _init_worker(config: WorkerConfig) -> None:
     # (the supervisor's _worker_main calls _init_worker too).  The
     # frontend mode travels the same way: every parse in the worker —
     # including the memoized ones — honours ``--frontend``.
-    from . import feasibility
+    from . import feasibility, summary
     feasibility.set_default_enabled(config.feasibility)
     lang_parser.set_default_mode(config.frontend)
+    summary.set_default_engine(config.engine)
 
 
 def _arm_worker_faults(config: WorkerConfig) -> None:
@@ -513,12 +518,13 @@ def _run_items(items: list, config: WorkerConfig, jobs: int,
 
     def run_inline() -> None:
         nonlocal shared_budget
-        from . import feasibility
+        from . import feasibility, summary
         # Inline execution runs in the caller's process: restore the
-        # caller's feasibility/frontend defaults afterwards so a library
-        # user mixing runs is not left with flipped globals.
+        # caller's feasibility/frontend/engine defaults afterwards so a
+        # library user mixing runs is not left with flipped globals.
         previous_feasibility = feasibility.default_enabled()
         previous_mode = lang_parser.default_mode()
+        previous_engine = summary.default_engine()
         _init_worker(config)
         shared_budget = _shared_serial_budget(config)
         try:
@@ -542,6 +548,7 @@ def _run_items(items: list, config: WorkerConfig, jobs: int,
         finally:
             feasibility.set_default_enabled(previous_feasibility)
             lang_parser.set_default_mode(previous_mode)
+            summary.set_default_engine(previous_engine)
 
     if jobs <= 1 or len(pending) == 1:
         run_inline()
@@ -665,7 +672,8 @@ def check_files(paths: list, *, names: Optional[list] = None,
                 journal: Optional[RunJournal] = None,
                 policy: Optional[SupervisorPolicy] = None,
                 observation=None, feasibility: bool = True,
-                frontend: str = "strict") -> CheckRun:
+                frontend: str = "strict",
+                engine: str = "summary") -> CheckRun:
     """Run the registered checker fleet over source files, in parallel.
 
     The parallel analog of :func:`repro.checkers.base.run_all`: same
@@ -679,7 +687,8 @@ def check_files(paths: list, *, names: Optional[list] = None,
     tracing and metrics collection; reports are identical with or
     without it.  ``feasibility`` toggles infeasible-path pruning
     (``--feasibility``); ``frontend`` picks the parse mode
-    (``--frontend strict|tolerant``).  Both are part of every
+    (``--frontend strict|tolerant``); ``engine`` picks the analysis
+    engine (``--engine paths|summary``).  All three are part of every
     cache/journal key, so runs with different settings never share
     entries.
     """
@@ -702,6 +711,7 @@ def check_files(paths: list, *, names: Optional[list] = None,
         collect_obs=observation is not None,
         feasibility=feasibility,
         frontend=frontend,
+        engine=engine,
     )
 
     items: list[WorkItem] = []
@@ -736,7 +746,8 @@ def check_files(paths: list, *, names: Optional[list] = None,
                 units=[(p, digests[p]) for p in item.paths],
                 spec_fp=spec_fp, engine_fp=engine_fp,
                 config_fp=(f"feasibility={'on' if feasibility else 'off'},"
-                           f"frontend={frontend},schema={SCHEMA_VERSION}"),
+                           f"frontend={frontend},engine={engine},"
+                           f"schema={SCHEMA_VERSION}"),
             )
 
     payloads, _, run_stats = _run_items(items, config, jobs, cache, keys,
@@ -793,7 +804,8 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
                 journal: Optional[RunJournal] = None,
                 policy: Optional[SupervisorPolicy] = None,
                 observation=None, feasibility: bool = True,
-                frontend: str = "strict") -> MetalRun:
+                frontend: str = "strict",
+                engine: str = "summary") -> MetalRun:
     """Run one textual metal checker over files as parallel work items.
 
     Step/path budgets apply per work item when ``jobs > 1`` (each worker
@@ -831,6 +843,7 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
         collect_obs=observation is not None,
         feasibility=feasibility,
         frontend=frontend,
+        engine=engine,
     )
 
     ordered_paths = list(dict.fromkeys(paths))
@@ -851,7 +864,8 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
                 units=[(item.paths[0], source_fingerprint(sources[item.paths[0]]))],
                 engine_fp=engine_fp,
                 config_fp=(f"feasibility={'on' if feasibility else 'off'},"
-                           f"frontend={frontend},schema={SCHEMA_VERSION}"),
+                           f"frontend={frontend},engine={engine},"
+                           f"schema={SCHEMA_VERSION}"),
             )
 
     payloads, shared_budget, run_stats = _run_items(

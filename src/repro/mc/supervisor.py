@@ -57,7 +57,10 @@ from ..faults.plan import FaultPlan
 from .cache import payload_cacheable
 
 #: Journal schema; bump when the record shape changes.
-JOURNAL_SCHEMA = 1
+#: v2: header carries the run's configuration (engine/feasibility/
+#: frontend) so ``--resume`` can refuse a run replayed under different
+#: analysis settings instead of silently mixing results.
+JOURNAL_SCHEMA = 2
 
 
 class SupervisorUnavailable(Exception):
@@ -207,24 +210,42 @@ class RunJournal:
     # -- construction -------------------------------------------------------
 
     @classmethod
-    def create(cls, root: Path,
-               run_id: Optional[str] = None) -> Optional["RunJournal"]:
+    def create(cls, root: Path, run_id: Optional[str] = None,
+               config: Optional[dict] = None) -> Optional["RunJournal"]:
         """Start a fresh journal under ``root``; ``None`` if the
-        directory is unwritable (a read-only cache never fails a run)."""
+        directory is unwritable (a read-only cache never fails a run).
+
+        ``config`` records the run's analysis settings (engine mode,
+        feasibility, frontend) in the header so a later ``--resume``
+        under different settings is refused rather than mixing payloads
+        computed under two configurations.
+        """
         run_id = run_id or new_run_id()
         root = Path(root)
         journal = cls(root / f"{run_id}.jsonl", run_id)
+        header = {"run": run_id, "schema": JOURNAL_SCHEMA,
+                  "created": time.time()}
+        if config:
+            header["config"] = dict(config)
         try:
             root.mkdir(parents=True, exist_ok=True)
-            journal._append({"run": run_id, "schema": JOURNAL_SCHEMA,
-                             "created": time.time()})
+            journal._append(header)
         except OSError:
             return None
         return journal
 
     @classmethod
-    def resume(cls, root: Path, run_id: str) -> "RunJournal":
-        """Reopen an interrupted run's journal for replay + append."""
+    def resume(cls, root: Path, run_id: str,
+               config: Optional[dict] = None) -> "RunJournal":
+        """Reopen an interrupted run's journal for replay + append.
+
+        When both the header and the caller supply ``config``, every key
+        present in both must agree; a mismatch (e.g. the run was started
+        with ``--engine paths`` and resumed with ``--engine summary``)
+        raises :class:`ReproError` naming the recorded setting.  Headers
+        without a config (or callers passing none) skip the check for
+        compatibility with journals written by older schemas' tooling.
+        """
         path = Path(root) / f"{run_id}.jsonl"
         try:
             text = path.read_text()
@@ -253,6 +274,15 @@ class RunJournal:
             raise ReproError(
                 f"journal {path} is from an incompatible schema; "
                 f"rerun without --resume")
+        recorded = header.get("config")
+        if config and isinstance(recorded, dict):
+            for key in sorted(config):
+                if key in recorded and recorded[key] != config[key]:
+                    raise ReproError(
+                        f"run {run_id!r} was recorded with "
+                        f"{key}={recorded[key]!r} but --resume asked for "
+                        f"{key}={config[key]!r}; rerun without --resume "
+                        f"or restore the original setting")
         return cls(path, run_id, entries)
 
     # -- replay + append -----------------------------------------------------

@@ -61,6 +61,10 @@ class RedundantWaitEliminator:
         }
         if redundant_ids:
             self._remove_stmts(function.body, redundant_ids, result)
+            # The AST changed in place: a function summary fingerprint
+            # taken before the rewrite no longer describes this node.
+            from .cache import invalidate_fingerprint
+            invalidate_fingerprint(function)
         return result
 
     # -- analysis ------------------------------------------------------------

@@ -21,6 +21,7 @@ from .errors import SourceReadError
 from .flash.headers import FLASH_INCLUDES, FLASH_INCLUDES_NAME
 from .lang import annotate, ast, parse, parse_annotated
 from .flash.machine import LANE_COUNT
+from .mc.cache import seed_fingerprints
 
 
 def read_sources(paths: Iterable[str]) -> dict[str, str]:
@@ -134,6 +135,7 @@ class Program:
         self.sources: dict[str, str] = dict(files)
         self.units: dict[str, ast.TranslationUnit] = {}
         self._cfgs: dict[str, Cfg] = {}
+        self._calls: dict[str, tuple] = {}
         self._callgraph: Optional[CallGraph] = None
         self._unit_memo = unit_memo
         prelude = None
@@ -156,6 +158,11 @@ class Program:
                 sema = annotate(unit, prelude=prelude)
             self.sema[filename] = sema
             self.units[filename] = unit
+            # Stash source-derived function fingerprints so the summary
+            # engine's store keys never need a per-function AST walk.
+            seed_fingerprints(
+                unit, filename, text,
+                context=FLASH_INCLUDES if include_flash_header else "")
 
     # -- access -------------------------------------------------------------
 
@@ -192,6 +199,25 @@ class Program:
 
     def cfgs(self) -> list[Cfg]:
         return [self.cfg(f) for f in self.functions()]
+
+    def calls(self, function: ast.FunctionDef) -> tuple:
+        """Every ``Call`` node of ``function``, memoized.
+
+        Checkers count their applied sites by scanning call sites; with
+        six checkers per program that used to mean six full AST walks.
+        This shared index reads the engine's per-event node tuples
+        (every statement node appears in some CFG block event), so after
+        the first engine pass over a function no AST walk remains.
+        """
+        cached = self._calls.get(function.name)
+        if cached is not None and cached[0] is function:
+            return cached[1]
+        from .mc.summary import event_index
+        index = event_index(self.cfg(function))
+        calls = tuple(node for entry in index.values()
+                      for node in entry[0] if isinstance(node, ast.Call))
+        self._calls[function.name] = (function, calls)
+        return calls
 
     @property
     def callgraph(self) -> CallGraph:

@@ -90,12 +90,15 @@ def run_cli(*argv, timeout=120, cache_dir=None):
     )
 
 
-def _reports(source: str, enabled: bool):
+def _reports(source: str, enabled: bool, engine: str = "summary"):
+    from repro.mc import summary
     previous = feasibility.set_default_enabled(enabled)
+    previous_engine = summary.set_default_engine(engine)
     try:
         return check_source(parse_metal(FIGURE_2), source)
     finally:
         feasibility.set_default_enabled(previous)
+        summary.set_default_engine(previous_engine)
 
 
 # -- the Table 2 false positive ------------------------------------------------
@@ -238,17 +241,20 @@ def _handler_from(items) -> tuple[str, int]:
 
 
 @settings(max_examples=40, deadline=None)
-@given(items=_ITEMS)
-def test_pruning_never_drops_a_true_bug(items):
+@given(items=_ITEMS, engine=st.sampled_from(["paths", "summary"]))
+def test_pruning_never_drops_a_true_bug(items, engine):
     source, first_line = _handler_from(items)
     expected = _oracle_bug_lines(items, first_line)
-    on_lines = {r.location.line for r in _reports(source, enabled=True)}
-    off_lines = {r.location.line for r in _reports(source, enabled=False)}
+    on_lines = {r.location.line
+                for r in _reports(source, enabled=True, engine=engine)}
+    off_lines = {r.location.line
+                 for r in _reports(source, enabled=False, engine=engine)}
     # Pruning only ever removes reports...
     assert on_lines <= off_lines
     # ...and never one the concrete-execution oracle calls a true bug.
     assert expected <= on_lines, (
-        f"feasibility-on lost true bugs {expected - on_lines}\n{source}")
+        f"[{engine}] feasibility-on lost true bugs "
+        f"{expected - on_lines}\n{source}")
 
 
 # -- cache / parallel / resume with feasibility on -----------------------------
