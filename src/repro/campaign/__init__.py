@@ -1,0 +1,53 @@
+"""Fleet-scale simulation campaigns with static×dynamic cross-validation.
+
+The paper's checkers are *static*: they flag handler code that can
+double-free a buffer or overrun a lane.  The simulator is *dynamic*: it
+actually runs handlers under seeded workloads and fault plans and counts
+the violations that manifest.  This package closes the loop at fleet
+scale — ``mc-check campaign`` shards thousands of
+``(seed, workload, fault-plan)`` simulation runs across the supervised
+worker pool, journals every shard so an interrupted campaign resumes
+byte-identically, shrinks every failing run to a minimal counterexample,
+and cross-tabulates the dynamic outcomes against the static reports:
+
+- **dynamically confirmed** — a static report whose bug class manifested
+  in a run that executed the reported function;
+- **unmanifested** — a static report the campaign never triggered;
+- **checker gap** — a dynamic violation no static report predicts.
+
+Modules: :mod:`plans` (deterministic seed derivation, per-run fault-plan
+generation, sharding), :mod:`properties` (buffer-pool/lane/directory
+invariants as executable properties), :mod:`runner` (worker-side shard
+execution), :mod:`shrink` (delta-debugging minimizer),
+:mod:`crosstab` (the three-way verdict report), :mod:`fleet`
+(parent-side orchestration over :func:`repro.mc.parallel._run_items`).
+"""
+
+from .crosstab import CROSSTAB_SCHEMA, cross_tabulate, crosstab_to_json, render_crosstab
+from .fleet import CampaignRun, campaign_fingerprint, run_campaign
+from .plans import CAMPAIGN_SCHEMA, CampaignSpec, RunPlan, derive_seed, plan_for_run, runs_for_shard
+from .properties import PROPERTIES, Violation, machine_invariants, property_by_name, violations_of
+from .shrink import ShrinkResult, shrink_run
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "CROSSTAB_SCHEMA",
+    "CampaignRun",
+    "CampaignSpec",
+    "PROPERTIES",
+    "RunPlan",
+    "ShrinkResult",
+    "Violation",
+    "campaign_fingerprint",
+    "cross_tabulate",
+    "crosstab_to_json",
+    "derive_seed",
+    "machine_invariants",
+    "plan_for_run",
+    "property_by_name",
+    "render_crosstab",
+    "run_campaign",
+    "runs_for_shard",
+    "shrink_run",
+    "violations_of",
+]

@@ -1,0 +1,292 @@
+"""Static×dynamic cross-tabulation: the campaign's three-way verdict.
+
+Every static error report gets exactly one verdict against a campaign's
+dynamic outcomes:
+
+- ``confirmed`` — some run violated a property whose bug class the
+  report's checker predicts, *and* the run pinned the violation on the
+  reported function (per-handler counter attribution), or — for
+  structural properties with no single culprit (leaks, deadlock) — the
+  run at least executed the reported function;
+- ``unmanifested`` — no run of the campaign produced a matching
+  violation (the report may still be real: the campaign is evidence,
+  not proof of absence);
+
+and every dynamic violation with *no* matching static report becomes a
+``checker gap`` — the paper's false-negative signal, aggregated by
+(property, handler).
+
+Verdicts are keyed by the stable report id (`repro.obs.provenance`),
+so cross-tabs from different runs, job counts, and cache states line up
+row for row — and a ``--resume``d campaign's cross-tab is byte-identical
+to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..mc.ranking import dynamic_boost
+from ..obs.provenance import report_id, report_key
+from .plans import CampaignSpec
+from .properties import Violation, canonical_checker, property_by_name
+
+CROSSTAB_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class StaticReport:
+    """One static error report, normalized for cross-tabulation."""
+
+    id: str
+    checker: str                       # registered checker name
+    machine: str                       # raw report.checker (machine name)
+    function: str
+    file: str
+    line: int
+    column: int
+    message: str
+    key: tuple                         # ranking/report key
+    confidence: Optional[float] = None
+
+
+def reports_from_run(run) -> list:
+    """Normalize a ``CheckRun``'s error reports (with static scores)."""
+    from ..mc.ranking import score_run
+
+    scores = score_run(run)
+    out = []
+    for name, result in run.results.items():
+        for report in result.errors:
+            loc = report.location
+            key = report_key(report)
+            out.append(StaticReport(
+                id=report_id(report.checker, report.message, loc.filename,
+                             loc.line, loc.column),
+                checker=name, machine=report.checker,
+                function=report.function, file=loc.filename, line=loc.line,
+                column=loc.column, message=report.message, key=key,
+                confidence=scores.get(key),
+            ))
+    return out
+
+
+def reports_from_json(doc: dict) -> list:
+    """Normalize a ``--format json`` report document's error reports."""
+    out = []
+    for obj in doc.get("reports", ()):
+        if obj.get("severity", "error") != "error":
+            continue
+        machine = str(obj.get("checker", ""))
+        out.append(StaticReport(
+            id=str(obj.get("id", "")),
+            checker=canonical_checker(machine), machine=machine,
+            function=str(obj.get("function", "")),
+            file=str(obj.get("file", "")), line=int(obj.get("line", 0)),
+            column=int(obj.get("column", 0)),
+            message=str(obj.get("message", "")),
+            key=(machine, obj.get("message", ""), None),
+            confidence=obj.get("confidence"),
+        ))
+    return out
+
+
+def _matches(report: StaticReport, violation: Violation,
+             functions_executed: set) -> bool:
+    """Does one run's violation dynamically confirm one static report?"""
+    prop = property_by_name(violation.property)
+    if report.checker not in prop.checkers:
+        return False
+    if violation.handlers:
+        return report.function in violation.handlers
+    return report.function in functions_executed
+
+
+@dataclass
+class CrossTab:
+    """The full verdict table for one (static run, campaign) pair."""
+
+    entries: list = field(default_factory=list)
+    gaps: list = field(default_factory=list)
+    crashes: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+    #: Ranking keys of every confirmed report — feed this to
+    #: ``score_run(run, dynamically_confirmed=...)``.
+    confirmed_keys: frozenset = frozenset()
+
+    @property
+    def confirmed(self) -> list:
+        return [e for e in self.entries if e["verdict"] == "confirmed"]
+
+
+def cross_tabulate(static_reports: list, outcomes: list) -> CrossTab:
+    """Build the three-way verdict table.
+
+    ``static_reports`` come from :func:`reports_from_run` or
+    :func:`reports_from_json`; ``outcomes`` are the campaign's merged
+    run records in run order.  Deterministic: entries sort by
+    (file, line, column, checker, message), gaps by (property, handler).
+    """
+    entries = []
+    confirmed_keys = set()
+    # -- verdict per static report ------------------------------------
+    for report in sorted(static_reports,
+                         key=lambda r: (r.file, r.line, r.column,
+                                        r.checker, r.message)):
+        confirmed_by: list = []
+        properties: set = set()
+        for outcome in outcomes:
+            executed = set(outcome.get("functions_executed", ()))
+            for vobj in outcome.get("violations", ()):
+                violation = Violation.from_obj(vobj)
+                if _matches(report, violation, executed):
+                    if not confirmed_by or confirmed_by[-1] != outcome["run"]:
+                        confirmed_by.append(outcome["run"])
+                    properties.add(violation.property)
+        verdict = "confirmed" if confirmed_by else "unmanifested"
+        if confirmed_by:
+            confirmed_keys.add(report.key)
+        confidence_dynamic = report.confidence
+        if confirmed_by and report.confidence is not None:
+            confidence_dynamic = dynamic_boost(report.confidence)
+        entries.append({
+            "id": report.id,
+            "checker": report.checker,
+            "function": report.function,
+            "file": report.file,
+            "line": report.line,
+            "column": report.column,
+            "message": report.message,
+            "verdict": verdict,
+            "properties": sorted(properties),
+            "confirmed_runs": len(confirmed_by),
+            "confirmed_by": confirmed_by[:10],
+            "confidence": report.confidence,
+            "confidence_dynamic": confidence_dynamic,
+        })
+
+    # -- checker gaps ---------------------------------------------------
+    gap_index: dict = {}
+    for outcome in outcomes:
+        executed = set(outcome.get("functions_executed", ()))
+        for vobj in outcome.get("violations", ()):
+            violation = Violation.from_obj(vobj)
+            prop = property_by_name(violation.property)
+            handlers = violation.handlers or ("",)
+            for handler in handlers:
+                covered = any(
+                    r.checker in prop.checkers
+                    and (r.function == handler if handler
+                         else r.function in executed)
+                    for r in static_reports)
+                if covered:
+                    continue
+                key = (violation.property, handler)
+                slot = gap_index.setdefault(
+                    key, {"property": violation.property,
+                          "handler": handler, "runs": 0,
+                          "example_run": outcome["run"]})
+                slot["runs"] += 1
+    gaps = [gap_index[k] for k in sorted(gap_index)]
+
+    # -- crashes with their minimal repros ------------------------------
+    crashes = []
+    shrink_iterations = 0
+    for outcome in outcomes:
+        if outcome.get("shrunk"):
+            shrink_iterations += outcome["shrunk"]["iterations"]
+        if outcome.get("crashed"):
+            crashes.append({
+                "run": outcome["run"],
+                "seed": outcome["seed"],
+                "messages": outcome["messages"],
+                "fault_plan": outcome.get("fault_plan"),
+                "violations": sorted(v["property"]
+                                     for v in outcome.get("violations", ())),
+                "error": outcome.get("error"),
+                "shrunk": outcome.get("shrunk"),
+            })
+
+    counters = {
+        "runs": len(outcomes),
+        "crashes": len(crashes),
+        "confirmed": sum(1 for e in entries if e["verdict"] == "confirmed"),
+        "unmanifested": sum(1 for e in entries
+                            if e["verdict"] == "unmanifested"),
+        "gaps": len(gaps),
+        "shrink_iterations": shrink_iterations,
+        "faults": sum(o.get("faults", 0) for o in outcomes),
+        "handlers_run": sum(o.get("handlers_run", 0) for o in outcomes),
+    }
+    return CrossTab(entries=entries, gaps=gaps, crashes=crashes,
+                    counters=counters,
+                    confirmed_keys=frozenset(confirmed_keys))
+
+
+def crosstab_to_json(crosstab: CrossTab,
+                     spec: Optional[CampaignSpec] = None) -> dict:
+    """The cross-tab as a deterministic JSON document.
+
+    Nothing in the document depends on timing, scheduling, shard
+    boundaries, or cache state — the byte-identity anchor for the
+    kill-and-resume guarantee.
+    """
+    doc = {
+        "schema": CROSSTAB_SCHEMA,
+        "campaign": ({"runs": spec.runs, "seed": spec.seed,
+                      "messages": spec.messages,
+                      "shard_size": spec.shard_size,
+                      "files": list(spec.files)}
+                     if spec is not None else None),
+        "counters": dict(crosstab.counters),
+        "reports": list(crosstab.entries),
+        "gaps": list(crosstab.gaps),
+        "crashes": list(crosstab.crashes),
+    }
+    return doc
+
+
+def render_crosstab(crosstab: CrossTab) -> str:
+    """Human-readable cross-tab (the ``--format text`` body)."""
+    lines = []
+    c = crosstab.counters
+    lines.append(
+        f"campaign: {c['runs']} run(s), {c['crashes']} crash(es), "
+        f"{c['faults']} fault(s) injected, "
+        f"{c['handlers_run']} handler(s) executed")
+    lines.append(
+        f"cross-tab: {c['confirmed']} confirmed, "
+        f"{c['unmanifested']} unmanifested, {c['gaps']} checker gap(s), "
+        f"{c['shrink_iterations']} shrink iteration(s)")
+    for entry in crosstab.entries:
+        mark = "+" if entry["verdict"] == "confirmed" else " "
+        line = (f" {mark} [{entry['verdict']:12s}] "
+                f"{entry['file']}:{entry['line']}: "
+                f"{entry['checker']}: {entry['function']}: "
+                f"{entry['message']}")
+        if entry["verdict"] == "confirmed":
+            line += (f" (runs: {entry['confirmed_runs']}")
+            if entry["confidence"] is not None:
+                line += (f", confidence {entry['confidence']:.4f} -> "
+                         f"{entry['confidence_dynamic']:.4f}")
+            line += ")"
+        lines.append(line)
+    for gap in crosstab.gaps:
+        where = gap["handler"] or "<unattributed>"
+        lines.append(
+            f" ! [checker gap ] {gap['property']} in {where}: "
+            f"{gap['runs']} violating run(s), no static report "
+            f"(example: run {gap['example_run']})")
+    for crash in crosstab.crashes:
+        shrunk = crash.get("shrunk")
+        if shrunk:
+            rules = (len(shrunk['fault_plan']['rules'])
+                     if shrunk.get("fault_plan") else 0)
+            lines.append(
+                f"   crash run {crash['run']}: "
+                f"{', '.join(crash['violations'])} — minimal repro: "
+                f"seed={shrunk['seed']} messages={shrunk['messages']} "
+                f"fault-rules={rules} "
+                f"({shrunk['iterations']} shrink iteration(s))")
+    return "\n".join(lines)

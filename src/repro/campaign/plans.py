@@ -1,0 +1,205 @@
+"""Campaign plans: deterministic seeds, fault-plan generation, sharding.
+
+A campaign is a batch of ``runs`` simulation runs over one protocol.
+Every run is fully determined by the :class:`CampaignSpec` and its run
+index — the per-run workload seed and fault plan derive from
+``sha256("mc-campaign:<seed>:<role>:<run>")``, never from process state,
+``PYTHONHASHSEED``, or platform word size.  That is what makes campaigns
+resumable and shardable: a shard re-executed on ``--resume`` (or on a
+different machine) replays exactly the runs the original shard would
+have, and the journal's byte-identity guarantee holds end to end.
+
+Shards are fixed, contiguous slices of the run-index space.  Run plans
+depend only on the *global* run index, so re-sharding a campaign (a
+different ``--shard-size``) changes scheduling but not one bit of any
+run's workload or fault plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from random import Random
+from typing import Optional
+
+from ..errors import ReproError
+from ..faults.plan import SIM_SITES, FaultPlan, FaultRule
+
+#: Bump when the campaign payload/plan shape changes; folded into cache
+#: and journal keys so old shard payloads can never replay.
+CAMPAIGN_SCHEMA = 1
+
+#: Fault sites a campaign draws rules from by default — every
+#: simulator-side site except ``handler_crash`` is failure-path
+#: *pressure*; ``handler_crash`` is included because aborted handlers
+#: are exactly how leaks and stale directory entries surface.
+DEFAULT_FAULT_SITES = tuple(sorted(SIM_SITES))
+
+
+def derive_seed(campaign_seed: int, role: str, index: int) -> int:
+    """A stable 63-bit seed for one (role, run-index) of a campaign.
+
+    SHA-256 over a fixed textual recipe: identical on every platform,
+    Python version, and process — the regression anchor for the
+    campaign determinism audit (tests/test_campaign.py pins exact
+    values).
+    """
+    material = f"mc-campaign:{campaign_seed}:{role}:{index}".encode()
+    digest = hashlib.sha256(material).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything that determines a campaign's runs, JSON-serialisable.
+
+    Shipped to workers once (``WorkerConfig.campaign_spec``) and folded
+    into every shard's cache/journal key, so two campaigns differing in
+    any field never share journal entries.
+    """
+
+    files: tuple = ()                 # protocol sources, in input order
+    dispatch: tuple = ()              # ((opcode, handler), ...) sorted
+    runs: int = 100
+    shard_size: int = 10
+    seed: int = 7
+    nodes: int = 2
+    buffers: int = 16
+    lane_capacity: int = 8
+    max_hops: int = 2
+    messages: int = 25
+    fault_sites: tuple = DEFAULT_FAULT_SITES
+    max_fault_rules: int = 3
+
+    def __post_init__(self):
+        if self.runs < 1:
+            raise ReproError("campaign needs at least one run")
+        if self.shard_size < 1:
+            raise ReproError("campaign shard size must be >= 1")
+        if not self.dispatch:
+            raise ReproError("campaign needs a dispatch table "
+                             "(--dispatch OP=HANDLER or --spec)")
+        unknown = sorted(set(self.fault_sites) - SIM_SITES)
+        if unknown:
+            raise ReproError(
+                f"unknown fault site(s) {', '.join(unknown)}; "
+                f"simulator sites: {', '.join(sorted(SIM_SITES))}")
+
+    @property
+    def n_shards(self) -> int:
+        return (self.runs + self.shard_size - 1) // self.shard_size
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, no whitespace variance)."""
+        obj = {
+            "schema": CAMPAIGN_SCHEMA,
+            "files": list(self.files),
+            "dispatch": [[op, name] for op, name in self.dispatch],
+            "runs": self.runs,
+            "shard_size": self.shard_size,
+            "seed": self.seed,
+            "nodes": self.nodes,
+            "buffers": self.buffers,
+            "lane_capacity": self.lane_capacity,
+            "max_hops": self.max_hops,
+            "messages": self.messages,
+            "fault_sites": list(self.fault_sites),
+            "max_fault_rules": self.max_fault_rules,
+        }
+        return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        try:
+            obj = json.loads(text)
+        except ValueError as exc:
+            raise ReproError(f"bad campaign spec JSON: {exc}") from None
+        if not isinstance(obj, dict) or obj.get("schema") != CAMPAIGN_SCHEMA:
+            raise ReproError("campaign spec is from an incompatible schema")
+        return cls(
+            files=tuple(obj["files"]),
+            dispatch=tuple((int(op), str(name))
+                           for op, name in obj["dispatch"]),
+            runs=int(obj["runs"]),
+            shard_size=int(obj["shard_size"]),
+            seed=int(obj["seed"]),
+            nodes=int(obj["nodes"]),
+            buffers=int(obj["buffers"]),
+            lane_capacity=int(obj["lane_capacity"]),
+            max_hops=int(obj["max_hops"]),
+            messages=int(obj["messages"]),
+            fault_sites=tuple(obj["fault_sites"]),
+            max_fault_rules=int(obj["max_fault_rules"]),
+        )
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """One simulation run, fully pinned: seed + workload + fault plan."""
+
+    run_index: int
+    seed: int                          # workload RNG seed
+    messages: int
+    fault_plan: Optional[FaultPlan] = None
+
+    def to_obj(self) -> dict:
+        return {
+            "run": self.run_index,
+            "seed": self.seed,
+            "messages": self.messages,
+            "fault_plan": (self.fault_plan.to_dict()
+                           if self.fault_plan is not None
+                           and self.fault_plan.rules else None),
+        }
+
+
+def _fault_plan_for(spec: CampaignSpec, run_index: int) -> Optional[FaultPlan]:
+    """The run's generated fault plan (possibly empty = fault-free).
+
+    Drawn from a ``Random`` seeded *only* by ``derive_seed`` — rule
+    count, sites, and trigger cadence are a pure function of
+    (campaign seed, run index).  Roughly a quarter of runs get no rules
+    at all: fault-free runs are the baseline that keeps "manifests
+    without help" distinguishable from "manifests only under pressure".
+    """
+    rng = Random(derive_seed(spec.seed, "faults", run_index))
+    sites = sorted(spec.fault_sites)
+    n_rules = rng.randint(0, spec.max_fault_rules)
+    rules = []
+    for _ in range(n_rules):
+        site = rng.choice(sites)
+        rule = FaultRule(
+            site=site,
+            after=rng.randint(0, 12),
+            every=rng.randint(2, 13),
+            count=rng.choice((0, 0, rng.randint(1, 6))) or None,
+        )
+        rules.append(rule)
+    if not rules:
+        return None
+    return FaultPlan(rules=tuple(rules),
+                     seed=derive_seed(spec.seed, "plan", run_index) & 0xFFFF)
+
+
+def plan_for_run(spec: CampaignSpec, run_index: int) -> RunPlan:
+    """The fully-derived plan for one global run index."""
+    if not 0 <= run_index < spec.runs:
+        raise ReproError(f"run index {run_index} outside campaign "
+                         f"(runs={spec.runs})")
+    return RunPlan(
+        run_index=run_index,
+        seed=derive_seed(spec.seed, "workload", run_index),
+        messages=spec.messages,
+        fault_plan=_fault_plan_for(spec, run_index),
+    )
+
+
+def runs_for_shard(spec: CampaignSpec, shard_index: int) -> list:
+    """The contiguous slice of run plans shard ``shard_index`` executes."""
+    if not 0 <= shard_index < spec.n_shards:
+        raise ReproError(f"shard {shard_index} outside campaign "
+                         f"(shards={spec.n_shards})")
+    start = shard_index * spec.shard_size
+    stop = min(start + spec.shard_size, spec.runs)
+    return [plan_for_run(spec, i) for i in range(start, stop)]

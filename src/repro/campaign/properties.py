@@ -1,0 +1,172 @@
+"""Buffer-pool/lane/directory invariants as executable properties.
+
+Each :class:`Property` names one dynamic bug class the simulator can
+observe, the :class:`~repro.flash.sim.machine.SimStats` evidence that
+detects it, and the static checkers whose reports predict it.  This is
+the shared vocabulary of the whole campaign subsystem:
+
+- the **runner** evaluates properties over every run's stats;
+- the **shrinker**'s predicate is "the same properties still fail";
+- the **cross-tab** matches a run's violated properties against static
+  report checkers to decide confirmed / unmanifested / checker gap;
+- the **hypothesis property tests** drive the simulator directly and
+  assert :func:`machine_invariants` — the structural state invariants —
+  hold after any workload.
+
+Counter-backed properties use the machine's per-handler attribution
+(``SimStats.attribution``) so a violation is pinned to the handler that
+was running when the counter moved; structural properties (leaks,
+deadlock) have no single culprit handler and match against the run's
+executed functions instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class Property:
+    """One dynamic bug class and the static checkers that predict it."""
+
+    name: str
+    #: ``SimStats`` counter backing the property, or "" for structural
+    #: properties evaluated from dedicated stats fields.
+    counter: str
+    #: Registered checker names whose reports this property confirms.
+    checkers: tuple
+    description: str
+
+
+#: The campaign's property set.  Checker attributions follow the
+#: paper's sections: buffer-mgmt (§6 refcounts), buffer-race (§4
+#: WAIT_FOR_DB_FULL), alloc-fail (§9 unchecked DB_ALLOC — an unchecked
+#: failed allocation manifests as wild derefs and double frees),
+#: msg-length (§5), send-wait (§9), directory (§9), lanes (§7).
+PROPERTIES = (
+    Property("buffer-refcount", "double_frees",
+             ("buffer-mgmt", "alloc-fail"),
+             "no buffer is freed more often than it was allocated"),
+    Property("buffer-use-after-free", "use_after_free",
+             ("buffer-mgmt", "buffer-race", "alloc-fail"),
+             "no handler reads a buffer after its refcount hit zero"),
+    Property("buffer-sync", "unsynchronized_reads",
+             ("buffer-race",),
+             "no handler reads buffer data before WAIT_FOR_DB_FULL"),
+    Property("msg-length", "msglen_mismatches",
+             ("msg-length",),
+             "a send's has-data flag agrees with its header length"),
+    Property("send-wait", "pending_wait_violations",
+             ("send-wait",),
+             "every send that requests a reply is followed by a wait"),
+    Property("directory-writeback", "stale_directory_writebacks",
+             ("directory",),
+             "modified directory entries are written back"),
+    Property("lane-capacity", "lane_overruns",
+             ("lanes",),
+             "no handler sends beyond its lane allowance"),
+    Property("refcount-negative", "refcount_errors",
+             ("buffer-mgmt",),
+             "refcounts never go below zero"),
+    Property("buffer-leak", "leaked_buffers",
+             ("buffer-mgmt", "alloc-fail"),
+             "every allocated buffer is freed by the end of the run"),
+    Property("no-deadlock", "",
+             ("buffer-mgmt", "lanes"),
+             "the machine never wedges (drained pool, FATAL_ERROR)"),
+)
+
+_BY_NAME = {p.name: p for p in PROPERTIES}
+
+#: ``report.checker`` values that are metal machine names rather than
+#: registered checker names (the two built-in checkers whose listings
+#: name their state machine differently).
+CHECKER_ALIASES = {
+    "wait_for_db": "buffer-race",
+    "msglen_check": "msg-length",
+}
+
+
+def property_by_name(name: str) -> Property:
+    prop = _BY_NAME.get(name)
+    if prop is None:
+        raise ReproError(f"unknown campaign property {name!r}")
+    return prop
+
+
+def canonical_checker(name: str) -> str:
+    """Map a report's ``checker`` field to its registered checker name."""
+    return CHECKER_ALIASES.get(name, name)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One property violated by one run."""
+
+    property: str
+    count: int
+    #: Handlers the machine attributed the counter movement to, sorted;
+    #: empty for structural properties (leak/deadlock), which match any
+    #: executed function.
+    handlers: tuple = ()
+
+    def to_obj(self) -> dict:
+        return {"property": self.property, "count": self.count,
+                "handlers": list(self.handlers)}
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "Violation":
+        return cls(property=obj["property"], count=int(obj["count"]),
+                   handlers=tuple(obj.get("handlers", ())))
+
+
+def violations_of(stats) -> list:
+    """Evaluate every property over one run's :class:`SimStats`.
+
+    Deterministic: properties are checked in declaration order and
+    handler attributions come pre-sorted from the machine.
+    """
+    found = []
+    for prop in PROPERTIES:
+        if prop.counter:
+            count = getattr(stats, prop.counter, 0)
+            if count:
+                handlers = tuple(
+                    sorted(stats.attribution.get(prop.counter, ())))
+                found.append(Violation(prop.name, count, handlers))
+        elif prop.name == "no-deadlock" and stats.deadlock:
+            handlers = ((stats.deadlock_handler,)
+                        if stats.deadlock_handler else ())
+            found.append(Violation(prop.name, 1, handlers))
+    return found
+
+
+def machine_invariants(machine) -> list:
+    """Structural invariants of a live :class:`FlashMachine`.
+
+    Returns human-readable descriptions of every violated invariant
+    (empty list = healthy).  These hold *by construction* no matter how
+    buggy the simulated protocol is — a violation here is a simulator
+    bug, which is exactly what the hypothesis property tests hunt.
+    """
+    broken = []
+    for node in machine.nodes:
+        pool = node.pool
+        for buf in pool.buffers:
+            if buf.refcount < 0:
+                broken.append(
+                    f"node {node.node_id}: buffer {buf.index} refcount "
+                    f"{buf.refcount} < 0")
+        for lane, queue in enumerate(node.queues.queues):
+            if len(queue) > node.queues.capacity:
+                broken.append(
+                    f"node {node.node_id}: lane {lane} holds {len(queue)} "
+                    f"messages, capacity {node.queues.capacity}")
+        for counter in ("double_frees", "use_after_free",
+                        "unsynchronized_reads", "refcount_errors"):
+            if getattr(pool, counter, 0) < 0:
+                broken.append(
+                    f"node {node.node_id}: pool counter {counter} negative")
+    return broken

@@ -1,0 +1,122 @@
+"""Delta-debugging shrinker for failing simulation runs.
+
+Before a campaign reports a crash it minimizes the counterexample —
+the property-based-testing discipline (Cheney/Momigliano/Pessina) that
+turns "run 4217 of the campaign failed" into "2 messages under one
+alloc_fail rule reproduce it".  The shrinker minimizes along the two
+axes a :class:`~repro.campaign.plans.RunPlan` has:
+
+- **fault rules**: greedy one-minimal delta debugging — repeatedly drop
+  any rule whose removal keeps the failure, to a fixpoint.  The result
+  is 1-minimal: removing any single remaining rule loses the failure.
+- **workload size**: the workload stream is a prefix-deterministic
+  function of its seed (``random.Random`` draws in message order), so
+  a shorter ``messages`` is exactly a prefix of the original run.
+  Binary search finds the shortest failing prefix.
+
+The predicate is *signature-preserving*: a candidate counts as failing
+only if it violates every property the original run violated, so the
+minimal repro reproduces the same failure, not a different (easier)
+one.  Every candidate execution is one predicate call; the caller's
+``execute`` runs the simulator and returns the violated property names.
+Shrinking is deterministic — same plan, same targets, same simulator →
+same minimal plan and same iteration count — which keeps shrunk
+counterexamples inside journaled shard payloads byte-identical on
+``--resume``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from ..faults.plan import FaultPlan
+from .plans import RunPlan
+
+#: Hard cap on predicate executions per shrink: bounds worker time on
+#: pathological plans (the cap is generous — typical shrinks take
+#: 5-15 executions).
+MAX_SHRINK_EXECUTIONS = 64
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The minimal failing plan and the work it took to find it."""
+
+    plan: RunPlan
+    iterations: int
+    #: True when the iteration cap stopped the search early (the plan
+    #: is still failing, just not guaranteed minimal).
+    capped: bool = False
+
+
+def _with_rules(plan: RunPlan, rules: tuple) -> RunPlan:
+    if not rules:
+        return replace(plan, fault_plan=None)
+    base = plan.fault_plan
+    return replace(plan, fault_plan=FaultPlan(rules=tuple(rules),
+                                              seed=base.seed))
+
+
+def shrink_run(plan: RunPlan, targets: frozenset,
+               execute: Callable[[RunPlan], frozenset],
+               max_executions: int = MAX_SHRINK_EXECUTIONS) -> ShrinkResult:
+    """Minimize ``plan`` while ``targets`` (property names) still fail.
+
+    ``execute`` runs one candidate and returns its violated property
+    names; the original ``plan`` is assumed failing (its execution is
+    not re-counted).  Returns the smallest plan found plus the number
+    of candidate executions spent.
+    """
+    iterations = 0
+    capped = False
+
+    def fails(candidate: RunPlan) -> bool:
+        nonlocal iterations
+        iterations += 1
+        return targets <= frozenset(execute(candidate))
+
+    def budget_left() -> bool:
+        nonlocal capped
+        if iterations >= max_executions:
+            capped = True
+            return False
+        return True
+
+    current = plan
+
+    def drop_rules() -> None:
+        nonlocal current
+        changed = True
+        while changed and budget_left():
+            changed = False
+            rules = (current.fault_plan.rules
+                     if current.fault_plan is not None else ())
+            for i in range(len(rules)):
+                if not budget_left():
+                    return
+                candidate = _with_rules(
+                    current, rules[:i] + rules[i + 1:])
+                if fails(candidate):
+                    current = candidate
+                    changed = True
+                    break  # restart over the shorter rule list
+
+    def shrink_messages() -> None:
+        nonlocal current
+        lo, hi = 1, current.messages
+        while lo < hi and budget_left():
+            mid = (lo + hi) // 2
+            candidate = replace(current, messages=mid)
+            if fails(candidate):
+                hi = mid
+                current = candidate
+            else:
+                lo = mid + 1
+
+    drop_rules()
+    shrink_messages()
+    # A shorter workload can make more rules redundant (their trigger
+    # windows fall off the end of the run): one more pass.
+    drop_rules()
+    return ShrinkResult(plan=current, iterations=iterations, capped=capped)

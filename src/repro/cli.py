@@ -20,6 +20,18 @@ Subcommands:
 ``mc-check simulate FILE... --dispatch OP=HANDLER``
     Run protocol handlers in the FlashLite-lite simulator, optionally
     under a deterministic fault plan (``--fault-plan plan.json``).
+    Typed protocol errors (``--strict`` violations, pool-invariant
+    breaches) become structured ``failure:`` records with salvaged
+    counters and exit 1; interpreter/plan errors exit 2 — never a raw
+    traceback.
+
+``mc-check campaign FILE... [--spec SPEC | --dispatch OP=HANDLER]``
+    Fleet-scale simulation campaign: shard deterministic (seed,
+    workload, fault-plan) runs across the worker pool, shrink every
+    crash to a minimal repro, and cross-tabulate dynamic violations
+    against the static checkers' reports — per-report verdicts
+    ``confirmed``/``unmanifested`` plus ``checker gap`` rows for
+    dynamic violations nothing static predicted (docs/campaign.md).
 
 ``mc-check list``
     List registered checkers with their Table 7 metadata.
@@ -35,7 +47,8 @@ Stream discipline: diagnostics and reports go to **stdout**; run
 chatter (``run: id=...``, resume hints, trace/metrics summaries) goes
 to **stderr**, so ``--format json`` output is parseable as-is.
 
-Exit codes (``check``, ``metal``, ``simulate``): **0** clean, **1**
+Exit codes (``check``, ``metal``, ``simulate``, ``campaign``): **0**
+clean, **1**
 bugs/diagnostics found, **2** internal error or quarantined checker —
 so CI can tell "the protocol is buggy" from "the tool is" — and
 **130** when a run is interrupted (SIGINT/SIGTERM): the partial report
@@ -133,13 +146,18 @@ def _journal_config(args) -> dict:
     }
 
 
-def _journal_from_args(args):
+def _journal_from_args(args, config: dict | None = None):
     """The run's journal: resumed from ``--resume``, else freshly
     created under ``<cache-dir>/runs``.  ``None`` (the run is simply
     not resumable) when the directory is unwritable or ``--no-cache``
-    asked for no disk writes; an explicit ``--resume`` always wins."""
+    asked for no disk writes; an explicit ``--resume`` always wins.
+
+    ``config`` overrides the header settings recorded in (and checked
+    on resume against) the journal — campaign runs record the campaign
+    fingerprint instead of the analysis-engine settings."""
     runs_dir = default_runs_dir(getattr(args, "cache_dir", None))
-    config = _journal_config(args)
+    if config is None:
+        config = _journal_config(args)
     resume = getattr(args, "resume", None)
     if resume:
         return RunJournal.resume(runs_dir, resume, config)
@@ -350,20 +368,35 @@ def cmd_metal(args) -> int:
     return EXIT_BUGS if total else EXIT_CLEAN
 
 
-def cmd_simulate(args) -> int:
-    from .faults import load_fault_plan
-    from .flash.sim import FlashMachine, WorkloadSpec
-
-    program = _load_program(args.files)
-    functions = {f.name: f for f in program.functions()}
+def _parse_dispatch(entries, functions: dict) -> dict[int, str]:
+    """``OPCODE=HANDLER`` flags into a validated dispatch table."""
     dispatch: dict[int, str] = {}
-    for entry in args.dispatch:
+    for entry in entries or ():
         opcode, sep, handler = entry.partition("=")
         if not sep or not handler:
             raise ReproError(f"--dispatch wants OPCODE=HANDLER, got {entry!r}")
         if handler not in functions:
             raise ReproError(f"--dispatch: no function named {handler!r}")
-        dispatch[int(opcode, 0)] = handler
+        try:
+            dispatch[int(opcode, 0)] = handler
+        except ValueError:
+            raise ReproError(
+                f"--dispatch: opcode {opcode!r} is not an integer") from None
+    return dispatch
+
+
+def cmd_simulate(args) -> int:
+    from .campaign.runner import _error_property
+    from .errors import InterpError, SimulationError
+    from .faults import load_fault_plan
+    from .flash.sim import FlashMachine, WorkloadSpec
+    from .flash.sim.machine import SimStats
+
+    program = _load_program(args.files)
+    functions = {f.name: f for f in program.functions()}
+    dispatch = _parse_dispatch(args.dispatch, functions)
+    # A malformed plan raises FaultPlanError (a ReproError): main()
+    # turns it into the structured internal-error line and exit 2.
     plan = load_fault_plan(args.fault_plan) if args.fault_plan else None
     machine = FlashMachine(
         functions, dispatch, nodes=args.nodes, n_buffers=args.buffers,
@@ -374,7 +407,24 @@ def cmd_simulate(args) -> int:
         messages=args.messages, nodes=args.nodes, seed=args.seed,
         opcode_weights=tuple((op, 1) for op in dispatch),
     )
-    stats = machine.run(spec)
+    # Typed failures never escape as tracebacks: a protocol error (a
+    # --strict violation, a pool-invariant breach) is a *finding* —
+    # structured failure record, salvaged counters, exit 1 — while an
+    # interpreter error means the simulation itself could not run
+    # (exit 2).  See the exit-code contract in the module docstring.
+    failure = None
+    internal = False
+    try:
+        stats = machine.run(spec)
+    except InterpError as exc:
+        failure = ("InterpError", None, str(exc))
+        internal = True
+        stats = SimStats()
+        machine._collect(stats)
+    except SimulationError as exc:
+        failure = (type(exc).__name__, _error_property(exc), str(exc))
+        stats = SimStats()
+        machine._collect(stats)
     print(f"handlers run: {stats.handlers_run}, sends: {stats.sends}")
     observed = {
         "double frees": stats.double_frees,
@@ -399,8 +449,141 @@ def cmd_simulate(args) -> int:
               f"{stats.dropped_messages}")
         for event in stats.fault_events:
             print(f"  {event}")
+    if failure is not None:
+        etype, prop, message = failure
+        record = f"failure: type={etype}"
+        if prop:
+            record += f" property={prop}"
+        record += f" message={message}"
+        print(record)
+        print("NOT CLEAN")
+        return EXIT_INTERNAL if internal else EXIT_BUGS
     print("clean" if stats.clean else "NOT CLEAN")
     return EXIT_CLEAN if stats.clean else EXIT_BUGS
+
+
+def cmd_campaign(args) -> int:
+    """Fleet-scale simulation campaign + static×dynamic cross-tab."""
+    import hashlib
+    import json
+
+    from .campaign import (
+        CampaignSpec,
+        cross_tabulate,
+        crosstab_to_json,
+        render_crosstab,
+        run_campaign,
+    )
+    from .campaign.crosstab import reports_from_json, reports_from_run
+
+    json_mode = getattr(args, "format", "text") == "json"
+    spec_path = getattr(args, "spec", None)
+    program = _load_program(args.files, spec_path)
+    functions = {f.name: f for f in program.functions()}
+    dispatch = _parse_dispatch(args.dispatch, functions)
+    if not dispatch and program.info is not None:
+        # Auto-dispatch from the protocol spec: the hw handlers, in
+        # name order, get opcodes 1..n — the paper's §8 move of
+        # extracting the handler list from the specification.
+        handlers = sorted(name for name, h in program.info.handlers.items()
+                          if h.kind == "hw" and name in functions)
+        dispatch = dict(enumerate(handlers, start=1))
+    if not dispatch:
+        raise ReproError(
+            "campaign needs a dispatch table: repeat --dispatch "
+            "OPCODE=HANDLER, or pass --spec so the hw handler table "
+            "can be extracted from the protocol specification")
+
+    fault_sites = getattr(args, "fault_sites", None)
+    extra = {}
+    if fault_sites:
+        extra["fault_sites"] = tuple(sorted(
+            site for site in (s.strip() for s in fault_sites.split(","))
+            if site))
+    spec = CampaignSpec(
+        files=tuple(args.files), dispatch=tuple(sorted(dispatch.items())),
+        runs=args.runs, shard_size=args.shard_size, seed=args.campaign_seed,
+        nodes=args.nodes, buffers=args.buffers,
+        lane_capacity=args.lane_capacity, max_hops=args.max_hops,
+        messages=args.messages, max_fault_rules=args.max_fault_rules,
+        **extra,
+    )
+    jobs = resolve_jobs(args.jobs)
+    cache = _cache_from_args(args, budgeted=False)
+    stop_flag = StopFlag()
+    policy = _policy_from_args(args, stop_flag)
+    spec_json = spec.to_json()
+    journal = _journal_from_args(args, config={
+        "mode": "campaign",
+        "campaign": hashlib.sha256(spec_json.encode()).hexdigest()[:16],
+    })
+    if journal is not None:
+        print(f"run: id={journal.run_id}", file=sys.stderr, flush=True)
+
+    try:
+        with graceful_shutdown(stop_flag):
+            # -- static side: prior report doc, or an in-process check -
+            if getattr(args, "report", None):
+                try:
+                    doc = json.loads(Path(args.report).read_text())
+                except OSError as exc:
+                    raise ReproError(
+                        f"cannot read {args.report}: {exc}") from None
+                except ValueError as exc:
+                    raise ReproError(
+                        f"{args.report} is not JSON: {exc}") from None
+                static_reports = reports_from_json(doc)
+            else:
+                static_run = check_files(
+                    args.files, spec_path=spec_path, jobs=jobs, cache=cache,
+                    keep_going=True,
+                    feasibility=getattr(args, "feasibility", "on") == "on",
+                    frontend=getattr(args, "frontend", "strict"),
+                    engine=getattr(args, "engine", "summary"))
+                static_reports = reports_from_run(static_run)
+            print(f"static: {len(static_reports)} error report(s) "
+                  f"to cross-validate", file=sys.stderr)
+
+            # -- dynamic side: the campaign over the fleet -------------
+            camp = run_campaign(spec, jobs=jobs, cache=cache,
+                                journal=journal, policy=policy)
+    finally:
+        if journal is not None:
+            journal.close()
+    print(camp.summary_line(), file=sys.stderr)
+    if camp.interrupted:
+        # No cross-tab for a partial campaign: verdicts over a run
+        # subset would contradict the byte-identity guarantee.
+        return _interrupted(camp, journal, json_mode)
+    if not camp.complete:
+        for slot in camp.incomplete_shards:
+            print(f"mc-check: shard {slot['shard']} incomplete: "
+                  f"{slot['note']}", file=sys.stderr)
+        return EXIT_INTERNAL
+
+    crosstab = cross_tabulate(static_reports, camp.outcomes)
+    doc = crosstab_to_json(crosstab, spec)
+    if json_mode:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_crosstab(crosstab))
+    out = getattr(args, "out", None)
+    if out:
+        Path(out).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"cross-tab: wrote {out}", file=sys.stderr)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        # Metrics are derived from the finished cross-tab — observing
+        # a campaign cannot change one byte of its results.
+        from .obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        for name, value in crosstab.counters.items():
+            registry.inc(f"campaign.{name}", value)
+        registry.inc("campaign.shards", spec.n_shards)
+        Path(metrics_out).write_text(
+            json.dumps(registry.snapshot(), indent=2) + "\n")
+        print(f"metrics: wrote {metrics_out}", file=sys.stderr)
+    return EXIT_BUGS if crosstab.counters["crashes"] else EXIT_CLEAN
 
 
 def cmd_generate(args) -> int:
@@ -698,6 +881,60 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSON fault plan forcing failure paths "
                             "(see docs/simulator.md)")
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="fleet-scale simulation campaign with static×dynamic "
+             "cross-validation: derive N deterministic (seed, workload, "
+             "fault-plan) runs, shard them across the worker pool, "
+             "shrink every crash to a minimal repro, and give each "
+             "static report a confirmed/unmanifested verdict (plus "
+             "checker gaps for uncovered dynamic violations)")
+    p_camp.add_argument("files", nargs="+")
+    p_camp.add_argument("--dispatch", action="append",
+                        metavar="OPCODE=HANDLER",
+                        help="dispatch-table entry (repeatable); omit "
+                             "with --spec to auto-dispatch the spec's hw "
+                             "handlers as opcodes 1..n")
+    p_camp.add_argument("--spec",
+                        help="protocol specification file; also feeds "
+                             "the static checkers")
+    p_camp.add_argument("--report", default=None, metavar="REPORT.json",
+                        help="cross-validate against this prior "
+                             "'check --format json' document instead of "
+                             "running the static checkers in-process")
+    p_camp.add_argument("--runs", type=int, default=100,
+                        help="simulation runs in the campaign "
+                             "(default: 100)")
+    p_camp.add_argument("--shard-size", type=int, default=10,
+                        help="runs per fleet work item (default: 10); "
+                             "re-sharding never changes any run's "
+                             "outcome, only scheduling")
+    p_camp.add_argument("--campaign-seed", type=int, default=7,
+                        metavar="SEED",
+                        help="root seed; every run's workload seed and "
+                             "fault plan derive from sha256(seed, run) "
+                             "(default: 7)")
+    p_camp.add_argument("--messages", type=int, default=25,
+                        help="workload messages per run (default: 25)")
+    p_camp.add_argument("--nodes", type=int, default=2)
+    p_camp.add_argument("--buffers", type=int, default=16)
+    p_camp.add_argument("--lane-capacity", type=int, default=8)
+    p_camp.add_argument("--max-hops", type=int, default=2)
+    p_camp.add_argument("--fault-sites", default=None, metavar="SITE,...",
+                        help="simulator fault sites campaign plans draw "
+                             "rules from (default: all sites)")
+    p_camp.add_argument("--max-fault-rules", type=int, default=3,
+                        metavar="N",
+                        help="at most N generated fault rules per run; "
+                             "~1/(N+1) of runs stay fault-free as the "
+                             "baseline (default: 3)")
+    p_camp.add_argument("--out", default=None, metavar="CROSSTAB.json",
+                        help="also write the cross-tab JSON document "
+                             "here (byte-identical across --resume, "
+                             "--jobs, and cache states)")
+    _add_fleet_flags(p_camp)
+    p_camp.set_defaults(func=cmd_campaign)
 
     p_gen = sub.add_parser("generate", help="emit a generated protocol")
     p_gen.add_argument("protocol",

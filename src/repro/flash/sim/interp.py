@@ -88,6 +88,12 @@ class Interpreter:
         #: here to support cycle-window triggers and ``handler_crash``
         #: rules (which raise out of the hook).
         self.tick_hook = tick_hook
+        #: Names of program functions this interpreter has executed, in
+        #: first-execution order.  Campaign cross-tabulation uses this to
+        #: decide whether a statically-reported function was actually
+        #: exercised by a run (a report in dead-for-this-workload code
+        #: cannot be dynamically confirmed).
+        self.executed: dict[str, int] = {}
         self._steps = 0
         self._depth = 0
 
@@ -110,6 +116,7 @@ class Interpreter:
     def _call_function(self, func: ast.FunctionDef, args: list[int]) -> int:
         if self._depth >= self.max_depth:
             raise InterpError(f"call depth exceeded in {func.name}")
+        self.executed[func.name] = self.executed.get(func.name, 0) + 1
         frame: dict[str, int] = {}
         for param, value in zip(func.params, args):
             if param.name:

@@ -61,6 +61,15 @@ class SimStats:
     fault_events: list = field(default_factory=list)
     #: Firing counts keyed by injection site.
     faults_by_site: dict = field(default_factory=dict)
+    #: Handler name -> number of times it ran (or started to run).
+    handlers_seen: dict = field(default_factory=dict)
+    #: Violation field name -> {handler name -> count} for every counter
+    #: that can be pinned on the handler that was running when it moved.
+    attribution: dict = field(default_factory=dict)
+    #: Program functions the interpreter actually executed (sorted).
+    functions_executed: list = field(default_factory=list)
+    #: Handler that was running when the run deadlocked, if any.
+    deadlock_handler: Optional[str] = None
 
     @property
     def injected_faults(self) -> int:
@@ -100,6 +109,31 @@ class FlashMachine:
         self._lane_overflow_events = 0
         self._injected_crashes = 0
         self._dropped_messages = 0
+        self._handlers_seen: dict[str, int] = {}
+        self._attribution: dict[str, dict[str, int]] = {}
+        self._deadlock_handler: Optional[str] = None
+
+    #: Violation counters that can be attributed to the handler running
+    #: when they moved: SimStats field name -> per-node reader.
+    _ATTRIBUTED = (
+        ("double_frees", lambda n: n.pool.double_frees),
+        ("use_after_free", lambda n: n.pool.use_after_free),
+        ("unsynchronized_reads", lambda n: n.pool.unsynchronized_reads),
+        ("msglen_mismatches", lambda n: n.msglen_mismatches),
+        ("pending_wait_violations", lambda n: n.pending_wait_violations),
+        ("stale_directory_writebacks", lambda n: n.directory.stale_writebacks),
+        ("lane_overruns", lambda n: n.queues.overruns),
+        ("refcount_errors", lambda n: n.pool.refcount_errors),
+    )
+
+    def _snapshot(self, node: Node) -> tuple:
+        return tuple(read(node) for _, read in self._ATTRIBUTED)
+
+    def _attribute(self, handler: str, before: tuple, after: tuple) -> None:
+        for (name, _), prev, cur in zip(self._ATTRIBUTED, before, after):
+            if cur > prev:
+                per_handler = self._attribution.setdefault(name, {})
+                per_handler[handler] = per_handler.get(handler, 0) + (cur - prev)
 
     def run(self, spec: WorkloadSpec) -> SimStats:
         """Run the workload to completion (or deadlock)."""
@@ -117,8 +151,13 @@ class FlashMachine:
         if handler is None:
             return
         node = self.nodes[message.dest % len(self.nodes)]
+        self._handlers_seen[handler] = self._handlers_seen.get(handler, 0) + 1
+        before = self._snapshot(node)
         try:
-            outgoing = node.run_handler(handler, message)
+            try:
+                outgoing = node.run_handler(handler, message)
+            finally:
+                self._attribute(handler, before, self._snapshot(node))
         except LaneOverflowError:
             if node.strict:
                 raise
@@ -132,6 +171,10 @@ class FlashMachine:
             else:
                 self._injected_crashes += 1
             return
+        except ProtocolDeadlock:
+            if self._deadlock_handler is None:
+                self._deadlock_handler = handler
+            raise
         if hops >= self.max_hops:
             return
         for reply in outgoing:
@@ -154,6 +197,16 @@ class FlashMachine:
         stats.lane_overflow_events = self._lane_overflow_events
         stats.injected_crashes = self._injected_crashes
         stats.dropped_messages = self._dropped_messages
+        stats.handlers_seen = dict(self._handlers_seen)
+        stats.attribution = {
+            name: dict(sorted(per.items()))
+            for name, per in sorted(self._attribution.items())
+        }
+        executed: set[str] = set()
+        for node in self.nodes:
+            executed.update(node.interp.executed)
+        stats.functions_executed = sorted(executed)
+        stats.deadlock_handler = self._deadlock_handler
         if self.injector is not None:
             stats.fault_events = [str(e) for e in self.injector.events]
             stats.faults_by_site = self.injector.counts_by_site()

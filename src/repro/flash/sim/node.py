@@ -110,6 +110,7 @@ class Node:
             "HANDLER_DEFS": noop, "HANDLER_PROLOGUE": noop,
             "SWHANDLER_PROLOGUE": noop, "SUBROUTINE_PROLOGUE": noop,
             "SET_STACKPTR": noop, "DEBUG_PRINT": noop, "SPIN": noop,
+            "NOSTACK": noop,
             "FATAL_ERROR": self._fatal,
             "has_buffer": noop, "no_free_needed": noop,
             "DB_ALLOC": self._db_alloc,

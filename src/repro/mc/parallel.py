@@ -79,10 +79,13 @@ class WorkItem:
     """One (checker, unit-set) unit of schedulable work."""
 
     kind: str                 # "checker" (registered) | "metal" (textual)
-    checker: str              # registered checker name; "" for metal
+                              # | "campaign" (simulation shard)
+    checker: str              # registered checker name; "" for metal/campaign
     paths: tuple              # one unit, or every unit for global items
     weight: int               # source bytes — schedule largest first
+                              # (campaign: runs in the shard)
     index: int                # deterministic merge position
+                              # (campaign: the shard index)
 
 
 @dataclass(frozen=True)
@@ -121,6 +124,9 @@ class WorkerConfig:
     #: summary walks checker-aware slices with dead-tail merging and
     #: function summaries; paths is the exhaustive oracle.
     engine: str = "summary"
+    #: Canonical :class:`repro.campaign.plans.CampaignSpec` JSON for
+    #: campaign items (``mc-check campaign``); ``None`` otherwise.
+    campaign_spec: Optional[str] = None
 
 
 # -- worker side -------------------------------------------------------------
@@ -189,7 +195,11 @@ def _past_deadline(config: WorkerConfig) -> bool:
 
 
 def _item_label(item: WorkItem, config: WorkerConfig) -> str:
-    return item.checker if item.kind == "checker" else config.metal_name
+    if item.kind == "checker":
+        return item.checker
+    if item.kind == "campaign":
+        return f"campaign-shard-{item.index}"
+    return config.metal_name
 
 
 def _skipped_payload(item: WorkItem, config: WorkerConfig,
@@ -203,6 +213,11 @@ def _skipped_payload(item: WorkItem, config: WorkerConfig,
         sink.degraded = True
         sink.degradation_notes.append(f"[{label}] {where}: {note}")
         return sink_to_payload(sink)
+    if item.kind == "campaign":
+        # Degraded: never journaled/cached — the shard reruns on resume.
+        return {"schema": SCHEMA_VERSION, "shard": item.index,
+                "degraded": True, "outcomes": [],
+                "degradation_notes": [f"[{label}] {note}"]}
     from ..checkers.base import CheckerResult
     result = CheckerResult(checker=label, degraded=True)
     result.degradation_notes.append(f"[{label}] {where}: {note}")
@@ -220,6 +235,14 @@ def _quarantine_payload(item: WorkItem, config: WorkerConfig,
     quarantine = Quarantine(
         checker=label, function="*", phase=phase,
         error_type=error_type, message=f"{where}: {message}")
+    if item.kind == "campaign":
+        return {"schema": SCHEMA_VERSION, "shard": item.index,
+                "degraded": True, "outcomes": [],
+                "quarantines": [{
+                    "checker": label, "function": "*", "phase": phase,
+                    "error_type": error_type,
+                    "message": f"{where}: {message}"}],
+                "degradation_notes": [f"[{label}] {where}: {message}"]}
     if item.kind == "metal":
         sink = ReportSink()
         sink.add_quarantine(quarantine)
@@ -354,6 +377,9 @@ def _execute_item_plain(item: WorkItem, config: WorkerConfig,
                         shared_budget: Optional[Budget] = None) -> dict:
     if item.kind == "metal":
         return _run_metal_item(item, config, shared_budget)
+    if item.kind == "campaign":
+        from ..campaign.runner import run_campaign_item
+        return run_campaign_item(item, config)
     return _run_checker_item(item, config)
 
 

@@ -79,6 +79,20 @@ def strength_factor(steps: Optional[list]) -> float:
     return min(1.0, (1 + verified) / (1 + branches))
 
 
+def dynamic_boost(score: float) -> float:
+    """The dynamically-confirmed evidence factor.
+
+    A simulation campaign (:mod:`repro.campaign`) that actually
+    triggered a report's bug class in code the run executed is the
+    strongest evidence a static report can get: the score moves halfway
+    from wherever the static factors left it toward certainty
+    (``s + (1 - s) / 2``), monotonically — a confirmed report always
+    outranks its unconfirmed self, but never reaches 1.0 (the dynamic
+    match is by bug class + function, not by site).
+    """
+    return min(round(score + (1.0 - score) * 0.5, 4), 0.9999)
+
+
 def _score_group(reports: list, applied: Optional[int],
                  provenance: dict, scores: dict) -> None:
     """Score one checker's reports into ``scores`` (keyed by report key)."""
@@ -95,13 +109,17 @@ def _score_group(reports: list, applied: Optional[int],
         scores[key] = round(base * cascade * strength, 4)
 
 
-def score_run(run) -> dict:
+def score_run(run, dynamically_confirmed: Optional[frozenset] = None) -> dict:
     """Confidence per report key for a merged run.
 
     Accepts both fleet run shapes: a ``CheckRun`` (``results`` maps
     checker name to :class:`repro.checkers.base.CheckerResult`, whose
     ``applied`` feeds the z-statistic) and a ``MetalRun`` (``sinks`` is
     ``[(path, ReportSink)]``; no applied counts, neutral base).
+
+    ``dynamically_confirmed`` is the campaign evidence source: report
+    keys a simulation campaign confirmed get :func:`dynamic_boost`
+    applied on top of the static factors.
     """
     scores: dict = {}
     results = getattr(run, "results", None)
@@ -109,9 +127,13 @@ def score_run(run) -> dict:
         for result in results.values():
             _score_group(result.reports, result.applied,
                          result.provenance, scores)
-        return scores
-    for _path, sink in getattr(run, "sinks", ()):
-        _score_group(sink.reports, None, sink.provenance, scores)
+    else:
+        for _path, sink in getattr(run, "sinks", ()):
+            _score_group(sink.reports, None, sink.provenance, scores)
+    if dynamically_confirmed:
+        for key in dynamically_confirmed:
+            if key in scores:
+                scores[key] = dynamic_boost(scores[key])
     return scores
 
 

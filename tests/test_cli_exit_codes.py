@@ -232,3 +232,94 @@ void AllocNoCheck(void) {
                        "--fault-plan", str(plan))
         assert proc.returncode == 2
         assert "internal error" in proc.stderr
+
+
+# Dynamically manifest bugs for the simulator hardening tests: a double
+# free that --strict escalates into a typed error mid-run.
+DOUBLE_FREE_HANDLER = """
+void Doubler(void) {
+    unsigned buf;
+    buf = DB_ALLOC();
+    DB_FREE();
+    DB_FREE();
+    return;
+}
+"""
+
+
+class TestSimulateHardening:
+    """Typed failures become structured ``failure:`` records — a raw
+    traceback from ``simulate`` is always a bug (satellite contract)."""
+
+    @pytest.fixture
+    def doubler_c(self, tmp_path):
+        path = tmp_path / "doubler.c"
+        path.write_text(DOUBLE_FREE_HANDLER)
+        return str(path)
+
+    def test_strict_violation_is_a_structured_failure(self, doubler_c):
+        proc = run_cli("simulate", doubler_c, "--dispatch", "1=Doubler",
+                       "--messages", "10", "--strict")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "failure: type=DoubleFreeError" in proc.stdout
+        assert "property=buffer-refcount" in proc.stdout
+        assert "NOT CLEAN" in proc.stdout
+        assert "Traceback" not in proc.stderr
+
+    def test_strict_failure_still_reports_partial_counters(self, doubler_c):
+        proc = run_cli("simulate", doubler_c, "--dispatch", "1=Doubler",
+                       "--messages", "10", "--strict")
+        assert "handlers run:" in proc.stdout
+
+    def test_interp_error_is_internal_not_a_traceback(self, tmp_path):
+        src = tmp_path / "undefined.c"
+        src.write_text("void Bad(void) {\n    NO_SUCH_BUILTIN();\n}\n")
+        proc = run_cli("simulate", str(src), "--dispatch", "1=Bad",
+                       "--messages", "5")
+        assert proc.returncode == 2, proc.stdout + proc.stderr
+        assert "failure: type=InterpError" in proc.stdout
+        assert "Traceback" not in proc.stderr
+
+    def test_non_integer_opcode_exits_two(self, sim_clean_c):
+        proc = run_cli("simulate", sim_clean_c, "--dispatch", "x=Handler")
+        assert proc.returncode == 2
+        assert "internal error" in proc.stderr
+
+
+class TestCampaignExitCodes:
+    """``campaign`` keeps the same 0/1/2/130 contract as check/metal."""
+
+    def test_clean_campaign_exits_zero(self, sim_clean_c):
+        # No generated faults, a correct handler: nothing can crash.
+        proc = run_cli("campaign", sim_clean_c, "--dispatch", "1=Handler",
+                       "--runs", "3", "--shard-size", "2", "--messages", "6",
+                       "--max-fault-rules", "0", "--no-cache")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "cross-tab:" in proc.stdout
+
+    def test_crashing_campaign_exits_one_and_confirms(self, racy_c):
+        proc = run_cli("campaign", racy_c, "--dispatch", "1=Racy",
+                       "--runs", "4", "--shard-size", "2", "--messages", "8",
+                       "--no-cache")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "confirmed" in proc.stdout
+        assert "minimal repro" in proc.stdout
+
+    def test_missing_dispatch_exits_two(self, racy_c):
+        proc = run_cli("campaign", racy_c, "--runs", "2", "--no-cache")
+        assert proc.returncode == 2
+        assert "internal error" in proc.stderr
+
+    def test_metrics_do_not_change_the_crosstab(self, racy_c, tmp_path):
+        base = ("campaign", racy_c, "--dispatch", "1=Racy", "--runs", "3",
+                "--shard-size", "2", "--messages", "6", "--no-cache")
+        plain = tmp_path / "plain.json"
+        observed = tmp_path / "observed.json"
+        metrics = tmp_path / "metrics.json"
+        a = run_cli(*base, "--out", str(plain))
+        b = run_cli(*base, "--out", str(observed),
+                    "--metrics-out", str(metrics))
+        assert a.returncode == b.returncode
+        assert plain.read_bytes() == observed.read_bytes()
+        snapshot = __import__("json").loads(metrics.read_text())
+        assert snapshot["counters"]["campaign.runs"] == 3
