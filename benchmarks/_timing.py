@@ -71,10 +71,42 @@ def observed_snapshot(run_fn) -> dict:
     return observation.finalize(run)["metrics"]
 
 
+def _ledger_record(output: Path, results: dict,
+                   metrics: dict | None) -> str | None:
+    """Append one ``command="bench"`` record to the default run ledger.
+
+    Benchmark artifacts and analysis runs land in the same
+    ``ledger.jsonl`` (see :mod:`repro.obs.ledger`), so ``mc-check
+    history`` shows benchmark sweeps next to the runs they price and
+    every ``BENCH_*.json`` is joinable against the ledger by run id.
+    An unwritable ledger never fails the benchmark."""
+    from repro.mc.supervisor import new_run_id
+    from repro.obs.ledger import RunLedger, ledger_path, make_record
+
+    run_id = new_run_id()
+    wall = max((v for k, v in results.items()
+                if k.endswith("_seconds") and isinstance(v, (int, float))),
+               default=0.0)
+    config = {k: v for k, v in results.items()
+              if isinstance(v, (str, int, float, bool))}
+    record = make_record(
+        run_id=run_id, command="bench", files=[],
+        config={"bench": output.stem, **config},
+        wall=float(wall), exit_code=0, reports={},
+        counters=(metrics or {}).get("counters"),
+    )
+    if RunLedger(ledger_path()).append(record):
+        return run_id
+    return None
+
+
 def write_results(output: str | Path, results: dict,
                   metrics: dict | None = None) -> dict:
-    """Write a ``BENCH_*.json``, folding in the metrics snapshot."""
+    """Write a ``BENCH_*.json``, folding in the metrics snapshot and
+    the benchmark's ledger run id (``None`` if the ledger is
+    unwritable)."""
     if metrics is not None:
         results["metrics"] = metrics
+    results["run_id"] = _ledger_record(Path(output), results, metrics)
     Path(output).write_text(json.dumps(results, indent=2) + "\n")
     return results

@@ -111,7 +111,8 @@ def shard_keys(spec: CampaignSpec, sources: dict) -> dict:
 def run_campaign(spec: CampaignSpec, *, jobs: int = 1,
                  cache: Optional[ResultCache] = None,
                  journal: Optional[RunJournal] = None,
-                 policy: Optional[SupervisorPolicy] = None) -> CampaignRun:
+                 policy: Optional[SupervisorPolicy] = None,
+                 observation=None) -> CampaignRun:
     """Execute a campaign's shards across the supervised fleet.
 
     Returns merged outcomes in global run order.  Interruption
@@ -119,7 +120,10 @@ def run_campaign(spec: CampaignSpec, *, jobs: int = 1,
     completed shards are journaled, the rest surface in
     ``incomplete_shards``, and a later ``--resume`` replays the journal
     and runs only the remainder — byte-identical outcomes guaranteed by
-    the determinism of :mod:`repro.campaign.plans`.
+    the determinism of :mod:`repro.campaign.plans`.  ``observation``
+    (a :class:`repro.obs.Observation`) enables span tracing, metrics,
+    and ``--progress`` for shards exactly as for checker items; the
+    cross-tab is identical with or without it.
     """
     from ..project import read_sources
 
@@ -127,6 +131,11 @@ def run_campaign(spec: CampaignSpec, *, jobs: int = 1,
     config = WorkerConfig(
         campaign_spec=spec.to_json(),
         fault_plan=policy.fault_plan if policy is not None else None,
+        trace_dir=(observation.worker_trace_dir
+                   if observation is not None else None),
+        collect_obs=observation is not None,
+        heartbeat_dir=(observation.worker_heartbeat_dir
+                       if observation is not None else None),
     )
     items = [
         WorkItem(kind="campaign", checker="", paths=tuple(spec.files),
@@ -137,7 +146,8 @@ def run_campaign(spec: CampaignSpec, *, jobs: int = 1,
     ]
     keys = shard_keys(spec, sources)
     payloads, _budget, run_stats = _run_items(
-        items, config, jobs, cache, keys, journal=journal, policy=policy)
+        items, config, jobs, cache, keys, journal=journal, policy=policy,
+        observation=observation)
 
     outcomes = []
     incomplete = []

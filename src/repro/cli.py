@@ -43,6 +43,17 @@ Subcommands:
     Show the source-line + state-transition path that produced one
     diagnostic of a ``--format json`` report.
 
+``mc-check profile [--trace FILE | RUN-ID]``
+    Aggregate a span trace into a deterministic cost tree: per-phase /
+    per-checker / per-function time, hotspots, critical path, cache
+    attribution (crashed and superseded attempts excluded).
+
+``mc-check history`` / ``mc-check diff RUN-A RUN-B``
+    The persistent run ledger (``<cache-dir>/ledger.jsonl``): list
+    recorded runs; diff two of them — new/lost/changed report ids,
+    counter deltas, wall-time regressions — exiting 1 on drift so CI
+    can gate run-over-run.
+
 Stream discipline: diagnostics and reports go to **stdout**; run
 chatter (``run: id=...``, resume hints, trace/metrics summaries) goes
 to **stderr**, so ``--format json`` output is parseable as-is.
@@ -183,16 +194,25 @@ def _interrupted(run, journal, json_mode: bool = False) -> int:
     return EXIT_INTERRUPTED
 
 
-def _observation_from_args(args):
-    """An :class:`repro.obs.Observation` when ``--trace`` or
-    ``--metrics-out`` asked for one, else ``None`` (no observability
-    code runs at all)."""
+def _observation_from_args(args, metrics: bool = True):
+    """An :class:`repro.obs.Observation` when ``--trace``,
+    ``--metrics-out``, or ``--progress`` asked for one, else ``None``
+    (no observability code runs at all).
+
+    ``metrics=False`` leaves ``--metrics-out`` to the caller (campaign
+    derives its metrics from the finished cross-tab instead)."""
     trace = getattr(args, "trace", None)
-    metrics_out = getattr(args, "metrics_out", None)
-    if not trace and not metrics_out:
+    metrics_out = getattr(args, "metrics_out", None) if metrics else None
+    want_progress = getattr(args, "progress", False)
+    if not trace and not metrics_out and not want_progress:
         return None
     from .obs import Observation
-    return Observation(trace_path=trace, metrics_path=metrics_out)
+    progress = None
+    if want_progress:
+        from .obs.progress import ProgressReporter
+        progress = ProgressReporter()
+    return Observation(trace_path=trace, metrics_path=metrics_out,
+                       progress=progress)
 
 
 def _finalize_observation(observation, run) -> None:
@@ -214,11 +234,61 @@ def _finalize_observation(observation, run) -> None:
         print(f"metrics: wrote {observation.metrics_path}", file=sys.stderr)
 
 
-def _print_json_report(run, min_confidence=None) -> None:
-    import json
+def _ledger_path_from_args(args):
+    from .obs.ledger import ledger_path
+    cache_dir = getattr(args, "cache_dir", None)
+    return ledger_path(Path(cache_dir) if cache_dir else None)
+
+
+def _ledger_counters(observation, run) -> dict:
+    """The counter snapshot a ledger record carries.
+
+    With observability on, the run's own registry (post-finalize) is
+    authoritative; otherwise count reports/cache/supervision into a
+    scratch registry — same code path, so ledger counters mean the same
+    thing either way.  Never feeds anything back into the run."""
+    if observation is not None:
+        return dict(observation.metrics.counters)
+    from .obs import Observation
+    scratch = Observation()
+    scratch._count_reports(run)
+    scratch._count_run(run)
+    return dict(scratch.metrics.counters)
+
+
+def _append_ledger(args, *, command: str, files, config: dict, run,
+                   journal, observation, wall: float, exit_code: int,
+                   doc: dict, degraded: bool = False) -> None:
+    """Record one finished run in ``<cache-dir>/ledger.jsonl``.
+
+    Pure output: derived entirely from the completed run.  Skipped when
+    there is no journal (``--no-cache`` contracts to zero disk writes,
+    and without a journal there is no run id to key the record by).
+    Append failures are silently absorbed by :class:`RunLedger`.
+    """
+    if journal is None or journal.run_id is None:
+        return
+    no_cache = getattr(args, "no_cache", False) or bool(
+        os.environ.get("MC_CHECK_NO_CACHE"))
+    if no_cache:
+        return
+    from .obs.ledger import RunLedger, make_record, reports_from_doc
+    ledger = RunLedger(_ledger_path_from_args(args))
+    trace = getattr(args, "trace", None)
+    ledger.append(make_record(
+        run_id=journal.run_id, command=command, files=files,
+        config=config, wall=wall, exit_code=exit_code,
+        reports=reports_from_doc(doc),
+        counters=_ledger_counters(observation, run),
+        interrupted=getattr(run, "interrupted", False),
+        degraded=degraded,
+        trace=str(Path(trace).resolve()) if trace else None,
+    ))
+
+
+def _report_doc(run, min_confidence=None) -> dict:
     from .mc import run_to_json
-    print(json.dumps(run_to_json(run, min_confidence=min_confidence),
-                     indent=2))
+    return run_to_json(run, min_confidence=min_confidence)
 
 
 def cmd_check(args) -> int:
@@ -240,6 +310,7 @@ def cmd_check(args) -> int:
     journal = _journal_from_args(args)
     if journal is not None:
         print(f"run: id={journal.run_id}", file=sys.stderr, flush=True)
+    wall0 = time.perf_counter()
     try:
         with graceful_shutdown(stop_flag):
             run = check_files(
@@ -252,6 +323,7 @@ def cmd_check(args) -> int:
     finally:
         if journal is not None:
             journal.close()
+    wall = time.perf_counter() - wall0
     _finalize_observation(observation, run)
     from .mc import filter_by_confidence, score_run
     scores = score_run(run)
@@ -265,8 +337,10 @@ def cmd_check(args) -> int:
         quarantines.extend(result.quarantines)
         degraded = degraded or result.degraded
         notes.extend(result.degradation_notes)
+    doc = _report_doc(run, min_confidence=min_confidence)
     if json_mode:
-        _print_json_report(run, min_confidence=min_confidence)
+        import json
+        print(json.dumps(doc, indent=2))
         print(run.summary_line(), file=sys.stderr)
     else:
         for result in run.results.values():
@@ -287,10 +361,21 @@ def cmd_check(args) -> int:
             print("no errors found")
         print(run.summary_line())
     if run.interrupted:
-        return _interrupted(run, journal, json_mode)
-    if _hard_quarantines(quarantines, frontend):
-        return EXIT_INTERNAL
-    return EXIT_BUGS if failures else EXIT_CLEAN
+        code = _interrupted(run, journal, json_mode)
+    elif _hard_quarantines(quarantines, frontend):
+        code = EXIT_INTERNAL
+    else:
+        code = EXIT_BUGS if failures else EXIT_CLEAN
+    _append_ledger(
+        args, command="check", files=args.files,
+        config={"command": "check", "engine": engine,
+                "feasibility": feasibility, "frontend": frontend,
+                "jobs": jobs, "checkers": sorted(names or []),
+                "keep_going": keep_going,
+                "min_confidence": min_confidence},
+        run=run, journal=journal, observation=observation, wall=wall,
+        exit_code=code, doc=doc, degraded=degraded)
+    return code
 
 
 def _hard_quarantines(quarantines, frontend: str) -> list:
@@ -325,6 +410,7 @@ def cmd_metal(args) -> int:
     journal = _journal_from_args(args)
     if journal is not None:
         print(f"run: id={journal.run_id}", file=sys.stderr, flush=True)
+    wall0 = time.perf_counter()
     try:
         with graceful_shutdown(stop_flag):
             run = metal_files(
@@ -337,6 +423,7 @@ def cmd_metal(args) -> int:
     finally:
         if journal is not None:
             journal.close()
+    wall = time.perf_counter() - wall0
     _finalize_observation(observation, run)
     total = 0
     quarantines = []
@@ -345,8 +432,10 @@ def cmd_metal(args) -> int:
         total += len(sink)
         quarantines.extend(sink.quarantines)
         degraded = degraded or sink.degraded
+    doc = _report_doc(run, min_confidence=min_confidence)
     if json_mode:
-        _print_json_report(run, min_confidence=min_confidence)
+        import json
+        print(json.dumps(doc, indent=2))
         print(run.summary_line(), file=sys.stderr)
     else:
         for _path, sink in run.sinks:
@@ -362,10 +451,21 @@ def cmd_metal(args) -> int:
                      if budget and budget.exhausted else ""))
         print(run.summary_line())
     if run.interrupted:
-        return _interrupted(run, journal, json_mode)
-    if _hard_quarantines(quarantines, frontend):
-        return EXIT_INTERNAL
-    return EXIT_BUGS if total else EXIT_CLEAN
+        code = _interrupted(run, journal, json_mode)
+    elif _hard_quarantines(quarantines, frontend):
+        code = EXIT_INTERNAL
+    else:
+        code = EXIT_BUGS if total else EXIT_CLEAN
+    _append_ledger(
+        args, command="metal", files=args.files,
+        config={"command": "metal", "checker": args.checker,
+                "engine": engine, "feasibility": feasibility,
+                "frontend": frontend, "jobs": jobs,
+                "keep_going": keep_going,
+                "min_confidence": min_confidence},
+        run=run, journal=journal, observation=observation, wall=wall,
+        exit_code=code, doc=doc, degraded=degraded)
+    return code
 
 
 def _parse_dispatch(entries, functions: dict) -> dict[int, str]:
@@ -512,6 +612,9 @@ def cmd_campaign(args) -> int:
     cache = _cache_from_args(args, budgeted=False)
     stop_flag = StopFlag()
     policy = _policy_from_args(args, stop_flag)
+    # Campaign metrics come from the finished cross-tab (below), so the
+    # Observation covers --trace/--progress only.
+    observation = _observation_from_args(args, metrics=False)
     spec_json = spec.to_json()
     journal = _journal_from_args(args, config={
         "mode": "campaign",
@@ -520,6 +623,7 @@ def cmd_campaign(args) -> int:
     if journal is not None:
         print(f"run: id={journal.run_id}", file=sys.stderr, flush=True)
 
+    wall0 = time.perf_counter()
     try:
         with graceful_shutdown(stop_flag):
             # -- static side: prior report doc, or an in-process check -
@@ -546,10 +650,13 @@ def cmd_campaign(args) -> int:
 
             # -- dynamic side: the campaign over the fleet -------------
             camp = run_campaign(spec, jobs=jobs, cache=cache,
-                                journal=journal, policy=policy)
+                                journal=journal, policy=policy,
+                                observation=observation)
     finally:
         if journal is not None:
             journal.close()
+    wall = time.perf_counter() - wall0
+    _finalize_observation(observation, camp)
     print(camp.summary_line(), file=sys.stderr)
     if camp.interrupted:
         # No cross-tab for a partial campaign: verdicts over a run
@@ -583,7 +690,30 @@ def cmd_campaign(args) -> int:
         Path(metrics_out).write_text(
             json.dumps(registry.snapshot(), indent=2) + "\n")
         print(f"metrics: wrote {metrics_out}", file=sys.stderr)
-    return EXIT_BUGS if crosstab.counters["crashes"] else EXIT_CLEAN
+    code = EXIT_BUGS if crosstab.counters["crashes"] else EXIT_CLEAN
+    ledger_counters = {f"campaign.{name}": value
+                       for name, value in sorted(crosstab.counters.items())}
+    _append_ledger(
+        args, command="campaign", files=args.files,
+        config={"command": "campaign",
+                "campaign": hashlib.sha256(spec_json.encode())
+                .hexdigest()[:16],
+                "jobs": jobs, "runs": spec.runs,
+                "shard_size": spec.shard_size, "seed": spec.seed},
+        run=camp, journal=journal,
+        observation=_StaticCounters(ledger_counters),
+        wall=wall, exit_code=code, doc=doc)
+    return code
+
+
+class _StaticCounters:
+    """Adapter handing :func:`_append_ledger` a fixed counter map (the
+    campaign's cross-tab counters) through the observation interface."""
+
+    def __init__(self, counters: dict):
+        from .obs import MetricsRegistry
+        self.metrics = MetricsRegistry()
+        self.metrics.counters.update(counters)
 
 
 def cmd_generate(args) -> int:
@@ -667,13 +797,21 @@ def cmd_list(args) -> int:
 def cmd_stats(args) -> int:
     import json
     from .obs import format_metrics
+    from .obs.metrics import format_prometheus, validate_metrics_snapshot
     try:
         snapshot = json.loads(Path(args.metrics).read_text())
     except OSError as exc:
         raise ReproError(f"cannot read {args.metrics}: {exc}") from None
     except ValueError as exc:
         raise ReproError(f"{args.metrics} is not JSON: {exc}") from None
-    print(format_metrics(snapshot))
+    problem = validate_metrics_snapshot(snapshot)
+    if problem is not None:
+        raise ReproError(
+            f"{args.metrics} is not a usable metrics document: {problem}")
+    if getattr(args, "format", "text") == "prometheus":
+        sys.stdout.write(format_prometheus(snapshot))
+    else:
+        print(format_metrics(snapshot))
     return 0
 
 
@@ -720,6 +858,11 @@ def cmd_explain(args) -> int:
     except ValueError as exc:
         raise ReproError(f"{args.report} is not JSON: {exc}") from None
     reports = doc.get("reports", []) if isinstance(doc, dict) else []
+    if not isinstance(reports, list):
+        raise ReproError(
+            f"{args.report}: 'reports' is not a list — not a "
+            f"'--format json' report document")
+    reports = [r for r in reports if isinstance(r, dict)]
     matches = [r for r in reports
                if str(r.get("id", "")).startswith(args.error_id)]
     if not matches:
@@ -732,8 +875,85 @@ def cmd_explain(args) -> int:
             f"id prefix {args.error_id!r} is ambiguous: "
             + ", ".join(str(r["id"]) for r in matches))
     report = matches[0]
-    print(render_explain(report, report.get("provenance", [])))
+    try:
+        print(render_explain(report, report.get("provenance", [])))
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        # A hand-edited or truncated report entry must fail structured,
+        # not as a rendering traceback.
+        raise ReproError(
+            f"{args.report}: report {report.get('id')!r} is malformed: "
+            f"{type(exc).__name__}: {exc}") from None
     return 0
+
+
+def cmd_profile(args) -> int:
+    """Cost attribution over a span trace: ``mc-check profile``."""
+    import json
+    from .obs.profile import build_profile, format_profile
+    from .obs.trace import read_trace
+
+    trace = getattr(args, "trace", None)
+    if not trace and not getattr(args, "run", None):
+        raise ReproError("profile wants --trace FILE or a RUN-ID "
+                         "(see 'mc-check history')")
+    if not trace:
+        from .obs.ledger import find_run, read_ledger
+        record = find_run(read_ledger(_ledger_path_from_args(args)),
+                          args.run)
+        trace = record.get("trace")
+        if not trace:
+            raise ReproError(
+                f"run {record['run']} was not traced; rerun it with "
+                f"--trace FILE to profile it")
+    if not Path(trace).exists():
+        raise ReproError(f"cannot read {trace}: no such file")
+    profile = build_profile(read_trace(trace), top=args.top)
+    if getattr(args, "format", "text") == "json":
+        print(json.dumps(profile, indent=2, sort_keys=True))
+    else:
+        print(format_profile(profile, top=args.top))
+    return 0
+
+
+def cmd_history(args) -> int:
+    """List the run ledger: ``mc-check history``."""
+    import json
+    from .obs.ledger import format_history, read_ledger
+    records = read_ledger(_ledger_path_from_args(args))
+    if getattr(args, "format", "text") == "json":
+        shown = records[-args.limit:] if args.limit else records
+        print(json.dumps(shown, indent=2, sort_keys=True))
+    else:
+        print(format_history(records, limit=args.limit))
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """Run-over-run drift report: ``mc-check diff RUN-A RUN-B``.
+
+    Exit 0 means no report drift and no wall regression; exit 1 means
+    either, so a CI job can gate on it directly.
+    """
+    import json
+    from .obs.ledger import diff_runs, find_run, format_diff, read_ledger
+    records = read_ledger(_ledger_path_from_args(args))
+    a = find_run(records, args.run_a)
+    b = find_run(records, args.run_b)
+    for record in (a, b):
+        if record.get("interrupted"):
+            raise ReproError(
+                f"run {record['run']} was interrupted; its report set is "
+                f"partial and cannot be diffed")
+    if a.get("command") != b.get("command"):
+        raise ReproError(
+            f"cannot diff a {a.get('command')!r} run against a "
+            f"{b.get('command')!r} run")
+    diff = diff_runs(a, b, wall_threshold=args.wall_threshold)
+    if getattr(args, "format", "text") == "json":
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(format_diff(diff))
+    return EXIT_BUGS if diff["regression"] else EXIT_CLEAN
 
 
 def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
@@ -778,6 +998,11 @@ def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
                         help="write run metrics (counters, gauges, latency "
                              "histograms) as JSON; render with "
                              "'mc-check stats FILE'")
+    parser.add_argument("--progress", action="store_true",
+                        help="render live fleet status to stderr: items "
+                             "done, items/sec, ETA, per-worker liveness "
+                             "(heartbeats), retry/quarantine counts; "
+                             "reports stay byte-identical")
     parser.add_argument("--format", choices=["text", "json"], default="text",
                         help="report format: 'json' prints a machine-"
                              "readable document (report ids + path "
@@ -975,7 +1200,75 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="render a --metrics-out document as a table")
     p_stats.add_argument("metrics", metavar="METRICS.json",
                          help="metrics document written by --metrics-out")
+    p_stats.add_argument("--format", choices=["text", "prometheus"],
+                         default="text",
+                         help="'prometheus' emits the registry in "
+                              "Prometheus text exposition format "
+                              "(counters as *_total, histograms as "
+                              "summaries) — the scrape surface for a "
+                              "resident daemon")
     p_stats.set_defaults(func=cmd_stats)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="aggregate a --trace span file into a cost tree: time per "
+             "phase (parse/engine/dispatch), per checker, per analyzed "
+             "function, top-N hotspots, the fleet's critical path, and "
+             "cache attribution; crashed/retried attempts are excluded "
+             "so the tree is deterministic")
+    p_profile.add_argument("run", nargs="?", default=None, metavar="RUN-ID",
+                           help="profile this ledger run's recorded trace "
+                                "(the run must have been traced; a unique "
+                                "id prefix is enough)")
+    p_profile.add_argument("--trace", default=None, metavar="FILE",
+                           help="profile this span trace file directly "
+                                "instead of resolving a RUN-ID")
+    p_profile.add_argument("--top", type=int, default=10, metavar="N",
+                           help="hotspot list length (default: 10)")
+    p_profile.add_argument("--format", choices=["text", "json"],
+                           default="text")
+    p_profile.add_argument("--cache-dir", default=None,
+                           help="where the run ledger lives (default: "
+                                "$MC_CHECK_CACHE_DIR or ~/.cache/mc-check)")
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_history = sub.add_parser(
+        "history",
+        help="list recorded runs from the ledger "
+             "(<cache-dir>/ledger.jsonl): one line per check/metal/"
+             "campaign run with wall time, exit code, and report count")
+    p_history.add_argument("--limit", type=int, default=20, metavar="N",
+                           help="show the N most recent runs "
+                                "(default: 20; 0 = all)")
+    p_history.add_argument("--format", choices=["text", "json"],
+                           default="text")
+    p_history.add_argument("--cache-dir", default=None,
+                           help="where the run ledger lives (default: "
+                                "$MC_CHECK_CACHE_DIR or ~/.cache/mc-check)")
+    p_history.set_defaults(func=cmd_history)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="three-part drift report between two ledger runs: "
+             "new/lost/changed report ids, counter deltas, and wall-time "
+             "regression past a threshold; exits 1 on report drift or "
+             "regression so CI can gate run-over-run")
+    p_diff.add_argument("run_a", metavar="RUN-A",
+                        help="baseline run id (unique prefix is enough)")
+    p_diff.add_argument("run_b", metavar="RUN-B",
+                        help="candidate run id (unique prefix is enough)")
+    p_diff.add_argument("--wall-threshold", type=float, default=0.25,
+                        metavar="FRACTION",
+                        help="flag a wall-time regression when run B is "
+                             "more than this fraction slower than run A "
+                             "(and slower by at least 0.5s of absolute "
+                             "wall; default: 0.25)")
+    p_diff.add_argument("--format", choices=["text", "json"],
+                        default="text")
+    p_diff.add_argument("--cache-dir", default=None,
+                        help="where the run ledger lives (default: "
+                             "$MC_CHECK_CACHE_DIR or ~/.cache/mc-check)")
+    p_diff.set_defaults(func=cmd_diff)
 
     p_explain = sub.add_parser(
         "explain",

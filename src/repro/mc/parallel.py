@@ -111,6 +111,10 @@ class WorkerConfig:
     #: Collect per-item metrics into the payload's ``obs`` section
     #: (``--trace``/``--metrics-out``); stripped before cache/journal.
     collect_obs: bool = False
+    #: Directory supervised workers append heartbeat events into
+    #: (``--progress``); ``None`` disables heartbeats.  Like the trace
+    #: dir, writes are best-effort and never fail the analysis.
+    heartbeat_dir: Optional[str] = None
     #: Infeasible-path pruning (``--feasibility``, repro.mc.feasibility).
     #: Shipped in the config so every execution mode — inline, pooled,
     #: supervised — runs the engine with the same setting.
@@ -536,7 +540,12 @@ def _run_items(items: list, config: WorkerConfig, jobs: int,
             journal.record(key, payload)
 
     shared_budget: Optional[Budget] = None
+    progress = observation.progress if observation is not None else None
+    if observation is not None:
+        observation.begin_pool(len(pending))
     if not pending:
+        if progress is not None:
+            progress.finish(stats)
         return payloads, shared_budget, stats
     # Largest units first: the long poles start immediately, the small
     # ones backfill, and the pool drains with minimal tail latency.
@@ -571,10 +580,14 @@ def _run_items(items: list, config: WorkerConfig, jobs: int,
                 payloads[item.index] = payload
                 stats.completed += 1
                 record(item, payload)
+                if progress is not None:
+                    progress.tick(stats)
         finally:
             feasibility.set_default_enabled(previous_feasibility)
             lang_parser.set_default_mode(previous_mode)
             summary.set_default_engine(previous_engine)
+        if progress is not None:
+            progress.finish(stats)
 
     if jobs <= 1 or len(pending) == 1:
         run_inline()
@@ -592,6 +605,7 @@ def _run_items(items: list, config: WorkerConfig, jobs: int,
             pending, config, jobs, policy, stats, payloads, record,
             quarantine_payload=quarantined,
             skipped_payload=skipped,
+            progress=progress,
         )
     except SupervisorUnavailable:
         # No usable multiprocessing here (restricted sandbox, missing
@@ -735,6 +749,8 @@ def check_files(paths: list, *, names: Optional[list] = None,
         trace_dir=(observation.worker_trace_dir
                    if observation is not None else None),
         collect_obs=observation is not None,
+        heartbeat_dir=(observation.worker_heartbeat_dir
+                       if observation is not None else None),
         feasibility=feasibility,
         frontend=frontend,
         engine=engine,
@@ -867,6 +883,8 @@ def metal_files(metal_path: str, paths: list, *, jobs: int = 1,
         trace_dir=(observation.worker_trace_dir
                    if observation is not None else None),
         collect_obs=observation is not None,
+        heartbeat_dir=(observation.worker_heartbeat_dir
+                       if observation is not None else None),
         feasibility=feasibility,
         frontend=frontend,
         engine=engine,

@@ -363,8 +363,10 @@ def _worker_main(config, conn) -> None:
     except (ValueError, OSError):  # pragma: no cover
         pass
     from . import parallel
+    from ..obs.progress import write_heartbeat
     parallel._init_worker(config)
     parallel._arm_worker_faults(config)
+    heartbeat_dir = getattr(config, "heartbeat_dir", None)
     while True:
         try:
             message = conn.recv()
@@ -374,11 +376,13 @@ def _worker_main(config, conn) -> None:
             return
         index, attempt, item = message
         parallel._WORKER_ATTEMPT = attempt
+        write_heartbeat(heartbeat_dir, index, attempt, "start")
         try:
             response = (index, "ok", parallel._execute_item(item, config))
         except Exception as exc:
             response = (index, "error", {
                 "error_type": type(exc).__name__, "message": str(exc)})
+        write_heartbeat(heartbeat_dir, index, attempt, "done")
         try:
             conn.send(response)
         except (BrokenPipeError, OSError):
@@ -421,13 +425,17 @@ def supervise_items(pending: list, config, jobs: int,
                     policy: SupervisorPolicy, stats: RunStats,
                     payloads: dict, record: Callable,
                     quarantine_payload: Callable,
-                    skipped_payload: Callable) -> None:
+                    skipped_payload: Callable,
+                    progress=None) -> None:
     """Run ``pending`` work items under supervision, filling ``payloads``.
 
     ``record(item, payload)`` persists each fresh completion (cache +
     journal); ``quarantine_payload(item, error_type, message)`` and
     ``skipped_payload(item, note)`` build kind-aware degraded payloads
-    for poisoned and interrupted items.  Raises
+    for poisoned and interrupted items.  ``progress`` (a
+    :class:`repro.obs.progress.ProgressReporter`) receives throttled
+    ``tick`` calls from the poll loop and one final ``finish`` — pure
+    stderr output, never an input to the analysis.  Raises
     :class:`SupervisorUnavailable` (before consuming any work) when no
     worker can be spawned, and :class:`WorkerFailure` when a worker
     reports a deterministic exception.
@@ -514,6 +522,8 @@ def supervise_items(pending: list, config, jobs: int,
                     worker.started_at = now
             busy = [worker for worker in workers
                     if worker.current is not None]
+            if progress is not None:
+                progress.tick(stats, busy=len(busy))
             if not busy:
                 if stopping or not unresolved:
                     break
@@ -567,3 +577,5 @@ def supervise_items(pending: list, config, jobs: int,
         for item in pending:
             if item.index in unresolved:
                 payloads[item.index] = skipped_payload(item, note)
+    if progress is not None:
+        progress.finish(stats)

@@ -76,18 +76,25 @@ class Observation:
     """
 
     def __init__(self, trace_path: Optional[str] = None,
-                 metrics_path: Optional[str] = None):
+                 metrics_path: Optional[str] = None,
+                 progress=None):
         self.trace_path = Path(trace_path) if trace_path else None
         self.metrics_path = Path(metrics_path) if metrics_path else None
         self.metrics = MetricsRegistry()
         self.trace_dir: Optional[Path] = None
         if self.trace_path is not None:
             self.trace_dir = Path(tempfile.mkdtemp(prefix="mc-trace-"))
+        self.progress = progress
+        self.heartbeat_dir: Optional[Path] = None
+        if progress is not None:
+            self.heartbeat_dir = Path(tempfile.mkdtemp(prefix="mc-hb-"))
+            progress.heartbeat_dir = str(self.heartbeat_dir)
         self._records: list[dict] = []
         self._t0 = time.time()
         self._w0 = time.perf_counter()
         self._c0 = time.process_time()
         self._item_total = 0
+        self._item_resolved = 0
         self.trace_stats: Optional[dict] = None
 
     # -- hooks called by the fleet driver ------------------------------------
@@ -96,9 +103,21 @@ class Observation:
     def worker_trace_dir(self) -> Optional[str]:
         return str(self.trace_dir) if self.trace_dir is not None else None
 
+    @property
+    def worker_heartbeat_dir(self) -> Optional[str]:
+        return (str(self.heartbeat_dir)
+                if self.heartbeat_dir is not None else None)
+
     def set_item_total(self, n: int) -> None:
         self._item_total = n
         self.metrics.inc("fleet.items", n)
+
+    def begin_pool(self, pending: int) -> None:
+        """The fleet is about to run ``pending`` items in the pool; the
+        rest of the total resolved parent-side."""
+        self._item_resolved = self._item_total - pending
+        if self.progress is not None:
+            self.progress.begin(self._item_total, self._item_resolved)
 
     def item_resolved(self, item, label: str, status: str) -> None:
         """Record an item that resolved parent-side (never ran a worker
@@ -134,16 +153,22 @@ class Observation:
         quarantines = 0
         degraded = 0
         results = getattr(run, "results", None)
+        sinks = getattr(run, "sinks", None)
         if results is not None:
             for result in results.values():
                 reports.extend(result.reports)
                 quarantines += len(result.quarantines)
                 degraded += 1 if result.degraded else 0
-        else:
-            for _path, sink in run.sinks:
+        elif sinks is not None:
+            for _path, sink in sinks:
                 reports.extend(sink.reports)
                 quarantines += len(sink.quarantines)
                 degraded += 1 if sink.degraded else 0
+        else:
+            # Campaign runs carry a cross-tab instead of per-file
+            # sinks; report totals for them come from the cross-tab
+            # counters the campaign layer merges separately.
+            return
         self.metrics.inc("reports.emitted", len(reports))
         self.metrics.inc("reports.errors",
                          sum(1 for r in reports if r.severity == "error"))
@@ -200,6 +225,11 @@ class Observation:
             if self.trace_dir is not None:
                 shutil.rmtree(self.trace_dir, ignore_errors=True)
                 self.trace_dir = None
+        if self.heartbeat_dir is not None:
+            shutil.rmtree(self.heartbeat_dir, ignore_errors=True)
+            self.heartbeat_dir = None
+            if self.progress is not None:
+                self.progress.heartbeat_dir = None
         snapshot = self.metrics.snapshot()
         if self.metrics_path is not None:
             import json

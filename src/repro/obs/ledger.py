@@ -1,0 +1,361 @@
+"""Persistent run ledger: one fsynced JSONL record per analysis run.
+
+The ledger is the run-over-run memory the per-run artifacts (reports,
+traces, metrics) individually lack: ``<cache-dir>/ledger.jsonl`` grows
+one line per completed ``check``/``metal``/``campaign`` invocation —
+run id, configuration fingerprint, engine/frontend/schema versions, a
+metrics snapshot, and the full report-id set — so "how does this run
+differ from the last one" becomes :func:`diff_runs` instead of a
+hand-written JSON diff.
+
+Three consumers:
+
+* ``mc-check history`` lists the recorded runs;
+* ``mc-check diff RUN-A RUN-B`` emits the three-part drift report
+  (new/lost/changed report ids, counter deltas, wall-time regression)
+  with a nonzero exit on drift, so CI can gate on it;
+* ``mc-check profile RUN-ID`` resolves a run id to its recorded
+  ``--trace`` file.
+
+Design constraints mirror the run journal's: each record is one
+``write``+``flush``+``fsync`` line (a killed process leaves at most one
+truncated tail, which :func:`read_ledger` skips); an unwritable ledger
+never fails the run (appends silently stop); and nothing here is read
+on the hot path — the ledger prices a run at one line of disk I/O.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+#: Ledger record schema; bump when the record shape changes.
+LEDGER_SCHEMA = 1
+
+#: Default wall-time regression threshold for :func:`diff_runs`: run B
+#: must be >25% slower than run A *and* slower by the absolute floor
+#: before the diff calls it a regression (scheduler jitter on
+#: sub-second runs must never fail a CI gate).
+WALL_THRESHOLD = 0.25
+WALL_FLOOR_SECONDS = 0.5
+
+
+def ledger_path(cache_dir: Optional[Path] = None) -> Path:
+    """Where the ledger lives: ``<cache-dir>/ledger.jsonl``."""
+    from ..mc.cache import default_cache_dir
+    base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    return base / "ledger.jsonl"
+
+
+def config_fingerprint(config: dict) -> str:
+    """Short stable digest of a run's analysis configuration."""
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def reports_digest(report_ids) -> str:
+    """Order-independent digest of a run's report-id set."""
+    h = hashlib.sha256()
+    for report_id in sorted(report_ids):
+        h.update(str(report_id).encode())
+        h.update(b"\x00")
+    return h.hexdigest()[:16]
+
+
+def make_record(*, run_id: str, command: str, files, config: dict,
+                wall: float, exit_code: int, reports: dict,
+                counters: Optional[dict] = None,
+                interrupted: bool = False, degraded: bool = False,
+                trace: Optional[str] = None,
+                now: Optional[float] = None) -> dict:
+    """Build one ledger record.
+
+    ``reports`` maps stable report ids to small per-report objects
+    (checker, file, line, function, severity, message) — enough for
+    :func:`diff_runs` to name what appeared, vanished, or moved without
+    re-reading any report document.
+    """
+    from .. import __version__
+    from ..mc.cache import SCHEMA_VERSION, engine_fingerprint
+    from ..mc.report import REPORT_JSON_SCHEMA
+
+    return {
+        "schema": LEDGER_SCHEMA,
+        "run": run_id,
+        "t": round(now if now is not None else time.time(), 3),
+        "command": command,
+        "files": sorted(str(f) for f in files),
+        "config": dict(config),
+        "config_fp": config_fingerprint(config),
+        "versions": {
+            "repro": __version__,
+            "engine_fp": engine_fingerprint()[:16],
+            "report_schema": REPORT_JSON_SCHEMA,
+            "payload_schema": SCHEMA_VERSION,
+        },
+        "wall": round(wall, 6),
+        "exit": exit_code,
+        "interrupted": bool(interrupted),
+        "degraded": bool(degraded),
+        "reports": reports,
+        "reports_digest": reports_digest(reports),
+        "counters": dict(counters or {}),
+        "trace": str(trace) if trace else None,
+    }
+
+
+def reports_from_doc(doc: dict) -> dict:
+    """The ledger's report map from a ``--format json`` report document
+    (``run_to_json``) or a campaign cross-tab document."""
+    reports: dict = {}
+    for obj in doc.get("reports", ()):
+        if not isinstance(obj, dict) or "id" not in obj:
+            continue
+        entry = {
+            "checker": obj.get("checker"),
+            "file": obj.get("file"),
+            "line": obj.get("line"),
+            "function": obj.get("function"),
+            "severity": obj.get("severity", "error"),
+            "message": obj.get("message"),
+        }
+        if "verdict" in obj:          # campaign cross-tab entries
+            entry["verdict"] = obj["verdict"]
+        reports[str(obj["id"])] = entry
+    return reports
+
+
+class RunLedger:
+    """Append-only writer for the ledger file.
+
+    Failure-tolerant by construction: an unwritable directory or a full
+    disk disables the ledger for the rest of the process instead of
+    failing the run that was being recorded.
+    """
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self.disabled = False
+
+    def append(self, record: dict) -> bool:
+        """Write one record as a single fsynced line; False if disabled."""
+        if self.disabled:
+            return False
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as fh:
+                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError:
+            self.disabled = True
+            return False
+        return True
+
+
+def read_ledger(path) -> list[dict]:
+    """Parse the ledger, oldest first, skipping corrupt/truncated lines
+    and records from incompatible schemas."""
+    records: list[dict] = []
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return records
+    for line in text.splitlines():
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            continue  # truncated tail from a killed run, or stray bytes
+        if (isinstance(obj, dict) and obj.get("schema") == LEDGER_SCHEMA
+                and isinstance(obj.get("run"), str)):
+            records.append(obj)
+    return records
+
+
+def find_run(records: list[dict], run_id: str) -> dict:
+    """The unique record whose run id matches ``run_id`` (a unique
+    prefix is enough); raises ``ReproError`` otherwise.
+
+    When several records share one run id (a resumed run records again
+    on completion), the latest wins — it describes the finished run.
+    """
+    from ..errors import ReproError
+
+    exact = [r for r in records if r["run"] == run_id]
+    if exact:
+        return exact[-1]
+    matches = {r["run"] for r in records if r["run"].startswith(run_id)}
+    if not matches:
+        known = ", ".join(r["run"] for r in records[-10:])
+        raise ReproError(
+            f"no ledger record for run {run_id!r}"
+            + (f"; recent runs: {known}" if known else " (ledger is empty)"))
+    if len(matches) > 1:
+        raise ReproError(
+            f"run id prefix {run_id!r} is ambiguous: "
+            + ", ".join(sorted(matches)))
+    chosen = matches.pop()
+    return [r for r in records if r["run"] == chosen][-1]
+
+
+# -- run-over-run drift -------------------------------------------------------
+
+def _report_identity(entry: dict) -> tuple:
+    """What makes a report "the same finding" across runs even when its
+    location (and therefore its id) changed: checker + function +
+    message.  A lost/new pair sharing this identity is *changed* (it
+    moved), not lost-and-found."""
+    return (entry.get("checker"), entry.get("function"),
+            entry.get("message"))
+
+
+def diff_runs(a: dict, b: dict, *, wall_threshold: float = WALL_THRESHOLD,
+              wall_floor: float = WALL_FLOOR_SECONDS) -> dict:
+    """The three-part drift report between two ledger records.
+
+    Part 1 — report drift: ids present only in B (``new``), only in A
+    (``lost``), and lost/new pairs with the same (checker, function,
+    message) identity folded into ``changed`` (the finding moved).
+    Part 2 — counter deltas (informational: cache state legitimately
+    differs between byte-identical runs).  Part 3 — wall time, flagged
+    as a regression only past both the relative threshold and the
+    absolute floor.
+
+    ``drift`` is True iff the report sets differ; ``regression`` adds
+    the wall-time verdict.  ``mc-check diff`` exits nonzero on either.
+    """
+    reports_a = a.get("reports") or {}
+    reports_b = b.get("reports") or {}
+    new_ids = sorted(set(reports_b) - set(reports_a))
+    lost_ids = sorted(set(reports_a) - set(reports_b))
+
+    lost_by_identity: dict[tuple, list[str]] = {}
+    for report_id in lost_ids:
+        identity = _report_identity(reports_a[report_id])
+        lost_by_identity.setdefault(identity, []).append(report_id)
+    changed: list[dict] = []
+    still_new: list[str] = []
+    for report_id in new_ids:
+        entry = reports_b[report_id]
+        candidates = lost_by_identity.get(_report_identity(entry))
+        if candidates:
+            old_id = candidates.pop(0)
+            old = reports_a[old_id]
+            changed.append({
+                "id_a": old_id, "id_b": report_id,
+                "checker": entry.get("checker"),
+                "function": entry.get("function"),
+                "from": f"{old.get('file')}:{old.get('line')}",
+                "to": f"{entry.get('file')}:{entry.get('line')}",
+            })
+        else:
+            still_new.append(report_id)
+    still_lost = [i for ids in lost_by_identity.values() for i in ids]
+
+    counters_a = a.get("counters") or {}
+    counters_b = b.get("counters") or {}
+    deltas: dict[str, dict] = {}
+    for name in sorted(set(counters_a) | set(counters_b)):
+        va, vb = counters_a.get(name, 0), counters_b.get(name, 0)
+        if (isinstance(va, (int, float)) and isinstance(vb, (int, float))
+                and va != vb):
+            deltas[name] = {"a": va, "b": vb, "delta": vb - va}
+
+    wall_a = float(a.get("wall") or 0.0)
+    wall_b = float(b.get("wall") or 0.0)
+    regressed = (wall_a > 0
+                 and wall_b > wall_a * (1.0 + wall_threshold)
+                 and wall_b - wall_a > wall_floor)
+
+    drift = bool(still_new or sorted(still_lost) or changed)
+    return {
+        "schema": LEDGER_SCHEMA,
+        "run_a": a["run"],
+        "run_b": b["run"],
+        "config_changed": a.get("config_fp") != b.get("config_fp"),
+        "reports": {
+            "new": [{"id": i, **reports_b[i]} for i in still_new],
+            "lost": [{"id": i, **reports_a[i]} for i in sorted(still_lost)],
+            "changed": changed,
+        },
+        "counters": deltas,
+        "wall": {
+            "a": wall_a, "b": wall_b,
+            "delta": round(wall_b - wall_a, 6),
+            "threshold": wall_threshold,
+            "regression": regressed,
+        },
+        "drift": drift,
+        "regression": drift or regressed,
+    }
+
+
+# -- human rendering ----------------------------------------------------------
+
+def format_history(records: list[dict], limit: int = 20) -> str:
+    """The ``mc-check history`` table, newest first."""
+    if not records:
+        return "(ledger is empty)"
+    lines = [f"{'run':24s} {'when':19s} {'command':10s} {'wall':>8s} "
+             f"{'exit':>4s} {'reports':>7s}  flags"]
+    lines.append("-" * len(lines[0]))
+    for record in list(reversed(records))[:limit]:
+        when = time.strftime("%Y-%m-%d %H:%M:%S",
+                             time.localtime(record.get("t", 0)))
+        flags = []
+        if record.get("interrupted"):
+            flags.append("interrupted")
+        if record.get("degraded"):
+            flags.append("degraded")
+        if record.get("trace"):
+            flags.append("traced")
+        lines.append(
+            f"{record['run']:24s} {when:19s} "
+            f"{record.get('command', '?'):10s} "
+            f"{record.get('wall', 0.0):8.2f} "
+            f"{record.get('exit', 0):4d} "
+            f"{len(record.get('reports') or {}):7d}  "
+            + (",".join(flags) or "-"))
+    if len(records) > limit:
+        lines.append(f"... {len(records) - limit} older run(s) not shown")
+    return "\n".join(lines)
+
+
+def format_diff(diff: dict) -> str:
+    """The ``mc-check diff`` drift report as text."""
+    lines = [f"diff: {diff['run_a']} -> {diff['run_b']}"]
+    if diff.get("config_changed"):
+        lines.append("  note: analysis configuration changed between runs")
+    reports = diff["reports"]
+    lines.append(f"reports: {len(reports['new'])} new, "
+                 f"{len(reports['lost'])} lost, "
+                 f"{len(reports['changed'])} changed")
+    for entry in reports["new"]:
+        lines.append(f"  + {entry['id']} [{entry.get('checker')}] "
+                     f"{entry.get('file')}:{entry.get('line')} "
+                     f"{entry.get('message')}")
+    for entry in reports["lost"]:
+        lines.append(f"  - {entry['id']} [{entry.get('checker')}] "
+                     f"{entry.get('file')}:{entry.get('line')} "
+                     f"{entry.get('message')}")
+    for entry in reports["changed"]:
+        lines.append(f"  ~ [{entry.get('checker')}] {entry.get('function')}: "
+                     f"moved {entry['from']} -> {entry['to']} "
+                     f"({entry['id_a']} -> {entry['id_b']})")
+    if diff["counters"]:
+        lines.append(f"counters: {len(diff['counters'])} changed")
+        for name, delta in diff["counters"].items():
+            lines.append(f"  {name}: {delta['a']} -> {delta['b']} "
+                         f"({delta['delta']:+})")
+    wall = diff["wall"]
+    verdict = "REGRESSION" if wall["regression"] else "ok"
+    lines.append(f"wall: {wall['a']:.3f}s -> {wall['b']:.3f}s "
+                 f"({wall['delta']:+.3f}s, threshold "
+                 f"{wall['threshold']:.0%}) {verdict}")
+    lines.append("drift: " + ("DRIFT detected" if diff["drift"]
+                              else "no report drift"))
+    return "\n".join(lines)

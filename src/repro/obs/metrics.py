@@ -15,6 +15,7 @@ back inside the result payload, and the parent merges.  Names follow a
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 #: Metrics document schema; bump when the snapshot shape changes.
@@ -37,13 +38,22 @@ class Histogram:
         self.values.append(float(value))
 
     def percentile(self, q: float) -> float:
-        """Exact q-th percentile (nearest-rank) of the samples."""
+        """Exact q-th percentile of the samples, nearest-rank method.
+
+        The textbook definition: rank ``ceil(q/100 * n)`` (1-based),
+        clamped to ``[1, n]``.  Unlike the interpolating variants, this
+        is well-behaved on the edge cases a per-run histogram actually
+        hits: an empty histogram is 0.0, a single sample is every
+        percentile, and p99 of a tiny sample set is the max rather than
+        an index rounded down to a middling sample.
+        """
         if not self.values:
             return 0.0
         ordered = sorted(self.values)
-        rank = max(0, min(len(ordered) - 1,
-                          round(q / 100.0 * (len(ordered) - 1))))
-        return ordered[rank]
+        if q <= 0:
+            return ordered[0]
+        rank = min(len(ordered), math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
 
     def snapshot(self) -> dict:
         values = self.values
@@ -119,6 +129,45 @@ def activate_metrics(registry: Optional[MetricsRegistry]):
     return previous
 
 
+# -- snapshot validation -----------------------------------------------------
+
+_HIST_KEYS = ("count", "sum", "min", "max", "p50", "p90", "p99")
+
+
+def validate_metrics_snapshot(snapshot) -> Optional[str]:
+    """Why ``snapshot`` is not a usable metrics document, or ``None``.
+
+    The renderers below assume numeric values and complete histogram
+    stat blocks; a hand-edited or truncated ``metrics.json`` must come
+    back as a structured error from ``mc-check stats``, never a
+    formatting traceback.
+    """
+    if not isinstance(snapshot, dict):
+        return "not a JSON object"
+    if snapshot.get("schema") != METRICS_SCHEMA:
+        return (f"unsupported metrics schema "
+                f"{snapshot.get('schema')!r} (expected {METRICS_SCHEMA})")
+    for section in ("counters", "gauges", "histograms"):
+        block = snapshot.get(section, {})
+        if not isinstance(block, dict):
+            return f"{section!r} is not an object"
+        for name, value in block.items():
+            if not isinstance(name, str):
+                return f"{section!r} has a non-string metric name"
+            if section == "histograms":
+                if not isinstance(value, dict):
+                    return f"histogram {name!r} is not an object"
+                for key in _HIST_KEYS:
+                    if not isinstance(value.get(key), (int, float)) \
+                            or isinstance(value.get(key), bool):
+                        return (f"histogram {name!r} is missing numeric "
+                                f"{key!r}")
+            elif not isinstance(value, (int, float)) \
+                    or isinstance(value, bool):
+                return f"{section[:-1]} {name!r} is not numeric"
+    return None
+
+
 # -- human rendering (``mc-check stats``) ------------------------------------
 
 def format_metrics(snapshot: dict) -> str:
@@ -151,3 +200,76 @@ def format_metrics(snapshot: dict) -> str:
     if not lines:
         lines.append("(no metrics recorded)")
     return "\n".join(lines)
+
+
+# -- Prometheus text exposition (``mc-check stats --format prometheus``) -----
+
+def _prom_name(name: str) -> str:
+    """A metric name in Prometheus grammar: ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return "mc_check_" + (cleaned or "unnamed")
+
+
+def _prom_escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _prom_number(value) -> str:
+    if isinstance(value, int) and not isinstance(value, bool):
+        return str(value)
+    return repr(float(value))
+
+
+def format_prometheus(snapshot: dict) -> str:
+    """Render a metrics snapshot in Prometheus text exposition format.
+
+    Counters become ``mc_check_<name>_total`` counter families, gauges
+    become gauges, and histograms are exported as summaries (quantile
+    labels + ``_sum``/``_count``), since the registry stores exact
+    percentiles rather than cumulative buckets.  Per-checker latency
+    series (``checker.wall_seconds.<name>``) fold into one family with
+    a ``checker`` label.  Output is deterministically ordered so a
+    golden file can pin it in CI.
+    """
+    out: list[str] = []
+
+    counters = snapshot.get("counters", {})
+    for name in sorted(counters):
+        prom = _prom_name(name) + "_total"
+        out.append(f"# TYPE {prom} counter")
+        out.append(f"{prom} {_prom_number(counters[name])}")
+
+    gauges = snapshot.get("gauges", {})
+    for name in sorted(gauges):
+        prom = _prom_name(name)
+        out.append(f"# TYPE {prom} gauge")
+        out.append(f"{prom} {_prom_number(gauges[name])}")
+
+    # Group labelled histogram families: checker.wall_seconds.<checker>
+    # shares one family; everything else is its own family.
+    families: dict[str, list[tuple[Optional[str], dict]]] = {}
+    for name in sorted(snapshot.get("histograms", {})):
+        stats = snapshot["histograms"][name]
+        if name.startswith("checker.wall_seconds."):
+            families.setdefault("checker.wall_seconds", []).append(
+                (name[len("checker.wall_seconds."):], stats))
+        else:
+            families.setdefault(name, []).append((None, stats))
+    for family in sorted(families):
+        prom = _prom_name(family)
+        out.append(f"# TYPE {prom} summary")
+        for label, stats in families[family]:
+            base = (f'checker="{_prom_escape(label)}",'
+                    if label is not None else "")
+            for q, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+                out.append(f'{prom}{{{base}quantile="{q}"}} '
+                           f"{_prom_number(stats[key])}")
+            suffix = f'{{checker="{_prom_escape(label)}"}}' \
+                if label is not None else ""
+            out.append(f"{prom}_sum{suffix} {_prom_number(stats['sum'])}")
+            out.append(f"{prom}_count{suffix} {_prom_number(stats['count'])}")
+
+    return "\n".join(out) + ("\n" if out else "")

@@ -1,0 +1,190 @@
+"""Live fleet health: ``--progress`` rendering and worker heartbeats.
+
+Two halves, glued by a directory of tiny JSONL files:
+
+* Workers call :func:`write_heartbeat` at item start/finish — one
+  appended line per event in ``<heartbeat-dir>/hb-<pid>.jsonl``.  Like
+  the tracer, a heartbeat failure never fails the analysis.
+* The parent's :class:`ProgressReporter` renders throttled status
+  lines to **stderr** (stdout stays reports-only, per the CLI
+  contract): items done, throughput, ETA, per-worker liveness from the
+  heartbeat files, and retry/quarantine counts.
+
+Purity: progress output is stderr chatter computed *from* the run; it
+feeds nothing back in, so reports stay byte-identical with it on or
+off (the CI purity diff includes ``--progress``).
+
+The reporter takes an injectable ``clock`` so tests can drive the
+throttle deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+#: Minimum seconds between rendered progress lines.
+DEFAULT_INTERVAL = 1.0
+
+#: A worker whose last heartbeat is older than this (seconds) while it
+#: still owns an item is rendered as *stalled* — the human-facing twin
+#: of the supervisor's watchdog.
+STALL_AFTER = 10.0
+
+
+def write_heartbeat(heartbeat_dir: Optional[str], item: int, attempt: int,
+                    event: str) -> None:
+    """Append one heartbeat event from a worker process; never raises."""
+    if not heartbeat_dir:
+        return
+    try:
+        path = Path(heartbeat_dir) / f"hb-{os.getpid()}.jsonl"
+        with path.open("a") as fh:
+            fh.write(json.dumps(
+                {"pid": os.getpid(), "t": round(time.time(), 3),
+                 "item": item, "attempt": attempt, "event": event},
+                separators=(",", ":")) + "\n")
+            fh.flush()
+    except OSError:
+        pass
+
+
+def read_heartbeats(heartbeat_dir) -> dict[int, dict]:
+    """Latest event per worker pid, tolerant of truncated lines."""
+    latest: dict[int, dict] = {}
+    try:
+        paths = sorted(Path(heartbeat_dir).glob("hb-*.jsonl"))
+    except OSError:
+        return latest
+    for path in paths:
+        try:
+            text = path.read_text()
+        except OSError:
+            continue
+        for line in text.splitlines():
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(obj, dict) and isinstance(obj.get("pid"), int):
+                latest[obj["pid"]] = obj
+    return latest
+
+
+class ProgressReporter:
+    """Throttled fleet-status lines on stderr.
+
+    ``begin(total, resolved)`` fixes the denominator (``resolved`` items
+    never reach the pool: cache hits, journal replays, quarantines);
+    ``tick(stats, busy)`` is called from the supervisor's poll loop and
+    renders at most once per ``interval``; ``finish(stats)`` renders the
+    unconditional final line.
+    """
+
+    def __init__(self, stream=None, interval: float = DEFAULT_INTERVAL,
+                 clock=time.monotonic,
+                 heartbeat_dir: Optional[str] = None,
+                 wall_clock=time.time):
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self.clock = clock
+        self.wall_clock = wall_clock
+        self.heartbeat_dir = heartbeat_dir
+        self.total = 0
+        self.resolved = 0
+        self._t0 = clock()
+        self._last_render = float("-inf")
+        self.lines_rendered = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin(self, total: int, resolved: int = 0) -> None:
+        self.total = total
+        self.resolved = resolved
+        self._t0 = self.clock()
+        self._render(done=resolved, busy=0, stats=None, final=False,
+                     force=True)
+
+    def tick(self, stats, busy: int = 0) -> None:
+        """Throttled render; ``stats`` is the supervisor's RunStats."""
+        now = self.clock()
+        if now - self._last_render < self.interval:
+            return
+        done = self.resolved + getattr(stats, "completed", 0) \
+            + getattr(stats, "quarantined", 0)
+        self._render(done=done, busy=busy, stats=stats, final=False)
+
+    def finish(self, stats=None) -> None:
+        done = self.resolved
+        if stats is not None:
+            done += getattr(stats, "completed", 0) \
+                + getattr(stats, "quarantined", 0)
+        else:
+            done = self.total
+        self._render(done=done, busy=0, stats=stats, final=True, force=True)
+
+    # -- rendering -----------------------------------------------------------
+
+    def _worker_health(self) -> Optional[str]:
+        if not self.heartbeat_dir:
+            return None
+        beats = read_heartbeats(self.heartbeat_dir)
+        if not beats:
+            return None
+        now = self.wall_clock()
+        live = 0
+        stalled = 0
+        for beat in beats.values():
+            if (beat.get("event") == "start"
+                    and now - beat.get("t", now) > STALL_AFTER):
+                stalled += 1
+            else:
+                live += 1
+        text = f"workers {live}/{len(beats)} live"
+        if stalled:
+            text += f" ({stalled} stalled)"
+        return text
+
+    def _render(self, *, done: int, busy: int, stats, final: bool,
+                force: bool = False) -> None:
+        now = self.clock()
+        if not force and now - self._last_render < self.interval:
+            return
+        self._last_render = now
+        elapsed = max(now - self._t0, 1e-9)
+        fresh_done = max(0, done - self.resolved)
+        rate = fresh_done / elapsed
+        parts = []
+        pct = (100.0 * done / self.total) if self.total else 100.0
+        parts.append(f"{done}/{self.total} items ({pct:.0f}%)")
+        if final:
+            parts.append(f"{rate:.1f} items/s" if fresh_done else "all "
+                         "resolved from cache")
+        else:
+            parts.append(f"{rate:.1f} items/s")
+            remaining = max(0, self.total - done)
+            if rate > 0 and remaining:
+                parts.append(f"eta {remaining / rate:.0f}s")
+            if busy:
+                parts.append(f"{busy} in flight")
+        health = self._worker_health()
+        if health:
+            parts.append(health)
+        if stats is not None:
+            retried = getattr(stats, "retried", 0)
+            quarantined = getattr(stats, "quarantined", 0)
+            if retried:
+                parts.append(f"retries {retried}")
+            if quarantined:
+                parts.append(f"quarantined {quarantined}")
+        label = "progress" if not final else "progress(done)"
+        try:
+            self.stream.write(f"{label}: " + ", ".join(parts) + "\n")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass
+        self.lines_rendered += 1

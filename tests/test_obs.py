@@ -399,3 +399,129 @@ class TestCLI:
         assert "reports.emitted" in proc.stdout
         assert "engine.functions" in proc.stdout
         assert "item.wall_seconds" in proc.stdout
+
+
+# -- histogram percentiles ----------------------------------------------------
+
+class TestHistogramPercentiles:
+    """Nearest-rank percentiles must be exact on the tiny sample sets a
+    per-run histogram actually holds (the pre-fix interpolation rounded
+    p99 of small sets down to a middling sample)."""
+
+    def _hist(self, *values):
+        from repro.obs.metrics import Histogram
+        h = Histogram()
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_empty_histogram_is_all_zeros(self):
+        h = self._hist()
+        assert h.percentile(50) == 0.0 and h.percentile(99) == 0.0
+        snap = h.snapshot()
+        assert snap == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                        "p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+    def test_single_sample_is_every_percentile(self):
+        h = self._hist(7.5)
+        for q in (0, 1, 50, 90, 99, 100):
+            assert h.percentile(q) == 7.5
+
+    def test_two_samples(self):
+        h = self._hist(10.0, 1.0)
+        assert h.percentile(50) == 1.0      # rank ceil(1.0)=1 -> min
+        assert h.percentile(51) == 10.0
+        assert h.percentile(90) == 10.0
+        assert h.percentile(99) == 10.0     # p99 of a tiny set is max
+
+    def test_three_samples_p99_is_max(self):
+        h = self._hist(3.0, 1.0, 2.0)
+        assert h.percentile(50) == 2.0
+        assert h.percentile(99) == 3.0
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 3.0
+
+    def test_nearest_rank_on_even_spread(self):
+        h = self._hist(*range(1, 101))      # 1..100
+        assert h.percentile(50) == 50
+        assert h.percentile(90) == 90
+        assert h.percentile(99) == 99
+        assert h.percentile(100) == 100
+        assert h.percentile(0.5) == 1
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=40),
+           st.integers(1, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_percentile_is_always_a_sample_within_bounds(self, values, q):
+        h = self._hist(*values)
+        p = h.percentile(q)
+        assert p in values
+        assert min(values) <= p <= max(values)
+        # Monotone in q.
+        assert h.percentile(q) >= h.percentile(max(1, q - 10))
+
+
+class TestSnapshotValidation:
+    def test_accepts_a_real_snapshot(self):
+        from repro.obs.metrics import validate_metrics_snapshot
+        registry = Observation().metrics
+        registry.inc("a")
+        registry.gauge("g", 1.5)
+        registry.observe("h", 0.25)
+        assert validate_metrics_snapshot(registry.snapshot()) is None
+
+    @pytest.mark.parametrize("doc,fragment", [
+        ([], "not a JSON object"),
+        ({"schema": 999}, "schema"),
+        ({"schema": 1, "counters": [], "gauges": {}, "histograms": {}},
+         "counters"),
+        ({"schema": 1, "counters": {"x": "y"}, "gauges": {},
+          "histograms": {}}, "x"),
+        ({"schema": 1, "counters": {"x": True}, "gauges": {},
+          "histograms": {}}, "x"),
+        ({"schema": 1, "counters": {}, "gauges": {},
+          "histograms": {"h": {"count": 1}}}, "h"),
+    ])
+    def test_rejects_malformed_documents(self, doc, fragment):
+        from repro.obs.metrics import validate_metrics_snapshot
+        problem = validate_metrics_snapshot(doc)
+        assert problem is not None and fragment in problem
+
+
+class TestPrometheus:
+    DATA = Path(__file__).parent / "data"
+
+    def test_exposition_matches_the_golden_file(self):
+        """CI diffs the CLI output against the same golden; this pins
+        the formatter itself so a drift names the culprit precisely."""
+        from repro.obs.metrics import format_prometheus
+        snapshot = json.loads((self.DATA / "metrics_sample.json").read_text())
+        golden = (self.DATA / "stats_prometheus_golden.txt").read_text()
+        assert format_prometheus(snapshot) == golden
+
+    def test_cli_stats_prometheus_matches_the_golden_file(self):
+        proc = run_cli("stats", str(self.DATA / "metrics_sample.json"),
+                       "--format", "prometheus")
+        assert proc.returncode == 0
+        golden = (self.DATA / "stats_prometheus_golden.txt").read_text()
+        assert proc.stdout == golden
+
+    def test_live_snapshot_renders_cleanly(self, two_files, tmp_path):
+        from repro.obs.metrics import format_prometheus
+        observation = Observation()
+        run = check_files(two_files, jobs=1, keep_going=True,
+                          observation=observation)
+        snapshot = observation.finalize(run)["metrics"]
+        text = format_prometheus(snapshot)
+        assert "# TYPE mc_check_reports_emitted_total counter" in text
+        assert 'mc_check_checker_wall_seconds{checker=' in text
+        assert text.endswith("\n")
+        # Well-formed exposition: every non-comment line is `name value`
+        # or `name{labels} value`.
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            float(value)
+            assert name.startswith("mc_check_")
