@@ -1,0 +1,61 @@
+/* drift_protocol: a handler file whose hand-maintained metadata has
+ * drifted from the code.  The consistency checker pack
+ * (src/repro/packs/consistency, loaded with --pack-dir) cross-checks
+ * this file against drift.spec and finds the seeded bugs:
+ *
+ *   - PILocalGet     message listing says LEN_NODATA, code sets LEN_WORD
+ *   - NIRemoteGet    has the handler prologue but no table registers it
+ *   - NILocalPut     registered (handler table + dispatch) but undefined
+ *   - SWHandlerFlush lists the same length twice on one path
+ *                    (caught by the pack's len_reassign metal machine)
+ */
+
+void PILocalGet(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    unsigned addr;
+    addr = HANDLER_GLOBALS(header.nh.addr);
+    /* the message listing claims this reply carries no data */
+    HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+    PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+    DB_FREE();
+    return;
+}
+
+void PIRemoteGet(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    unsigned addr;
+    addr = HANDLER_GLOBALS(header.nh.addr);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(NI_REPLY, F_DATA, 1, 1, 1, 0);
+    DB_FREE();
+    return;
+}
+
+void NIRemoteGet(void) {
+    /* full handler prologue — but the handler table, message listing,
+     * and dispatch config all forgot this one exists */
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    unsigned addr;
+    addr = HANDLER_GLOBALS(header.nh.addr);
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    NI_SEND(NI_REPLY, F_NODATA, 1, 1, 1, 0);
+    DB_FREE();
+    return;
+}
+
+void SWHandlerFlush(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    unsigned addr;
+    addr = HANDLER_GLOBALS(header.nh.addr);
+    HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+    /* same length listed again: a copy-paste residue the len_reassign
+     * machine flags as a redundant duplicate */
+    HANDLER_GLOBALS(header.nh.len) = LEN_WORD;
+    PI_SEND(F_DATA, 1, 0, 1, 1, 0);
+    DB_FREE();
+    return;
+}

@@ -103,6 +103,68 @@ class Checker(ABC):
 
 _REGISTRY: dict[str, Type[Checker]] = {}
 
+#: The pseudo-pack every first-party checker belongs to.  The builtin
+#: registry is "just the default pack": same origin shape, same
+#: provenance surfaces (``mc-check checkers``, report JSON), but wired
+#: in at import time rather than discovered from a ``pack.toml``.
+BUILTIN_PACK = "builtin"
+
+
+@dataclass(frozen=True)
+class CheckerOrigin:
+    """Where a registered checker came from: which pack, which version.
+
+    Folded into cache/journal keys (:func:`repro.mc.cache.checker_fingerprint`)
+    and report provenance, so bumping a pack's version invalidates
+    exactly that pack's entries and every diagnostic can be attributed
+    to the pack that produced it.
+    """
+
+    pack: str
+    version: str
+    #: The implementation file (Python module or ``.metal`` program)
+    #: the checker was loaded from; empty for builtins (their source is
+    #: located through the class itself).
+    source: str = ""
+
+    @property
+    def builtin(self) -> bool:
+        return self.pack == BUILTIN_PACK
+
+    @property
+    def label(self) -> str:
+        return f"{self.pack}@{self.version}"
+
+
+#: Checker name -> origin, for pack-provided checkers.  Builtins are
+#: not stored: :func:`checker_origin` synthesizes their origin so the
+#: builtin registry needs no load-time bookkeeping.
+_ORIGINS: dict[str, CheckerOrigin] = {}
+
+
+def _builtin_origin() -> CheckerOrigin:
+    from .. import __version__
+    return CheckerOrigin(pack=BUILTIN_PACK, version=__version__)
+
+
+def checker_origin(name: str) -> CheckerOrigin:
+    """The :class:`CheckerOrigin` of a registered checker.
+
+    Builtins report the ``builtin`` pseudo-pack at the engine version;
+    unknown names raise ``KeyError`` like :func:`get_checker`.
+    """
+    origin = _ORIGINS.get(name)
+    if origin is not None:
+        return origin
+    if name not in _REGISTRY:
+        raise KeyError(name)
+    return _builtin_origin()
+
+
+def is_pack_checker(name: str) -> bool:
+    """True when ``name`` was provided by a loaded pack (not builtin)."""
+    return name in _ORIGINS
+
 
 def register(cls: Type[Checker]) -> Type[Checker]:
     """Class decorator adding a checker to the global registry."""
@@ -110,6 +172,44 @@ def register(cls: Type[Checker]) -> Type[Checker]:
         raise ValueError(f"{cls.__name__} must set a name")
     _REGISTRY[cls.name] = cls
     return cls
+
+
+def register_pack_checker(cls: Type[Checker],
+                          origin: CheckerOrigin) -> Type[Checker]:
+    """Register a pack-provided checker with its provenance.
+
+    Name collisions — with a builtin or with another pack's checker —
+    are structural load errors (:class:`repro.packs.PackError`): two
+    checkers sharing a name would make reports, cache keys, and
+    ``--checker`` selection ambiguous.
+    """
+    from ..packs.manifest import PackError
+    if not cls.name:
+        raise PackError(
+            f"pack {origin.label}: checker class {cls.__name__} in "
+            f"{origin.source or '<module>'} sets no name")
+    existing = _REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        holder = _ORIGINS.get(cls.name)
+        held_by = holder.label if holder is not None else "builtin"
+        raise PackError(
+            f"pack {origin.label}: checker name {cls.name!r} collides "
+            f"with the one registered by {held_by}")
+    _REGISTRY[cls.name] = cls
+    _ORIGINS[cls.name] = origin
+    from ..mc.cache import _CHECKER_FP
+    _CHECKER_FP.pop(cls.name, None)
+    return cls
+
+
+def unregister_pack_checker(name: str) -> None:
+    """Remove a pack checker (pack unload; tests).  Builtin names are
+    never removable through this path."""
+    if name in _ORIGINS:
+        _ORIGINS.pop(name, None)
+        _REGISTRY.pop(name, None)
+        from ..mc.cache import _CHECKER_FP
+        _CHECKER_FP.pop(name, None)
 
 
 def checker_names() -> list[str]:
@@ -160,12 +260,17 @@ def run_all(program: Program,
         try:
             results[checker.name] = checker.check(program)
         except Exception as exc:
-            if not keep_going:
+            # Pack checkers run sandboxed unconditionally: third-party
+            # code blowing up costs that pack's result, never the run.
+            # Builtins keep the opt-in keep_going contract.
+            from_pack = is_pack_checker(checker.name)
+            if not keep_going and not from_pack:
                 raise
             from ..mc.resilience import Quarantine
             result = CheckerResult(checker=checker.name, degraded=True)
             result.quarantines.append(Quarantine(
-                checker=checker.name, function="*", phase="checker",
+                checker=checker.name, function="*",
+                phase="pack" if from_pack else "checker",
                 error_type=type(exc).__name__, message=str(exc),
             ))
             results[checker.name] = result

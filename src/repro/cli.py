@@ -291,7 +291,44 @@ def _report_doc(run, min_confidence=None) -> dict:
     return run_to_json(run, min_confidence=min_confidence)
 
 
+def _packs_from_args(args) -> tuple:
+    """Discover and load the run's checker packs; returns the resolved
+    pack-directory strings shipped to workers.
+
+    Sources, in order: ``--pack-dir`` flags, ``$MC_CHECK_PACK_PATH``,
+    and the working directory's ``mc-check.toml`` (``[packs] dirs``).
+    Loading in the parent — before any worker forks — means a broken
+    pack fails the run up front with a structured ``PackError`` (a
+    :class:`ReproError`: ``mc-check: internal error:`` + exit 2), never
+    a traceback or a half-loaded fleet.
+    """
+    from .packs import discover_pack_dirs, load_packs
+    dirs = discover_pack_dirs(getattr(args, "pack_dir", None) or ())
+    if dirs:
+        load_packs(dirs)
+    return tuple(str(d) for d in dirs)
+
+
+def _pack_config_labels() -> list:
+    """``name@version`` labels of the loaded packs, for ledger configs."""
+    from .packs import loaded_packs
+    return sorted(pack.label for pack in loaded_packs())
+
+
+def _validate_checker_names(names) -> None:
+    """``--checker`` validation, after packs have loaded (so pack
+    checkers are selectable); unknown names fail structured."""
+    known = checker_names()
+    for name in names or ():
+        if name not in known:
+            raise ReproError(
+                f"--checker: unknown checker {name!r}; known: "
+                + ", ".join(known))
+
+
 def cmd_check(args) -> int:
+    pack_dirs = _packs_from_args(args)
+    _validate_checker_names(args.checker)
     names = args.checker or None
     keep_going = getattr(args, "keep_going", False)
     json_mode = getattr(args, "format", "text") == "json"
@@ -318,7 +355,7 @@ def cmd_check(args) -> int:
                 jobs=jobs, cache=cache, keep_going=keep_going,
                 deadline=deadline, journal=journal, policy=policy,
                 observation=observation, feasibility=feasibility,
-                frontend=frontend, engine=engine,
+                frontend=frontend, engine=engine, pack_dirs=pack_dirs,
             )
     finally:
         if journal is not None:
@@ -372,7 +409,8 @@ def cmd_check(args) -> int:
                 "feasibility": feasibility, "frontend": frontend,
                 "jobs": jobs, "checkers": sorted(names or []),
                 "keep_going": keep_going,
-                "min_confidence": min_confidence},
+                "min_confidence": min_confidence,
+                "packs": _pack_config_labels()},
         run=run, journal=journal, observation=observation, wall=wall,
         exit_code=code, doc=doc, degraded=degraded)
     return code
@@ -391,6 +429,7 @@ def _hard_quarantines(quarantines, frontend: str) -> list:
 
 
 def cmd_metal(args) -> int:
+    _packs_from_args(args)  # validate --pack-dir; metal runs one machine
     keep_going = getattr(args, "keep_going", False)
     json_mode = getattr(args, "format", "text") == "json"
     feasibility = getattr(args, "feasibility", "on") == "on"
@@ -577,6 +616,7 @@ def cmd_campaign(args) -> int:
     from .campaign.crosstab import reports_from_json, reports_from_run
 
     json_mode = getattr(args, "format", "text") == "json"
+    pack_dirs = _packs_from_args(args)
     spec_path = getattr(args, "spec", None)
     program = _load_program(args.files, spec_path)
     functions = {f.name: f for f in program.functions()}
@@ -643,7 +683,8 @@ def cmd_campaign(args) -> int:
                     keep_going=True,
                     feasibility=getattr(args, "feasibility", "on") == "on",
                     frontend=getattr(args, "frontend", "strict"),
-                    engine=getattr(args, "engine", "summary"))
+                    engine=getattr(args, "engine", "summary"),
+                    pack_dirs=pack_dirs)
                 static_reports = reports_from_run(static_run)
             print(f"static: {len(static_reports)} error report(s) "
                   f"to cross-validate", file=sys.stderr)
@@ -816,7 +857,13 @@ def cmd_stats(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    """Checker-of-checkers: lint metal state machines themselves."""
+    """Checker-of-checkers: lint metal state machines themselves.
+
+    With no arguments, lints every builtin metal listing *and* every
+    metal program of the discovered checker packs (``--pack-dir`` /
+    ``$MC_CHECK_PACK_PATH`` / project ``mc-check.toml``) — the same
+    machines a pack run would load.
+    """
     from .errors import MetalError
     from .metal import lint_source
 
@@ -830,6 +877,21 @@ def cmd_lint(args) -> int:
     else:
         from .checkers.metal_sources import BUILTIN_LISTINGS
         sources.extend(BUILTIN_LISTINGS.items())
+        # Packs are *not* loaded here: loading refuses lint-dirty packs
+        # outright, and lint's job is to show the findings.  Read the
+        # manifests and lint the machines they name directly.
+        from .packs import discover_pack_dirs, load_manifest
+        for pack_dir in discover_pack_dirs(
+                getattr(args, "pack_dir", None) or ()):
+            manifest = load_manifest(pack_dir)
+            for rel in manifest.metal_checkers:
+                path = manifest.root / rel
+                try:
+                    sources.append((f"{manifest.label}:{rel}",
+                                    path.read_text()))
+                except OSError as exc:
+                    raise ReproError(
+                        f"cannot read {path}: {exc}") from None
     total = 0
     for name, text in sources:
         try:
@@ -846,6 +908,53 @@ def cmd_lint(args) -> int:
         return EXIT_CLEAN
     print(f"lint: {total} finding(s) in {label}")
     return EXIT_BUGS
+
+
+def cmd_checkers(args) -> int:
+    """Enumerate what a run would dispatch: builtin checkers (the
+    default pack) plus every checker of the discovered packs, each with
+    the pack name and version that owns it."""
+    import json as json_mod
+    from .checkers.base import checker_origin
+    from .packs import loaded_packs
+
+    _packs_from_args(args)
+    rows = []
+    for name in checker_names():
+        origin = checker_origin(name)
+        checker = get_checker(name)
+        rows.append({
+            "name": name,
+            "pack": origin.pack,
+            "version": origin.version,
+            "builtin": origin.builtin,
+            "metal_loc": checker.metal_loc,
+            "unit_parallel": checker.unit_parallel,
+            **({"source": origin.source} if origin.source else {}),
+        })
+    if getattr(args, "format", "text") == "json":
+        doc = {
+            "schema": 1,
+            "checkers": rows,
+            "packs": [{
+                "name": pack.name,
+                "version": pack.version,
+                "root": str(pack.manifest.root),
+                "checkers": list(pack.checkers),
+            } for pack in loaded_packs()],
+        }
+        print(json_mod.dumps(doc, indent=2))
+        return EXIT_CLEAN
+    print(f"{'checker':20s} {'pack':24s} {'metal LOC':>9s}")
+    for row in rows:
+        label = f"{row['pack']}@{row['version']}"
+        print(f"{row['name']:20s} {label:24s} {row['metal_loc']:9d}")
+    if loaded_packs():
+        print()
+        for pack in loaded_packs():
+            print(f"pack {pack.label}: {len(pack.checkers)} checker(s) "
+                  f"from {pack.manifest.root}")
+    return EXIT_CLEAN
 
 
 def cmd_explain(args) -> int:
@@ -1028,6 +1137,14 @@ def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
                         metavar="SCORE",
                         help="drop reports whose z-ranking confidence is "
                              "below SCORE (0..1); see docs/analysis.md")
+    parser.add_argument("--pack-dir", action="append", default=None,
+                        metavar="DIR",
+                        help="load checker pack(s) from DIR — a directory "
+                             "with a pack.toml, or one whose "
+                             "subdirectories carry them (repeatable; "
+                             "$MC_CHECK_PACK_PATH and a project "
+                             "mc-check.toml [packs] dirs are also "
+                             "consulted; see docs/checkers.md)")
     parser.add_argument("--frontend", choices=["strict", "tolerant"],
                         default="strict",
                         help="parse mode: 'strict' fails the run on the "
@@ -1055,8 +1172,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_check = sub.add_parser("check", help="run FLASH checkers over C files")
     p_check.add_argument("files", nargs="+")
     p_check.add_argument("--checker", action="append",
-                         choices=checker_names(),
-                         help="run only this checker (repeatable)")
+                         help="run only this checker (repeatable; builtin "
+                              "or pack-provided — see 'mc-check checkers')")
     p_check.add_argument("--spec",
                          help="protocol specification file (handler table, "
                               "lane allowances, buffer routine tables)")
@@ -1186,6 +1303,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list registered checkers")
     p_list.set_defaults(func=cmd_list)
 
+    p_checkers = sub.add_parser(
+        "checkers",
+        help="enumerate builtin + pack checkers with the pack and "
+             "version each belongs to (what a run would dispatch)")
+    p_checkers.add_argument("--list", action="store_true",
+                            help="list checkers (the default action)")
+    p_checkers.add_argument("--format", choices=["text", "json"],
+                            default="text")
+    p_checkers.add_argument("--pack-dir", action="append", default=None,
+                            metavar="DIR",
+                            help="also load checker pack(s) from DIR "
+                                 "(repeatable)")
+    p_checkers.set_defaults(func=cmd_checkers)
+
     p_lint = sub.add_parser(
         "lint",
         help="lint metal state machines (checker-of-checkers): "
@@ -1193,7 +1324,12 @@ def build_parser() -> argparse.ArgumentParser:
              "patterns that can never fire")
     p_lint.add_argument("checkers", nargs="*", metavar="CHECKER.metal",
                         help="textual metal programs to lint (default: "
-                             "the built-in paper listings)")
+                             "the built-in paper listings plus every "
+                             "discovered checker pack's machines)")
+    p_lint.add_argument("--pack-dir", action="append", default=None,
+                        metavar="DIR",
+                        help="also lint checker pack(s) from DIR "
+                             "(repeatable)")
     p_lint.set_defaults(func=cmd_lint)
 
     p_stats = sub.add_parser(
@@ -1301,8 +1437,12 @@ def main(argv=None) -> int:
         return EXIT_INTERRUPTED
     except ReproError as exc:
         # The tool (or its input plumbing) failed — distinct from "the
-        # checked protocol has bugs" (exit 1).
-        print(f"mc-check: internal error: {exc}", file=sys.stderr)
+        # checked protocol has bugs" (exit 1).  Pack problems are the
+        # user's manifest, not our bug: label them as such.
+        from .packs import PackError
+        kind = "pack error" if isinstance(exc, PackError) else \
+            "internal error"
+        print(f"mc-check: {kind}: {exc}", file=sys.stderr)
         return EXIT_INTERNAL
 
 

@@ -50,6 +50,10 @@ def dump_spec(info: ProtocolInfo) -> str:
         directive = key[:-1] if key.endswith("s") else key
         for name in sorted(getattr(info, key)):
             lines.append(f"{directive} {name}")
+    for name in sorted(info.messages):
+        lines.append(f"message {name} len {info.messages[name]}")
+    for opcode in sorted(info.dispatch):
+        lines.append(f"dispatch {opcode} {info.dispatch[opcode]}")
     return "\n".join(lines) + "\n"
 
 
@@ -79,6 +83,28 @@ def parse_spec(text: str, filename: str = "<spec>") -> ProtocolInfo:
             if len(args) != 1:
                 raise SpecError(f"{where}: {directive} needs one routine name")
             getattr(info, table_for[directive]).add(args[0])
+        elif directive == "message":
+            # message NAME len LEN_CONST — the protocol message listing
+            # the consistency pack audits against the handler's code.
+            if len(args) != 3 or args[1] != "len":
+                raise SpecError(
+                    f"{where}: message wants 'message NAME len LEN_CONST'")
+            info.messages[args[0]] = args[2]
+        elif directive == "dispatch":
+            # dispatch OPCODE HANDLER — a simulator dispatch-table entry.
+            if len(args) != 2:
+                raise SpecError(
+                    f"{where}: dispatch wants 'dispatch OPCODE HANDLER'")
+            try:
+                opcode = int(args[0], 0)
+            except ValueError:
+                raise SpecError(
+                    f"{where}: dispatch opcode {args[0]!r} is not an "
+                    "integer") from None
+            if opcode in info.dispatch:
+                raise SpecError(
+                    f"{where}: dispatch opcode {opcode} registered twice")
+            info.dispatch[opcode] = args[1]
         else:
             raise SpecError(f"{where}: unknown directive {directive!r}")
     return info

@@ -122,10 +122,29 @@ def checker_fingerprint(name: str) -> Optional[str]:
         return _CHECKER_FP[name]
     from ..checkers import base as checkers_base
     from ..checkers import metal_sources
-    from ..checkers.base import _REGISTRY
+    from ..checkers.base import _ORIGINS, _REGISTRY
 
     cls = _REGISTRY.get(name)
     fp: Optional[str] = None
+    origin = _ORIGINS.get(name)
+    if cls is not None and origin is not None:
+        # Pack checkers key on the pack's identity (name@version) plus
+        # the implementation file the manifest named — not on the class
+        # object, which for metal packs is synthesized inside the
+        # loader.  Bumping the pack's version (or editing its source)
+        # therefore invalidates exactly that pack's entries; builtin
+        # keys are untouched, keeping no-pack and with-pack runs on the
+        # same cache lines.
+        source = Path(origin.source) if origin.source else None
+        if source is not None and source.exists():
+            fp = _sha256(
+                name.encode(),
+                origin.label.encode(),
+                source.read_bytes(),
+                _module_digest(checkers_base).encode(),
+            )
+        _CHECKER_FP[name] = fp
+        return fp
     if cls is not None:
         try:
             path = inspect.getsourcefile(cls)

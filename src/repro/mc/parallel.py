@@ -131,6 +131,12 @@ class WorkerConfig:
     #: Canonical :class:`repro.campaign.plans.CampaignSpec` JSON for
     #: campaign items (``mc-check campaign``); ``None`` otherwise.
     campaign_spec: Optional[str] = None
+    #: Checker-pack directories (``--pack-dir``, repro.packs), resolved
+    #: by the parent and re-loaded at worker init so spawned/supervised
+    #: workers carry the same registry as the parent.  Loading is
+    #: idempotent, and the parent always loads first, so workers can
+    #: only re-validate an already-accepted pack.
+    pack_dirs: tuple = ()
 
 
 # -- worker side -------------------------------------------------------------
@@ -158,6 +164,9 @@ def _init_worker(config: WorkerConfig) -> None:
     feasibility.set_default_enabled(config.feasibility)
     lang_parser.set_default_mode(config.frontend)
     summary.set_default_engine(config.engine)
+    if config.pack_dirs:
+        from ..packs import load_packs
+        load_packs(Path(d) for d in config.pack_dirs)
 
 
 def _arm_worker_faults(config: WorkerConfig) -> None:
@@ -311,11 +320,18 @@ def _run_checker_item(item: WorkItem, config: WorkerConfig) -> dict:
     try:
         result = checker.check(program)
     except Exception as exc:
-        if not config.keep_going:
+        # Pack checkers are sandboxed unconditionally: third-party code
+        # raising becomes Quarantine(phase="pack") on that pack's
+        # result, never a crashed worker or a failed fleet.  Builtins
+        # keep the opt-in keep_going contract.
+        from ..checkers.base import is_pack_checker
+        from_pack = is_pack_checker(name)
+        if not config.keep_going and not from_pack:
             raise
         result = CheckerResult(checker=name, degraded=True)
         result.quarantines.append(Quarantine(
-            checker=name, function="*", phase="checker",
+            checker=name, function="*",
+            phase="pack" if from_pack else "checker",
             error_type=type(exc).__name__, message=str(exc),
         ))
     for quarantine in _input_quarantines(name, program.units.values()):
@@ -713,7 +729,8 @@ def check_files(paths: list, *, names: Optional[list] = None,
                 policy: Optional[SupervisorPolicy] = None,
                 observation=None, feasibility: bool = True,
                 frontend: str = "strict",
-                engine: str = "summary") -> CheckRun:
+                engine: str = "summary",
+                pack_dirs: tuple = ()) -> CheckRun:
     """Run the registered checker fleet over source files, in parallel.
 
     The parallel analog of :func:`repro.checkers.base.run_all`: same
@@ -754,6 +771,7 @@ def check_files(paths: list, *, names: Optional[list] = None,
         feasibility=feasibility,
         frontend=frontend,
         engine=engine,
+        pack_dirs=tuple(str(d) for d in pack_dirs),
     )
 
     items: list[WorkItem] = []

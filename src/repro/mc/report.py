@@ -24,7 +24,11 @@ __all__ = [
 #: v3 added the ``suppressed`` section: reports withheld because every
 #: path reaching them crossed an opaque (unparsed) region, each tagged
 #: with its ``suppressed_by`` reason.
-REPORT_JSON_SCHEMA = 3
+#: v4 added per-report ``pack`` provenance (``{"name", "version"}``):
+#: every report from a registered checker names the pack that produced
+#: it — builtins report the ``builtin`` pseudo-pack at the engine
+#: version, checker-pack findings their ``pack.toml`` identity.
+REPORT_JSON_SCHEMA = 4
 
 
 def _stable_key(report: Report) -> tuple:
@@ -146,7 +150,7 @@ def summarize_by_severity(reports) -> dict[str, int]:
 # -- machine-readable reports (``--format json`` / ``mc-check explain``) ------
 
 def report_to_json_obj(report: Report, provenance=None,
-                       confidence=None) -> dict:
+                       confidence=None, origin=None) -> dict:
     """One diagnostic as a JSON-able object.
 
     ``id`` is the stable short hash ``mc-check explain`` takes; it is a
@@ -156,6 +160,8 @@ def report_to_json_obj(report: Report, provenance=None,
     and non-engine diagnostics carry none).  ``confidence`` is the
     z-ranking score (:mod:`repro.mc.ranking`), computed from the merged
     run — never cached — so it too is cache-state independent.
+    ``origin`` (a :class:`repro.checkers.base.CheckerOrigin`) attributes
+    the report to the checker pack that produced it.
     """
     from ..obs.provenance import report_id
 
@@ -173,9 +179,25 @@ def report_to_json_obj(report: Report, provenance=None,
         "backtrace": [str(frame) for frame in report.backtrace],
         "provenance": list(provenance) if provenance else [],
     }
+    if origin is not None:
+        obj["pack"] = {"name": origin.pack, "version": origin.version}
     if confidence is not None:
         obj["confidence"] = confidence
     return obj
+
+
+def _part_origin(part):
+    """The :class:`CheckerOrigin` of one merged result, or ``None`` for
+    parts that are not registered checkers (textual metal sinks)."""
+    from ..checkers.base import checker_origin
+
+    name = getattr(part, "checker", "")
+    if not name:
+        return None
+    try:
+        return checker_origin(name)
+    except KeyError:
+        return None
 
 
 def run_to_json(run, min_confidence=None) -> dict:
@@ -203,13 +225,15 @@ def run_to_json(run, min_confidence=None) -> dict:
     notes: list[str] = []
     for part in parts:
         provenance = getattr(part, "provenance", {})
+        origin = _part_origin(part)
         for report in filter_by_confidence(part.reports, scores,
                                            min_confidence):
             reports.append(report_to_json_obj(
                 report, provenance.get(report_key(report)),
-                confidence=scores.get(report_key(report))))
+                confidence=scores.get(report_key(report)),
+                origin=origin))
         for report, why in getattr(part, "suppressed", []):
-            obj = report_to_json_obj(report)
+            obj = report_to_json_obj(report, origin=origin)
             obj["suppressed_by"] = why
             suppressed.append(obj)
         for q in part.quarantines:

@@ -200,6 +200,9 @@ def render_explain(report_obj: dict, steps: list[dict]) -> str:
              f"{report_obj['column']}")
     lines.append(f"error {report_obj['id']}: {where}: "
                  f"[{report_obj['checker']}] {report_obj['message']}")
+    pack = report_obj.get("pack")
+    if pack:
+        lines.append(f"  from pack {pack['name']}@{pack['version']}")
     if report_obj.get("function"):
         lines.append(f"  in function {report_obj['function']}")
     for frame in report_obj.get("backtrace", ()):

@@ -1,0 +1,32 @@
+"""Checker packs: discoverable, versioned, sandboxed third-party checkers.
+
+The paper's pitch is that *implementors* extend the checker — this
+package turns that into a deployment format.  A pack is a directory
+with a ``pack.toml`` manifest naming Python checker modules and/or
+textual metal programs; `mc-check --pack-dir` (or ``MC_CHECK_PACK_PATH``
+or a project ``mc-check.toml``) discovers it, `repro.packs.loader`
+validates + lints + registers it, and from there the fleet treats its
+checkers exactly like builtins — except that pack code always runs
+sandboxed (an exception becomes ``Quarantine(phase="pack")``) and every
+cache key and report carries the pack's name@version.
+"""
+
+from .loader import (
+    PACK_PATH_ENV,
+    PROJECT_CONFIG,
+    LoadedPack,
+    clear_packs,
+    discover_pack_dirs,
+    load_pack,
+    load_packs,
+    loaded_packs,
+    project_pack_dirs,
+)
+from .manifest import MANIFEST_NAME, PackError, PackManifest, load_manifest
+
+__all__ = [
+    "PackError", "PackManifest", "LoadedPack", "MANIFEST_NAME",
+    "PACK_PATH_ENV", "PROJECT_CONFIG",
+    "load_manifest", "load_pack", "load_packs", "loaded_packs",
+    "clear_packs", "discover_pack_dirs", "project_pack_dirs",
+]

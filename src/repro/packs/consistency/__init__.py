@@ -1,0 +1,10 @@
+"""The flagship *consistency* checker pack.
+
+This directory is a checker pack, not a Python API: the ``pack.toml``
+manifest names the modules, and ``mc-check --pack-dir`` (or the pack
+loader) imports them in isolation.  The ``__init__`` exists only so
+the pack's files ship inside the wheel; import nothing from here —
+load the pack::
+
+    mc-check check fleet.c --pack-dir src/repro/packs/consistency
+"""

@@ -1,0 +1,163 @@
+"""Cross-artifact consistency checks (the flagship checker pack).
+
+The bug class Kabir/Wang call *metadata drift*: the protocol's message
+listing, its handler-table registrations, and the simulator dispatch
+config are each maintained by hand, and each can quietly disagree with
+the code.  This checker audits every artifact pair:
+
+* **unregistered handler** — a function carries the handler prologue
+  (``HANDLER_DEFS``) but appears in no table: the dispatcher can never
+  reach it;
+* **dead table entry** — a handler-table, message-listing, or dispatch
+  registration names a function the checked sources do not define;
+* **message-length drift** — the listing declares a handler's message
+  length (``message NAME len LEN_x`` in the spec) but no assignment in
+  the handler's code ever sets that constant;
+* **unknown length constant** — the listing uses a constant the
+  machine vocabulary does not define;
+* **unregistered dispatch target** — the simulator config dispatches
+  to a function the handler table never registered.
+
+All judgements are table-conditional: with no ``--spec`` (every table
+empty) the checker is a silent no-op, so loading the pack against an
+un-specced run changes nothing — the pack layer's purity guarantee.
+
+Inference follows the ``table-audit`` seed: walk the handler's AST for
+the facts (length-constant assignments, prologue calls), then judge
+code against table, tolerating mixed data-dependent behaviour — only a
+listing that *no* site in the code agrees with is drift.
+"""
+
+from __future__ import annotations
+
+from repro.checkers.base import Checker, CheckerResult
+from repro.flash import machine
+from repro.lang import ast
+from repro.lang.source import Location
+from repro.lang.unparse import unparse_expr
+from repro.metal.runtime import Report
+from repro.project import Program
+
+
+def _len_assignments(function: ast.FunctionDef):
+    """``(constant-name, location)`` for every assignment of a length
+    constant to the message-length field in ``function``."""
+    for node in function.walk():
+        if not isinstance(node, ast.Assign) or node.op != "=":
+            continue
+        if unparse_expr(node.target) != machine.MSG_LEN_LVALUE:
+            continue
+        if isinstance(node.value, ast.Ident) and \
+                node.value.name.startswith("LEN_"):
+            yield node.value.name, node.location
+
+
+def _has_handler_prologue(function: ast.FunctionDef) -> bool:
+    return any(isinstance(node, ast.Call)
+               and node.callee_name == machine.HANDLER_DEFS
+               for node in function.walk())
+
+
+class ConsistencyChecker(Checker):
+    """Protocol listings, handler tables, and simulator config must
+    agree with the code they describe."""
+
+    name = "consistency"
+    metal_loc = 0
+    #: Dead-entry judgements need the whole program's definition set,
+    #: so the fleet runs this as one whole-program work item.
+    unit_parallel = False
+
+    def check(self, program: Program) -> CheckerResult:
+        result, sink = self._new_result()
+        info = program.info
+        tables_empty = (info is None
+                        or (not info.handlers and not info.messages
+                            and not getattr(info, "dispatch", {})))
+        if tables_empty:
+            # No tables, no cross-checks: a loaded-but-unconfigured
+            # pack must not change one byte of the run's output.
+            return self._finish(result, sink)
+
+        functions = {f.name: f for f in program.functions()}
+        anchor = self._anchor(program)
+        applied = 0
+
+        # -- code -> tables: unregistered handlers -----------------------
+        for name, function in sorted(functions.items()):
+            if not _has_handler_prologue(function):
+                continue
+            applied += 1
+            if name not in info.handlers and name not in info.messages:
+                sink.add(Report(
+                    checker=self.name,
+                    message=(f"{name} has a handler prologue "
+                             f"({machine.HANDLER_DEFS}) but is not "
+                             "registered in any protocol table"),
+                    location=function.location, function=name,
+                ))
+
+        # -- tables -> code: dead entries --------------------------------
+        registrations = [
+            ("handler table", sorted(info.handlers)),
+            ("message listing", sorted(info.messages)),
+            ("dispatch config",
+             [info.dispatch[op] for op in sorted(info.dispatch)]),
+        ]
+        for table, names in registrations:
+            for name in names:
+                applied += 1
+                if name not in functions:
+                    sink.add(Report(
+                        checker=self.name,
+                        message=(f"{table} entry {name} names no function "
+                                 "in the checked sources"),
+                        location=anchor, function=name,
+                    ))
+
+        # -- simulator config vs handler table ---------------------------
+        for opcode in sorted(info.dispatch):
+            name = info.dispatch[opcode]
+            if name in functions and info.handlers \
+                    and name not in info.handlers:
+                sink.add(Report(
+                    checker=self.name,
+                    message=(f"dispatch opcode {opcode} runs {name}, "
+                             "which the handler table never registered"),
+                    location=functions[name].location, function=name,
+                ))
+
+        # -- message listing vs code: length drift -----------------------
+        for name in sorted(info.messages):
+            declared = info.messages[name]
+            if declared not in machine.LENGTH_CONSTANTS:
+                sink.add(Report(
+                    checker=self.name,
+                    message=(f"message listing for {name} uses unknown "
+                             f"length constant {declared}"),
+                    location=anchor, function=name,
+                ))
+                continue
+            function = functions.get(name)
+            if function is None:
+                continue  # already reported as a dead entry
+            assigned = list(_len_assignments(function))
+            if assigned and declared not in {c for c, _loc in assigned}:
+                constant, location = assigned[0]
+                sink.add(Report(
+                    checker=self.name,
+                    message=(f"message listing says {name} sends "
+                             f"{declared} but its code sets "
+                             f"{', '.join(sorted({c for c, _ in assigned}))}"),
+                    location=location, function=name,
+                ))
+
+        result.applied = applied
+        return self._finish(result, sink)
+
+    @staticmethod
+    def _anchor(program: Program) -> Location:
+        """A deterministic location for table-level (no-function)
+        diagnostics: line 1 of the first checked unit."""
+        filenames = sorted(program.units)
+        return Location(filenames[0] if filenames else "<spec>", 1, 1)

@@ -1,0 +1,50 @@
+{ #include "flash-includes.h" }
+sm len_reassign {
+    /* Every way the message-length field can be listed. */
+    pat set_nodata = { HANDLER_GLOBALS(header.nh.len) = LEN_NODATA } ;
+    pat set_word = { HANDLER_GLOBALS(header.nh.len) = LEN_WORD } ;
+    pat set_line = { HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE } ;
+
+    /* Any send consumes the current listing: handlers emitting
+     * several messages re-list the length before each send. */
+    decl { unsigned } keep, swap, wait, dec, null, type;
+    pat send =
+        { PI_SEND(F_DATA, keep, swap, wait, dec, null) }
+      | { PI_SEND(F_NODATA, keep, swap, wait, dec, null) }
+      | { IO_SEND(F_DATA, keep, swap, wait, dec, null) }
+      | { IO_SEND(F_NODATA, keep, swap, wait, dec, null) }
+      | { NI_SEND(type, F_DATA, keep, wait, dec, null) }
+      | { NI_SEND(type, F_NODATA, keep, wait, dec, null) } ;
+
+    /* Track the last unconsumed length listed on this path.
+     * Overriding a default with a *different* length before the send
+     * is the normal idiom; listing the *same* length again with no
+     * send in between is a redundant duplicate — the residue of a
+     * copy-paste or a half-applied metadata change, the same drift
+     * class the consistency checker audits in the tables. */
+    start:
+        set_nodata ==> nodata
+      | set_word ==> word
+      | set_line ==> line ;
+
+    nodata:
+        set_nodata ==>
+            { err("message length set to LEN_NODATA twice on one path"); }
+      | set_word ==> word
+      | set_line ==> line
+      | send ==> start ;
+
+    word:
+        set_word ==>
+            { err("message length set to LEN_WORD twice on one path"); }
+      | set_nodata ==> nodata
+      | set_line ==> line
+      | send ==> start ;
+
+    line:
+        set_line ==>
+            { err("message length set to LEN_CACHELINE twice on one path"); }
+      | set_nodata ==> nodata
+      | set_word ==> word
+      | send ==> start ;
+}

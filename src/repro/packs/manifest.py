@@ -1,0 +1,248 @@
+"""Checker-pack manifests: ``pack.toml`` parsing and validation.
+
+A *checker pack* is a directory carrying a ``pack.toml`` manifest plus
+the checker implementations it names — Python modules subclassing
+:class:`repro.checkers.base.Checker`, textual metal programs, or both:
+
+.. code-block:: toml
+
+    [pack]
+    name = "consistency"
+    version = "1.0.0"
+    description = "Cross-artifact consistency checks"
+    engine = ">=1.0"              # repro version constraint
+
+    [pack.checkers]
+    python = ["consistency.py"]   # relative to the pack directory
+    metal = ["len_reassign.metal"]
+
+Every failure mode — missing manifest, unparseable TOML, a schema
+violation, an engine-version mismatch, a listed file that does not
+exist — raises :class:`PackError` (a :class:`repro.errors.ReproError`),
+which the CLI turns into a structured ``mc-check: pack error:``
+line and exit 2.  A malformed pack can never produce a traceback, and
+can never silently half-load.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ReproError
+
+__all__ = ["PackError", "PackManifest", "load_manifest", "MANIFEST_NAME"]
+
+#: The manifest file every pack directory must carry.
+MANIFEST_NAME = "pack.toml"
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_-]*$")
+_VERSION_RE = re.compile(r"^\d+(\.\d+){0,2}$")
+_CONSTRAINT_RE = re.compile(r"^(>=|<=|==|<|>)\s*(\d+(?:\.\d+){0,2})$")
+
+
+class PackError(ReproError):
+    """A checker pack cannot be loaded (manifest, engine, or content)."""
+
+
+@dataclass(frozen=True)
+class PackManifest:
+    """One validated ``pack.toml``."""
+
+    name: str
+    version: str
+    root: Path
+    #: Engine (repro) version constraint, e.g. ``">=1.0, <2"``; empty
+    #: means "any engine".
+    engine: str = ""
+    description: str = ""
+    #: Python checker modules, relative to :attr:`root`.
+    python_checkers: tuple = ()
+    #: Textual metal programs, relative to :attr:`root`.
+    metal_checkers: tuple = ()
+
+    @property
+    def label(self) -> str:
+        """``name@version`` — the identity used in diagnostics, cache
+        keys, and report provenance."""
+        return f"{self.name}@{self.version}"
+
+    def checker_paths(self) -> list[Path]:
+        return [self.root / rel
+                for rel in (*self.python_checkers, *self.metal_checkers)]
+
+
+# -- TOML parsing ------------------------------------------------------------
+
+def _parse_toml(text: str, where: str) -> dict:
+    """Parse manifest TOML, via :mod:`tomllib` when available.
+
+    Python 3.10 has no ``tomllib`` and this repo adds no dependencies,
+    so a fallback parser covers the manifest subset (tables, string
+    values, arrays of strings).  Anything outside that subset is a
+    manifest error, not a crash.
+    """
+    try:
+        import tomllib
+    except ImportError:
+        return _parse_toml_subset(text, where)
+    try:
+        return tomllib.loads(text)
+    except (tomllib.TOMLDecodeError, ValueError) as exc:
+        raise PackError(f"{where}: not valid TOML: {exc}") from None
+
+
+def _parse_toml_subset(text: str, where: str) -> dict:
+    """Minimal TOML-subset parser for ``pack.toml`` on Python 3.10."""
+    doc: dict = {}
+    table = doc
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        at = f"{where}:{lineno}"
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise PackError(f"{at}: malformed table header {line!r}")
+            table = doc
+            for part in line[1:-1].strip().split("."):
+                part = part.strip()
+                if not part:
+                    raise PackError(f"{at}: malformed table header {line!r}")
+                table = table.setdefault(part, {})
+                if not isinstance(table, dict):
+                    raise PackError(f"{at}: {part!r} is not a table")
+            continue
+        key, sep, value = line.partition("=")
+        if not sep:
+            raise PackError(f"{at}: expected 'key = value', got {line!r}")
+        table[key.strip()] = _parse_toml_value(value.strip(), at)
+    return doc
+
+
+def _parse_toml_value(value: str, at: str):
+    if value.startswith('"') and value.endswith('"') and len(value) >= 2:
+        return value[1:-1]
+    if value.startswith("[") and value.endswith("]"):
+        inner = value[1:-1].strip()
+        if not inner:
+            return []
+        items = []
+        for piece in inner.split(","):
+            piece = piece.strip()
+            if not piece:
+                continue
+            if not (piece.startswith('"') and piece.endswith('"')):
+                raise PackError(f"{at}: array items must be strings")
+            items.append(piece[1:-1])
+        return items
+    raise PackError(f"{at}: unsupported value {value!r} "
+                    "(strings and string arrays only)")
+
+
+# -- engine-version constraints ----------------------------------------------
+
+def _version_tuple(text: str) -> tuple:
+    return tuple(int(part) for part in text.split("."))
+
+
+def check_engine_constraint(constraint: str, engine_version: str,
+                            where: str = "pack.toml") -> None:
+    """Raise :class:`PackError` when ``engine_version`` violates the
+    manifest's ``engine`` constraint (comma-separated comparators)."""
+    if not constraint.strip():
+        return
+    have = _version_tuple(engine_version)
+    for clause in constraint.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        match = _CONSTRAINT_RE.match(clause)
+        if match is None:
+            raise PackError(
+                f"{where}: bad engine constraint {clause!r} "
+                "(want e.g. '>=1.0' or '>=1.0, <2')")
+        op, version = match.groups()
+        want = _version_tuple(version)
+        # Compare on the constraint's own precision: ">=1.0" accepts 1.0.3.
+        trimmed = have[:len(want)]
+        ok = {
+            ">=": trimmed >= want, "<=": trimmed <= want,
+            "==": trimmed == want, "<": trimmed < want, ">": trimmed > want,
+        }[op]
+        if not ok:
+            raise PackError(
+                f"{where}: pack requires engine {constraint!r} but this "
+                f"is mc-check {engine_version}")
+
+
+# -- loading -----------------------------------------------------------------
+
+def load_manifest(pack_dir) -> PackManifest:
+    """Read and validate ``<pack_dir>/pack.toml``.
+
+    Checks the manifest schema, the engine-version constraint against
+    the running :data:`repro.__version__`, and that every listed checker
+    file exists.  All failures are :class:`PackError`.
+    """
+    root = Path(pack_dir)
+    path = root / MANIFEST_NAME
+    where = str(path)
+    if not root.is_dir():
+        raise PackError(f"{root}: not a pack directory")
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise PackError(
+            f"{root}: no readable {MANIFEST_NAME} ({exc})") from None
+    doc = _parse_toml(text, where)
+    pack = doc.get("pack")
+    if not isinstance(pack, dict):
+        raise PackError(f"{where}: missing [pack] table")
+    name = pack.get("name")
+    if not isinstance(name, str) or not _NAME_RE.match(name or ""):
+        raise PackError(
+            f"{where}: [pack] name must be a lowercase identifier "
+            f"(got {name!r})")
+    version = pack.get("version")
+    if not isinstance(version, str) or not _VERSION_RE.match(version or ""):
+        raise PackError(
+            f"{where}: [pack] version must look like '1.0.0' "
+            f"(got {version!r})")
+    engine = pack.get("engine", "")
+    if not isinstance(engine, str):
+        raise PackError(f"{where}: [pack] engine must be a string")
+    description = pack.get("description", "")
+    if not isinstance(description, str):
+        raise PackError(f"{where}: [pack] description must be a string")
+    checkers = pack.get("checkers", {})
+    if not isinstance(checkers, dict):
+        raise PackError(f"{where}: [pack.checkers] must be a table")
+    python = _string_list(checkers.get("python", []), where,
+                          "[pack.checkers] python")
+    metal = _string_list(checkers.get("metal", []), where,
+                         "[pack.checkers] metal")
+    if not python and not metal:
+        raise PackError(
+            f"{where}: pack lists no checkers "
+            "([pack.checkers] python/metal are both empty)")
+    import repro
+    check_engine_constraint(engine, repro.__version__, where=where)
+    manifest = PackManifest(
+        name=name, version=version, root=root, engine=engine,
+        description=description,
+        python_checkers=tuple(python), metal_checkers=tuple(metal),
+    )
+    for rel, item in ((rel, root / rel) for rel in (*python, *metal)):
+        if not item.is_file():
+            raise PackError(
+                f"{where}: listed checker {rel!r} does not exist")
+    return manifest
+
+
+def _string_list(value, where: str, what: str) -> list[str]:
+    if not isinstance(value, list) or not all(
+            isinstance(item, str) for item in value):
+        raise PackError(f"{where}: {what} must be a list of file names")
+    return list(value)

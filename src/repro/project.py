@@ -86,6 +86,12 @@ class ProtocolInfo:
     frees_if_true: set[str] = field(default_factory=set)
     #: Subroutines that write the directory entry back for their caller.
     dir_writeback_routines: set[str] = field(default_factory=set)
+    #: Protocol message listing: handler name -> declared message-length
+    #: constant (``LEN_NODATA``/``LEN_WORD``/``LEN_CACHELINE``) — the
+    #: table the consistency pack cross-checks against the code.
+    messages: dict[str, str] = field(default_factory=dict)
+    #: Simulator dispatch-table registrations: opcode -> handler name.
+    dispatch: dict[int, str] = field(default_factory=dict)
 
     def handler(self, name: str) -> Optional[HandlerInfo]:
         return self.handlers.get(name)

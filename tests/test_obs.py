@@ -345,7 +345,7 @@ class TestCLI:
                        cache_dir=tmp_path / "cachedir")
         assert proc.returncode == 1                 # the false positive
         doc = json.loads(proc.stdout)               # pure JSON on stdout
-        assert doc["schema"] == 3
+        assert doc["schema"] == 4
         assert "run: id=" in proc.stderr            # chatter on stderr
         assert "trace:" in proc.stderr
         assert "metrics: wrote" in proc.stderr
